@@ -1,0 +1,114 @@
+// Shared plumbing for the figure-reproduction harnesses: dataset
+// construction, the solution roster of Section VI, and table printing.
+//
+// Scale knobs (environment variables):
+//   TRASS_BENCH_N        trajectories per dataset   (default 20000)
+//   TRASS_BENCH_QUERIES  query trajectories sampled (default 40;
+//                        the paper uses 400 — raise this on a beefier
+//                        machine for tighter medians)
+
+#ifndef TRASS_BENCH_BENCH_COMMON_H_
+#define TRASS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "baselines/dft_baseline.h"
+#include "baselines/dita_baseline.h"
+#include "baselines/repose_baseline.h"
+#include "baselines/trass_searcher.h"
+#include "baselines/xz2_store.h"
+#include "geo/units.h"
+#include "kv/env.h"
+#include "util/histogram.h"
+#include "workload/generator.h"
+
+namespace trass {
+namespace bench {
+
+/// The paper quotes eps in degrees (0.001..0.02); convert to the
+/// earth-normalized units the engine works in.
+inline double EpsNorm(double eps_degrees) {
+  return eps_degrees * geo::kDegree;
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+inline size_t DefaultN() { return EnvSize("TRASS_BENCH_N", 20000); }
+inline size_t DefaultQueries() { return EnvSize("TRASS_BENCH_QUERIES", 24); }
+
+struct Dataset {
+  std::string name;
+  std::vector<core::Trajectory> data;
+  std::vector<size_t> query_indices;
+
+  const std::vector<geo::Point>& Query(size_t i) const {
+    return data[query_indices[i % query_indices.size()]].points;
+  }
+  size_t num_queries() const { return query_indices.size(); }
+};
+
+inline Dataset MakeTDrive(size_t n, size_t queries) {
+  Dataset d;
+  d.name = "T-Drive-like";
+  d.data = workload::TDriveLike(n, /*seed=*/20260707);
+  d.query_indices = workload::SampleIndices(d.data.size(), queries, 1);
+  return d;
+}
+
+inline Dataset MakeLorry(size_t n, size_t queries) {
+  Dataset d;
+  d.name = "Lorry-like";
+  d.data = workload::LorryLike(n, /*seed=*/20260708);
+  d.query_indices = workload::SampleIndices(d.data.size(), queries, 2);
+  return d;
+}
+
+/// The solution roster of the evaluation. `dir` hosts the on-disk stores.
+inline std::vector<std::unique_ptr<baselines::SimilaritySearcher>>
+MakeAllSearchers(const std::string& dir) {
+  std::vector<std::unique_ptr<baselines::SimilaritySearcher>> searchers;
+  core::TrassOptions trass_options;
+  searchers.push_back(std::make_unique<baselines::TrassSearcher>(
+      trass_options, dir + "/trass"));
+  baselines::Xz2Store::Options xz2_options;
+  searchers.push_back(
+      std::make_unique<baselines::Xz2Store>(xz2_options, dir + "/xz2"));
+  searchers.push_back(std::make_unique<baselines::DftBaseline>());
+  searchers.push_back(std::make_unique<baselines::DitaBaseline>());
+  searchers.push_back(std::make_unique<baselines::ReposeBaseline>());
+  return searchers;
+}
+
+/// Median over per-query values.
+inline double Median(std::vector<double> values) {
+  Histogram h;
+  for (double v : values) h.Add(v);
+  return h.Median();
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string ScratchDir(const std::string& name) {
+  const std::string path = "/tmp/trass_bench_" + name;
+  kv::Env::Default()->RemoveDirRecursively(path);
+  kv::Env::Default()->CreateDir(path);
+  return path;
+}
+
+}  // namespace bench
+}  // namespace trass
+
+#endif  // TRASS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Figure 9: threshold similarity search — (a) median query time and
+// (b) number of candidates after pruning, per solution, varying the
+// threshold eps on both datasets.
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figure 9 — threshold similarity search — %s (%zu "
+              "trajectories, %zu queries) ===\n",
+              dataset.name.c_str(), dataset.data.size(),
+              dataset.num_queries());
+  auto searchers = MakeAllSearchers(dir);
+  const std::vector<double> epsilons = {0.001, 0.005, 0.01, 0.015, 0.02};
+
+  for (auto& searcher : searchers) {
+    if (!searcher->SupportsThreshold()) {
+      std::printf("%-22s (threshold search unsupported; skipped)\n",
+                  searcher->name().c_str());
+      continue;
+    }
+    Stopwatch build;
+    Status s = searcher->Build(dataset.data);
+    if (!s.ok()) {
+      std::printf("%-22s build failed: %s\n", searcher->name().c_str(),
+                  s.ToString().c_str());
+      continue;
+    }
+    std::printf("%-22s (built in %.1f s)\n", searcher->name().c_str(),
+                build.ElapsedSeconds());
+    std::printf("  %-8s %14s %16s %14s\n", "eps", "time-ms(p50)",
+                "candidates(p50)", "results(p50)");
+    for (double eps : epsilons) {
+      std::vector<double> times, candidates, results;
+      for (size_t q = 0; q < dataset.num_queries(); ++q) {
+        std::vector<core::SearchResult> found;
+        core::QueryMetrics metrics;
+        s = searcher->Threshold(dataset.Query(q), EpsNorm(eps),
+                                core::Measure::kFrechet, &found, &metrics);
+        if (!s.ok()) break;
+        times.push_back(metrics.total_ms);
+        candidates.push_back(static_cast<double>(metrics.candidates));
+        results.push_back(static_cast<double>(found.size()));
+      }
+      if (!s.ok()) {
+        std::printf("  %-8.3f failed: %s\n", eps, s.ToString().c_str());
+        continue;
+      }
+      std::printf("  %-8.3f %14.2f %16.0f %14.0f\n", eps, Median(times),
+                  Median(candidates), Median(results));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig09");
+  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
+  return 0;
+}

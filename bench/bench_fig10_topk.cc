@@ -1,0 +1,64 @@
+// Figure 10: top-k similarity search — (a) median query time and
+// (b) candidate counts, per solution, varying k.
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figure 10 — top-k similarity search — %s (%zu "
+              "trajectories, %zu queries) ===\n",
+              dataset.name.c_str(), dataset.data.size(),
+              dataset.num_queries());
+  auto searchers = MakeAllSearchers(dir);
+  const std::vector<int> ks = {50, 100, 150, 200, 250};
+
+  for (auto& searcher : searchers) {
+    Stopwatch build;
+    Status s = searcher->Build(dataset.data);
+    if (!s.ok()) {
+      std::printf("%-22s build failed: %s\n", searcher->name().c_str(),
+                  s.ToString().c_str());
+      continue;
+    }
+    std::printf("%-22s (built in %.1f s)\n", searcher->name().c_str(),
+                build.ElapsedSeconds());
+    std::printf("  %-6s %14s %16s\n", "k", "time-ms(p50)",
+                "candidates(p50)");
+    for (int k : ks) {
+      std::vector<double> times, candidates;
+      for (size_t q = 0; q < dataset.num_queries(); ++q) {
+        std::vector<core::SearchResult> found;
+        core::QueryMetrics metrics;
+        s = searcher->TopK(dataset.Query(q), k, core::Measure::kFrechet,
+                           &found, &metrics);
+        if (!s.ok()) break;
+        times.push_back(metrics.total_ms);
+        candidates.push_back(static_cast<double>(metrics.candidates));
+      }
+      if (!s.ok()) {
+        std::printf("  %-6d failed: %s\n", k, s.ToString().c_str());
+        continue;
+      }
+      std::printf("  %-6d %14.2f %16.0f\n", k, Median(times),
+                  Median(candidates));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig10");
+  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11: effect of the pruning strategies at eps = 0.01 —
+// (a) pruning time, (b) trajectories retrieved from storage (global
+// pruning quality), (c) precision (final answers / candidates after
+// local filtering).
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figure 11 — pruning strategies (eps = 0.01) — %s ===\n",
+              dataset.name.c_str());
+  auto searchers = MakeAllSearchers(dir);
+  std::printf("%-22s %16s %18s %14s %12s\n", "solution", "prune-ms(p50)",
+              "retrieved(p50)", "cands(p50)", "precision");
+  PrintRule();
+  for (auto& searcher : searchers) {
+    if (!searcher->SupportsThreshold()) {
+      std::printf("%-22s (threshold search unsupported; skipped)\n",
+                  searcher->name().c_str());
+      continue;
+    }
+    Status s = searcher->Build(dataset.data);
+    if (!s.ok()) continue;
+    std::vector<double> prune_ms, retrieved, candidates, precision;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      s = searcher->Threshold(dataset.Query(q), EpsNorm(0.01),
+                              core::Measure::kFrechet,
+                              &found, &metrics);
+      if (!s.ok()) break;
+      prune_ms.push_back(metrics.pruning_ms);
+      retrieved.push_back(static_cast<double>(metrics.retrieved));
+      candidates.push_back(static_cast<double>(metrics.candidates));
+      precision.push_back(metrics.precision());
+    }
+    if (!s.ok()) {
+      std::printf("%-22s failed: %s\n", searcher->name().c_str(),
+                  s.ToString().c_str());
+      continue;
+    }
+    std::printf("%-22s %16.3f %18.0f %14.0f %12.3f\n",
+                searcher->name().c_str(), Median(prune_ms),
+                Median(retrieved), Median(candidates), Median(precision));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig11");
+  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
+  return 0;
+}

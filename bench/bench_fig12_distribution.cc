@@ -1,0 +1,54 @@
+// Figure 12: distribution of trajectories over (a) XZ* resolutions and
+// (b) position codes. Reproduces the paper's shape: driving-range trips
+// land around resolutions 10-16, waiting vehicles peak at the maximum
+// resolution, and position codes spread across all ten combinations.
+
+#include "bench_common.h"
+
+#include "index/xzstar.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset) {
+  std::printf("\n=== Figure 12 — distribution — %s (%zu trajectories) ===\n",
+              dataset.name.c_str(), dataset.data.size());
+  index::XzStar xz(16);
+  std::vector<uint64_t> by_resolution(17, 0);
+  std::vector<uint64_t> by_code(11, 0);
+  for (const auto& t : dataset.data) {
+    const auto space = xz.Index(t.points);
+    ++by_resolution[space.seq.length()];
+    ++by_code[space.pos];
+  }
+  std::printf("(a) trajectories per resolution\n");
+  for (int r = 0; r <= 16; ++r) {
+    std::printf("  res %2d: %8llu  ", r,
+                static_cast<unsigned long long>(by_resolution[r]));
+    const int bar = static_cast<int>(60.0 * static_cast<double>(by_resolution[r]) /
+                                     static_cast<double>(dataset.data.size()));
+    for (int i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+  std::printf("(b) trajectories per position code\n");
+  for (int code = 1; code <= 10; ++code) {
+    std::printf("  code %2d: %8llu  ", code,
+                static_cast<unsigned long long>(by_code[code]));
+    const int bar = static_cast<int>(60.0 * static_cast<double>(by_code[code]) /
+                                     static_cast<double>(dataset.data.size()));
+    for (int i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  RunDataset(MakeTDrive(DefaultN(), 1));
+  RunDataset(MakeLorry(DefaultN(), 1));
+  return 0;
+}

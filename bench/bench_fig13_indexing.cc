@@ -1,0 +1,73 @@
+// Figure 13: indexing overhead — (a)(b) indexing/ingest time per
+// solution (static XZ*/XZ2 vs dynamic DFT/DITA/REPOSE structures), and
+// (c) average row-key bytes: TraSS integer encoding vs TraSS-S string
+// encoding (the paper reports 27-32% savings).
+
+#include "bench_common.h"
+
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figure 13(a/b) — indexing time — %s (%zu trajectories) "
+              "===\n",
+              dataset.name.c_str(), dataset.data.size());
+  auto searchers = MakeAllSearchers(dir);
+  std::printf("%-22s %14s\n", "solution", "build-time-s");
+  PrintRule(40);
+  for (auto& searcher : searchers) {
+    Stopwatch build;
+    Status s = searcher->Build(dataset.data);
+    if (!s.ok()) {
+      std::printf("%-22s failed: %s\n", searcher->name().c_str(),
+                  s.ToString().c_str());
+      continue;
+    }
+    std::printf("%-22s %14.2f\n", searcher->name().c_str(),
+                build.ElapsedSeconds());
+  }
+
+  std::printf("\n=== Figure 13(c) — row-key storage — %s ===\n",
+              dataset.name.c_str());
+  auto build_store = [&](bool string_keys, double* avg_bytes) {
+    core::TrassOptions options;
+    options.string_keys = string_keys;
+    const std::string path =
+        dir + (string_keys ? "/keys_string" : "/keys_int");
+    kv::Env::Default()->RemoveDirRecursively(path);
+    std::unique_ptr<core::TrassStore> store;
+    Status s = core::TrassStore::Open(options, path, &store);
+    if (!s.ok()) return s;
+    for (const auto& t : dataset.data) {
+      s = store->Put(t);
+      if (!s.ok()) return s;
+    }
+    *avg_bytes = store->average_rowkey_bytes();
+    return Status::OK();
+  };
+  double int_bytes = 0.0, str_bytes = 0.0;
+  if (build_store(false, &int_bytes).ok() &&
+      build_store(true, &str_bytes).ok()) {
+    std::printf("%-28s %10.2f bytes/rowkey\n", "TraSS (integer encoding)",
+                int_bytes);
+    std::printf("%-28s %10.2f bytes/rowkey\n", "TraSS-S (string encoding)",
+                str_bytes);
+    std::printf("reduction: %.1f%% (paper: 32%% T-Drive, 27%% Lorry)\n",
+                100.0 * (1.0 - int_bytes / str_bytes));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig13");
+  RunDataset(MakeTDrive(DefaultN(), 1), dir);
+  RunDataset(MakeLorry(DefaultN(), 1), dir);
+  return 0;
+}

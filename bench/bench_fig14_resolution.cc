@@ -1,0 +1,72 @@
+// Figures 14 & 15: varying the XZ* maximum resolution — selectivity
+// (distinct index values / row keys) and median query time for both
+// searches, on both datasets. The paper finds low resolutions (e.g. 14)
+// hurt selectivity and query time, while very high resolutions add range
+// fragmentation for little gain.
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+#include "core/trass_store.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figures 14/15 — varying max resolution — %s (%zu "
+              "trajectories, %zu queries) ===\n",
+              dataset.name.c_str(), dataset.data.size(),
+              dataset.num_queries());
+  std::printf("%-6s %12s %18s %18s\n", "res", "selectivity",
+              "threshold-ms(p50)", "topk-ms(p50)");
+  PrintRule(60);
+  for (int resolution : {10, 12, 14, 16, 18}) {
+    core::TrassOptions options;
+    options.max_resolution = resolution;
+    const std::string path = dir + "/res" + std::to_string(resolution);
+    kv::Env::Default()->RemoveDirRecursively(path);
+    std::unique_ptr<core::TrassStore> store;
+    Status s = core::TrassStore::Open(options, path, &store);
+    if (!s.ok()) continue;
+    for (const auto& t : dataset.data) {
+      s = store->Put(t);
+      if (!s.ok()) break;
+    }
+    if (!s.ok()) continue;
+    store->Flush();
+    const double selectivity =
+        static_cast<double>(store->distinct_index_values()) /
+        static_cast<double>(store->num_trajectories());
+
+    std::vector<double> threshold_ms, topk_ms;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      if (store->ThresholdSearch(dataset.Query(q), EpsNorm(0.01),
+                                 core::Measure::kFrechet, &found, &metrics)
+              .ok()) {
+        threshold_ms.push_back(metrics.total_ms);
+      }
+      if (store->TopKSearch(dataset.Query(q), 50, core::Measure::kFrechet,
+                            &found, &metrics)
+              .ok()) {
+        topk_ms.push_back(metrics.total_ms);
+      }
+    }
+    std::printf("%-6d %12.4f %18.2f %18.2f\n", resolution, selectivity,
+                Median(threshold_ms), Median(topk_ms));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig14");
+  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
+  return 0;
+}

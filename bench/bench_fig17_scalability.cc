@@ -1,0 +1,73 @@
+// Figure 17: scalability on synthetic datasets built by replicating the
+// Lorry-like dataset t times — (a) ingest time, (b) threshold query time,
+// (c) top-k query time. TraSS's query time should grow slowly because the
+// pruning work is independent of dataset size (fixed spatial partitions).
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+#include "core/trass_store.h"
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t base_n = EnvSize("TRASS_BENCH_N", 20000) / 2;
+  const size_t queries = DefaultQueries();
+  const auto base = workload::LorryLike(base_n, 20260708);
+  const std::string dir = ScratchDir("fig17");
+
+  std::printf("=== Figure 17 — scalability on synthetic x-t datasets "
+              "(base = %zu lorry-like trajectories) ===\n",
+              base_n);
+  std::printf("%-4s %10s %14s %20s %16s\n", "t", "size", "ingest-s",
+              "threshold-ms(p50)", "topk-ms(p50)");
+  PrintRule(70);
+  for (int t = 1; t <= 5; ++t) {
+    const auto data = workload::Scale(base, t, 0.0005, 33 + t);
+    const std::string path = dir + "/x" + std::to_string(t);
+    kv::Env::Default()->RemoveDirRecursively(path);
+    core::TrassOptions options;
+    std::unique_ptr<core::TrassStore> store;
+    Status s = core::TrassStore::Open(options, path, &store);
+    if (!s.ok()) continue;
+    Stopwatch ingest;
+    for (const auto& trajectory : data) {
+      s = store->Put(trajectory);
+      if (!s.ok()) break;
+    }
+    store->Flush();
+    const double ingest_s = ingest.ElapsedSeconds();
+
+    const auto query_indices =
+        workload::SampleIndices(data.size(), queries, 3);
+    std::vector<double> threshold_ms, topk_ms;
+    for (size_t qi : query_indices) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      if (store->ThresholdSearch(data[qi].points, EpsNorm(0.01),
+                                 core::Measure::kFrechet, &found, &metrics)
+              .ok()) {
+        threshold_ms.push_back(metrics.total_ms);
+      }
+      if (store->TopKSearch(data[qi].points, 50, core::Measure::kFrechet,
+                            &found, &metrics)
+              .ok()) {
+        topk_ms.push_back(metrics.total_ms);
+      }
+    }
+    std::printf("%-4d %10zu %14.2f %20.2f %16.2f\n", t, data.size(),
+                ingest_s, Median(threshold_ms), Median(topk_ms));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  trass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 18: 99th-percentile tail latency of threshold and top-k search
+// per solution.
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+#include "util/histogram.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figure 18 — tail latency (p99) — %s (%zu queries) ===\n",
+              dataset.name.c_str(), dataset.num_queries());
+  auto searchers = MakeAllSearchers(dir);
+  std::printf("%-22s %20s %20s\n", "solution", "threshold-p99-ms",
+              "topk50-p99-ms");
+  PrintRule(66);
+  for (auto& searcher : searchers) {
+    Status s = searcher->Build(dataset.data);
+    if (!s.ok()) continue;
+    Histogram threshold_latency, topk_latency;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      if (searcher->SupportsThreshold() &&
+          searcher->Threshold(dataset.Query(q), EpsNorm(0.01),
+                              core::Measure::kFrechet,
+                              &found, &metrics)
+              .ok()) {
+        threshold_latency.Add(metrics.total_ms);
+      }
+      if (searcher->TopK(dataset.Query(q), 50, core::Measure::kFrechet,
+                         &found, &metrics)
+              .ok()) {
+        topk_latency.Add(metrics.total_ms);
+      }
+    }
+    char threshold_buf[32] = "n/a";
+    if (threshold_latency.Count() > 0) {
+      std::snprintf(threshold_buf, sizeof(threshold_buf), "%.2f",
+                    threshold_latency.Percentile(99));
+    }
+    char topk_buf[32] = "n/a";
+    if (topk_latency.Count() > 0) {
+      std::snprintf(topk_buf, sizeof(topk_buf), "%.2f",
+                    topk_latency.Percentile(99));
+    }
+    std::printf("%-22s %20s %20s\n", searcher->name().c_str(), threshold_buf,
+                topk_buf);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig18");
+  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 19: effect of the shards row-key component. Too few shards
+// serialize similar trajectories into one region (skew); too many spread
+// each scan across every region (coordination cost). The paper lands on
+// shards = 8 for a five-node cluster.
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+#include "core/trass_store.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunDataset(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Figure 19 — effect of shards — %s (%zu trajectories, "
+              "%zu queries) ===\n",
+              dataset.name.c_str(), dataset.data.size(),
+              dataset.num_queries());
+  std::printf("%-8s %18s %16s\n", "shards", "threshold-ms(p50)",
+              "topk-ms(p50)");
+  PrintRule(46);
+  for (int shards : {1, 2, 4, 8, 16, 32}) {
+    core::TrassOptions options;
+    options.shards = shards;
+    options.scan_threads = 4;
+    const std::string path = dir + "/s" + std::to_string(shards);
+    kv::Env::Default()->RemoveDirRecursively(path);
+    std::unique_ptr<core::TrassStore> store;
+    Status s = core::TrassStore::Open(options, path, &store);
+    if (!s.ok()) continue;
+    for (const auto& t : dataset.data) {
+      s = store->Put(t);
+      if (!s.ok()) break;
+    }
+    store->Flush();
+    std::vector<double> threshold_ms, topk_ms;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      if (store->ThresholdSearch(dataset.Query(q), EpsNorm(0.01),
+                                 core::Measure::kFrechet, &found, &metrics)
+              .ok()) {
+        threshold_ms.push_back(metrics.total_ms);
+      }
+      if (store->TopKSearch(dataset.Query(q), 50, core::Measure::kFrechet,
+                            &found, &metrics)
+              .ok()) {
+        topk_ms.push_back(metrics.total_ms);
+      }
+    }
+    std::printf("%-8d %18.2f %16.2f\n", shards, Median(threshold_ms),
+                Median(topk_ms));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig19");
+  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 20: efficiency under the other measures (Section VII) —
+// Hausdorff and DTW. Per the paper: DITA has no Hausdorff support, DFT
+// no DTW, REPOSE is top-k only; TraSS supports everything.
+
+#include "bench_common.h"
+
+#include "core/metrics.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+void RunMeasure(const Dataset& dataset, const std::string& dir,
+                core::Measure measure, double eps) {
+  std::printf("\n=== Figure 20 — %s — %s (eps=%.3g for threshold, k=50) "
+              "===\n",
+              core::MeasureName(measure), dataset.name.c_str(), eps);
+  auto searchers = MakeAllSearchers(dir);
+  std::printf("%-22s %18s %16s\n", "solution", "threshold-ms(p50)",
+              "topk-ms(p50)");
+  PrintRule(60);
+  for (auto& searcher : searchers) {
+    if (!searcher->Supports(measure)) {
+      std::printf("%-22s (measure unsupported; skipped)\n",
+                  searcher->name().c_str());
+      continue;
+    }
+    Status s = searcher->Build(dataset.data);
+    if (!s.ok()) continue;
+    std::vector<double> threshold_ms, topk_ms;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      if (searcher->SupportsThreshold() &&
+          searcher->Threshold(dataset.Query(q), EpsNorm(eps), measure, &found,
+                              &metrics)
+              .ok()) {
+        threshold_ms.push_back(metrics.total_ms);
+      }
+      if (searcher->TopK(dataset.Query(q), 50, measure, &found, &metrics)
+              .ok()) {
+        topk_ms.push_back(metrics.total_ms);
+      }
+    }
+    char tbuf[32] = "n/a";
+    if (!threshold_ms.empty()) {
+      std::snprintf(tbuf, sizeof(tbuf), "%.2f", Median(threshold_ms));
+    }
+    char kbuf[32] = "n/a";
+    if (!topk_ms.empty()) {
+      std::snprintf(kbuf, sizeof(kbuf), "%.2f", Median(topk_ms));
+    }
+    std::printf("%-22s %18s %16s\n", searcher->name().c_str(), tbuf, kbuf);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("fig20");
+  const Dataset tdrive = MakeTDrive(DefaultN(), DefaultQueries());
+  RunMeasure(tdrive, dir, trass::core::Measure::kHausdorff, 0.01);
+  // DTW sums point distances, so its thresholds live on a larger scale.
+  RunMeasure(tdrive, dir, trass::core::Measure::kDtw, 0.2);
+  return 0;
+}

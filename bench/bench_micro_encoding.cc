@@ -1,0 +1,88 @@
+// Micro-benchmarks of the XZ* hot path: indexing a trajectory, the
+// encode/decode bijection, and global-pruning range generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pruning.h"
+#include "index/xz2.h"
+#include "index/xzstar.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace {
+
+using trass::index::XzStar;
+
+std::vector<trass::core::Trajectory> SharedData() {
+  static const auto data = trass::workload::TDriveLike(2000, 77);
+  return data;
+}
+
+void BM_XzStarIndex(benchmark::State& state) {
+  const auto data = SharedData();
+  XzStar xz(16);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xz.Index(data[i % data.size()].points));
+    ++i;
+  }
+}
+BENCHMARK(BM_XzStarIndex);
+
+void BM_XzStarEncode(benchmark::State& state) {
+  const auto data = SharedData();
+  XzStar xz(16);
+  std::vector<XzStar::IndexSpace> spaces;
+  for (const auto& t : data) spaces.push_back(xz.Index(t.points));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xz.Encode(spaces[i % spaces.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_XzStarEncode);
+
+void BM_XzStarDecode(benchmark::State& state) {
+  const auto data = SharedData();
+  XzStar xz(16);
+  std::vector<int64_t> values;
+  for (const auto& t : data) values.push_back(xz.Encode(xz.Index(t.points)));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xz.Decode(values[i % values.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_XzStarDecode);
+
+void BM_Xz2Index(benchmark::State& state) {
+  const auto data = SharedData();
+  trass::index::Xz2 xz(16);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        xz.Encode(xz.Index(trass::geo::Mbr::Of(data[i % data.size()].points))));
+    ++i;
+  }
+}
+BENCHMARK(BM_Xz2Index);
+
+void BM_GlobalPruningRangeGeneration(benchmark::State& state) {
+  const auto data = SharedData();
+  XzStar xz(16);
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = data[i % data.size()].points;
+    const trass::core::QueryContext ctx =
+        trass::core::QueryContext::Make(query, 0.01);
+    trass::core::GlobalPruner pruner(&xz, &ctx);
+    benchmark::DoNotOptimize(pruner.CandidateRanges(eps));
+    ++i;
+  }
+}
+BENCHMARK(BM_GlobalPruningRangeGeneration)->Arg(1)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

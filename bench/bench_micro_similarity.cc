@@ -1,0 +1,103 @@
+// Micro-benchmarks of the similarity kernels and the local filter: the
+// point of Lemmas 12-14 is that the filter is orders of magnitude cheaper
+// than the exact O(n*m) computations it avoids.
+
+#include <benchmark/benchmark.h>
+
+#include "core/local_filter.h"
+#include "core/similarity.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace {
+
+using trass::core::Measure;
+
+const std::vector<trass::core::Trajectory>& SharedData() {
+  static const auto data = trass::workload::TDriveLike(500, 78);
+  return data;
+}
+
+void BM_DiscreteFrechet(benchmark::State& state) {
+  const auto& data = SharedData();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = data[i % data.size()].points;
+    const auto& b = data[(i + 1) % data.size()].points;
+    benchmark::DoNotOptimize(trass::core::DiscreteFrechet(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_DiscreteFrechet);
+
+void BM_FrechetWithinEarlyAbandon(benchmark::State& state) {
+  const auto& data = SharedData();
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = data[i % data.size()].points;
+    const auto& b = data[(i + 1) % data.size()].points;
+    benchmark::DoNotOptimize(trass::core::FrechetWithin(a, b, eps));
+    ++i;
+  }
+}
+BENCHMARK(BM_FrechetWithinEarlyAbandon)->Arg(1)->Arg(100);
+
+void BM_Hausdorff(benchmark::State& state) {
+  const auto& data = SharedData();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = data[i % data.size()].points;
+    const auto& b = data[(i + 1) % data.size()].points;
+    benchmark::DoNotOptimize(trass::core::Hausdorff(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Hausdorff);
+
+void BM_Dtw(benchmark::State& state) {
+  const auto& data = SharedData();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = data[i % data.size()].points;
+    const auto& b = data[(i + 1) % data.size()].points;
+    benchmark::DoNotOptimize(trass::core::Dtw(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Dtw);
+
+void BM_DpFeatureComputation(benchmark::State& state) {
+  const auto& data = SharedData();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trass::core::DpFeatures::Compute(
+        data[i % data.size()].points, 0.01));
+    ++i;
+  }
+}
+BENCHMARK(BM_DpFeatureComputation);
+
+void BM_LocalFilter(benchmark::State& state) {
+  const auto& data = SharedData();
+  const auto ctx = trass::core::QueryContext::Make(data[0].points, 0.01);
+  std::vector<trass::core::StoredTrajectory> stored;
+  for (const auto& t : data) {
+    trass::core::StoredTrajectory s;
+    s.id = t.id;
+    s.points = t.points;
+    s.features = trass::core::DpFeatures::Compute(t.points, 0.01);
+    stored.push_back(std::move(s));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trass::core::LocalFilterPass(
+        ctx, stored[i % stored.size()], 0.01, Measure::kFrechet));
+    ++i;
+  }
+}
+BENCHMARK(BM_LocalFilter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Quickstart: open a TraSS store, ingest a few trajectories, and run the
+// two similarity searches plus a spatial range query.
+//
+//   ./build/examples/quickstart [directory]
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/trass_store.h"
+#include "kv/env.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace trass;
+  const std::string path = argc > 1 ? argv[1] : "/tmp/trass_quickstart";
+  kv::Env::Default()->RemoveDirRecursively(path);
+
+  // 1. Open a store. Defaults follow the paper: 8 shards, XZ* max
+  //    resolution 16, Douglas-Peucker tolerance 0.01.
+  core::TrassOptions options;
+  options.shards = 4;  // keep the demo small
+  std::unique_ptr<core::TrassStore> store;
+  Status s = core::TrassStore::Open(options, path, &store);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Ingest 2000 synthetic taxi trajectories (normalized lon/lat).
+  const auto data = workload::TDriveLike(2000, /*seed=*/7);
+  for (const auto& trajectory : data) {
+    s = store->Put(trajectory);
+    if (!s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  store->Flush();
+  std::printf("ingested %llu trajectories\n",
+              static_cast<unsigned long long>(store->num_trajectories()));
+
+  // 3. Threshold similarity search: everything within eps of a query.
+  const auto& query = data[42].points;
+  std::vector<core::SearchResult> results;
+  core::QueryMetrics metrics;
+  s = store->ThresholdSearch(query, /*eps=*/0.002, core::Measure::kFrechet,
+                             &results, &metrics);
+  if (!s.ok()) {
+    std::fprintf(stderr, "threshold search failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nthreshold search (eps=0.002): %zu results in %.2f ms "
+              "(retrieved %llu rows, %llu candidates)\n",
+              results.size(), metrics.total_ms,
+              static_cast<unsigned long long>(metrics.retrieved),
+              static_cast<unsigned long long>(metrics.candidates));
+  for (size_t i = 0; i < results.size() && i < 5; ++i) {
+    std::printf("  id=%llu  frechet=%.6f\n",
+                static_cast<unsigned long long>(results[i].id),
+                results[i].distance);
+  }
+
+  // 4. Top-k similarity search.
+  s = store->TopKSearch(query, /*k=*/5, core::Measure::kFrechet, &results,
+                        &metrics);
+  if (!s.ok()) {
+    std::fprintf(stderr, "top-k search failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntop-5 search: %.2f ms\n", metrics.total_ms);
+  for (const auto& r : results) {
+    std::printf("  id=%llu  frechet=%.6f\n",
+                static_cast<unsigned long long>(r.id), r.distance);
+  }
+
+  // 5. Spatial range query (which trajectories pass through a window?).
+  const geo::Mbr window = geo::Mbr::Of(query).Expanded(0.001);
+  std::vector<uint64_t> ids;
+  s = store->RangeQuery(window, &ids);
+  if (!s.ok()) {
+    std::fprintf(stderr, "range query failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrange query around the query's bounding box: %zu "
+              "trajectories\n", ids.size());
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every benchmark binary sequentially, appending to bench_output.txt.
+cd /root/repo
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "##### $b" >> bench_output.txt
+    timeout 1200 "$b" >> bench_output.txt 2>&1
+    echo "[exit $?] $b" >> bench_status.txt
+  fi
+done
+echo ALL_BENCHES_DONE >> bench_status.txt

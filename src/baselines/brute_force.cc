@@ -1,0 +1,70 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/similarity.h"
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace baselines {
+
+Status BruteForce::Threshold(const std::vector<geo::Point>& query, double eps,
+                             core::Measure measure,
+                             std::vector<core::SearchResult>* results,
+                             core::QueryMetrics* metrics) {
+  results->clear();
+  core::QueryMetrics local;
+  core::QueryMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = core::QueryMetrics();
+  Stopwatch total;
+  for (const core::Trajectory& t : data_) {
+    ++m->retrieved;
+    ++m->candidates;
+    ++m->refined;
+    if (core::SimilarityWithin(measure, query, t.points, eps)) {
+      results->push_back(core::SearchResult{
+          t.id, core::Similarity(measure, query, t.points)});
+    }
+  }
+  std::sort(results->begin(), results->end());
+  m->results = results->size();
+  m->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+Status BruteForce::TopK(const std::vector<geo::Point>& query, int k,
+                        core::Measure measure,
+                        std::vector<core::SearchResult>* results,
+                        core::QueryMetrics* metrics) {
+  results->clear();
+  core::QueryMetrics local;
+  core::QueryMetrics* m = metrics != nullptr ? metrics : &local;
+  *m = core::QueryMetrics();
+  if (k <= 0) return Status::OK();
+  Stopwatch total;
+  std::priority_queue<core::SearchResult> best;
+  for (const core::Trajectory& t : data_) {
+    ++m->retrieved;
+    ++m->candidates;
+    ++m->refined;
+    const double d = core::Similarity(measure, query, t.points);
+    if (best.size() < static_cast<size_t>(k)) {
+      best.push(core::SearchResult{t.id, d});
+    } else if (d < best.top().distance) {
+      best.pop();
+      best.push(core::SearchResult{t.id, d});
+    }
+  }
+  while (!best.empty()) {
+    results->push_back(best.top());
+    best.pop();
+  }
+  std::sort(results->begin(), results->end());
+  m->results = results->size();
+  m->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace baselines
+}  // namespace trass

@@ -1,0 +1,38 @@
+// Exhaustive scan ground truth: every pruning-correctness property test
+// compares TraSS (and every baseline) against this.
+
+#ifndef TRASS_BASELINES_BRUTE_FORCE_H_
+#define TRASS_BASELINES_BRUTE_FORCE_H_
+
+#include "baselines/searcher.h"
+
+namespace trass {
+namespace baselines {
+
+class BruteForce final : public SimilaritySearcher {
+ public:
+  std::string name() const override { return "BruteForce"; }
+
+  Status Build(const std::vector<core::Trajectory>& data) override {
+    data_ = data;
+    return Status::OK();
+  }
+
+  Status Threshold(const std::vector<geo::Point>& query, double eps,
+                   core::Measure measure,
+                   std::vector<core::SearchResult>* results,
+                   core::QueryMetrics* metrics) override;
+
+  Status TopK(const std::vector<geo::Point>& query, int k,
+              core::Measure measure,
+              std::vector<core::SearchResult>* results,
+              core::QueryMetrics* metrics) override;
+
+ private:
+  std::vector<core::Trajectory> data_;
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_BRUTE_FORCE_H_

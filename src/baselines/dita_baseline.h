@@ -1,0 +1,72 @@
+// DITA baseline (Shang et al., SIGMOD 2018), reduced to its pruning
+// structure (DESIGN.md): a trie over grid-quantized pivot points — first
+// point, last point, then the most significant interior points chosen by
+// Douglas-Peucker — pruned level by level with cell-distance bounds, then
+// MBR-coverage filtering, then exact refinement. Spark distribution is
+// replaced by an in-memory trie.
+//
+// DITA does not support the Hausdorff distance (paper Section VII-C).
+
+#ifndef TRASS_BASELINES_DITA_BASELINE_H_
+#define TRASS_BASELINES_DITA_BASELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/searcher.h"
+#include "geo/mbr.h"
+
+namespace trass {
+namespace baselines {
+
+class DitaBaseline final : public SimilaritySearcher {
+ public:
+  /// `grid_bits`: pivot cells are 2^-grid_bits wide. `num_pivots`: max
+  /// interior pivots per trajectory (DITA's default is small).
+  explicit DitaBaseline(int grid_bits = 9, int num_pivots = 3)
+      : grid_bits_(grid_bits), num_pivots_(num_pivots) {}
+
+  std::string name() const override { return "DITA"; }
+
+  Status Build(const std::vector<core::Trajectory>& data) override;
+
+  Status Threshold(const std::vector<geo::Point>& query, double eps,
+                   core::Measure measure,
+                   std::vector<core::SearchResult>* results,
+                   core::QueryMetrics* metrics) override;
+
+  Status TopK(const std::vector<geo::Point>& query, int k,
+              core::Measure measure,
+              std::vector<core::SearchResult>* results,
+              core::QueryMetrics* metrics) override;
+
+  bool Supports(core::Measure measure) const override {
+    return measure != core::Measure::kHausdorff;
+  }
+
+ private:
+  struct TrieNode {
+    // Trajectories whose pivot list ends at this node.
+    std::vector<size_t> items;
+    std::unordered_map<uint64_t, std::unique_ptr<TrieNode>> children;
+  };
+
+  uint64_t CellOf(const geo::Point& p) const;
+  geo::Mbr CellBox(uint64_t cell) const;
+
+  /// Pivot cell sequence of a trajectory: first, last, then up to
+  /// `num_pivots_` interior DP points.
+  std::vector<uint64_t> PivotCells(const std::vector<geo::Point>& points)
+      const;
+
+  const int grid_bits_;
+  const int num_pivots_;
+  std::vector<core::Trajectory> data_;
+  TrieNode root_;
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_DITA_BASELINE_H_

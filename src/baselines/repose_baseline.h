@@ -1,0 +1,65 @@
+// REPOSE baseline (ICDE 2021), reduced to its pruning structure
+// (DESIGN.md): trajectories are clustered around pivot trajectories
+// (reference points); each cluster stores its radius (max member
+// distance to the pivot). Top-k search orders clusters best-first by the
+// metric lower bound |d(Q, pivot) - radius| and stops when the bound
+// exceeds the current k-th distance. Pivots are sampled from the data,
+// so a spatially wide dataset (the paper's Lorry case) yields loose
+// radii and weak pruning — the behaviour the evaluation reports.
+//
+// REPOSE supports top-k only (paper Section VI baselines note).
+
+#ifndef TRASS_BASELINES_REPOSE_BASELINE_H_
+#define TRASS_BASELINES_REPOSE_BASELINE_H_
+
+#include "baselines/searcher.h"
+
+namespace trass {
+namespace baselines {
+
+class ReposeBaseline final : public SimilaritySearcher {
+ public:
+  /// `num_pivots` reference trajectories (clusters).
+  explicit ReposeBaseline(int num_pivots = 32, uint64_t seed = 1234)
+      : num_pivots_(num_pivots), seed_(seed) {}
+
+  std::string name() const override { return "REPOSE"; }
+
+  Status Build(const std::vector<core::Trajectory>& data) override;
+
+  Status Threshold(const std::vector<geo::Point>& query, double eps,
+                   core::Measure measure,
+                   std::vector<core::SearchResult>* results,
+                   core::QueryMetrics* metrics) override;
+
+  Status TopK(const std::vector<geo::Point>& query, int k,
+              core::Measure measure,
+              std::vector<core::SearchResult>* results,
+              core::QueryMetrics* metrics) override;
+
+  bool SupportsThreshold() const override { return false; }
+
+  /// The metric-space bound needs a true metric; DTW is not one.
+  bool Supports(core::Measure measure) const override {
+    return measure != core::Measure::kDtw;
+  }
+
+ private:
+  struct Cluster {
+    size_t pivot_index = 0;
+    double radius = 0.0;
+    std::vector<std::pair<size_t, double>> members;  // (index, d to pivot)
+  };
+
+  const int num_pivots_;
+  const uint64_t seed_;
+  std::vector<core::Trajectory> data_;
+  std::vector<Cluster> clusters_;
+  core::Measure built_measure_ = core::Measure::kFrechet;
+  bool built_ = false;
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_REPOSE_BASELINE_H_

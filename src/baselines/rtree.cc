@@ -1,0 +1,104 @@
+#include "baselines/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace trass {
+namespace baselines {
+
+void StrRTree::Build(std::vector<Entry> entries) {
+  entries_ = std::move(entries);
+  nodes_.clear();
+  num_entries_ = entries_.size();
+  if (entries_.empty()) {
+    Node root;
+    root.leaf = true;
+    nodes_.push_back(root);
+    root_ = 0;
+    return;
+  }
+  std::vector<uint32_t> level(entries_.size());
+  for (uint32_t i = 0; i < entries_.size(); ++i) level[i] = i;
+  std::vector<uint32_t> packed = PackLevel(level, /*leaves=*/true);
+  while (packed.size() > 1) {
+    packed = PackLevel(packed, /*leaves=*/false);
+  }
+  root_ = packed[0];
+}
+
+std::vector<uint32_t> StrRTree::PackLevel(const std::vector<uint32_t>& items,
+                                          bool leaves) {
+  auto box_of = [&](uint32_t idx) -> const geo::Mbr& {
+    return leaves ? entries_[idx].box : nodes_[idx].box;
+  };
+
+  // STR: sort by x-center, cut into vertical slices of ~sqrt(P) runs,
+  // sort each slice by y-center, emit nodes of `fanout_` children.
+  std::vector<uint32_t> sorted = items;
+  std::sort(sorted.begin(), sorted.end(), [&](uint32_t a, uint32_t b) {
+    return box_of(a).center().x < box_of(b).center().x;
+  });
+  const size_t n = sorted.size();
+  const size_t num_nodes =
+      (n + static_cast<size_t>(fanout_) - 1) / static_cast<size_t>(fanout_);
+  const size_t num_slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  const size_t slice_size =
+      (n + num_slices - 1) / num_slices;
+
+  std::vector<uint32_t> parents;
+  parents.reserve(num_nodes);
+  for (size_t slice_start = 0; slice_start < n; slice_start += slice_size) {
+    const size_t slice_end = std::min(slice_start + slice_size, n);
+    std::sort(sorted.begin() + static_cast<ptrdiff_t>(slice_start),
+              sorted.begin() + static_cast<ptrdiff_t>(slice_end),
+              [&](uint32_t a, uint32_t b) {
+                return box_of(a).center().y < box_of(b).center().y;
+              });
+    for (size_t i = slice_start; i < slice_end;
+         i += static_cast<size_t>(fanout_)) {
+      Node node;
+      node.leaf = leaves;
+      const size_t end =
+          std::min(i + static_cast<size_t>(fanout_), slice_end);
+      for (size_t j = i; j < end; ++j) {
+        node.children.push_back(sorted[j]);
+        node.box.Extend(box_of(sorted[j]));
+      }
+      nodes_.push_back(std::move(node));
+      parents.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+    }
+  }
+  return parents;
+}
+
+size_t StrRTree::Search(const geo::Mbr& query,
+                        std::vector<uint64_t>* out) const {
+  if (num_entries_ == 0) return 0;
+  size_t visited = 0;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    ++visited;
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      for (uint32_t idx : node.children) {
+        if (entries_[idx].box.Intersects(query)) {
+          out->push_back(entries_[idx].id);
+        }
+      }
+    } else {
+      for (uint32_t idx : node.children) {
+        if (nodes_[idx].box.Intersects(query)) {
+          stack.push_back(idx);
+        }
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace baselines
+}  // namespace trass

@@ -1,0 +1,56 @@
+// Static R-tree bulk-loaded with Sort-Tile-Recursive packing; the spatial
+// index underlying the DFT baseline.
+
+#ifndef TRASS_BASELINES_RTREE_H_
+#define TRASS_BASELINES_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/mbr.h"
+
+namespace trass {
+namespace baselines {
+
+class StrRTree {
+ public:
+  struct Entry {
+    geo::Mbr box;
+    uint64_t id = 0;
+  };
+
+  explicit StrRTree(int fanout = 16) : fanout_(fanout < 2 ? 2 : fanout) {}
+
+  /// Bulk-loads the tree; replaces previous contents.
+  void Build(std::vector<Entry> entries);
+
+  /// Appends the ids of all entries whose box intersects `query`.
+  /// Returns the number of tree nodes visited (I/O proxy).
+  size_t Search(const geo::Mbr& query, std::vector<uint64_t>* out) const;
+
+  size_t size() const { return num_entries_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    geo::Mbr box;
+    // Children are either node indices (inner) or entry indices (leaf).
+    std::vector<uint32_t> children;
+    bool leaf = true;
+  };
+
+  /// Packs `items` (ids into nodes_ or entries_) into parent nodes.
+  std::vector<uint32_t> PackLevel(const std::vector<uint32_t>& items,
+                                  bool leaves);
+
+  int fanout_;
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_RTREE_H_

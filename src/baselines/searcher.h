@@ -1,0 +1,52 @@
+// Common interface for every similarity-search solution compared in the
+// evaluation (TraSS + the baselines of Section VI). The benchmark
+// harnesses drive all solutions through this interface.
+
+#ifndef TRASS_BASELINES_SEARCHER_H_
+#define TRASS_BASELINES_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/measure.h"
+#include "core/metrics.h"
+#include "core/trajectory.h"
+#include "util/status.h"
+
+namespace trass {
+namespace baselines {
+
+class SimilaritySearcher {
+ public:
+  virtual ~SimilaritySearcher() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds (or ingests into) the index. Timed by the Figure 13 bench.
+  virtual Status Build(const std::vector<core::Trajectory>& data) = 0;
+
+  /// Threshold similarity search (Definition 3).
+  virtual Status Threshold(const std::vector<geo::Point>& query, double eps,
+                           core::Measure measure,
+                           std::vector<core::SearchResult>* results,
+                           core::QueryMetrics* metrics) = 0;
+
+  /// Top-k similarity search (Definition 4).
+  virtual Status TopK(const std::vector<geo::Point>& query, int k,
+                      core::Measure measure,
+                      std::vector<core::SearchResult>* results,
+                      core::QueryMetrics* metrics) = 0;
+
+  /// Which measures this solution supports (paper Section VII-C: DITA has
+  /// no Hausdorff, DFT no DTW, REPOSE is top-k only).
+  virtual bool Supports(core::Measure measure) const {
+    (void)measure;
+    return true;
+  }
+  virtual bool SupportsThreshold() const { return true; }
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_SEARCHER_H_

@@ -1,0 +1,24 @@
+#include "baselines/trass_searcher.h"
+
+#include "kv/env.h"
+
+namespace trass {
+namespace baselines {
+
+Status TrassSearcher::Build(const std::vector<core::Trajectory>& data) {
+  store_.reset();
+  kv::Env* env = options_.db_options.env != nullptr ? options_.db_options.env
+                                                    : kv::Env::Default();
+  Status s = env->RemoveDirRecursively(path_);
+  if (!s.ok()) return s;
+  s = core::TrassStore::Open(options_, path_, &store_);
+  if (!s.ok()) return s;
+  for (const core::Trajectory& t : data) {
+    s = store_->Put(t);
+    if (!s.ok()) return s;
+  }
+  return store_->Flush();
+}
+
+}  // namespace baselines
+}  // namespace trass

@@ -1,0 +1,52 @@
+// Adapter exposing TrassStore through the common SimilaritySearcher
+// interface so the benchmark harnesses can drive every solution the same
+// way.
+
+#ifndef TRASS_BASELINES_TRASS_SEARCHER_H_
+#define TRASS_BASELINES_TRASS_SEARCHER_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/searcher.h"
+#include "core/trass_store.h"
+
+namespace trass {
+namespace baselines {
+
+class TrassSearcher final : public SimilaritySearcher {
+ public:
+  /// `path` is the store directory (recreated by Build()).
+  TrassSearcher(core::TrassOptions options, std::string path)
+      : options_(std::move(options)), path_(std::move(path)) {}
+
+  std::string name() const override { return "TraSS"; }
+
+  Status Build(const std::vector<core::Trajectory>& data) override;
+
+  Status Threshold(const std::vector<geo::Point>& query, double eps,
+                   core::Measure measure,
+                   std::vector<core::SearchResult>* results,
+                   core::QueryMetrics* metrics) override {
+    return store_->ThresholdSearch(query, eps, measure, results, metrics);
+  }
+
+  Status TopK(const std::vector<geo::Point>& query, int k,
+              core::Measure measure,
+              std::vector<core::SearchResult>* results,
+              core::QueryMetrics* metrics) override {
+    return store_->TopKSearch(query, k, measure, results, metrics);
+  }
+
+  core::TrassStore* store() { return store_.get(); }
+
+ private:
+  core::TrassOptions options_;
+  std::string path_;
+  std::unique_ptr<core::TrassStore> store_;
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_TRASS_SEARCHER_H_

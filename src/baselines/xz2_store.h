@@ -1,0 +1,75 @@
+// XZ-Ordering baseline (the TrajMesa/JUST approach): the *same* key-value
+// store and row layout as TraSS, but indexed with plain XZ2 — a trajectory
+// is keyed by the enlarged element covering its MBR, with no position
+// codes. Global "pruning" is what those systems do: scan every element
+// whose enlarged element intersects Ext(Q.MBR, eps). Local filtering uses
+// the MBR and the start/end points only (paper Section I: "existing works
+// use the MBR or pivot points of a trajectory to filter").
+//
+// This isolates the XZ* contribution: every difference in retrieved rows
+// between this baseline and TraSS is attributable to the index.
+
+#ifndef TRASS_BASELINES_XZ2_STORE_H_
+#define TRASS_BASELINES_XZ2_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/searcher.h"
+#include "index/xz2.h"
+#include "kv/region_store.h"
+
+namespace trass {
+namespace baselines {
+
+class Xz2Store final : public SimilaritySearcher {
+ public:
+  struct Options {
+    int shards = 8;
+    int max_resolution = 16;
+    size_t scan_threads = 4;
+    kv::Options db_options;
+  };
+
+  Xz2Store(Options options, std::string path)
+      : options_(std::move(options)),
+        path_(std::move(path)),
+        xz2_(options_.max_resolution) {}
+
+  std::string name() const override { return "XZ2 (JUST/TrajMesa)"; }
+
+  Status Build(const std::vector<core::Trajectory>& data) override;
+
+  Status Threshold(const std::vector<geo::Point>& query, double eps,
+                   core::Measure measure,
+                   std::vector<core::SearchResult>* results,
+                   core::QueryMetrics* metrics) override;
+
+  /// Top-k by iterative threshold expansion (the strategy available to
+  /// XZ2-based stores, which have no distance-ordered traversal).
+  Status TopK(const std::vector<geo::Point>& query, int k,
+              core::Measure measure,
+              std::vector<core::SearchResult>* results,
+              core::QueryMetrics* metrics) override;
+
+  kv::RegionStore* region_store() { return store_.get(); }
+  double average_rowkey_bytes() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(key_bytes_) /
+                             static_cast<double>(count_);
+  }
+
+ private:
+  Options options_;
+  std::string path_;
+  index::Xz2 xz2_;
+  std::unique_ptr<kv::RegionStore> store_;
+  uint64_t count_ = 0;
+  uint64_t key_bytes_ = 0;
+  std::vector<int64_t> value_directory_;  // sorted distinct element values
+};
+
+}  // namespace baselines
+}  // namespace trass
+
+#endif  // TRASS_BASELINES_XZ2_STORE_H_

@@ -1,0 +1,52 @@
+#include "core/local_filter.h"
+
+namespace trass {
+namespace core {
+
+bool LocalFilterPass(const QueryContext& query,
+                     const StoredTrajectory& candidate, double eps,
+                     Measure measure) {
+  if (candidate.points.empty()) return false;
+
+  // Lemma 12: Fréchet and DTW both bound d(q_1, t_1) and d(q_n, t_m);
+  // Hausdorff does not pair endpoints, so the lemma is skipped for it.
+  if (measure != Measure::kHausdorff) {
+    if (geo::Distance(query.points.front(), candidate.points.front()) > eps) {
+      return false;
+    }
+    if (geo::Distance(query.points.back(), candidate.points.back()) > eps) {
+      return false;
+    }
+  }
+
+  // Lemma 13, both directions: representative points against the other
+  // trajectory's DP boxes.
+  for (const geo::Point& p : candidate.features.rep_points) {
+    if (query.features.DistancePointToBoxes(p) > eps) return false;
+  }
+  for (const geo::Point& q : query.features.rep_points) {
+    if (candidate.features.DistancePointToBoxes(q) > eps) return false;
+  }
+
+  // Lemma 14, both directions: DP boxes against DP boxes.
+  for (const geo::OrientedBox& box : candidate.features.boxes) {
+    if (BoxToFeatureDistance(box, query.features) > eps) return false;
+  }
+  for (const geo::OrientedBox& box : query.features.boxes) {
+    if (BoxToFeatureDistance(box, candidate.features) > eps) return false;
+  }
+
+  return true;
+}
+
+bool LocalScanFilter::Keep(const Slice& key, const Slice& value) const {
+  scanned_.fetch_add(1, std::memory_order_relaxed);
+  StoredTrajectory candidate;
+  if (!DecodeRow(key, value, &candidate).ok()) return false;
+  if (!LocalFilterPass(*query_, candidate, eps_, measure_)) return false;
+  kept_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace core
+}  // namespace trass

@@ -1,0 +1,57 @@
+// Local filtering (paper Section V-D): cheap rejection of retrieved
+// candidates before the exact O(n*m) similarity computation.
+//
+//   Lemma 12 — start/end point distances must be <= eps (Fréchet, DTW).
+//   Lemma 13 — every representative point of one trajectory must be
+//              within eps of the union of the other's DP boxes.
+//   Lemma 14 — every DP box must have all four edges within eps of the
+//              other trajectory's DP boxes.
+//
+// The filter implements kv::ScanFilter so it can be pushed down into the
+// storage scan (the coprocessor analog); rows it rejects never reach the
+// query processor.
+
+#ifndef TRASS_CORE_LOCAL_FILTER_H_
+#define TRASS_CORE_LOCAL_FILTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/dp_features.h"
+#include "core/measure.h"
+#include "core/pruning.h"
+#include "core/row_codec.h"
+#include "kv/scan.h"
+
+namespace trass {
+namespace core {
+
+/// The pure predicate: true when (query, candidate) survives Lemmas
+/// 12-14 under `eps` (i.e. the pair still *may* be similar).
+bool LocalFilterPass(const QueryContext& query,
+                     const StoredTrajectory& candidate, double eps,
+                     Measure measure);
+
+/// Pushdown form. Thread-safe; counts scanned/kept rows for the metrics.
+class LocalScanFilter final : public kv::ScanFilter {
+ public:
+  LocalScanFilter(const QueryContext* query, double eps, Measure measure)
+      : query_(query), eps_(eps), measure_(measure) {}
+
+  bool Keep(const Slice& key, const Slice& value) const override;
+
+  uint64_t scanned() const { return scanned_.load(); }
+  uint64_t kept() const { return kept_.load(); }
+
+ private:
+  const QueryContext* query_;
+  const double eps_;
+  const Measure measure_;
+  mutable std::atomic<uint64_t> scanned_{0};
+  mutable std::atomic<uint64_t> kept_{0};
+};
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_LOCAL_FILTER_H_

@@ -1,0 +1,36 @@
+// Per-query metrics matching what the paper's evaluation reports:
+// pruning/filtering times, trajectories retrieved from the store (global
+// pruning quality), candidates surviving local filtering, and precision.
+
+#ifndef TRASS_CORE_METRICS_H_
+#define TRASS_CORE_METRICS_H_
+
+#include <cstdint>
+
+namespace trass {
+namespace core {
+
+struct QueryMetrics {
+  double pruning_ms = 0.0;    // global pruning (range generation)
+  double scan_ms = 0.0;       // store scan incl. pushdown local filter
+  double refine_ms = 0.0;     // exact similarity computations
+  double total_ms = 0.0;
+
+  uint64_t scan_ranges = 0;     // key ranges issued to the store
+  uint64_t index_values = 0;    // candidate index values after pruning
+  uint64_t retrieved = 0;       // rows scanned in the store (I/O)
+  uint64_t candidates = 0;      // rows surviving local filtering
+  uint64_t refined = 0;         // exact similarity computations executed
+  uint64_t results = 0;         // final answers
+
+  double precision() const {
+    return candidates == 0
+               ? 1.0
+               : static_cast<double>(results) / static_cast<double>(candidates);
+  }
+};
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_METRICS_H_

@@ -1,0 +1,177 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace trass {
+namespace core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double DiscreteFrechet(const std::vector<geo::Point>& q,
+                       const std::vector<geo::Point>& t) {
+  assert(!q.empty() && !t.empty());
+  const size_t n = q.size();
+  const size_t m = t.size();
+  // Rolling-row DP over squared distances; max/min commute with sqrt.
+  std::vector<double> prev(m), curr(m);
+  for (size_t j = 0; j < m; ++j) {
+    const double d = geo::DistanceSquared(q[0], t[j]);
+    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    curr[0] = std::max(prev[0], geo::DistanceSquared(q[i], t[0]));
+    for (size_t j = 1; j < m; ++j) {
+      const double reach = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = std::max(reach, geo::DistanceSquared(q[i], t[j]));
+    }
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m - 1]);
+}
+
+bool FrechetWithin(const std::vector<geo::Point>& q,
+                   const std::vector<geo::Point>& t, double eps) {
+  assert(!q.empty() && !t.empty());
+  const size_t n = q.size();
+  const size_t m = t.size();
+  const double eps_sq = eps * eps;
+  std::vector<double> prev(m), curr(m);
+  for (size_t j = 0; j < m; ++j) {
+    const double d = geo::DistanceSquared(q[0], t[j]);
+    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    curr[0] = std::max(prev[0], geo::DistanceSquared(q[i], t[0]));
+    bool any_within = curr[0] <= eps_sq;
+    for (size_t j = 1; j < m; ++j) {
+      const double reach = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = std::max(reach, geo::DistanceSquared(q[i], t[j]));
+      any_within = any_within || curr[j] <= eps_sq;
+    }
+    if (!any_within) return false;  // every path already exceeds eps
+    std::swap(prev, curr);
+  }
+  return prev[m - 1] <= eps_sq;
+}
+
+double Hausdorff(const std::vector<geo::Point>& q,
+                 const std::vector<geo::Point>& t) {
+  assert(!q.empty() && !t.empty());
+  auto directed = [](const std::vector<geo::Point>& a,
+                     const std::vector<geo::Point>& b, double best_so_far) {
+    double result = best_so_far;
+    for (const geo::Point& pa : a) {
+      double nearest = kInf;
+      for (const geo::Point& pb : b) {
+        nearest = std::min(nearest, geo::DistanceSquared(pa, pb));
+        if (nearest <= result) break;  // cannot raise the max
+      }
+      result = std::max(result, nearest);
+    }
+    return result;
+  };
+  double h = directed(q, t, 0.0);
+  h = directed(t, q, h);
+  return std::sqrt(h);
+}
+
+bool HausdorffWithin(const std::vector<geo::Point>& q,
+                     const std::vector<geo::Point>& t, double eps) {
+  const double eps_sq = eps * eps;
+  auto directed_within = [eps_sq](const std::vector<geo::Point>& a,
+                                  const std::vector<geo::Point>& b) {
+    for (const geo::Point& pa : a) {
+      bool found = false;
+      for (const geo::Point& pb : b) {
+        if (geo::DistanceSquared(pa, pb) <= eps_sq) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  return directed_within(q, t) && directed_within(t, q);
+}
+
+double Dtw(const std::vector<geo::Point>& q,
+           const std::vector<geo::Point>& t) {
+  assert(!q.empty() && !t.empty());
+  const size_t n = q.size();
+  const size_t m = t.size();
+  std::vector<double> prev(m), curr(m);
+  prev[0] = geo::Distance(q[0], t[0]);
+  for (size_t j = 1; j < m; ++j) {
+    prev[j] = prev[j - 1] + geo::Distance(q[0], t[j]);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    curr[0] = prev[0] + geo::Distance(q[i], t[0]);
+    for (size_t j = 1; j < m; ++j) {
+      const double best = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = best + geo::Distance(q[i], t[j]);
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+bool DtwWithin(const std::vector<geo::Point>& q,
+               const std::vector<geo::Point>& t, double eps) {
+  assert(!q.empty() && !t.empty());
+  const size_t n = q.size();
+  const size_t m = t.size();
+  std::vector<double> prev(m), curr(m);
+  prev[0] = geo::Distance(q[0], t[0]);
+  for (size_t j = 1; j < m; ++j) {
+    prev[j] = prev[j - 1] + geo::Distance(q[0], t[j]);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    curr[0] = prev[0] + geo::Distance(q[i], t[0]);
+    double row_min = curr[0];
+    for (size_t j = 1; j < m; ++j) {
+      const double best = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      curr[j] = best + geo::Distance(q[i], t[j]);
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > eps) return false;  // DTW cost only grows downstream
+    std::swap(prev, curr);
+  }
+  return prev[m - 1] <= eps;
+}
+
+double Similarity(Measure m, const std::vector<geo::Point>& q,
+                  const std::vector<geo::Point>& t) {
+  switch (m) {
+    case Measure::kFrechet:
+      return DiscreteFrechet(q, t);
+    case Measure::kHausdorff:
+      return Hausdorff(q, t);
+    case Measure::kDtw:
+      return Dtw(q, t);
+  }
+  return kInf;
+}
+
+bool SimilarityWithin(Measure m, const std::vector<geo::Point>& q,
+                      const std::vector<geo::Point>& t, double eps) {
+  switch (m) {
+    case Measure::kFrechet:
+      return FrechetWithin(q, t, eps);
+    case Measure::kHausdorff:
+      return HausdorffWithin(q, t, eps);
+    case Measure::kDtw:
+      return DtwWithin(q, t, eps);
+  }
+  return false;
+}
+
+}  // namespace core
+}  // namespace trass

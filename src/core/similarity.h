@@ -1,0 +1,47 @@
+// Exact similarity computations (discrete Fréchet, Hausdorff, DTW) plus
+// threshold decision variants with early abandoning — the expensive
+// "refine" step that global pruning and local filtering exist to avoid.
+
+#ifndef TRASS_CORE_SIMILARITY_H_
+#define TRASS_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/measure.h"
+#include "geo/point.h"
+
+namespace trass {
+namespace core {
+
+/// Discrete Fréchet distance (Definition 2). O(n*m) time, O(m) space.
+double DiscreteFrechet(const std::vector<geo::Point>& q,
+                       const std::vector<geo::Point>& t);
+
+/// Symmetric Hausdorff distance (Definition 12).
+double Hausdorff(const std::vector<geo::Point>& q,
+                 const std::vector<geo::Point>& t);
+
+/// Dynamic time warping distance (Definition 13): sum of matched
+/// Euclidean distances along the optimal warping path.
+double Dtw(const std::vector<geo::Point>& q,
+           const std::vector<geo::Point>& t);
+
+/// True iff measure(q, t) <= eps, abandoning the computation as soon as
+/// the bound is provably exceeded.
+bool FrechetWithin(const std::vector<geo::Point>& q,
+                   const std::vector<geo::Point>& t, double eps);
+bool HausdorffWithin(const std::vector<geo::Point>& q,
+                     const std::vector<geo::Point>& t, double eps);
+bool DtwWithin(const std::vector<geo::Point>& q,
+               const std::vector<geo::Point>& t, double eps);
+
+/// Dispatch helpers.
+double Similarity(Measure m, const std::vector<geo::Point>& q,
+                  const std::vector<geo::Point>& t);
+bool SimilarityWithin(Measure m, const std::vector<geo::Point>& q,
+                      const std::vector<geo::Point>& t, double eps);
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_SIMILARITY_H_

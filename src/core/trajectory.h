@@ -1,0 +1,38 @@
+// Trajectory model (paper Definition 1). Coordinates are normalized into
+// the unit square before indexing; workload generators perform the
+// normalization from lon/lat.
+
+#ifndef TRASS_CORE_TRAJECTORY_H_
+#define TRASS_CORE_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace trass {
+namespace core {
+
+struct Trajectory {
+  uint64_t id = 0;
+  std::vector<geo::Point> points;
+
+  geo::Mbr Bounds() const { return geo::Mbr::Of(points); }
+};
+
+/// A query answer: trajectory id plus its distance to the query.
+struct SearchResult {
+  uint64_t id = 0;
+  double distance = 0.0;
+
+  friend bool operator<(const SearchResult& a, const SearchResult& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_TRAJECTORY_H_

@@ -1,0 +1,578 @@
+#include "core/trass_store.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <queue>
+
+#include "core/local_filter.h"
+#include "core/similarity.h"
+#include "index/xz2.h"  // MergeRanges
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace core {
+
+namespace {
+
+// Fibonacci hashing of the trajectory id; the paper's `shards` component
+// exists to spread consecutive ids over regions.
+uint64_t HashId(uint64_t id) { return id * 0x9e3779b97f4a7c15ull; }
+
+std::vector<kv::ScanRange> ToScanRanges(
+    const std::vector<std::pair<int64_t, int64_t>>& value_ranges) {
+  std::vector<kv::ScanRange> ranges;
+  ranges.reserve(value_ranges.size());
+  for (const auto& [lo, hi] : value_ranges) {
+    kv::ScanRange range;
+    IndexValueRange(lo, hi, &range.start, &range.end);
+    ranges.push_back(std::move(range));
+  }
+  return ranges;
+}
+
+// Collects row keys server-side without materializing values (used to
+// rebuild ingest state when opening an existing store).
+class KeyCollectorFilter final : public kv::ScanFilter {
+ public:
+  bool Keep(const Slice& key, const Slice&) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys_.push_back(key.ToString());
+    return false;  // drop the row; only the key matters
+  }
+
+  std::vector<std::string> TakeKeys() { return std::move(keys_); }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<std::string> keys_;
+};
+
+// Pushdown filter for the spatial range query: keep rows with at least
+// one point inside the window.
+class WindowScanFilter final : public kv::ScanFilter {
+ public:
+  explicit WindowScanFilter(const geo::Mbr& window) : window_(window) {}
+
+  bool Keep(const Slice& key, const Slice& value) const override {
+    scanned_.fetch_add(1, std::memory_order_relaxed);
+    StoredTrajectory t;
+    if (!DecodeRow(key, value, &t).ok()) return false;
+    for (const geo::Point& p : t.points) {
+      if (window_.Contains(p)) return true;
+    }
+    return false;
+  }
+
+  uint64_t scanned() const { return scanned_.load(); }
+
+ private:
+  const geo::Mbr window_;
+  mutable std::atomic<uint64_t> scanned_{0};
+};
+
+}  // namespace
+
+TrassStore::TrassStore(const TrassOptions& options)
+    : options_(options),
+      xz_(options.max_resolution),
+      resolution_histogram_(options.max_resolution + 1, 0),
+      position_histogram_(11, 0) {}
+
+Status TrassStore::Open(const TrassOptions& options, const std::string& path,
+                        std::unique_ptr<TrassStore>* store) {
+  store->reset();
+  if (options.shards < 1 || options.shards > 256) {
+    return Status::InvalidArgument("shards must be in [1, 256]");
+  }
+  if (options.max_resolution < 1 ||
+      options.max_resolution > index::XzStar::kMaxResolution) {
+    return Status::InvalidArgument("max_resolution out of range");
+  }
+  std::unique_ptr<TrassStore> impl(new TrassStore(options));
+  kv::RegionStore::RegionOptions region_options;
+  region_options.db_options = options.db_options;
+  region_options.num_regions = options.shards;
+  region_options.scan_threads = options.scan_threads;
+  Status s = kv::RegionStore::Open(region_options, path, &impl->store_);
+  if (!s.ok()) return s;
+  s = impl->RebuildIngestState();
+  if (!s.ok()) return s;
+  *store = std::move(impl);
+  return Status::OK();
+}
+
+Status TrassStore::RebuildIngestState() {
+  // Re-opening an existing store: reconstruct the value directory and the
+  // ingest statistics from the stored row keys (a full key scan, done
+  // once at open — the moral equivalent of reading region metadata).
+  KeyCollectorFilter collector;
+  std::vector<kv::Row> ignored;
+  Status s = store_->Scan({kv::ScanRange{"", ""}}, &collector, &ignored);
+  if (!s.ok()) return s;
+  for (const std::string& key : collector.TakeKeys()) {
+    ++num_trajectories_;
+    total_key_bytes_ += key.size();
+    if (options_.string_keys) continue;  // stats only in integer mode
+    uint8_t shard;
+    int64_t value;
+    uint64_t tid;
+    s = DecodeRowKey(Slice(key), &shard, &value, &tid);
+    if (!s.ok()) return s;
+    seen_values_.push_back(value);
+    const index::XzStar::IndexSpace space = xz_.Decode(value);
+    resolution_histogram_[space.seq.length()] += 1;
+    position_histogram_[space.pos] += 1;
+  }
+  values_dirty_ = !seen_values_.empty();
+  return Status::OK();
+}
+
+uint8_t TrassStore::ShardOf(uint64_t tid) const {
+  return static_cast<uint8_t>(HashId(tid) %
+                              static_cast<uint64_t>(options_.shards));
+}
+
+Status TrassStore::Put(const Trajectory& trajectory) {
+  if (trajectory.points.empty()) {
+    return Status::InvalidArgument("trajectory has no points");
+  }
+  const index::XzStar::IndexSpace space = xz_.Index(trajectory.points);
+  const int64_t value = xz_.Encode(space);
+  const DpFeatures features =
+      DpFeatures::ComputeCapped(trajectory.points, options_.dp_tolerance);
+  const uint8_t shard = ShardOf(trajectory.id);
+  const std::string key =
+      options_.string_keys
+          ? EncodeStringRowKey(shard, space, trajectory.id)
+          : EncodeRowKey(shard, value, trajectory.id);
+  const std::string row_value = EncodeRowValue(trajectory.points, features);
+  Status s = store_->Put(kv::WriteOptions(), Slice(key), Slice(row_value));
+  if (!s.ok()) return s;
+
+  ++num_trajectories_;
+  total_key_bytes_ += key.size();
+  resolution_histogram_[space.seq.length()] += 1;
+  position_histogram_[space.pos] += 1;
+  seen_values_.push_back(value);
+  values_dirty_ = true;
+  return Status::OK();
+}
+
+const std::vector<int64_t>& TrassStore::value_directory() const {
+  if (values_dirty_) {
+    std::sort(seen_values_.begin(), seen_values_.end());
+    seen_values_.erase(std::unique(seen_values_.begin(), seen_values_.end()),
+                       seen_values_.end());
+    values_dirty_ = false;
+  }
+  return seen_values_;
+}
+
+uint64_t TrassStore::distinct_index_values() const {
+  return value_directory().size();
+}
+
+bool TrassStore::RangeHasValues(int64_t lo, int64_t hi) const {
+  const auto& directory = value_directory();
+  const auto it = std::lower_bound(directory.begin(), directory.end(), lo);
+  return it != directory.end() && *it <= hi;
+}
+
+std::vector<std::pair<int64_t, int64_t>> TrassStore::IntersectWithDirectory(
+    const std::vector<std::pair<int64_t, int64_t>>& ranges) const {
+  // Every value inside an input range is a candidate, so within one range
+  // the optimal scan is the single interval [first present, last present]:
+  // empty candidate values in between cost nothing to scan over. Distinct
+  // input ranges are NOT merged — the gap between them holds
+  // non-candidate values that may contain rows.
+  const auto& directory = value_directory();
+  std::vector<std::pair<int64_t, int64_t>> present;
+  for (const auto& [lo, hi] : ranges) {
+    const auto first = std::lower_bound(directory.begin(), directory.end(),
+                                        lo);
+    if (first == directory.end() || *first > hi) continue;
+    auto last = std::upper_bound(first, directory.end(), hi);
+    --last;
+    present.emplace_back(*first, *last);
+  }
+  index::MergeRanges(&present);
+  return present;
+}
+
+Status TrassStore::Flush() { return store_->Flush(); }
+
+Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
+                                   double eps, Measure measure,
+                                   std::vector<SearchResult>* results,
+                                   QueryMetrics* metrics) {
+  results->clear();
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (options_.string_keys) {
+    return Status::NotSupported("queries unsupported in string-key mode");
+  }
+  QueryMetrics local_metrics;
+  QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = QueryMetrics();
+  Stopwatch total;
+
+  // Global pruning (Algorithm 1), data-directed via the value directory.
+  Stopwatch phase;
+  const QueryContext ctx = QueryContext::Make(query, options_.dp_tolerance);
+  GlobalPruner pruner(&xz_, &ctx, &value_directory());
+  const auto value_ranges = pruner.CandidateRanges(eps);
+  // Skip ranges the value directory proves empty (free in HBase, a real
+  // round-trip here).
+  const auto present_ranges = IntersectWithDirectory(value_ranges);
+  m->pruning_ms = phase.ElapsedMillis();
+  m->scan_ranges = present_ranges.size();
+  m->index_values = GlobalPruner::CountValues(value_ranges);
+
+  // Scan with the local filter pushed down (Algorithm 2 + 3).
+  phase.Reset();
+  LocalScanFilter filter(&ctx, eps, measure);
+  std::vector<kv::Row> rows;
+  Status s = store_->Scan(ToScanRanges(present_ranges), &filter, &rows);
+  if (!s.ok()) return s;
+  m->scan_ms = phase.ElapsedMillis();
+  m->retrieved = filter.scanned();
+  m->candidates = filter.kept();
+
+  // Refine: exact similarity on the survivors.
+  phase.Reset();
+  for (const kv::Row& row : rows) {
+    StoredTrajectory t;
+    s = DecodeRow(Slice(row.key), Slice(row.value), &t);
+    if (!s.ok()) return s;
+    ++m->refined;
+    if (SimilarityWithin(measure, query, t.points, eps)) {
+      results->push_back(
+          SearchResult{t.id, Similarity(measure, query, t.points)});
+    }
+  }
+  m->refine_ms = phase.ElapsedMillis();
+  std::sort(results->begin(), results->end());
+  m->results = results->size();
+  m->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
+                              Measure measure,
+                              std::vector<SearchResult>* results,
+                              QueryMetrics* metrics) {
+  results->clear();
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (k <= 0) return Status::OK();
+  if (options_.string_keys) {
+    return Status::NotSupported("queries unsupported in string-key mode");
+  }
+  QueryMetrics local_metrics;
+  QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = QueryMetrics();
+  Stopwatch total;
+
+  const QueryContext ctx = QueryContext::Make(query, options_.dp_tolerance);
+  GlobalPruner pruner(&xz_, &ctx, &value_directory());
+  const int r = xz_.max_resolution();
+
+  struct ElementEntry {
+    double bound;
+    index::QuadSeq seq;
+    bool operator>(const ElementEntry& other) const {
+      return bound > other.bound;
+    }
+  };
+  struct SpaceEntry {
+    double bound;
+    int64_t value;
+    bool operator>(const SpaceEntry& other) const {
+      return bound > other.bound;
+    }
+  };
+  std::priority_queue<ElementEntry, std::vector<ElementEntry>,
+                      std::greater<ElementEntry>>
+      element_queue;  // the paper's EQ
+  std::priority_queue<SpaceEntry, std::vector<SpaceEntry>,
+                      std::greater<SpaceEntry>>
+      space_queue;  // the paper's IQ
+
+  // Result heap: max-heap by distance so the worst of the best k is on top.
+  std::priority_queue<SearchResult> best;
+  auto current_eps = [&]() {
+    return static_cast<size_t>(k) == best.size()
+               ? best.top().distance
+               : std::numeric_limits<double>::infinity();
+  };
+
+  // An element is only worth expanding when some stored trajectory lives
+  // in its subtree of index values (value-directory check); this bounds
+  // the best-first exploration by the data, not by 4^r.
+  auto subtree_has_values = [&](const index::QuadSeq& seq) {
+    const int64_t base = xz_.ElementBaseValue(seq);
+    const int64_t span =
+        seq.length() == 0 ? 10 : xz_.NumIndexSpaces(seq.length());
+    return RangeHasValues(base, base + span - 1);
+  };
+
+  // Seed with the root overflow bucket and the four top-level elements.
+  if (subtree_has_values(index::QuadSeq())) {
+    element_queue.push(ElementEntry{0.0, index::QuadSeq()});
+  }
+  for (int q = 0; q < 4; ++q) {
+    const index::QuadSeq child = index::QuadSeq().Child(q);
+    if (subtree_has_values(child)) {
+      element_queue.push(
+          ElementEntry{pruner.ElementLowerBound(child), child});
+    }
+  }
+
+  Stopwatch phase;
+  double pruning_ms = 0.0;
+  while (!element_queue.empty() || !space_queue.empty()) {
+    const double eps = current_eps();
+    const double best_element =
+        element_queue.empty() ? std::numeric_limits<double>::infinity()
+                              : element_queue.top().bound;
+    const double best_space =
+        space_queue.empty() ? std::numeric_limits<double>::infinity()
+                            : space_queue.top().bound;
+    if (std::min(best_element, best_space) > eps) break;
+
+    if (best_space <= best_element) {
+      // Fetch the nearest unexplored index spaces. Every space whose
+      // bound is below the element frontier would be popped before any
+      // new space can appear, so draining a batch of them into one store
+      // round-trip is equivalent to popping them one by one (minus the
+      // per-scan overhead that otherwise dominates the tail latency).
+      constexpr size_t kBatch = 16;
+      std::vector<std::pair<int64_t, int64_t>> batch_values;
+      while (!space_queue.empty() && batch_values.size() < kBatch &&
+             space_queue.top().bound <= best_element &&
+             space_queue.top().bound <= current_eps()) {
+        const int64_t value = space_queue.top().value;
+        batch_values.emplace_back(value, value);
+        space_queue.pop();
+      }
+      index::MergeRanges(&batch_values);
+      pruning_ms += phase.ElapsedMillis();
+      phase.Reset();
+      LocalScanFilter filter(&ctx, current_eps(), measure);
+      std::vector<kv::Row> rows;
+      Status s = store_->Scan(ToScanRanges(batch_values), &filter, &rows);
+      if (!s.ok()) return s;
+      m->retrieved += filter.scanned();
+      m->candidates += filter.kept();
+      m->index_values += batch_values.size();
+      m->scan_ms += phase.ElapsedMillis();
+      phase.Reset();
+      for (const kv::Row& row : rows) {
+        StoredTrajectory t;
+        s = DecodeRow(Slice(row.key), Slice(row.value), &t);
+        if (!s.ok()) return s;
+        ++m->refined;
+        // Early-abandon gate: once k results exist, a candidate that is
+        // not within the current k-th distance cannot improve the heap.
+        if (best.size() == static_cast<size_t>(k) &&
+            !SimilarityWithin(measure, query, t.points,
+                              best.top().distance)) {
+          continue;
+        }
+        const double d = Similarity(measure, query, t.points);
+        if (best.size() < static_cast<size_t>(k)) {
+          best.push(SearchResult{t.id, d});
+        } else if (d < best.top().distance) {
+          best.pop();
+          best.push(SearchResult{t.id, d});
+        }
+      }
+      m->refine_ms += phase.ElapsedMillis();
+      phase.Reset();
+    } else {
+      // Expand the nearest element: emit its index spaces, push children.
+      const ElementEntry entry = element_queue.top();
+      element_queue.pop();
+      if (entry.bound > current_eps()) continue;
+      const int l = entry.seq.length();
+      int min_r = 0;
+      int max_r = r;
+      const double eps_now = current_eps();
+      if (std::isfinite(eps_now)) {
+        min_r = ComputeMinR(ctx.mbr, eps_now, r);       // Lemma 6
+        max_r = ComputeMaxR(ctx.mbr.width(), ctx.mbr.height(), eps_now,
+                            r);                         // Lemma 7
+      }
+      if ((l >= min_r && l <= max_r) || l == 0) {
+        const int64_t base = xz_.ElementBaseValue(entry.seq);
+        const int max_pos = (l == r || l == 0) ? 10 : 9;
+        for (int pos = 1; pos <= max_pos; ++pos) {
+          const int64_t value = base + pos - 1;
+          if (!RangeHasValues(value, value)) continue;  // nothing stored
+          const double bound = pruner.IndexSpaceLowerBound(entry.seq, pos);
+          if (bound <= current_eps()) {
+            space_queue.push(SpaceEntry{bound, value});
+          }
+        }
+      }
+      if (l != 0 && l < r && l < max_r) {
+        for (int q = 0; q < 4; ++q) {
+          const index::QuadSeq child = entry.seq.Child(q);
+          if (!subtree_has_values(child)) continue;
+          const double bound = pruner.ElementLowerBound(child);
+          if (bound <= current_eps()) {
+            element_queue.push(ElementEntry{bound, child});
+          }
+        }
+      }
+    }
+  }
+  pruning_ms += phase.ElapsedMillis();
+  m->pruning_ms = pruning_ms;
+
+  results->reserve(best.size());
+  while (!best.empty()) {
+    results->push_back(best.top());
+    best.pop();
+  }
+  std::sort(results->begin(), results->end());
+  m->results = results->size();
+  m->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+Status TrassStore::SimilarityJoin(
+    double eps, Measure measure,
+    std::vector<std::pair<uint64_t, uint64_t>>* pairs,
+    QueryMetrics* metrics) {
+  pairs->clear();
+  if (options_.string_keys) {
+    return Status::NotSupported("queries unsupported in string-key mode");
+  }
+  QueryMetrics local_metrics;
+  QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = QueryMetrics();
+  Stopwatch total;
+
+  // Stream every stored trajectory once, then probe the index with each.
+  // (A production join would partition by element and join partitions;
+  // probe-per-row reuses the threshold machinery and is exact.)
+  std::vector<kv::Row> rows;
+  Status s = store_->Scan({kv::ScanRange{"", ""}}, nullptr, &rows);
+  if (!s.ok()) return s;
+  for (const kv::Row& row : rows) {
+    StoredTrajectory t;
+    s = DecodeRow(Slice(row.key), Slice(row.value), &t);
+    if (!s.ok()) return s;
+    std::vector<SearchResult> matches;
+    QueryMetrics probe;
+    s = ThresholdSearch(t.points, eps, measure, &matches, &probe);
+    if (!s.ok()) return s;
+    m->retrieved += probe.retrieved;
+    m->candidates += probe.candidates;
+    m->refined += probe.refined;
+    m->pruning_ms += probe.pruning_ms;
+    m->scan_ms += probe.scan_ms;
+    m->refine_ms += probe.refine_ms;
+    for (const SearchResult& match : matches) {
+      if (match.id > t.id) {
+        pairs->emplace_back(t.id, match.id);
+      }
+    }
+  }
+  std::sort(pairs->begin(), pairs->end());
+  m->results = pairs->size();
+  m->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+Status TrassStore::RangeQuery(const geo::Mbr& window,
+                              std::vector<uint64_t>* ids,
+                              QueryMetrics* metrics) {
+  ids->clear();
+  if (options_.string_keys) {
+    return Status::NotSupported("queries unsupported in string-key mode");
+  }
+  QueryMetrics local_metrics;
+  QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = QueryMetrics();
+  Stopwatch total;
+  Stopwatch phase;
+
+  // Candidate index spaces: every element whose enlarged element
+  // intersects the window, restricted to position codes whose sub-quad
+  // union still touches the window (a trajectory intersecting the window
+  // has a point in one of its occupied sub-quads).
+  std::vector<std::pair<int64_t, int64_t>> values;
+  struct Walker {
+    const index::XzStar* xz;
+    const TrassStore* store;
+    const geo::Mbr* window;
+    std::vector<std::pair<int64_t, int64_t>>* out;
+
+    void Emit(const index::QuadSeq& seq) {
+      const int64_t base = xz->ElementBaseValue(seq);
+      const int max_pos =
+          (seq.length() == xz->max_resolution() || seq.length() == 0) ? 10
+                                                                      : 9;
+      for (int pos = 1; pos <= max_pos; ++pos) {
+        for (const geo::Mbr& rect :
+             index::XzStar::IndexSpaceRects(seq, pos)) {
+          if (rect.Intersects(*window)) {
+            out->emplace_back(base + pos - 1, base + pos - 1);
+            break;
+          }
+        }
+      }
+    }
+
+    void Visit(const index::QuadSeq& seq) {
+      if (!seq.ElementBounds().Intersects(*window)) return;
+      // Skip subtrees with no stored trajectories (value directory).
+      const int64_t base = xz->ElementBaseValue(seq);
+      if (!store->RangeHasValues(base,
+                                 base + xz->NumIndexSpaces(seq.length()) -
+                                     1)) {
+        return;
+      }
+      Emit(seq);
+      if (seq.length() < xz->max_resolution()) {
+        for (int q = 0; q < 4; ++q) Visit(seq.Child(q));
+      }
+    }
+  };
+  Walker walker{&xz_, this, &window, &values};
+  walker.Emit(index::QuadSeq());  // root overflow bucket
+  for (int q = 0; q < 4; ++q) {
+    walker.Visit(index::QuadSeq().Child(q));
+  }
+  index::MergeRanges(&values);
+  const auto present = IntersectWithDirectory(values);
+  m->pruning_ms = phase.ElapsedMillis();
+  m->scan_ranges = present.size();
+  m->index_values = GlobalPruner::CountValues(values);
+
+  phase.Reset();
+  WindowScanFilter filter(window);
+  std::vector<kv::Row> rows;
+  Status s = store_->Scan(ToScanRanges(present), &filter, &rows);
+  if (!s.ok()) return s;
+  m->scan_ms = phase.ElapsedMillis();
+  m->retrieved = filter.scanned();
+  m->candidates = rows.size();
+
+  for (const kv::Row& row : rows) {
+    uint8_t shard;
+    int64_t value;
+    uint64_t tid;
+    s = DecodeRowKey(Slice(row.key), &shard, &value, &tid);
+    if (!s.ok()) return s;
+    ids->push_back(tid);
+  }
+  std::sort(ids->begin(), ids->end());
+  m->results = ids->size();
+  m->total_ms = total.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace trass

@@ -1,0 +1,150 @@
+// TrassStore: the public entry point of the library. Wires together the
+// XZ* index, the row codec, global pruning, pushdown local filtering, and
+// the sharded key-value store into the two similarity searches of the
+// paper (threshold, Algorithm 3; best-first top-k, Algorithm 4) plus the
+// spatial range query the conclusion mentions.
+
+#ifndef TRASS_CORE_TRASS_STORE_H_
+#define TRASS_CORE_TRASS_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/measure.h"
+#include "core/metrics.h"
+#include "core/pruning.h"
+#include "core/row_codec.h"
+#include "core/trajectory.h"
+#include "geo/units.h"
+#include "index/xzstar.h"
+#include "kv/region_store.h"
+
+namespace trass {
+namespace core {
+
+struct TrassOptions {
+  /// Hash-shard count (the paper's `shards` row-key component); also the
+  /// number of store regions. Paper default: 8.
+  int shards = 8;
+
+  /// XZ* maximum resolution. Paper default: 16.
+  int max_resolution = 16;
+
+  /// Douglas-Peucker tolerance for the stored features, in normalized
+  /// units. The paper's 0.01 is in degrees (see geo/units.h), i.e.
+  /// 0.01 * kDegree here.
+  double dp_tolerance = 0.01 * geo::kDegree;
+
+  /// Threads used for parallel region scans.
+  size_t scan_threads = 4;
+
+  /// TraSS-S mode: string-encoded row keys (Figure 13c storage
+  /// comparison). Stores only; queries are unsupported in this mode.
+  bool string_keys = false;
+
+  /// Underlying LSM engine tuning.
+  kv::Options db_options;
+};
+
+class TrassStore {
+ public:
+  static Status Open(const TrassOptions& options, const std::string& path,
+                     std::unique_ptr<TrassStore>* store);
+
+  /// Indexes and stores one trajectory (id must be unique; points
+  /// normalized to [0,1]^2). Precomputes the DP features (Section IV-D).
+  Status Put(const Trajectory& trajectory);
+
+  /// Forces memtables to disk.
+  Status Flush();
+
+  /// Threshold similarity search (Definition 3 / Algorithm 3).
+  Status ThresholdSearch(const std::vector<geo::Point>& query, double eps,
+                         Measure measure, std::vector<SearchResult>* results,
+                         QueryMetrics* metrics = nullptr);
+
+  /// Top-k similarity search (Definition 4 / Algorithm 4).
+  Status TopKSearch(const std::vector<geo::Point>& query, int k,
+                    Measure measure, std::vector<SearchResult>* results,
+                    QueryMetrics* metrics = nullptr);
+
+  /// Ids of trajectories with at least one point inside `window`.
+  Status RangeQuery(const geo::Mbr& window, std::vector<uint64_t>* ids,
+                    QueryMetrics* metrics = nullptr);
+
+  /// Similarity self-join (the extension the paper's conclusion points
+  /// to): every unordered pair {a, b} of stored trajectories with
+  /// measure(a, b) <= eps. Runs one index-pruned probe per stored
+  /// trajectory; pairs are reported once with first < second.
+  Status SimilarityJoin(double eps, Measure measure,
+                        std::vector<std::pair<uint64_t, uint64_t>>* pairs,
+                        QueryMetrics* metrics = nullptr);
+
+  const index::XzStar& xz_index() const { return xz_; }
+  kv::RegionStore* region_store() { return store_.get(); }
+  const TrassOptions& options() const { return options_; }
+
+  // ---- ingest statistics (Figure 12 / 13) ----
+
+  uint64_t num_trajectories() const { return num_trajectories_; }
+  /// Count of stored trajectories per quadrant-sequence resolution
+  /// (index 0 = root overflow bucket .. max_resolution).
+  const std::vector<uint64_t>& resolution_histogram() const {
+    return resolution_histogram_;
+  }
+  /// Count per position code (index 1..10; index 0 unused).
+  const std::vector<uint64_t>& position_code_histogram() const {
+    return position_histogram_;
+  }
+  /// Mean row-key length in bytes (integer vs string encoding).
+  double average_rowkey_bytes() const {
+    return num_trajectories_ == 0
+               ? 0.0
+               : static_cast<double>(total_key_bytes_) /
+                     static_cast<double>(num_trajectories_);
+  }
+  /// Distinct index values seen during ingest (selectivity numerator for
+  /// Figures 14/15).
+  uint64_t distinct_index_values() const;
+
+  /// Sorted distinct index values — the *value directory*. This is the
+  /// in-process analog of the region/SST metadata a key-value cluster
+  /// uses to skip empty key ranges for free: query processing consults it
+  /// so that neither the threshold scan nor the best-first top-k pays a
+  /// store round-trip for an index space that holds no trajectories.
+  const std::vector<int64_t>& value_directory() const;
+
+ private:
+  /// Narrows candidate [lo, hi] value ranges to the values actually
+  /// present, re-merged into contiguous runs.
+  std::vector<std::pair<int64_t, int64_t>> IntersectWithDirectory(
+      const std::vector<std::pair<int64_t, int64_t>>& ranges) const;
+
+  /// True when any stored index value lies in [lo, hi].
+  bool RangeHasValues(int64_t lo, int64_t hi) const;
+
+  TrassStore(const TrassOptions& options);
+
+  /// Reconstructs the value directory and ingest statistics from stored
+  /// row keys when opening an existing store.
+  Status RebuildIngestState();
+
+  uint8_t ShardOf(uint64_t tid) const;
+
+  TrassOptions options_;
+  index::XzStar xz_;
+  std::unique_ptr<kv::RegionStore> store_;
+
+  uint64_t num_trajectories_ = 0;
+  uint64_t total_key_bytes_ = 0;
+  std::vector<uint64_t> resolution_histogram_;
+  std::vector<uint64_t> position_histogram_;
+  mutable std::vector<int64_t> seen_values_;  // sorted-unique lazily
+  mutable bool values_dirty_ = false;
+};
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_TRASS_STORE_H_

@@ -1,0 +1,56 @@
+#include "geo/douglas_peucker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace trass {
+namespace geo {
+
+namespace {
+
+// Iterative (explicit stack) divide-and-conquer to stay safe on long,
+// pathological trajectories where recursion depth could approach n.
+void Simplify(const std::vector<Point>& points, double tolerance,
+              std::vector<uint32_t>* keep) {
+  std::vector<std::pair<uint32_t, uint32_t>> stack;
+  stack.emplace_back(0, static_cast<uint32_t>(points.size() - 1));
+  const double tol_sq = tolerance * tolerance;
+  while (!stack.empty()) {
+    auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last <= first + 1) continue;
+    double worst = -1.0;
+    uint32_t worst_idx = first;
+    for (uint32_t i = first + 1; i < last; ++i) {
+      const double d =
+          PointSegmentDistanceSquared(points[i], points[first], points[last]);
+      if (d > worst) {
+        worst = d;
+        worst_idx = i;
+      }
+    }
+    if (worst > tol_sq) {
+      keep->push_back(worst_idx);
+      stack.emplace_back(first, worst_idx);
+      stack.emplace_back(worst_idx, last);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> DouglasPeucker(const std::vector<Point>& points,
+                                     double tolerance) {
+  std::vector<uint32_t> keep;
+  if (points.empty()) return keep;
+  keep.push_back(0);
+  if (points.size() == 1) return keep;
+  keep.push_back(static_cast<uint32_t>(points.size() - 1));
+  Simplify(points, tolerance, &keep);
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  return keep;
+}
+
+}  // namespace geo
+}  // namespace trass

@@ -1,0 +1,27 @@
+// Douglas-Peucker polyline simplification. Returns the *indices* of the
+// representative points (the paper stores the indices in the `dp-points`
+// column so the raw trajectory can be reused). Every dropped point is
+// within `tolerance` of the chord between its surrounding representative
+// points — the invariant the local-filtering lemmas rely on.
+
+#ifndef TRASS_GEO_DOUGLAS_PEUCKER_H_
+#define TRASS_GEO_DOUGLAS_PEUCKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace trass {
+namespace geo {
+
+/// Indices (ascending, always containing 0 and n-1 for n >= 2) of the
+/// representative points of `points` under distance tolerance `tolerance`.
+/// An empty input yields an empty result; a single point yields {0}.
+std::vector<uint32_t> DouglasPeucker(const std::vector<Point>& points,
+                                     double tolerance);
+
+}  // namespace geo
+}  // namespace trass
+
+#endif  // TRASS_GEO_DOUGLAS_PEUCKER_H_

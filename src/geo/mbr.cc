@@ -1,0 +1,22 @@
+#include "geo/mbr.h"
+
+namespace trass {
+namespace geo {
+
+double Mbr::SegmentDistance(const Point& a, const Point& b) const {
+  if (Contains(a) || Contains(b)) return 0.0;
+  Point c[4];
+  Corners(c);
+  // The segment may cross the rectangle without either endpoint inside.
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    const Point& e1 = c[i];
+    const Point& e2 = c[(i + 1) % 4];
+    if (SegmentsIntersect(a, b, e1, e2)) return 0.0;
+    best = std::min(best, SegmentSegmentDistance(a, b, e1, e2));
+  }
+  return best;
+}
+
+}  // namespace geo
+}  // namespace trass

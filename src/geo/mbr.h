@@ -1,0 +1,122 @@
+// Axis-aligned minimum bounding rectangle plus the rectangle distance
+// kernels that the pruning lemmas are built from.
+
+#ifndef TRASS_GEO_MBR_H_
+#define TRASS_GEO_MBR_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace trass {
+namespace geo {
+
+class Mbr {
+ public:
+  /// Default-constructed MBR is "empty": Extend() with the first point
+  /// initializes it; IsEmpty() reports the state.
+  Mbr()
+      : min_x_(std::numeric_limits<double>::infinity()),
+        min_y_(std::numeric_limits<double>::infinity()),
+        max_x_(-std::numeric_limits<double>::infinity()),
+        max_y_(-std::numeric_limits<double>::infinity()) {}
+
+  Mbr(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  /// Bounding box of a point sequence.
+  static Mbr Of(const std::vector<Point>& points) {
+    Mbr m;
+    for (const Point& p : points) m.Extend(p);
+    return m;
+  }
+
+  bool IsEmpty() const { return min_x_ > max_x_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+  double width() const { return max_x_ - min_x_; }
+  double height() const { return max_y_ - min_y_; }
+  Point center() const {
+    return Point{(min_x_ + max_x_) / 2.0, (min_y_ + max_y_) / 2.0};
+  }
+  Point lower_left() const { return Point{min_x_, min_y_}; }
+  Point upper_right() const { return Point{max_x_, max_y_}; }
+
+  void Extend(const Point& p) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
+  }
+
+  void Extend(const Mbr& other) {
+    min_x_ = std::min(min_x_, other.min_x_);
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_x_ = std::max(max_x_, other.max_x_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+
+  /// The paper's Ext(MBR, eps): grows the box by eps on every side.
+  Mbr Expanded(double eps) const {
+    return Mbr(min_x_ - eps, min_y_ - eps, max_x_ + eps, max_y_ + eps);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ && p.y <= max_y_;
+  }
+
+  bool Contains(const Mbr& other) const {
+    return other.min_x_ >= min_x_ && other.max_x_ <= max_x_ &&
+           other.min_y_ >= min_y_ && other.max_y_ <= max_y_;
+  }
+
+  bool Intersects(const Mbr& other) const {
+    return !(other.min_x_ > max_x_ || other.max_x_ < min_x_ ||
+             other.min_y_ > max_y_ || other.max_y_ < min_y_);
+  }
+
+  /// Distance from p to this rectangle (0 when p is inside).
+  double Distance(const Point& p) const {
+    const double dx = std::max({min_x_ - p.x, 0.0, p.x - max_x_});
+    const double dy = std::max({min_y_ - p.y, 0.0, p.y - max_y_});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Minimum distance between two rectangles (0 when they intersect).
+  double Distance(const Mbr& other) const {
+    const double dx =
+        std::max({other.min_x_ - max_x_, 0.0, min_x_ - other.max_x_});
+    const double dy =
+        std::max({other.min_y_ - max_y_, 0.0, min_y_ - other.max_y_});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Minimum distance from segment [a, b] to this rectangle (0 on overlap).
+  double SegmentDistance(const Point& a, const Point& b) const;
+
+  /// The four corners in counter-clockwise order starting at lower-left.
+  void Corners(Point out[4]) const {
+    out[0] = Point{min_x_, min_y_};
+    out[1] = Point{max_x_, min_y_};
+    out[2] = Point{max_x_, max_y_};
+    out[3] = Point{min_x_, max_y_};
+  }
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
+  }
+
+ private:
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+}  // namespace geo
+}  // namespace trass
+
+#endif  // TRASS_GEO_MBR_H_

@@ -1,0 +1,108 @@
+#include "geo/oriented_box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace trass {
+namespace geo {
+
+OrientedBox OrientedBox::Cover(const std::vector<Point>& points, size_t first,
+                               size_t last, const Point& axis_from,
+                               const Point& axis_to) {
+  double ux = axis_to.x - axis_from.x;
+  double uy = axis_to.y - axis_from.y;
+  const double len = std::sqrt(ux * ux + uy * uy);
+  if (len <= 0.0) {
+    ux = 1.0;
+    uy = 0.0;
+  } else {
+    ux /= len;
+    uy /= len;
+  }
+  // Project every covered point onto the (u, v) frame, v = u rotated 90deg.
+  double min_u = std::numeric_limits<double>::infinity();
+  double max_u = -min_u;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -min_v;
+  for (size_t i = first; i <= last && i < points.size(); ++i) {
+    const Point& p = points[i];
+    const double pu = p.x * ux + p.y * uy;
+    const double pv = -p.x * uy + p.y * ux;
+    min_u = std::min(min_u, pu);
+    max_u = std::max(max_u, pu);
+    min_v = std::min(min_v, pv);
+    max_v = std::max(max_v, pv);
+  }
+  auto unproject = [&](double u, double v) {
+    return Point{u * ux - v * uy, u * uy + v * ux};
+  };
+  OrientedBox box;
+  box.corners_[0] = unproject(min_u, min_v);
+  box.corners_[1] = unproject(max_u, min_v);
+  box.corners_[2] = unproject(max_u, max_v);
+  box.corners_[3] = unproject(min_u, max_v);
+  return box;
+}
+
+bool OrientedBox::Contains(const Point& p) const {
+  // Convex, counter-clockwise corners: inside iff never strictly right of
+  // any edge. A small tolerance absorbs floating-point projection noise.
+  // Degenerate (zero-area) boxes make every cross product vanish, so the
+  // axis-aligned bounds check below is what actually rejects far points.
+  constexpr double kEps = 1e-12;
+  Mbr bounds;
+  for (const Point& c : corners_) bounds.Extend(c);
+  if (!bounds.Expanded(kEps).Contains(p)) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (Cross(corners_[i], corners_[(i + 1) % 4], p) < -kEps) return false;
+  }
+  return true;
+}
+
+double OrientedBox::Distance(const Point& p) const {
+  if (Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    best = std::min(
+        best, PointSegmentDistanceSquared(p, corners_[i], corners_[(i + 1) % 4]));
+  }
+  return std::sqrt(best);
+}
+
+double OrientedBox::SegmentDistance(const Point& a, const Point& b) const {
+  if (Contains(a) || Contains(b)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    const Point& e1 = corners_[i];
+    const Point& e2 = corners_[(i + 1) % 4];
+    if (SegmentsIntersect(a, b, e1, e2)) return 0.0;
+    best = std::min(best, SegmentSegmentDistance(a, b, e1, e2));
+  }
+  return best;
+}
+
+double OrientedBox::Distance(const OrientedBox& other) const {
+  // Overlap check via containment of any corner either way, then edge-pair
+  // distances. Convexity makes corner/edge tests sufficient.
+  for (int i = 0; i < 4; ++i) {
+    if (Contains(other.corners_[i]) || other.Contains(corners_[i])) {
+      return 0.0;
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    const Point& a1 = corners_[i];
+    const Point& a2 = corners_[(i + 1) % 4];
+    for (int j = 0; j < 4; ++j) {
+      const Point& b1 = other.corners_[j];
+      const Point& b2 = other.corners_[(j + 1) % 4];
+      if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+      best = std::min(best, SegmentSegmentDistance(a1, a2, b1, b2));
+    }
+  }
+  return best;
+}
+
+}  // namespace geo
+}  // namespace trass

@@ -1,0 +1,64 @@
+// Oriented (non-axis-aligned) bounding box, used for the Douglas-Peucker
+// features: the paper covers the raw points between two successive
+// representative points with a bounding box that "is not necessarily
+// parallel to the coordinate axis" — we orient it along the chord between
+// the two representative points, which hugs the sub-trajectory tightly.
+
+#ifndef TRASS_GEO_ORIENTED_BOX_H_
+#define TRASS_GEO_ORIENTED_BOX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace trass {
+namespace geo {
+
+class OrientedBox {
+ public:
+  /// Degenerate single-point box.
+  OrientedBox() : corners_{} {}
+
+  /// Builds a box directly from four corners in counter-clockwise order.
+  explicit OrientedBox(const Point corners[4]) {
+    for (int i = 0; i < 4; ++i) corners_[i] = corners[i];
+  }
+
+  /// Smallest box oriented along the direction axis_from -> axis_to that
+  /// covers points[first..last] (inclusive). Falls back to axis-aligned
+  /// when the axis is degenerate.
+  static OrientedBox Cover(const std::vector<Point>& points, size_t first,
+                           size_t last, const Point& axis_from,
+                           const Point& axis_to);
+
+  const Point& corner(int i) const { return corners_[i]; }
+
+  /// True when p lies inside or on the boundary (convex containment).
+  bool Contains(const Point& p) const;
+
+  /// Distance from p to the box (0 when inside).
+  double Distance(const Point& p) const;
+
+  /// Minimum distance from segment [a, b] to the box (0 on overlap).
+  double SegmentDistance(const Point& a, const Point& b) const;
+
+  /// Minimum distance between two oriented boxes (0 on overlap).
+  double Distance(const OrientedBox& other) const;
+
+  /// Axis-aligned bounding box of this oriented box.
+  Mbr Bounds() const {
+    Mbr m;
+    for (const Point& c : corners_) m.Extend(c);
+    return m;
+  }
+
+ private:
+  Point corners_[4];
+};
+
+}  // namespace geo
+}  // namespace trass
+
+#endif  // TRASS_GEO_ORIENTED_BOX_H_

@@ -1,0 +1,46 @@
+#include "geo/point.h"
+
+#include <algorithm>
+
+namespace trass {
+namespace geo {
+
+namespace {
+
+// Whether q lies on segment [a, b] given that a, b, q are collinear.
+bool OnSegment(const Point& a, const Point& b, const Point& q) {
+  return std::min(a.x, b.x) <= q.x && q.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= q.y && q.y <= std::max(a.y, b.y);
+}
+
+int Sign(double v) { return (v > 0.0) - (v < 0.0); }
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  const int d1 = Sign(Cross(b1, b2, a1));
+  const int d2 = Sign(Cross(b1, b2, a2));
+  const int d3 = Sign(Cross(a1, a2, b1));
+  const int d4 = Sign(Cross(a1, a2, b2));
+  if (d1 != d2 && d3 != d4) return true;
+  if (d1 == 0 && OnSegment(b1, b2, a1)) return true;
+  if (d2 == 0 && OnSegment(b1, b2, a2)) return true;
+  if (d3 == 0 && OnSegment(a1, a2, b1)) return true;
+  if (d4 == 0 && OnSegment(a1, a2, b2)) return true;
+  return false;
+}
+
+double SegmentSegmentDistance(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  // Disjoint segments achieve their minimum at an endpoint of one of them.
+  double d = PointSegmentDistanceSquared(a1, b1, b2);
+  d = std::min(d, PointSegmentDistanceSquared(a2, b1, b2));
+  d = std::min(d, PointSegmentDistanceSquared(b1, a1, a2));
+  d = std::min(d, PointSegmentDistanceSquared(b2, a1, a2));
+  return std::sqrt(d);
+}
+
+}  // namespace geo
+}  // namespace trass

@@ -1,0 +1,68 @@
+// 2-D point and the basic distance kernels every other geometry routine
+// builds on. Coordinates are in the normalized [0,1]^2 index space unless a
+// caller says otherwise (the paper normalizes the whole earth to [0,1]^2).
+
+#ifndef TRASS_GEO_POINT_H_
+#define TRASS_GEO_POINT_H_
+
+#include <cmath>
+
+namespace trass {
+namespace geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// Squared distance from point p to segment [a, b]. Degenerate segments
+/// (a == b) fall back to point distance.
+inline double PointSegmentDistanceSquared(const Point& p, const Point& a,
+                                          const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  if (len_sq <= 0.0) return DistanceSquared(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  const Point proj{a.x + t * abx, a.y + t * aby};
+  return DistanceSquared(p, proj);
+}
+
+inline double PointSegmentDistance(const Point& p, const Point& a,
+                                   const Point& b) {
+  return std::sqrt(PointSegmentDistanceSquared(p, a, b));
+}
+
+/// Signed twice-area of triangle (a, b, c); >0 when c is left of a->b.
+inline double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// True when segments [a1,a2] and [b1,b2] intersect (including touching).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// Minimum distance between segments [a1,a2] and [b1,b2] (0 if they touch).
+double SegmentSegmentDistance(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2);
+
+}  // namespace geo
+}  // namespace trass
+
+#endif  // TRASS_GEO_POINT_H_

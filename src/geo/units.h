@@ -1,0 +1,25 @@
+// Unit conversions for the earth-normalized index space.
+//
+// The index space maps the whole earth to [0,1]^2 (x = (lon+180)/360,
+// y = (lat+90)/180). The paper quotes thresholds (eps in 0.001..0.02) and
+// the Douglas-Peucker tolerance (0.01) in *degrees* — on earth-normalized
+// coordinates those values would span hundreds of kilometres and make
+// every trajectory pair "similar". These constants convert degree- and
+// kilometre-denominated quantities into normalized units.
+
+#ifndef TRASS_GEO_UNITS_H_
+#define TRASS_GEO_UNITS_H_
+
+namespace trass {
+namespace geo {
+
+/// One degree of longitude in normalized x units.
+constexpr double kDegree = 1.0 / 360.0;
+
+/// Roughly one kilometre in normalized units (equator-scale longitude).
+constexpr double kKilometre = 1.0 / 40000.0;
+
+}  // namespace geo
+}  // namespace trass
+
+#endif  // TRASS_GEO_UNITS_H_

@@ -1,0 +1,65 @@
+#include "index/quadrant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trass {
+namespace index {
+
+namespace {
+
+// Digit walk: the sequence of `length` digits addressing the cell that
+// contains point p (clamped into the unit square).
+QuadSeq SequenceOfCell(geo::Point p, int length) {
+  p.x = std::clamp(p.x, 0.0, std::nextafter(1.0, 0.0));
+  p.y = std::clamp(p.y, 0.0, std::nextafter(1.0, 0.0));
+  QuadSeq seq;
+  double x0 = 0.0, y0 = 0.0, w = 1.0;
+  for (int i = 0; i < length; ++i) {
+    w *= 0.5;
+    int q = 0;
+    if (p.x >= x0 + w) {
+      q |= 1;
+      x0 += w;
+    }
+    if (p.y >= y0 + w) {
+      q |= 2;
+      y0 += w;
+    }
+    seq = seq.Child(q);
+  }
+  return seq;
+}
+
+}  // namespace
+
+QuadSeq SequenceFor(const geo::Mbr& mbr, int max_resolution) {
+  max_resolution = std::min(max_resolution, QuadSeq::kMaxLength);
+  const double max_dim = std::max(mbr.width(), mbr.height());
+
+  // Lemma 1: the candidate length from the MBR size.
+  int l1;
+  if (max_dim <= 0.0) {
+    l1 = max_resolution;
+  } else {
+    l1 = static_cast<int>(std::floor(std::log(max_dim) / std::log(0.5)));
+    l1 = std::clamp(l1, 0, max_resolution);
+  }
+
+  // Lemma 2: try one level deeper; the enlarged element anchored at the
+  // lower-left corner's cell must still cover the MBR.
+  int length = l1;
+  if (l1 < max_resolution) {
+    const int l2 = l1 + 1;
+    const double w2 = std::pow(0.5, l2);
+    const bool x_fits =
+        mbr.max_x() <= std::floor(mbr.min_x() / w2) * w2 + 2.0 * w2;
+    const bool y_fits =
+        mbr.max_y() <= std::floor(mbr.min_y() / w2) * w2 + 2.0 * w2;
+    if (x_fits && y_fits) length = l2;
+  }
+  return SequenceOfCell(mbr.lower_left(), length);
+}
+
+}  // namespace index
+}  // namespace trass

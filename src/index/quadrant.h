@@ -1,0 +1,107 @@
+// Quadrant sequences: the quad-tree addressing shared by XZ-Ordering and
+// XZ*. The unit square [0,1]^2 is split recursively into four quads
+// numbered in reversed-Z order (0 = lower-left, 1 = lower-right,
+// 2 = upper-left, 3 = upper-right); a sequence of digits addresses a cell,
+// and the cell doubled toward the upper-right is its *enlarged element*.
+
+#ifndef TRASS_INDEX_QUADRANT_H_
+#define TRASS_INDEX_QUADRANT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace trass {
+namespace index {
+
+/// A quadrant sequence of up to 30 digits, packed 2 bits per digit.
+class QuadSeq {
+ public:
+  QuadSeq() = default;
+
+  static constexpr int kMaxLength = 30;
+
+  int length() const { return length_; }
+
+  /// Digit at position i (0-based from the root).
+  int digit(int i) const {
+    assert(i >= 0 && i < length_);
+    return static_cast<int>((bits_ >> (2 * i)) & 0x3);
+  }
+
+  /// Appends a digit, returning the extended sequence.
+  QuadSeq Child(int quad) const {
+    assert(quad >= 0 && quad < 4 && length_ < kMaxLength);
+    QuadSeq result = *this;
+    result.bits_ |= static_cast<uint64_t>(quad) << (2 * length_);
+    ++result.length_;
+    return result;
+  }
+
+  /// Origin (lower-left corner) of the addressed cell.
+  geo::Point CellOrigin() const {
+    double x = 0.0, y = 0.0, w = 1.0;
+    for (int i = 0; i < length_; ++i) {
+      w *= 0.5;
+      const int q = digit(i);
+      if (q & 1) x += w;
+      if (q & 2) y += w;
+    }
+    return geo::Point{x, y};
+  }
+
+  /// Width of the addressed cell (0.5^length).
+  double CellWidth() const {
+    double w = 1.0;
+    for (int i = 0; i < length_; ++i) w *= 0.5;
+    return w;
+  }
+
+  /// The enlarged element: the cell doubled toward the upper-right.
+  geo::Mbr ElementBounds() const {
+    const geo::Point o = CellOrigin();
+    const double w = CellWidth();
+    return geo::Mbr(o.x, o.y, o.x + 2.0 * w, o.y + 2.0 * w);
+  }
+
+  /// Human-readable digits, e.g. "03".
+  std::string ToString() const {
+    std::string s;
+    s.reserve(length_);
+    for (int i = 0; i < length_; ++i) {
+      s.push_back(static_cast<char>('0' + digit(i)));
+    }
+    return s;
+  }
+
+  /// Parses a digit string (for tests); asserts digits are in [0, 3].
+  static QuadSeq FromString(const std::string& digits) {
+    QuadSeq s;
+    for (char c : digits) {
+      assert(c >= '0' && c <= '3');
+      s = s.Child(c - '0');
+    }
+    return s;
+  }
+
+  friend bool operator==(const QuadSeq& a, const QuadSeq& b) {
+    return a.length_ == b.length_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+  int length_ = 0;
+};
+
+/// The quadrant sequence of the smallest enlarged element covering `mbr`
+/// (paper Lemmas 1 and 2), capped at `max_resolution`. The sequence
+/// addresses the cell containing the MBR's lower-left corner.
+QuadSeq SequenceFor(const geo::Mbr& mbr, int max_resolution);
+
+}  // namespace index
+}  // namespace trass
+
+#endif  // TRASS_INDEX_QUADRANT_H_

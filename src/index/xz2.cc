@@ -1,0 +1,121 @@
+#include "index/xz2.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trass {
+namespace index {
+
+Xz2::Xz2(int max_resolution) : r_(max_resolution) {
+  assert(r_ >= 1 && r_ <= QuadSeq::kMaxLength);
+  subtree_.assign(r_ + 1, 0);
+  subtree_[r_] = 1;
+  for (int l = r_ - 1; l >= 1; --l) {
+    subtree_[l] = 1 + 4 * subtree_[l + 1];
+  }
+}
+
+int64_t Xz2::Encode(const QuadSeq& seq) const {
+  const int l = seq.length();
+  assert(l >= 0 && l <= r_);
+  if (l == 0) return 4 * subtree_[1];  // root overflow element
+  // DFS numbering: an element is visited before its children, so
+  //   V(s) = sum_i (q_i * subtree(i) + 1) - 1.
+  int64_t value = -1;
+  for (int i = 1; i <= l; ++i) {
+    value += static_cast<int64_t>(seq.digit(i - 1)) * subtree_[i] + 1;
+  }
+  return value;
+}
+
+QuadSeq Xz2::Decode(int64_t value) const {
+  assert(value >= 0 && value < TotalElements());
+  QuadSeq seq;
+  if (value == 4 * subtree_[1]) return seq;  // root overflow element
+  int64_t rem = value;
+  int level = 1;
+  for (;;) {
+    const int64_t child_size = subtree_[level];
+    const int digit = static_cast<int>(rem / child_size);
+    rem -= static_cast<int64_t>(digit) * child_size;
+    seq = seq.Child(digit);
+    if (rem == 0) return seq;
+    rem -= 1;  // skip the element itself
+    ++level;
+  }
+}
+
+namespace {
+
+bool HasValueInRange(const std::vector<int64_t>* directory, int64_t lo,
+                     int64_t hi) {
+  if (directory == nullptr) return true;
+  const auto it = std::lower_bound(directory->begin(), directory->end(), lo);
+  return it != directory->end() && *it <= hi;
+}
+
+}  // namespace
+
+void Xz2::CollectRanges(
+    const QuadSeq& seq, int64_t base, const geo::Mbr& window,
+    const std::vector<int64_t>* directory, size_t* budget,
+    std::vector<std::pair<int64_t, int64_t>>* out) const {
+  // `base` is Encode(seq). Child elements are fully inside this element,
+  // so a disjoint element prunes its whole subtree.
+  const geo::Mbr element = seq.ElementBounds();
+  if (!element.Intersects(window)) return;
+  const int l = seq.length();
+  if (!HasValueInRange(directory, base, base + subtree_[l] - 1)) return;
+  if (window.Contains(element) || *budget == 0) {
+    // Fully covered subtree, or out of traversal budget: take it whole.
+    out->emplace_back(base, base + subtree_[l] - 1);
+    return;
+  }
+  --*budget;
+  out->emplace_back(base, base);
+  if (l == r_) return;
+  int64_t child_base = base + 1;
+  for (int q = 0; q < 4; ++q) {
+    CollectRanges(seq.Child(q), child_base, window, directory, budget, out);
+    child_base += subtree_[l + 1];
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> Xz2::Ranges(
+    const geo::Mbr& window, const std::vector<int64_t>* directory,
+    size_t visit_budget) const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  QuadSeq root;
+  int64_t base = 0;
+  size_t budget = visit_budget;
+  for (int q = 0; q < 4; ++q) {
+    CollectRanges(root.Child(q), base, window, directory, &budget, &out);
+    base += subtree_[1];
+  }
+  // The root overflow element covers the whole space, so it is always a
+  // candidate (when it holds data).
+  if (HasValueInRange(directory, 4 * subtree_[1], 4 * subtree_[1])) {
+    out.emplace_back(4 * subtree_[1], 4 * subtree_[1]);
+  }
+  MergeRanges(&out);
+  return out;
+}
+
+void MergeRanges(std::vector<std::pair<int64_t, int64_t>>* ranges) {
+  if (ranges->empty()) return;
+  std::sort(ranges->begin(), ranges->end());
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  merged.push_back((*ranges)[0]);
+  for (size_t i = 1; i < ranges->size(); ++i) {
+    auto& [lo, hi] = (*ranges)[i];
+    if (lo <= merged.back().second + 1) {
+      merged.back().second = std::max(merged.back().second, hi);
+    } else {
+      merged.emplace_back(lo, hi);
+    }
+  }
+  ranges->swap(merged);
+}
+
+}  // namespace index
+}  // namespace trass

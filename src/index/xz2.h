@@ -1,0 +1,72 @@
+// XZ-Ordering (XZ2) — the state-of-the-art baseline index (Böhm et al.,
+// used by GeoMesa/TrajMesa/JUST). A trajectory is represented by the
+// smallest enlarged element covering its MBR — no position codes — and
+// elements are numbered in depth-first order.
+
+#ifndef TRASS_INDEX_XZ2_H_
+#define TRASS_INDEX_XZ2_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "index/quadrant.h"
+
+namespace trass {
+namespace index {
+
+class Xz2 {
+ public:
+  /// `max_resolution` in [1, 30].
+  explicit Xz2(int max_resolution);
+
+  int max_resolution() const { return r_; }
+
+  /// The element covering `mbr`.
+  QuadSeq Index(const geo::Mbr& mbr) const {
+    return SequenceFor(mbr, r_);
+  }
+
+  /// Depth-first element number; bijective over non-empty sequences.
+  int64_t Encode(const QuadSeq& seq) const;
+  QuadSeq Decode(int64_t value) const;
+
+  /// Elements in the subtree rooted at a sequence of length l (including
+  /// the element itself): (4^(r-l+1) - 1) / 3.
+  int64_t SubtreeSize(int length) const { return subtree_[length]; }
+
+  /// Total elements; encoded values lie in [0, TotalElements()). The last
+  /// value is the root overflow element (empty sequence) for trajectories
+  /// too large for any level-1 enlarged element.
+  int64_t TotalElements() const { return 4 * subtree_[1] + 1; }
+
+  /// Encoded-value ranges of every element whose *enlarged element*
+  /// intersects `window` — i.e. every element that may index a trajectory
+  /// whose points intersect `window`. Ranges are sorted and merged.
+  ///
+  /// `directory`, when non-null, is a sorted list of element values that
+  /// actually hold data; subtrees without data are skipped. The traversal
+  /// visits at most `visit_budget` elements, emitting conservative
+  /// whole-subtree ranges beyond that (GeoMesa-style coarsening).
+  std::vector<std::pair<int64_t, int64_t>> Ranges(
+      const geo::Mbr& window,
+      const std::vector<int64_t>* directory = nullptr,
+      size_t visit_budget = 65536) const;
+
+ private:
+  void CollectRanges(const QuadSeq& seq, int64_t base, const geo::Mbr& window,
+                     const std::vector<int64_t>* directory, size_t* budget,
+                     std::vector<std::pair<int64_t, int64_t>>* out) const;
+
+  int r_;
+  std::vector<int64_t> subtree_;  // subtree_[l], index 1..r_
+};
+
+/// Sorts and merges adjacent/overlapping [lo, hi] integer ranges in place.
+void MergeRanges(std::vector<std::pair<int64_t, int64_t>>* ranges);
+
+}  // namespace index
+}  // namespace trass
+
+#endif  // TRASS_INDEX_XZ2_H_

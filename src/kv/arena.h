@@ -1,0 +1,78 @@
+// Bump allocator backing the memtable skiplist: nodes and key bytes live
+// until the memtable is dropped, so individual frees are unnecessary.
+
+#ifndef TRASS_KV_ARENA_H_
+#define TRASS_KV_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace trass {
+namespace kv {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    if (bytes <= avail_) {
+      char* result = ptr_;
+      ptr_ += bytes;
+      avail_ -= bytes;
+      return result;
+    }
+    return AllocateFallback(bytes);
+  }
+
+  /// Allocation aligned for pointer-sized objects.
+  char* AllocateAligned(size_t bytes) {
+    constexpr size_t kAlign = alignof(std::max_align_t);
+    const size_t mod = reinterpret_cast<uintptr_t>(ptr_) & (kAlign - 1);
+    const size_t slop = mod == 0 ? 0 : kAlign - mod;
+    if (bytes + slop <= avail_) {
+      char* result = ptr_ + slop;
+      ptr_ += bytes + slop;
+      avail_ -= bytes + slop;
+      return result;
+    }
+    return AllocateFallback(bytes);  // fresh blocks are max-aligned
+  }
+
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  char* AllocateFallback(size_t bytes) {
+    if (bytes > kBlockSize / 4) {
+      // Large allocation gets its own block; keeps current block useful.
+      return NewBlock(bytes);
+    }
+    ptr_ = NewBlock(kBlockSize);
+    avail_ = kBlockSize;
+    char* result = ptr_;
+    ptr_ += bytes;
+    avail_ -= bytes;
+    return result;
+  }
+
+  char* NewBlock(size_t size) {
+    blocks_.push_back(std::make_unique<char[]>(size));
+    memory_usage_ += size + sizeof(std::unique_ptr<char[]>);
+    return blocks_.back().get();
+  }
+
+  char* ptr_ = nullptr;
+  size_t avail_ = 0;
+  size_t memory_usage_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_ARENA_H_

@@ -1,0 +1,154 @@
+#include "kv/block.h"
+
+#include "util/coding.h"
+
+namespace trass {
+namespace kv {
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
+  const size_t restarts_bytes =
+      (static_cast<size_t>(num_restarts_) + 1) * sizeof(uint32_t);
+  if (restarts_bytes > data_.size()) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(data_.size() - restarts_bytes);
+}
+
+class Block::Iter final : public Iterator {
+ public:
+  Iter(const Block* block)
+      : data_(block->data_.data()),
+        restarts_(block->restart_offset_),
+        num_restarts_(block->num_restarts_) {}
+
+  bool Valid() const override { return current_ < restarts_; }
+
+  void SeekToFirst() override {
+    SeekToRestartPoint(0);
+    ParseNextEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search over restart points for the last restart whose key is
+    // < target, then scan forward linearly.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ > 0 ? num_restarts_ - 1 : 0;
+    while (left < right) {
+      const uint32_t mid = (left + right + 1) / 2;
+      Slice mid_key;
+      if (!RestartKey(mid, &mid_key)) {
+        MarkCorrupt();
+        return;
+      }
+      if (cmp_.Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    while (true) {
+      ParseNextEntry();
+      if (!Valid()) return;
+      if (cmp_.Compare(key(), target) >= 0) return;
+    }
+  }
+
+  void Next() override { ParseNextEntry(); }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return value_; }
+  Status status() const override { return status_; }
+
+ private:
+  uint32_t RestartPoint(uint32_t index) const {
+    return DecodeFixed32(data_ + restarts_ +
+                         index * static_cast<uint32_t>(sizeof(uint32_t)));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    next_offset_ = num_restarts_ > 0 ? RestartPoint(index) : restarts_;
+  }
+
+  /// Decodes the full key stored at restart point `index`.
+  bool RestartKey(uint32_t index, Slice* out) {
+    const char* p = data_ + RestartPoint(index);
+    const char* limit = data_ + restarts_;
+    uint32_t shared, non_shared, value_len;
+    p = DecodeEntryHeader(p, limit, &shared, &non_shared, &value_len);
+    if (p == nullptr || shared != 0) return false;
+    *out = Slice(p, non_shared);
+    return true;
+  }
+
+  static const char* DecodeEntryHeader(const char* p, const char* limit,
+                                       uint32_t* shared, uint32_t* non_shared,
+                                       uint32_t* value_len) {
+    Slice input(p, static_cast<size_t>(limit - p));
+    if (!GetVarint32(&input, shared) || !GetVarint32(&input, non_shared) ||
+        !GetVarint32(&input, value_len)) {
+      return nullptr;
+    }
+    if (input.size() < static_cast<size_t>(*non_shared) + *value_len) {
+      return nullptr;
+    }
+    return input.data();
+  }
+
+  void ParseNextEntry() {
+    if (next_offset_ >= restarts_) {
+      current_ = restarts_;  // invalid
+      return;
+    }
+    const char* p = data_ + next_offset_;
+    const char* limit = data_ + restarts_;
+    uint32_t shared, non_shared, value_len;
+    const char* entry = DecodeEntryHeader(p, limit, &shared, &non_shared,
+                                          &value_len);
+    if (entry == nullptr || key_.size() < shared) {
+      MarkCorrupt();
+      return;
+    }
+    current_ = next_offset_;
+    key_.resize(shared);
+    key_.append(entry, non_shared);
+    value_ = Slice(entry + non_shared, value_len);
+    next_offset_ =
+        static_cast<uint32_t>(entry + non_shared + value_len - data_);
+  }
+
+  void MarkCorrupt() {
+    current_ = restarts_;
+    status_ = Status::Corruption("malformed block entry");
+  }
+
+  const char* data_;
+  const uint32_t restarts_;
+  const uint32_t num_restarts_;
+  uint32_t current_ = 0xffffffffu;
+  uint32_t next_offset_ = 0xffffffffu;
+  std::string key_;
+  Slice value_;
+  Status status_;
+  InternalKeyComparator cmp_;
+};
+
+Iterator* Block::NewIterator() const {
+  if (malformed_) {
+    return NewEmptyIterator(Status::Corruption("malformed block"));
+  }
+  if (num_restarts_ == 0) {
+    return NewEmptyIterator();
+  }
+  return new Iter(this);
+}
+
+}  // namespace kv
+}  // namespace trass

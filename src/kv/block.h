@@ -1,0 +1,43 @@
+// Read-side of the prefix-compressed block format written by BlockBuilder:
+// owns the payload bytes and serves binary-searchable forward iterators.
+
+#ifndef TRASS_KV_BLOCK_H_
+#define TRASS_KV_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kv/dbformat.h"
+#include "kv/iterator.h"
+#include "util/slice.h"
+
+namespace trass {
+namespace kv {
+
+class Block {
+ public:
+  /// Takes ownership of the payload.
+  explicit Block(std::string contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+
+  /// Iterator over (internal key, value) entries. The Block must outlive
+  /// the iterator.
+  Iterator* NewIterator() const;
+
+ private:
+  class Iter;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // offset of the restart array
+  uint32_t num_restarts_ = 0;
+  bool malformed_ = false;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_BLOCK_H_

@@ -1,0 +1,50 @@
+// Builds a sorted key/value block with prefix-compressed keys and restart
+// points (one full key every `block_restart_interval` entries), enabling
+// binary search without decompressing the whole block.
+
+#ifndef TRASS_KV_BLOCK_BUILDER_H_
+#define TRASS_KV_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace trass {
+namespace kv {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int block_restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Adds an entry; keys must arrive in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart array and returns the finished block payload.
+  /// The returned slice stays valid until Reset().
+  Slice Finish();
+
+  void Reset();
+
+  /// Byte estimate of the block if finished now.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int block_restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_BLOCK_BUILDER_H_

@@ -1,0 +1,92 @@
+#include "kv/bloom.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace trass {
+namespace kv {
+
+uint32_t BloomHash(const Slice& key) {
+  // Murmur-inspired hash (LevelDB's Hash with a fixed seed).
+  constexpr uint32_t kSeed = 0xbc9f1d34;
+  constexpr uint32_t kM = 0xc6a4a793;
+  const size_t n = key.size();
+  const char* data = key.data();
+  uint32_t h = kSeed ^ (static_cast<uint32_t>(n) * kM);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t w;
+    std::memcpy(&w, data + i, 4);
+    h += w;
+    h *= kM;
+    h ^= (h >> 16);
+  }
+  switch (n - i) {
+    case 3:
+      h += static_cast<unsigned char>(data[i + 2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[i + 1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[i]);
+      h *= kM;
+      h ^= (h >> 24);
+      break;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(std::max(1, bits_per_key)) {
+  // k = bits_per_key * ln(2), clamped to a sane range.
+  k_ = static_cast<int>(bits_per_key_ * 0.69);
+  k_ = std::clamp(k_, 1, 30);
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  // Tiny filters have high false-positive rates; enforce a floor.
+  bits = std::max<size_t>(bits, 64);
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string result(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    uint32_t delta = (h >> 17) | (h << 15);  // rotate right 17 bits
+    for (int j = 0; j < k_; ++j) {
+      const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+      result[bitpos / 8] =
+          static_cast<char>(result[bitpos / 8] | (1 << (bitpos % 8)));
+      h += delta;
+    }
+  }
+  result.push_back(static_cast<char>(k_));
+  hashes_.clear();
+  return result;
+}
+
+bool BloomKeyMayMatch(const Slice& key, const Slice& filter) {
+  const size_t len = filter.size();
+  if (len < 2) return true;
+  const char* array = filter.data();
+  const size_t bits = (len - 1) * 8;
+  const int k = static_cast<unsigned char>(array[len - 1]);
+  if (k > 30) return true;  // reserved for future encodings
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; ++j) {
+    const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace kv
+}  // namespace trass

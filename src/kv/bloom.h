@@ -1,0 +1,45 @@
+// Bloom filter over user keys, stored per SSTable so point lookups can
+// skip tables that cannot contain the key. Double hashing over a 32-bit
+// base hash, same construction RocksDB/LevelDB use.
+
+#ifndef TRASS_KV_BLOOM_H_
+#define TRASS_KV_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace trass {
+namespace kv {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter (bit array + 1 byte probe count). The builder
+  /// can be reused after Finish().
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  const int bits_per_key_;
+  int k_;  // number of probes
+  std::vector<uint32_t> hashes_;
+};
+
+/// True when `key` may be in the set encoded by `filter`; false only when
+/// it is definitely absent. An empty/undersized filter returns true
+/// (never produces false negatives).
+bool BloomKeyMayMatch(const Slice& key, const Slice& filter);
+
+/// Hash used by the bloom filter (exposed for tests).
+uint32_t BloomHash(const Slice& key);
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_BLOOM_H_

@@ -1,0 +1,70 @@
+#include "kv/cache.h"
+
+namespace trass {
+namespace kv {
+
+BlockCache::BlockCache(size_t capacity_bytes) {
+  const size_t per_shard = capacity_bytes / kNumShards + 1;
+  for (auto& shard : shards_) shard.capacity = per_shard;
+}
+
+std::shared_ptr<const Block> BlockCache::Lookup(const Key& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(const Key& key, std::shared_ptr<const Block> block,
+                        size_t charge) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.usage -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(block), charge});
+  shard.index[key] = shard.lru.begin();
+  shard.usage += charge;
+  while (shard.usage > shard.capacity && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.usage -= victim.charge;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void BlockCache::EvictFile(uint64_t file_id) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file_id == file_id) {
+        shard.usage -= it->charge;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+size_t BlockCache::TotalCharge() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    total += shard.usage;
+  }
+  return total;
+}
+
+}  // namespace kv
+}  // namespace trass

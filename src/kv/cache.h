@@ -1,0 +1,79 @@
+// Sharded LRU block cache. Cached blocks are immutable and shared via
+// shared_ptr, so eviction is safe while readers still hold a block.
+
+#ifndef TRASS_KV_CACHE_H_
+#define TRASS_KV_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "kv/block.h"
+
+namespace trass {
+namespace kv {
+
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  /// Cache key: owning file id + block offset within the file.
+  struct Key {
+    uint64_t file_id;
+    uint64_t offset;
+    bool operator==(const Key& other) const {
+      return file_id == other.file_id && offset == other.offset;
+    }
+  };
+
+  std::shared_ptr<const Block> Lookup(const Key& key);
+  void Insert(const Key& key, std::shared_ptr<const Block> block,
+              size_t charge);
+
+  /// Drops every entry for `file_id` (table deleted by compaction).
+  void EvictFile(uint64_t file_id);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t TotalCharge() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.file_id * 0x9e3779b97f4a7c15ull ^
+                                   k.offset);
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Block> block;
+    size_t charge;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    size_t usage = 0;
+    size_t capacity = 0;
+  };
+
+  static constexpr int kNumShards = 8;
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash()(key) % kNumShards];
+  }
+
+  Shard shards_[kNumShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_CACHE_H_

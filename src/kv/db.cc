@@ -1,0 +1,600 @@
+#include "kv/db.h"
+
+#include <algorithm>
+#include <map>
+
+#include "kv/filename.h"
+#include "kv/log_reader.h"
+#include "kv/merging_iterator.h"
+#include "kv/table_builder.h"
+
+namespace trass {
+namespace kv {
+
+namespace {
+
+// Iterator over one SSTable that keeps the table reader alive.
+class TableOwningIterator final : public Iterator {
+ public:
+  TableOwningIterator(std::shared_ptr<Table> table, const ReadOptions& options)
+      : table_(std::move(table)), iter_(table_->NewIterator(options)) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<Iterator> iter_;
+};
+
+// User-facing iterator: collapses internal-key versions into the newest
+// visible value per user key and hides deletions.
+class DBIterator final : public Iterator {
+ public:
+  DBIterator(Iterator* internal, SequenceNumber sequence, IoStats* stats)
+      : internal_(internal), sequence_(sequence), stats_(stats) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    internal_->SeekToFirst();
+    FindNextUserEntry(/*skip_current_user_key=*/false);
+  }
+
+  void Seek(const Slice& target) override {
+    internal_->Seek(MakeLookupKey(target, sequence_));
+    FindNextUserEntry(/*skip_current_user_key=*/false);
+  }
+
+  void Next() override {
+    // Skip the remaining (older) versions of the current user key.
+    saved_key_.assign(key().data(), key().size());
+    internal_->Next();
+    FindNextUserEntry(/*skip_current_user_key=*/true);
+  }
+
+  Slice key() const override { return ExtractUserKey(internal_->key()); }
+  Slice value() const override { return internal_->value(); }
+  Status status() const override { return internal_->status(); }
+
+ private:
+  void FindNextUserEntry(bool skip_current_user_key) {
+    valid_ = false;
+    std::string deleted_key;
+    bool have_deleted_key = false;
+    while (internal_->Valid()) {
+      const Slice ikey = internal_->key();
+      if (ExtractSequence(ikey) > sequence_) {
+        internal_->Next();
+        continue;
+      }
+      const Slice user_key = ExtractUserKey(ikey);
+      if (skip_current_user_key && user_key == Slice(saved_key_)) {
+        internal_->Next();
+        continue;
+      }
+      skip_current_user_key = false;
+      if (have_deleted_key && user_key == Slice(deleted_key)) {
+        internal_->Next();
+        continue;
+      }
+      if (ExtractValueType(ikey) == kTypeDeletion) {
+        deleted_key.assign(user_key.data(), user_key.size());
+        have_deleted_key = true;
+        internal_->Next();
+        continue;
+      }
+      valid_ = true;
+      if (stats_) {
+        stats_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+
+  std::unique_ptr<Iterator> internal_;
+  const SequenceNumber sequence_;
+  IoStats* const stats_;
+  bool valid_ = false;
+  std::string saved_key_;
+};
+
+}  // namespace
+
+DB::DB(const Options& options, std::string name)
+    : options_(options),
+      dbname_(std::move(name)),
+      env_(options.env != nullptr ? options.env : Env::Default()),
+      mem_(std::make_unique<MemTable>()),
+      block_cache_(options.block_cache_size) {
+  options_.env = env_;
+  versions_ = std::make_unique<VersionSet>(dbname_, env_);
+  table_cache_ =
+      std::make_unique<TableCache>(dbname_, options_, &block_cache_, &stats_);
+}
+
+DB::~DB() {
+  // Best-effort final flush so short-lived DBs persist their tail writes.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!mem_->empty()) {
+    FlushMemTableLocked();
+  }
+}
+
+Status DB::Open(const Options& options, const std::string& name,
+                std::unique_ptr<DB>* db) {
+  db->reset();
+  std::unique_ptr<DB> impl(new DB(options, name));
+  Env* env = impl->env_;
+  if (!env->FileExists(name)) {
+    if (!options.create_if_missing) {
+      return Status::InvalidArgument(name + " does not exist");
+    }
+    Status s = env->CreateDir(name);
+    if (!s.ok()) return s;
+  }
+  bool found_manifest = false;
+  Status s = impl->versions_->Recover(&found_manifest);
+  if (!s.ok()) return s;
+  s = impl->RecoverLogs();
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lock(impl->mu_);
+    // Persist any replayed writes and start a fresh WAL.
+    if (!impl->mem_->empty()) {
+      s = impl->FlushMemTableLocked();
+      if (!s.ok()) return s;
+    }
+    s = impl->SwitchToNewLog();
+    if (!s.ok()) return s;
+    s = impl->versions_->WriteSnapshot();
+    if (!s.ok()) return s;
+    impl->RemoveObsoleteFilesLocked();
+  }
+  *db = std::move(impl);
+  return Status::OK();
+}
+
+Status DB::RecoverLogs() {
+  std::vector<std::string> children;
+  Status s = env_->GetChildren(dbname_, &children);
+  if (!s.ok()) return s;
+  std::vector<uint64_t> logs;
+  uint64_t max_number = 0;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type)) continue;
+    max_number = std::max(max_number, number);
+    if (type == FileType::kLogFile && number >= versions_->log_number()) {
+      logs.push_back(number);
+    }
+  }
+  versions_->BumpFileNumber(max_number);
+  std::sort(logs.begin(), logs.end());
+  SequenceNumber max_sequence = versions_->last_sequence();
+  for (uint64_t log_number : logs) {
+    std::unique_ptr<SequentialFile> file;
+    s = env_->NewSequentialFile(LogFileName(dbname_, log_number), &file);
+    if (!s.ok()) return s;
+    log::Reader reader(file.get());
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      if (record.size() < 12) continue;  // truncated batch header
+      WriteBatch batch = WriteBatch::FromContents(record);
+      s = WriteBatch::InsertInto(batch, mem_.get());
+      if (!s.ok()) return s;
+      const SequenceNumber last_in_batch =
+          batch.sequence() + batch.Count() - 1;
+      max_sequence = std::max(max_sequence, last_in_batch);
+    }
+  }
+  versions_->set_last_sequence(max_sequence);
+  return Status::OK();
+}
+
+Status DB::SwitchToNewLog() {
+  const uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &file);
+  if (!s.ok()) return s;
+  logfile_ = std::move(file);
+  log_ = std::make_unique<log::Writer>(logfile_.get());
+  logfile_number_ = new_log_number;
+  versions_->set_log_number(new_log_number);
+  return Status::OK();
+}
+
+Status DB::Put(const WriteOptions& options, const Slice& key,
+               const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status DB::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
+    Status s = FlushMemTableLocked();
+    if (!s.ok()) return s;
+  }
+  const SequenceNumber seq = versions_->last_sequence() + 1;
+  batch->set_sequence(seq);
+  versions_->set_last_sequence(seq + batch->Count() - 1);
+  Status s = log_->AddRecord(batch->Contents());
+  if (!s.ok()) return s;
+  if (options.sync || options_.sync_wal) {
+    s = logfile_->Sync();
+    if (!s.ok()) return s;
+  }
+  return WriteBatch::InsertInto(*batch, mem_.get());
+}
+
+Status DB::Get(const ReadOptions& options, const Slice& key,
+               std::string* value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.point_gets.fetch_add(1, std::memory_order_relaxed);
+  const SequenceNumber snapshot = versions_->last_sequence();
+  Status s;
+  if (mem_->Get(key, snapshot, value, &s)) {
+    return s;
+  }
+  // Copy file metadata, then search tables without the mutex (the table
+  // cache has its own lock, and Table objects are immutable).
+  Version version = versions_->current();
+  lock.unlock();
+
+  const std::string lookup = MakeLookupKey(key, snapshot);
+
+  auto check_file = [&](const FileMetaData& f, bool* done) -> Status {
+    std::shared_ptr<Table> table;
+    Status ts = table_cache_->Get(f.number, &table);
+    if (!ts.ok()) return ts;
+    bool found = false;
+    std::string result_key, result_value;
+    ts = table->InternalGet(options, Slice(lookup), &found, &result_key,
+                            &result_value);
+    if (!ts.ok()) return ts;
+    if (found && ExtractUserKey(Slice(result_key)) == key) {
+      *done = true;
+      if (ExtractValueType(Slice(result_key)) == kTypeDeletion) {
+        return Status::NotFound("deleted");
+      }
+      value->assign(result_value);
+      return Status::OK();
+    }
+    *done = false;
+    return Status::OK();
+  };
+
+  // Level 0: newest file first (highest number).
+  std::vector<FileMetaData> l0 = version.files[0];
+  std::sort(l0.begin(), l0.end(),
+            [](const FileMetaData& a, const FileMetaData& b) {
+              return a.number > b.number;
+            });
+  for (const FileMetaData& f : l0) {
+    if (key.compare(ExtractUserKey(Slice(f.smallest))) < 0 ||
+        key.compare(ExtractUserKey(Slice(f.largest))) > 0) {
+      continue;
+    }
+    bool done = false;
+    s = check_file(f, &done);
+    if (done || !s.ok()) return s;
+  }
+  // Deeper levels: at most one file can contain the key.
+  for (int level = 1; level < kNumLevels; ++level) {
+    for (const FileMetaData& f : version.files[level]) {
+      if (key.compare(ExtractUserKey(Slice(f.smallest))) < 0) break;
+      if (key.compare(ExtractUserKey(Slice(f.largest))) > 0) continue;
+      bool done = false;
+      s = check_file(f, &done);
+      if (done || !s.ok()) return s;
+      break;
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+Iterator* DB::NewIterator(const ReadOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
+  const SequenceNumber snapshot = versions_->last_sequence();
+  Version version = versions_->current();
+  std::vector<Iterator*> children;
+  children.push_back(mem_->NewIterator());
+  lock.unlock();
+
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const FileMetaData& f : version.files[level]) {
+      std::shared_ptr<Table> table;
+      Status s = table_cache_->Get(f.number, &table);
+      if (!s.ok()) {
+        for (Iterator* child : children) delete child;
+        return NewEmptyIterator(s);
+      }
+      children.push_back(new TableOwningIterator(std::move(table), options));
+    }
+  }
+  return new DBIterator(NewMergingIterator(std::move(children)), snapshot,
+                        &stats_);
+}
+
+Status DB::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushMemTableLocked();
+}
+
+Status DB::FlushMemTableLocked() {
+  if (mem_->empty()) return MaybeCompactLocked();
+  Status s = WriteLevel0TableLocked(mem_.get());
+  if (!s.ok()) return s;
+  mem_ = std::make_unique<MemTable>();
+  s = SwitchToNewLog();
+  if (!s.ok()) return s;
+  s = versions_->WriteSnapshot();
+  if (!s.ok()) return s;
+  RemoveObsoleteFilesLocked();
+  return MaybeCompactLocked();
+}
+
+Status DB::WriteLevel0TableLocked(MemTable* mem) {
+  const uint64_t file_number = versions_->NewFileNumber();
+  const std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  TableBuilder builder(options_, file.get());
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+  FileMetaData meta;
+  meta.number = file_number;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (meta.smallest.empty()) {
+      meta.smallest = iter->key().ToString();
+    }
+    meta.largest = iter->key().ToString();
+    builder.Add(iter->key(), iter->value());
+  }
+  s = builder.Finish();
+  if (!s.ok()) return s;
+  s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) return s;
+  meta.file_size = builder.FileSize();
+  versions_->mutable_current()->files[0].push_back(std::move(meta));
+  return Status::OK();
+}
+
+Status DB::MaybeCompactLocked() {
+  for (;;) {
+    const int level = versions_->PickCompactionLevel(
+        options_.l0_compaction_trigger, options_.max_bytes_for_level_base);
+    if (level < 0) return Status::OK();
+    Status s = CompactLevelLocked(level);
+    if (!s.ok()) return s;
+  }
+}
+
+Status DB::CompactRange() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = Status::OK();
+  if (!mem_->empty()) {
+    s = FlushMemTableLocked();
+    if (!s.ok()) return s;
+  }
+  for (int level = 0; level < kNumLevels - 1; ++level) {
+    while (versions_->current().NumFiles(level) > 0) {
+      s = CompactLevelLocked(level);
+      if (!s.ok()) return s;
+    }
+  }
+  return s;
+}
+
+Status DB::CompactLevelLocked(int level) {
+  Version* current = versions_->mutable_current();
+  std::vector<FileMetaData> inputs0;
+  if (level == 0) {
+    inputs0 = current->files[0];  // L0 files overlap; take them all
+  } else {
+    if (current->files[level].empty()) return Status::OK();
+    inputs0.push_back(current->files[level].front());
+  }
+  if (inputs0.empty()) return Status::OK();
+
+  // Key range of the inputs, as user keys.
+  std::string smallest = ExtractUserKey(Slice(inputs0[0].smallest)).ToString();
+  std::string largest = ExtractUserKey(Slice(inputs0[0].largest)).ToString();
+  for (const FileMetaData& f : inputs0) {
+    const std::string fs = ExtractUserKey(Slice(f.smallest)).ToString();
+    const std::string fl = ExtractUserKey(Slice(f.largest)).ToString();
+    if (fs < smallest) smallest = fs;
+    if (fl > largest) largest = fl;
+  }
+  std::vector<FileMetaData> inputs1 =
+      current->Overlapping(level + 1, Slice(smallest), Slice(largest));
+
+  // Tombstones can be dropped when no deeper level holds this key range.
+  // The range must cover inputs1 too: those files extend beyond inputs0's
+  // range, and a tombstone from them dropped here while an older value
+  // survives deeper would resurrect the deleted key.
+  for (const FileMetaData& f : inputs1) {
+    const std::string fs = ExtractUserKey(Slice(f.smallest)).ToString();
+    const std::string fl = ExtractUserKey(Slice(f.largest)).ToString();
+    if (fs < smallest) smallest = fs;
+    if (fl > largest) largest = fl;
+  }
+  bool bottom_most = true;
+  for (int deeper = level + 2; deeper < kNumLevels; ++deeper) {
+    if (!current->Overlapping(deeper, Slice(smallest), Slice(largest))
+             .empty()) {
+      bottom_most = false;
+      break;
+    }
+  }
+
+  // Merge all inputs in internal-key order.
+  ReadOptions read_options;
+  read_options.fill_cache = false;
+  std::vector<Iterator*> children;
+  auto add_children = [&](const std::vector<FileMetaData>& files) -> Status {
+    for (const FileMetaData& f : files) {
+      std::shared_ptr<Table> table;
+      Status s = table_cache_->Get(f.number, &table);
+      if (!s.ok()) return s;
+      children.push_back(new TableOwningIterator(std::move(table),
+                                                 read_options));
+    }
+    return Status::OK();
+  };
+  Status s = add_children(inputs0);
+  if (s.ok()) s = add_children(inputs1);
+  if (!s.ok()) {
+    for (Iterator* child : children) delete child;
+    return s;
+  }
+  std::unique_ptr<Iterator> merged(NewMergingIterator(std::move(children)));
+
+  std::vector<FileMetaData> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  FileMetaData out_meta;
+
+  auto open_output = [&]() -> Status {
+    out_meta = FileMetaData{};
+    out_meta.number = versions_->NewFileNumber();
+    Status os = env_->NewWritableFile(TableFileName(dbname_, out_meta.number),
+                                      &out_file);
+    if (!os.ok()) return os;
+    builder = std::make_unique<TableBuilder>(options_, out_file.get());
+    return Status::OK();
+  };
+  auto finish_output = [&]() -> Status {
+    if (!builder) return Status::OK();
+    if (builder->NumEntries() == 0) {
+      builder.reset();
+      out_file.reset();
+      env_->RemoveFile(TableFileName(dbname_, out_meta.number));
+      return Status::OK();
+    }
+    Status os = builder->Finish();
+    if (!os.ok()) return os;
+    os = out_file->Sync();
+    if (os.ok()) os = out_file->Close();
+    if (!os.ok()) return os;
+    out_meta.file_size = builder->FileSize();
+    outputs.push_back(out_meta);
+    builder.reset();
+    out_file.reset();
+    return Status::OK();
+  };
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    const Slice ikey = merged->key();
+    const Slice user_key = ExtractUserKey(ikey);
+    if (has_current_user_key && user_key == Slice(current_user_key)) {
+      continue;  // older, shadowed version
+    }
+    current_user_key.assign(user_key.data(), user_key.size());
+    has_current_user_key = true;
+    if (bottom_most && ExtractValueType(ikey) == kTypeDeletion) {
+      continue;  // tombstone with nothing underneath
+    }
+    if (!builder) {
+      s = open_output();
+      if (!s.ok()) return s;
+    }
+    if (out_meta.smallest.empty()) {
+      out_meta.smallest = ikey.ToString();
+    }
+    out_meta.largest = ikey.ToString();
+    builder->Add(ikey, merged->value());
+    if (builder->FileSize() >= options_.target_file_size) {
+      s = finish_output();
+      if (!s.ok()) return s;
+    }
+  }
+  if (!merged->status().ok()) return merged->status();
+  s = finish_output();
+  if (!s.ok()) return s;
+
+  // Install: drop inputs, add outputs to level+1, keep level+1 sorted.
+  auto remove_files = [](std::vector<FileMetaData>* files,
+                         const std::vector<FileMetaData>& to_remove) {
+    files->erase(std::remove_if(files->begin(), files->end(),
+                                [&](const FileMetaData& f) {
+                                  for (const FileMetaData& r : to_remove) {
+                                    if (r.number == f.number) return true;
+                                  }
+                                  return false;
+                                }),
+                 files->end());
+  };
+  remove_files(&current->files[level], inputs0);
+  remove_files(&current->files[level + 1], inputs1);
+  for (FileMetaData& f : outputs) {
+    current->files[level + 1].push_back(std::move(f));
+  }
+  std::sort(current->files[level + 1].begin(),
+            current->files[level + 1].end(),
+            [](const FileMetaData& a, const FileMetaData& b) {
+              return Slice(a.smallest).compare(Slice(b.smallest)) < 0;
+            });
+  s = versions_->WriteSnapshot();
+  if (!s.ok()) return s;
+  for (const FileMetaData& f : inputs0) {
+    table_cache_->Evict(f.number);
+    block_cache_.EvictFile(f.number);
+    env_->RemoveFile(TableFileName(dbname_, f.number));
+  }
+  for (const FileMetaData& f : inputs1) {
+    table_cache_->Evict(f.number);
+    block_cache_.EvictFile(f.number);
+    env_->RemoveFile(TableFileName(dbname_, f.number));
+  }
+  return Status::OK();
+}
+
+void DB::RemoveObsoleteFilesLocked() {
+  std::vector<std::string> children;
+  if (!env_->GetChildren(dbname_, &children).ok()) return;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type)) continue;
+    if (type == FileType::kLogFile && number < logfile_number_) {
+      env_->RemoveFile(dbname_ + "/" + child);
+    }
+  }
+}
+
+int DB::NumFilesAtLevel(int level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_->current().NumFiles(level);
+}
+
+uint64_t DB::TotalTableBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (int level = 0; level < kNumLevels; ++level) {
+    total += versions_->current().LevelBytes(level);
+  }
+  return total;
+}
+
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,96 @@
+// Embedded LSM key-value store: WAL + memtable + leveled SSTables.
+//
+// This is the storage substrate standing in for HBase in the TraSS
+// reproduction: it provides ordered row keys, range scans, durability via
+// a write-ahead log, and I/O accounting. Flushes and compactions run
+// synchronously on the writing thread, which keeps benchmark numbers
+// deterministic on a single machine.
+
+#ifndef TRASS_KV_DB_H_
+#define TRASS_KV_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "kv/cache.h"
+#include "kv/dbformat.h"
+#include "kv/env.h"
+#include "kv/iterator.h"
+#include "kv/log_writer.h"
+#include "kv/memtable.h"
+#include "kv/options.h"
+#include "kv/stats.h"
+#include "kv/table_cache.h"
+#include "kv/version.h"
+#include "kv/write_batch.h"
+
+namespace trass {
+namespace kv {
+
+class DB {
+ public:
+  /// Opens (creating if allowed) the database at directory `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* db);
+
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value);
+  Status Delete(const WriteOptions& options, const Slice& key);
+  Status Write(const WriteOptions& options, WriteBatch* batch);
+
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value);
+
+  /// Forward iterator over live user keys, ordered bytewise. Reflects a
+  /// point-in-time snapshot taken at creation.
+  Iterator* NewIterator(const ReadOptions& options);
+
+  /// Forces the memtable into an L0 SSTable (and runs due compactions).
+  Status Flush();
+
+  /// Compacts everything down to the last non-empty level.
+  Status CompactRange();
+
+  const IoStats& io_stats() const { return stats_; }
+  IoStats* mutable_io_stats() { return &stats_; }
+
+  int NumFilesAtLevel(int level) const;
+  uint64_t TotalTableBytes() const;
+
+ private:
+  DB(const Options& options, std::string name);
+
+  Status RecoverLogs();
+  Status SwitchToNewLog();
+  Status FlushMemTableLocked();            // requires mu_
+  Status MaybeCompactLocked();             // requires mu_
+  Status CompactLevelLocked(int level);    // requires mu_
+  Status WriteLevel0TableLocked(MemTable* mem);
+  void RemoveObsoleteFilesLocked();
+
+  Options options_;
+  std::string dbname_;
+  Env* env_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<log::Writer> log_;
+  std::unique_ptr<WritableFile> logfile_;
+  uint64_t logfile_number_ = 0;
+  std::unique_ptr<VersionSet> versions_;
+
+  BlockCache block_cache_;
+  IoStats stats_;
+  std::unique_ptr<TableCache> table_cache_;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_DB_H_

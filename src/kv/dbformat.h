@@ -1,0 +1,86 @@
+// Internal key format of the storage engine.
+//
+// An internal key is `user_key | seq<<8 | type` (8-byte trailer, little
+// endian). Ordering: user keys ascending, then sequence numbers descending
+// so the newest version of a key is seen first, then type descending.
+
+#ifndef TRASS_KV_DBFORMAT_H_
+#define TRASS_KV_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace trass {
+namespace kv {
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+
+using SequenceNumber = uint64_t;
+
+/// Largest sequence number that fits in the 56 bits of the trailer.
+static constexpr SequenceNumber kMaxSequenceNumber = (1ull << 56) - 1;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+/// Appends the internal encoding of (user_key, seq, type) to *result.
+inline void AppendInternalKey(std::string* result, const Slice& user_key,
+                              SequenceNumber seq, ValueType t) {
+  result->append(user_key.data(), user_key.size());
+  PutFixed64(result, PackSequenceAndType(seq, t));
+}
+
+/// Views over the parts of an internal key.
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline uint64_t ExtractTag(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  return ExtractTag(internal_key) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  return static_cast<ValueType>(ExtractTag(internal_key) & 0xff);
+}
+
+/// Orders internal keys: user key ascending, then tag descending.
+class InternalKeyComparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    const uint64_t atag = ExtractTag(a);
+    const uint64_t btag = ExtractTag(b);
+    if (atag > btag) return -1;
+    if (atag < btag) return +1;
+    return 0;
+  }
+
+  bool operator()(const Slice& a, const Slice& b) const {
+    return Compare(a, b) < 0;
+  }
+};
+
+/// Internal key used to start a lookup/scan at `user_key` as of `seq`:
+/// the maximal tag sorts this key before every stored version <= seq.
+inline std::string MakeLookupKey(const Slice& user_key, SequenceNumber seq) {
+  std::string key;
+  AppendInternalKey(&key, user_key, seq, kTypeValue);
+  return key;
+}
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_DBFORMAT_H_

@@ -1,0 +1,73 @@
+#include "kv/filename.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace trass {
+namespace kv {
+
+namespace {
+
+std::string MakeFileName(const std::string& dbname, uint64_t number,
+                         const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06llu.%s",
+                static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+
+}  // namespace
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "sst");
+}
+
+std::string ManifestFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+                static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type) {
+  if (filename == "CURRENT") {
+    *number = 0;
+    *type = FileType::kCurrentFile;
+    return true;
+  }
+  if (filename.rfind("MANIFEST-", 0) == 0) {
+    char* end = nullptr;
+    *number = std::strtoull(filename.c_str() + 9, &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    *type = FileType::kManifestFile;
+    return true;
+  }
+  const size_t dot = filename.find('.');
+  if (dot == std::string::npos || dot == 0) return false;
+  for (size_t i = 0; i < dot; ++i) {
+    if (filename[i] < '0' || filename[i] > '9') return false;
+  }
+  *number = std::strtoull(filename.substr(0, dot).c_str(), nullptr, 10);
+  const std::string suffix = filename.substr(dot + 1);
+  if (suffix == "log") {
+    *type = FileType::kLogFile;
+  } else if (suffix == "sst") {
+    *type = FileType::kTableFile;
+  } else {
+    *type = FileType::kUnknown;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,32 @@
+// Naming scheme for the files inside a database directory.
+
+#ifndef TRASS_KV_FILENAME_H_
+#define TRASS_KV_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace trass {
+namespace kv {
+
+enum class FileType {
+  kLogFile,
+  kTableFile,
+  kManifestFile,
+  kCurrentFile,
+  kUnknown,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string ManifestFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+
+/// Parses a bare filename (no directory). Returns false if unrecognized.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_FILENAME_H_

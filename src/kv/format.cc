@@ -1,0 +1,77 @@
+#include "kv/format.h"
+
+#include <memory>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace trass {
+namespace kv {
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset_);
+  PutVarint64(dst, size_);
+}
+
+Status BlockHandle::DecodeFrom(Slice* input) {
+  if (GetVarint64(input, &offset_) && GetVarint64(input, &size_)) {
+    return Status::OK();
+  }
+  return Status::Corruption("bad block handle");
+}
+
+void Footer::EncodeTo(std::string* dst) const {
+  const size_t original_size = dst->size();
+  filter_handle_.EncodeTo(dst);
+  index_handle_.EncodeTo(dst);
+  dst->resize(original_size + 2 * BlockHandle::kMaxEncodedLength);  // pad
+  PutFixed32(dst, static_cast<uint32_t>(kTableMagicNumber & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(kTableMagicNumber >> 32));
+}
+
+Status Footer::DecodeFrom(Slice* input) {
+  if (input->size() < kEncodedLength) {
+    return Status::Corruption("footer too small");
+  }
+  const char* magic_ptr = input->data() + kEncodedLength - 8;
+  const uint32_t magic_lo = DecodeFixed32(magic_ptr);
+  const uint32_t magic_hi = DecodeFixed32(magic_ptr + 4);
+  const uint64_t magic =
+      (static_cast<uint64_t>(magic_hi) << 32) | magic_lo;
+  if (magic != kTableMagicNumber) {
+    return Status::Corruption("not an sstable (bad magic number)");
+  }
+  Status s = filter_handle_.DecodeFrom(input);
+  if (s.ok()) s = index_handle_.DecodeFrom(input);
+  return s;
+}
+
+Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
+                 const BlockHandle& handle, BlockContents* result) {
+  result->data.clear();
+  const size_t n = static_cast<size_t>(handle.size());
+  auto buf = std::make_unique<char[]>(n + kBlockTrailerSize);
+  Slice contents;
+  Status s =
+      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf.get());
+  if (!s.ok()) return s;
+  if (contents.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+  const char* data = contents.data();
+  if (options.verify_checksums) {
+    const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
+    const uint32_t actual = crc32c::Value(data, n + 1);
+    if (crc != actual) {
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+  if (data[n] != 0) {
+    return Status::Corruption("unknown block compression type");
+  }
+  result->data.assign(data, n);
+  return Status::OK();
+}
+
+}  // namespace kv
+}  // namespace trass

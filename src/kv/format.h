@@ -1,0 +1,80 @@
+// On-disk SSTable plumbing: block handles, the fixed footer, and the
+// checksummed block read path.
+//
+// Layout of an SSTable:
+//   [data block 1] ... [data block N]
+//   [filter block]            (bloom over user keys; optional)
+//   [index block]             (last-key -> data block handle)
+//   [footer]                  (filter handle | index handle | magic)
+// Every block is followed by a 5-byte trailer: type byte (0 = raw) and
+// crc32c of payload+type.
+
+#ifndef TRASS_KV_FORMAT_H_
+#define TRASS_KV_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kv/env.h"
+#include "kv/options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace trass {
+namespace kv {
+
+class BlockHandle {
+ public:
+  BlockHandle() : offset_(~0ull), size_(~0ull) {}
+  BlockHandle(uint64_t offset, uint64_t size)
+      : offset_(offset), size_(size) {}
+
+  uint64_t offset() const { return offset_; }
+  uint64_t size() const { return size_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+  void set_size(uint64_t size) { size_ = size; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+  /// Maximum encoded length (two varint64s).
+  static constexpr size_t kMaxEncodedLength = 10 + 10;
+
+ private:
+  uint64_t offset_;
+  uint64_t size_;
+};
+
+class Footer {
+ public:
+  const BlockHandle& filter_handle() const { return filter_handle_; }
+  const BlockHandle& index_handle() const { return index_handle_; }
+  void set_filter_handle(const BlockHandle& h) { filter_handle_ = h; }
+  void set_index_handle(const BlockHandle& h) { index_handle_ = h; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+  static constexpr size_t kEncodedLength =
+      2 * BlockHandle::kMaxEncodedLength + 8;
+
+ private:
+  BlockHandle filter_handle_;
+  BlockHandle index_handle_;
+};
+
+static constexpr uint64_t kTableMagicNumber = 0x7472615353544232ull;  // "traSSTB2"
+static constexpr size_t kBlockTrailerSize = 5;
+
+struct BlockContents {
+  std::string data;
+};
+
+/// Reads and verifies the block at `handle`.
+Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
+                 const BlockHandle& handle, BlockContents* result);
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_FORMAT_H_

@@ -1,0 +1,41 @@
+// Forward iterator interface shared by memtable, block, table, and merged
+// views. Scans in this engine are forward-only (range scans over row keys),
+// so Prev()/SeekToLast() are intentionally absent.
+
+#ifndef TRASS_KV_ITERATOR_H_
+#define TRASS_KV_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace trass {
+namespace kv {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  /// Valid() must hold for key()/value().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+/// An iterator over nothing, optionally carrying an error.
+Iterator* NewEmptyIterator(Status status = Status::OK());
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_ITERATOR_H_

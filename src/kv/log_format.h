@@ -1,0 +1,31 @@
+// Write-ahead-log framing shared by writer and reader.
+//
+// The log is a sequence of 32 KiB blocks. Each record fragment carries a
+// 7-byte header: crc32c(4) | length(2, little endian) | type(1). Records
+// larger than the space left in a block are split into FIRST/MIDDLE/LAST
+// fragments; a block tail smaller than the header is zero-padded.
+
+#ifndef TRASS_KV_LOG_FORMAT_H_
+#define TRASS_KV_LOG_FORMAT_H_
+
+namespace trass {
+namespace kv {
+namespace log {
+
+enum RecordType {
+  kZeroType = 0,  // reserved for zero-padded pre-allocated areas
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+constexpr int kMaxRecordType = kLastType;
+
+constexpr int kBlockSize = 32768;
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_LOG_FORMAT_H_

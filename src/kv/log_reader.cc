@@ -1,0 +1,129 @@
+#include "kv/log_reader.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace trass {
+namespace kv {
+namespace log {
+
+bool Reader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  record->clear();
+  bool in_fragmented_record = false;
+
+  for (;;) {
+    Slice fragment;
+    const unsigned int record_type = ReadPhysicalRecord(&fragment);
+    switch (record_type) {
+      case kFullType:
+        *scratch = fragment.ToString();
+        *record = Slice(*scratch);
+        return true;
+
+      case kFirstType:
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case kMiddleType:
+        if (!in_fragmented_record) {
+          corruption_detected_ = true;
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+        }
+        break;
+
+      case kLastType:
+        if (!in_fragmented_record) {
+          corruption_detected_ = true;
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+          *record = Slice(*scratch);
+          return true;
+        }
+        break;
+
+      case kEof:
+        // A fragmented record cut off by EOF is a torn write; drop it.
+        return false;
+
+      case kBadRecord:
+        // ReadPhysicalRecord already recorded the corruption.
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+
+      default:
+        corruption_detected_ = true;
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+    }
+  }
+}
+
+unsigned int Reader::ReadPhysicalRecord(Slice* result) {
+  for (;;) {
+    if (buffer_.size() < static_cast<size_t>(kHeaderSize)) {
+      if (!eof_) {
+        // Drop any partial header at block end and refill.
+        buffer_.clear();
+        Status status = file_->Read(kBlockSize, &buffer_, backing_store_.get());
+        if (!status.ok()) {
+          buffer_.clear();
+          eof_ = true;
+          corruption_detected_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < static_cast<size_t>(kBlockSize)) {
+          eof_ = true;
+        }
+        continue;
+      }
+      // Truncated header at file end: treat as EOF (torn write).
+      buffer_.clear();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t a = static_cast<uint32_t>(header[4]) & 0xff;
+    const uint32_t b = static_cast<uint32_t>(header[5]) & 0xff;
+    const unsigned int type = static_cast<unsigned char>(header[6]);
+    const uint32_t length = a | (b << 8);
+
+    if (kHeaderSize + length > buffer_.size()) {
+      // Truncated payload: corruption mid-file, torn write at EOF.
+      buffer_.clear();
+      if (!eof_) {
+        corruption_detected_ = true;
+        return kBadRecord;
+      }
+      return kEof;
+    }
+
+    if (type == kZeroType && length == 0) {
+      // Zero-padded block tail produced by the writer; skip to next block.
+      buffer_.clear();
+      continue;
+    }
+
+    if (checksum_) {
+      const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+      const uint32_t actual_crc = crc32c::Value(header + 6, 1 + length);
+      if (actual_crc != expected_crc) {
+        buffer_.clear();
+        corruption_detected_ = true;
+        return kBadRecord;
+      }
+    }
+
+    buffer_.remove_prefix(kHeaderSize + length);
+    *result = Slice(header + kHeaderSize, length);
+    return type;
+  }
+}
+
+}  // namespace log
+}  // namespace kv
+}  // namespace trass

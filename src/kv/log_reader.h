@@ -1,0 +1,60 @@
+// Reads CRC-framed records back from a write-ahead log, reassembling
+// fragmented records and skipping corrupted tails (torn writes at crash).
+
+#ifndef TRASS_KV_LOG_READER_H_
+#define TRASS_KV_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "kv/env.h"
+#include "kv/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace trass {
+namespace kv {
+namespace log {
+
+class Reader {
+ public:
+  /// `file` must remain open while this Reader is in use. When
+  /// `checksum` is true, CRC mismatches drop the record (and the rest of
+  /// its block) rather than returning bad data.
+  Reader(SequentialFile* file, bool checksum = true)
+      : file_(file),
+        checksum_(checksum),
+        backing_store_(new char[kBlockSize]),
+        buffer_(),
+        eof_(false) {}
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next complete record into *record (backed by *scratch).
+  /// Returns false at clean end-of-log. Corrupted trailing data is
+  /// tolerated: reading stops as if the log ended there, and
+  /// `corruption_detected()` reports it.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+  bool corruption_detected() const { return corruption_detected_; }
+
+ private:
+  // Extends RecordType with internal outcomes.
+  enum { kEof = kMaxRecordType + 1, kBadRecord = kMaxRecordType + 2 };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+
+  SequentialFile* const file_;
+  const bool checksum_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;
+  bool eof_;
+  bool corruption_detected_ = false;
+};
+
+}  // namespace log
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_LOG_READER_H_

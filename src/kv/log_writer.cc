@@ -1,0 +1,79 @@
+#include "kv/log_writer.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace trass {
+namespace kv {
+namespace log {
+
+Status Writer::AddRecord(const Slice& record) {
+  const char* ptr = record.data();
+  size_t left = record.size();
+
+  Status s;
+  bool begin = true;
+  do {
+    const int leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      if (leftover > 0) {
+        // Zero-fill the block tail; the reader skips it.
+        static const char kZeroes[kHeaderSize] = {0};
+        s = dest_->Append(Slice(kZeroes, static_cast<size_t>(leftover)));
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail =
+        static_cast<size_t>(kBlockSize - block_offset_ - kHeaderSize);
+    const size_t fragment_length = left < avail ? left : avail;
+
+    const bool end = (left == fragment_length);
+    RecordType type;
+    if (begin && end) {
+      type = kFullType;
+    } else if (begin) {
+      type = kFirstType;
+    } else if (end) {
+      type = kLastType;
+    } else {
+      type = kMiddleType;
+    }
+
+    s = EmitPhysicalRecord(type, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
+                                  size_t length) {
+  char buf[kHeaderSize];
+  buf[4] = static_cast<char>(length & 0xff);
+  buf[5] = static_cast<char>(length >> 8);
+  buf[6] = static_cast<char>(type);
+
+  // CRC covers the type byte and the payload.
+  uint32_t crc = crc32c::Extend(crc32c::Value(&buf[6], 1), ptr, length);
+  crc = crc32c::Mask(crc);
+  std::string header;
+  PutFixed32(&header, crc);
+  std::memcpy(buf, header.data(), 4);
+
+  Status s = dest_->Append(Slice(buf, kHeaderSize));
+  if (s.ok()) {
+    s = dest_->Append(Slice(ptr, length));
+    if (s.ok()) s = dest_->Flush();
+  }
+  block_offset_ += kHeaderSize + static_cast<int>(length);
+  return s;
+}
+
+}  // namespace log
+}  // namespace kv
+}  // namespace trass

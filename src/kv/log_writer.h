@@ -1,0 +1,39 @@
+// Appends CRC-framed records to a write-ahead log file.
+
+#ifndef TRASS_KV_LOG_WRITER_H_
+#define TRASS_KV_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "kv/env.h"
+#include "kv/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace trass {
+namespace kv {
+namespace log {
+
+class Writer {
+ public:
+  /// `dest` must remain open while this Writer is in use; Writer does not
+  /// take ownership.
+  explicit Writer(WritableFile* dest) : dest_(dest) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& record);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_ = 0;
+};
+
+}  // namespace log
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_LOG_WRITER_H_

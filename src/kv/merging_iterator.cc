@@ -1,0 +1,75 @@
+#include "kv/merging_iterator.h"
+
+#include <memory>
+
+#include "kv/dbformat.h"
+
+namespace trass {
+namespace kv {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<Iterator*> children) {
+    children_.reserve(children.size());
+    for (Iterator* child : children) {
+      children_.emplace_back(child);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      if (!child->status().ok()) return child->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (smallest == nullptr ||
+          cmp_.Compare(child->key(), smallest->key()) < 0) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+  InternalKeyComparator cmp_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(std::vector<Iterator*> children) {
+  if (children.empty()) return NewEmptyIterator();
+  if (children.size() == 1) return children[0];
+  return new MergingIterator(std::move(children));
+}
+
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,21 @@
+// K-way merge over child iterators in internal-key order. Children with
+// the same user key surface newest-first (internal key order), letting the
+// DB iterator pick the visible version and skip shadowed ones.
+
+#ifndef TRASS_KV_MERGING_ITERATOR_H_
+#define TRASS_KV_MERGING_ITERATOR_H_
+
+#include <vector>
+
+#include "kv/iterator.h"
+
+namespace trass {
+namespace kv {
+
+/// Takes ownership of the child iterators.
+Iterator* NewMergingIterator(std::vector<Iterator*> children);
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_MERGING_ITERATOR_H_

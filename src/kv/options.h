@@ -1,0 +1,67 @@
+// Tuning knobs for the storage engine, mirroring the LevelDB/RocksDB
+// Options / ReadOptions / WriteOptions split.
+
+#ifndef TRASS_KV_OPTIONS_H_
+#define TRASS_KV_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trass {
+namespace kv {
+
+class Env;
+
+struct Options {
+  /// Environment used for all file access; defaults to the POSIX env.
+  Env* env = nullptr;
+
+  /// Create the database directory if missing.
+  bool create_if_missing = true;
+
+  /// Memtable size that triggers a flush to an L0 SSTable.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  /// Uncompressed payload per data block in an SSTable.
+  size_t block_size = 4 * 1024;
+
+  /// Keys between restart points inside a data block.
+  int block_restart_interval = 16;
+
+  /// Bloom filter bits per key in SSTables (0 disables filters).
+  int bloom_bits_per_key = 10;
+
+  /// Capacity of the shared LRU block cache in bytes.
+  size_t block_cache_size = 8 * 1024 * 1024;
+
+  /// Number of L0 files that triggers a compaction into L1.
+  int l0_compaction_trigger = 4;
+
+  /// Target file size for compaction outputs.
+  size_t target_file_size = 2 * 1024 * 1024;
+
+  /// Base byte budget for level 1; each deeper level gets 10x more.
+  uint64_t max_bytes_for_level_base = 10ull * 1024 * 1024;
+
+  /// fsync WAL appends (off by default: benchmarks measure CPU/IO of the
+  /// query path, not disk durability).
+  bool sync_wal = false;
+};
+
+struct ReadOptions {
+  /// Verify block checksums on read.
+  bool verify_checksums = false;
+
+  /// Insert blocks read by this operation into the block cache.
+  bool fill_cache = true;
+};
+
+struct WriteOptions {
+  /// fsync the WAL before acknowledging this write.
+  bool sync = false;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_OPTIONS_H_

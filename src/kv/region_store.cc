@@ -1,0 +1,171 @@
+#include "kv/region_store.h"
+
+#include <mutex>
+
+namespace trass {
+namespace kv {
+
+RegionStore::RegionStore(const RegionOptions& options, std::string path)
+    : options_(options), path_(std::move(path)) {}
+
+Status RegionStore::Open(const RegionOptions& options, const std::string& path,
+                         std::unique_ptr<RegionStore>* store) {
+  store->reset();
+  if (options.num_regions < 1 || options.num_regions > 256) {
+    return Status::InvalidArgument("num_regions must be in [1, 256]");
+  }
+  Env* env = options.db_options.env != nullptr ? options.db_options.env
+                                               : Env::Default();
+  Status s = env->CreateDir(path);
+  if (!s.ok()) return s;
+  std::unique_ptr<RegionStore> impl(new RegionStore(options, path));
+  impl->regions_.resize(options.num_regions);
+  for (int i = 0; i < options.num_regions; ++i) {
+    const std::string region_path = path + "/region-" + std::to_string(i);
+    s = DB::Open(options.db_options, region_path, &impl->regions_[i]);
+    if (!s.ok()) return s;
+  }
+  impl->pool_ = std::make_unique<ThreadPool>(options.scan_threads);
+  *store = std::move(impl);
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckKey(const Slice& key, int num_regions) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  const int shard = static_cast<unsigned char>(key[0]);
+  if (shard >= num_regions) {
+    return Status::InvalidArgument("shard byte out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegionStore::Put(const WriteOptions& options, const Slice& key,
+                        const Slice& value) {
+  Status s = CheckKey(key, num_regions());
+  if (!s.ok()) return s;
+  return regions_[static_cast<unsigned char>(key[0])]->Put(options, key,
+                                                           value);
+}
+
+Status RegionStore::Delete(const WriteOptions& options, const Slice& key) {
+  Status s = CheckKey(key, num_regions());
+  if (!s.ok()) return s;
+  return regions_[static_cast<unsigned char>(key[0])]->Delete(options, key);
+}
+
+Status RegionStore::Get(const ReadOptions& options, const Slice& key,
+                        std::string* value) {
+  Status s = CheckKey(key, num_regions());
+  if (!s.ok()) return s;
+  return regions_[static_cast<unsigned char>(key[0])]->Get(options, key,
+                                                           value);
+}
+
+Status RegionStore::Scan(const std::vector<ScanRange>& ranges,
+                         const ScanFilter* filter, std::vector<Row>* out) {
+  return ScanInternal(ranges, filter, /*limit=*/0, out);
+}
+
+Status RegionStore::ScanWithLimit(const std::vector<ScanRange>& ranges,
+                                  const ScanFilter* filter, size_t limit,
+                                  std::vector<Row>* out) {
+  return ScanInternal(ranges, filter, limit, out);
+}
+
+Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
+                                 const ScanFilter* filter, size_t limit,
+                                 std::vector<Row>* out) {
+  if (ranges.empty()) return Status::OK();
+  const size_t n = regions_.size();
+  std::vector<std::vector<Row>> per_region(n);
+  std::vector<Status> statuses(n);
+
+  pool_->ParallelFor(n, [&](size_t region) {
+    DB* db = regions_[region].get();
+    ReadOptions read_options;
+    std::unique_ptr<Iterator> iter(db->NewIterator(read_options));
+    const char shard = static_cast<char>(region);
+    std::vector<Row>& rows = per_region[region];
+    for (const ScanRange& range : ranges) {
+      std::string start(1, shard);
+      start += range.start;
+      std::string end;
+      if (!range.end.empty()) {
+        end.assign(1, shard);
+        end += range.end;
+      }
+      for (iter->Seek(Slice(start)); iter->Valid(); iter->Next()) {
+        const Slice key = iter->key();
+        if (!end.empty()) {
+          if (key.compare(Slice(end)) >= 0) break;
+        } else {
+          // Unbounded range still must not leak into... there is only one
+          // shard per region database, so any key of this region matches.
+        }
+        if (filter == nullptr || filter->Keep(key, iter->value())) {
+          rows.push_back(Row{key.ToString(), iter->value().ToString()});
+          if (limit != 0 && rows.size() >= limit) break;
+        }
+      }
+      if (!iter->status().ok()) {
+        statuses[region] = iter->status();
+        return;
+      }
+      if (limit != 0 && rows.size() >= limit) break;
+    }
+  });
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  for (auto& rows : per_region) {
+    for (auto& row : rows) {
+      out->push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+Status RegionStore::Flush() {
+  for (auto& region : regions_) {
+    Status s = region->Flush();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+IoStats::Snapshot RegionStore::TotalIoStats() const {
+  IoStats::Snapshot total{};
+  for (const auto& region : regions_) {
+    const IoStats::Snapshot s = region->io_stats().Read();
+    total.blocks_read += s.blocks_read;
+    total.block_bytes_read += s.block_bytes_read;
+    total.cache_hits += s.cache_hits;
+    total.rows_scanned += s.rows_scanned;
+    total.bloom_skips += s.bloom_skips;
+    total.point_gets += s.point_gets;
+    total.range_scans += s.range_scans;
+  }
+  return total;
+}
+
+void RegionStore::ResetIoStats() {
+  for (auto& region : regions_) {
+    region->mutable_io_stats()->Reset();
+  }
+}
+
+uint64_t RegionStore::TotalTableBytes() const {
+  uint64_t total = 0;
+  for (const auto& region : regions_) {
+    total += region->TotalTableBytes();
+  }
+  return total;
+}
+
+}  // namespace kv
+}  // namespace trass

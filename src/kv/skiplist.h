@@ -1,0 +1,135 @@
+// Skiplist keyed by arena-owned byte strings; the memtable's core
+// structure. Single-writer (the DB mutex serializes inserts); readers may
+// iterate concurrently with each other but not with writers — the embedded
+// use here always holds the DB mutex around memtable access.
+
+#ifndef TRASS_KV_SKIPLIST_H_
+#define TRASS_KV_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "kv/arena.h"
+#include "util/random.h"
+
+namespace trass {
+namespace kv {
+
+/// Comparator is a functor: int operator()(const char* a, const char* b)
+/// over encoded entries (negative/zero/positive).
+template <typename Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(nullptr, kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeef) {
+    for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts an entry. `entry` must outlive the list (arena-allocated) and
+  /// must not compare equal to any existing entry.
+  void Insert(const char* entry) {
+    Node* prev[kMaxHeight];
+    Node* x = FindGreaterOrEqual(entry, prev);
+    assert(x == nullptr || compare_(entry, x->entry) != 0);
+    const int height = RandomHeight();
+    if (height > max_height_) {
+      for (int i = max_height_; i < height; ++i) prev[i] = head_;
+      max_height_ = height;
+    }
+    x = NewNode(entry, height);
+    for (int i = 0; i < height; ++i) {
+      x->SetNext(i, prev[i]->Next(i));
+      prev[i]->SetNext(i, x);
+    }
+  }
+
+  bool Contains(const char* entry) const {
+    Node* x = FindGreaterOrEqual(entry, nullptr);
+    return x != nullptr && compare_(entry, x->entry) == 0;
+  }
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const char* entry() const {
+      assert(Valid());
+      return node_->entry;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const char* target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    const char* entry;
+    Node* Next(int level) const { return next[level]; }
+    void SetNext(int level, Node* n) { next[level] = n; }
+    Node* next[1];  // over-allocated to `height` pointers
+  };
+
+  Node* NewNode(const char* entry, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        sizeof(Node*) * (height - 1));
+    Node* node = reinterpret_cast<Node*>(mem);
+    node->entry = entry;
+    return node;
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight &&
+           rnd_.Uniform(kBranching) == 0) {
+      ++height;
+    }
+    return height;
+  }
+
+  /// First node >= entry; fills prev[] at every level when non-null.
+  Node* FindGreaterOrEqual(const char* entry, Node** prev) const {
+    Node* x = head_;
+    int level = max_height_ - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next != nullptr && compare_(next->entry, entry) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  int max_height_;
+  Random rnd_;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_SKIPLIST_H_

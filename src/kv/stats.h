@@ -1,0 +1,53 @@
+// I/O counters the evaluation harness reads: the paper's comparisons are
+// largely about how many rows/bytes each index forces the store to touch.
+
+#ifndef TRASS_KV_STATS_H_
+#define TRASS_KV_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace trass {
+namespace kv {
+
+struct IoStats {
+  std::atomic<uint64_t> blocks_read{0};       // data blocks fetched from disk
+  std::atomic<uint64_t> block_bytes_read{0};  // payload bytes of those blocks
+  std::atomic<uint64_t> cache_hits{0};        // data blocks served from cache
+  std::atomic<uint64_t> rows_scanned{0};      // entries yielded to scans
+  std::atomic<uint64_t> bloom_skips{0};       // tables skipped by bloom
+  std::atomic<uint64_t> point_gets{0};
+  std::atomic<uint64_t> range_scans{0};
+
+  void Reset() {
+    blocks_read = 0;
+    block_bytes_read = 0;
+    cache_hits = 0;
+    rows_scanned = 0;
+    bloom_skips = 0;
+    point_gets = 0;
+    range_scans = 0;
+  }
+
+  struct Snapshot {
+    uint64_t blocks_read;
+    uint64_t block_bytes_read;
+    uint64_t cache_hits;
+    uint64_t rows_scanned;
+    uint64_t bloom_skips;
+    uint64_t point_gets;
+    uint64_t range_scans;
+  };
+
+  Snapshot Read() const {
+    return Snapshot{blocks_read.load(),  block_bytes_read.load(),
+                    cache_hits.load(),   rows_scanned.load(),
+                    bloom_skips.load(),  point_gets.load(),
+                    range_scans.load()};
+  }
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_STATS_H_

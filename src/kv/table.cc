@@ -1,0 +1,174 @@
+#include "kv/table.h"
+
+#include "kv/dbformat.h"
+#include "kv/bloom.h"
+#include "kv/two_level_iterator.h"
+#include "util/coding.h"
+
+namespace trass {
+namespace kv {
+
+struct Table::Rep {
+  Options options;
+  std::unique_ptr<RandomAccessFile> file;
+  uint64_t file_id = 0;
+  std::unique_ptr<Block> index_block;
+  std::string filter_data;  // empty when the table has no filter
+  BlockCache* cache = nullptr;
+  IoStats* stats = nullptr;
+};
+
+Table::Table(std::unique_ptr<Rep> rep)
+    : rep_(std::move(rep)), file_id_(rep_->file_id) {}
+
+Table::~Table() = default;
+
+Status Table::Open(const Options& options, uint64_t file_id,
+                   std::unique_ptr<RandomAccessFile> file, BlockCache* cache,
+                   IoStats* stats, std::unique_ptr<Table>* table) {
+  table->reset();
+  const uint64_t size = file->Size();
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                        &footer_input, footer_space);
+  if (!s.ok()) return s;
+  if (footer_input.size() != Footer::kEncodedLength) {
+    return Status::Corruption("truncated footer read");
+  }
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  ReadOptions opts;
+  opts.verify_checksums = true;
+  BlockContents index_contents;
+  s = ReadBlock(file.get(), opts, footer.index_handle(), &index_contents);
+  if (!s.ok()) return s;
+
+  auto rep = std::make_unique<Rep>();
+  rep->options = options;
+  rep->file_id = file_id;
+  rep->index_block = std::make_unique<Block>(std::move(index_contents.data));
+  rep->cache = cache;
+  rep->stats = stats;
+
+  if (footer.filter_handle().size() > 0) {
+    BlockContents filter_contents;
+    s = ReadBlock(file.get(), opts, footer.filter_handle(), &filter_contents);
+    if (!s.ok()) return s;
+    rep->filter_data = std::move(filter_contents.data);
+  }
+  rep->file = std::move(file);
+
+  table->reset(new Table(std::move(rep)));
+  return Status::OK();
+}
+
+std::shared_ptr<const Block> Table::ReadDataBlock(const ReadOptions& options,
+                                                  const BlockHandle& handle,
+                                                  Status* s) const {
+  *s = Status::OK();
+  if (rep_->cache != nullptr) {
+    BlockCache::Key key{rep_->file_id, handle.offset()};
+    if (auto cached = rep_->cache->Lookup(key)) {
+      if (rep_->stats) {
+        rep_->stats->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return cached;
+    }
+  }
+  BlockContents contents;
+  *s = ReadBlock(rep_->file.get(), options, handle, &contents);
+  if (!s->ok()) return nullptr;
+  if (rep_->stats) {
+    rep_->stats->blocks_read.fetch_add(1, std::memory_order_relaxed);
+    rep_->stats->block_bytes_read.fetch_add(contents.data.size(),
+                                            std::memory_order_relaxed);
+  }
+  auto block = std::make_shared<Block>(std::move(contents.data));
+  if (rep_->cache != nullptr && options.fill_cache) {
+    rep_->cache->Insert(BlockCache::Key{rep_->file_id, handle.offset()}, block,
+                        block->size());
+  }
+  return block;
+}
+
+namespace {
+
+// Wraps a Block iterator and keeps the Block alive alongside it.
+class OwningBlockIterator final : public Iterator {
+ public:
+  OwningBlockIterator(std::shared_ptr<const Block> block)
+      : block_(std::move(block)), iter_(block_->NewIterator()) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<const Block> block_;
+  std::unique_ptr<Iterator> iter_;
+};
+
+}  // namespace
+
+Iterator* Table::BlockReader(void* arg, const ReadOptions& options,
+                             const Slice& index_value) {
+  auto* table = reinterpret_cast<Table*>(arg);
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return NewEmptyIterator(s);
+  auto block = table->ReadDataBlock(options, handle, &s);
+  if (block == nullptr) return NewEmptyIterator(s);
+  return new OwningBlockIterator(std::move(block));
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  return NewTwoLevelIterator(rep_->index_block->NewIterator(),
+                             &Table::BlockReader,
+                             const_cast<Table*>(this), options);
+}
+
+Status Table::InternalGet(const ReadOptions& options,
+                          const Slice& internal_key, bool* found,
+                          std::string* result_key,
+                          std::string* result_value) const {
+  *found = false;
+  if (!rep_->filter_data.empty()) {
+    const Slice user_key = ExtractUserKey(internal_key);
+    if (!BloomKeyMayMatch(user_key, Slice(rep_->filter_data))) {
+      if (rep_->stats) {
+        rep_->stats->bloom_skips.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+  }
+  std::unique_ptr<Iterator> index_iter(rep_->index_block->NewIterator());
+  index_iter->Seek(internal_key);
+  if (!index_iter->Valid()) return index_iter->status();
+  BlockHandle handle;
+  Slice input = index_iter->value();
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return s;
+  auto block = ReadDataBlock(options, handle, &s);
+  if (block == nullptr) return s;
+  std::unique_ptr<Iterator> block_iter(block->NewIterator());
+  block_iter->Seek(internal_key);
+  if (!block_iter->Valid()) return block_iter->status();
+  *found = true;
+  result_key->assign(block_iter->key().data(), block_iter->key().size());
+  result_value->assign(block_iter->value().data(), block_iter->value().size());
+  return Status::OK();
+}
+
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,104 @@
+#include "kv/two_level_iterator.h"
+
+#include <memory>
+
+namespace trass {
+namespace kv {
+
+namespace {
+
+class TwoLevelIterator final : public Iterator {
+ public:
+  TwoLevelIterator(Iterator* index_iter, BlockFunction block_function,
+                   void* arg, const ReadOptions& options)
+      : index_iter_(index_iter),
+        block_function_(block_function),
+        arg_(arg),
+        options_(options) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+        SaveError(data_iter_->status());
+      }
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      data_iter_.reset();
+      return;
+    }
+    const Slice handle = index_iter_->value();
+    if (data_iter_ != nullptr && handle == current_handle_) {
+      return;  // same block as before; keep position
+    }
+    data_iter_.reset(block_function_(arg_, options_, handle));
+    current_handle_ = handle.ToString();
+  }
+
+  void SaveError(const Status& s) {
+    if (status_.ok() && !s.ok()) status_ = s;
+  }
+
+  std::unique_ptr<Iterator> index_iter_;
+  BlockFunction const block_function_;
+  void* const arg_;
+  const ReadOptions options_;
+  std::unique_ptr<Iterator> data_iter_;
+  std::string current_handle_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewTwoLevelIterator(Iterator* index_iter,
+                              BlockFunction block_function, void* arg,
+                              const ReadOptions& options) {
+  return new TwoLevelIterator(index_iter, block_function, arg, options);
+}
+
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,24 @@
+// Generic two-level iterator: an index iterator whose values describe
+// lower-level blocks, and a factory that opens a block iterator on demand.
+
+#ifndef TRASS_KV_TWO_LEVEL_ITERATOR_H_
+#define TRASS_KV_TWO_LEVEL_ITERATOR_H_
+
+#include "kv/iterator.h"
+#include "kv/options.h"
+
+namespace trass {
+namespace kv {
+
+using BlockFunction = Iterator* (*)(void* arg, const ReadOptions& options,
+                                    const Slice& index_value);
+
+/// Takes ownership of `index_iter`.
+Iterator* NewTwoLevelIterator(Iterator* index_iter,
+                              BlockFunction block_function, void* arg,
+                              const ReadOptions& options);
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_TWO_LEVEL_ITERATOR_H_

@@ -1,0 +1,157 @@
+#include "kv/version.h"
+
+#include "kv/filename.h"
+#include "util/coding.h"
+
+namespace trass {
+namespace kv {
+
+std::vector<FileMetaData> Version::Overlapping(int level, const Slice& begin,
+                                               const Slice& end) const {
+  std::vector<FileMetaData> result;
+  for (const FileMetaData& f : files[level]) {
+    const Slice file_smallest = ExtractUserKey(Slice(f.smallest));
+    const Slice file_largest = ExtractUserKey(Slice(f.largest));
+    if (!begin.empty() && file_largest.compare(begin) < 0) continue;
+    if (!end.empty() && file_smallest.compare(end) > 0) continue;
+    result.push_back(f);
+  }
+  return result;
+}
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const FileMetaData& f : files[level]) total += f.file_size;
+  return total;
+}
+
+int Version::NumFiles(int level) const {
+  return static_cast<int>(files[level].size());
+}
+
+VersionSet::VersionSet(std::string dbname, Env* env)
+    : dbname_(std::move(dbname)), env_(env) {}
+
+namespace {
+
+// Manifest payload:
+//   next_file_number | last_sequence | log_number      (varint64 x3)
+//   for each level: file_count, then per file:
+//     number | file_size | smallest | largest
+constexpr char kManifestMagic[] = "TRASSMF1";
+
+}  // namespace
+
+Status VersionSet::WriteSnapshot() {
+  std::string contents(kManifestMagic, 8);
+  PutVarint64(&contents, next_file_number_);
+  PutVarint64(&contents, last_sequence_);
+  PutVarint64(&contents, log_number_);
+  for (int level = 0; level < kNumLevels; ++level) {
+    PutVarint64(&contents, current_.files[level].size());
+    for (const FileMetaData& f : current_.files[level]) {
+      PutVarint64(&contents, f.number);
+      PutVarint64(&contents, f.file_size);
+      PutLengthPrefixedSlice(&contents, Slice(f.smallest));
+      PutLengthPrefixedSlice(&contents, Slice(f.largest));
+    }
+  }
+  const uint64_t manifest_number = NewFileNumber();
+  const std::string fname = ManifestFileName(dbname_, manifest_number);
+  Status s = env_->WriteStringToFile(Slice(contents), fname, /*sync=*/false);
+  if (!s.ok()) return s;
+  // Atomically repoint CURRENT via rename of a temp file.
+  const std::string tmp = dbname_ + "/CURRENT.tmp";
+  std::string pointer = "MANIFEST-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu",
+                static_cast<unsigned long long>(manifest_number));
+  pointer += buf;
+  pointer += "\n";
+  s = env_->WriteStringToFile(Slice(pointer), tmp, /*sync=*/false);
+  if (!s.ok()) return s;
+  s = env_->RenameFile(tmp, CurrentFileName(dbname_));
+  if (!s.ok()) return s;
+  // Best-effort cleanup of older manifests.
+  std::vector<std::string> children;
+  if (env_->GetChildren(dbname_, &children).ok()) {
+    for (const auto& child : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(child, &number, &type) &&
+          type == FileType::kManifestFile && number != manifest_number) {
+        env_->RemoveFile(dbname_ + "/" + child).ok();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VersionSet::Recover(bool* found_manifest) {
+  *found_manifest = false;
+  const std::string current_file = CurrentFileName(dbname_);
+  if (!env_->FileExists(current_file)) return Status::OK();
+
+  std::string pointer;
+  Status s = env_->ReadFileToString(current_file, &pointer);
+  if (!s.ok()) return s;
+  while (!pointer.empty() &&
+         (pointer.back() == '\n' || pointer.back() == '\r')) {
+    pointer.pop_back();
+  }
+  const std::string manifest_path = dbname_ + "/" + pointer;
+  std::string contents;
+  s = env_->ReadFileToString(manifest_path, &contents);
+  if (!s.ok()) return s;
+
+  Slice input(contents);
+  if (input.size() < 8 || std::string(input.data(), 8) != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  input.remove_prefix(8);
+  uint64_t next_file, last_seq, log_number;
+  if (!GetVarint64(&input, &next_file) || !GetVarint64(&input, &last_seq) ||
+      !GetVarint64(&input, &log_number)) {
+    return Status::Corruption("bad manifest header");
+  }
+  Version v;
+  for (int level = 0; level < kNumLevels; ++level) {
+    uint64_t count;
+    if (!GetVarint64(&input, &count)) {
+      return Status::Corruption("bad manifest level count");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      FileMetaData f;
+      Slice smallest, largest;
+      if (!GetVarint64(&input, &f.number) ||
+          !GetVarint64(&input, &f.file_size) ||
+          !GetLengthPrefixedSlice(&input, &smallest) ||
+          !GetLengthPrefixedSlice(&input, &largest)) {
+        return Status::Corruption("bad manifest file entry");
+      }
+      f.smallest = smallest.ToString();
+      f.largest = largest.ToString();
+      v.files[level].push_back(std::move(f));
+    }
+  }
+  current_ = std::move(v);
+  next_file_number_ = next_file;
+  last_sequence_ = last_seq;
+  log_number_ = log_number;
+  *found_manifest = true;
+  return Status::OK();
+}
+
+int VersionSet::PickCompactionLevel(int l0_trigger,
+                                    uint64_t level_base_bytes) const {
+  if (current_.NumFiles(0) >= l0_trigger) return 0;
+  uint64_t budget = level_base_bytes;
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    if (current_.LevelBytes(level) > budget) return level;
+    budget *= 10;
+  }
+  return -1;
+}
+
+}  // namespace kv
+}  // namespace trass

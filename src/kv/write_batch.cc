@@ -1,0 +1,120 @@
+#include "kv/write_batch.h"
+
+#include "kv/memtable.h"
+#include "util/coding.h"
+
+namespace trass {
+namespace kv {
+
+namespace {
+constexpr size_t kHeader = 12;  // 8-byte sequence + 4-byte count
+}  // namespace
+
+WriteBatch::WriteBatch() { Clear(); }
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  rep_.resize(kHeader, '\0');
+}
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  SetCount(Count() + 1);
+  rep_.push_back(static_cast<char>(kTypeValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  SetCount(Count() + 1);
+  rep_.push_back(static_cast<char>(kTypeDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+}
+
+uint32_t WriteBatch::Count() const { return DecodeFixed32(rep_.data() + 8); }
+
+void WriteBatch::SetCount(uint32_t n) {
+  std::string encoded;
+  PutFixed32(&encoded, n);
+  rep_.replace(8, 4, encoded);
+}
+
+SequenceNumber WriteBatch::sequence() const {
+  return DecodeFixed64(rep_.data());
+}
+
+void WriteBatch::set_sequence(SequenceNumber seq) {
+  std::string encoded;
+  PutFixed64(&encoded, seq);
+  rep_.replace(0, 8, encoded);
+}
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  if (input.size() < kHeader) {
+    return Status::Corruption("malformed WriteBatch (too small)");
+  }
+  input.remove_prefix(kHeader);
+  uint32_t found = 0;
+  while (!input.empty()) {
+    ++found;
+    const char tag = input[0];
+    input.remove_prefix(1);
+    Slice key, value;
+    switch (tag) {
+      case kTypeValue:
+        if (!GetLengthPrefixedSlice(&input, &key) ||
+            !GetLengthPrefixedSlice(&input, &value)) {
+          return Status::Corruption("bad WriteBatch Put");
+        }
+        handler->Put(key, value);
+        break;
+      case kTypeDeletion:
+        if (!GetLengthPrefixedSlice(&input, &key)) {
+          return Status::Corruption("bad WriteBatch Delete");
+        }
+        handler->Delete(key);
+        break;
+      default:
+        return Status::Corruption("unknown WriteBatch tag");
+    }
+  }
+  if (found != Count()) {
+    return Status::Corruption("WriteBatch has wrong count");
+  }
+  return Status::OK();
+}
+
+WriteBatch WriteBatch::FromContents(const Slice& contents) {
+  WriteBatch batch;
+  batch.rep_.assign(contents.data(), contents.size());
+  return batch;
+}
+
+namespace {
+
+class MemTableInserter final : public WriteBatch::Handler {
+ public:
+  MemTableInserter(SequenceNumber seq, MemTable* mem)
+      : sequence_(seq), mem_(mem) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    mem_->Add(sequence_++, kTypeValue, key, value);
+  }
+  void Delete(const Slice& key) override {
+    mem_->Add(sequence_++, kTypeDeletion, key, Slice());
+  }
+
+ private:
+  SequenceNumber sequence_;
+  MemTable* mem_;
+};
+
+}  // namespace
+
+Status WriteBatch::InsertInto(const WriteBatch& batch, MemTable* mem) {
+  MemTableInserter inserter(batch.sequence(), mem);
+  return batch.Iterate(&inserter);
+}
+
+}  // namespace kv
+}  // namespace trass

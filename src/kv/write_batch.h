@@ -1,0 +1,67 @@
+// WriteBatch: an ordered group of Put/Delete operations applied atomically
+// (one WAL record, one sequence-number range).
+//
+// Wire format (also the WAL payload):
+//   sequence: fixed64 | count: fixed32 | records...
+//   record := kTypeValue   varstring(key) varstring(value)
+//           | kTypeDeletion varstring(key)
+
+#ifndef TRASS_KV_WRITE_BATCH_H_
+#define TRASS_KV_WRITE_BATCH_H_
+
+#include <string>
+
+#include "kv/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace trass {
+namespace kv {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  /// Number of operations in the batch.
+  uint32_t Count() const;
+
+  /// Approximate in-memory footprint.
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  /// Callback interface for replaying a batch (WAL recovery, memtable
+  /// insertion).
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // --- internal helpers used by the DB write path ---
+
+  SequenceNumber sequence() const;
+  void set_sequence(SequenceNumber seq);
+
+  Slice Contents() const { return Slice(rep_); }
+  static WriteBatch FromContents(const Slice& contents);
+
+  /// Applies the batch to a memtable using its embedded sequence number.
+  static Status InsertInto(const WriteBatch& batch, MemTable* mem);
+
+ private:
+  void SetCount(uint32_t n);
+
+  std::string rep_;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_WRITE_BATCH_H_

@@ -1,0 +1,192 @@
+#include "util/coding.h"
+
+#include <cstring>
+
+namespace trass {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+uint32_t DecodeFixed32(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+namespace {
+
+bool GetVarintGeneric(Slice* input, uint64_t* value, int max_bytes) {
+  uint64_t result = 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(input->data());
+  const auto* limit = p + input->size();
+  for (int shift = 0, i = 0; i < max_bytes && p < limit; ++i, shift += 7) {
+    uint64_t byte = *p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->remove_prefix(
+          static_cast<size_t>(reinterpret_cast<const char*>(p) -
+                              input->data()));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarintGeneric(input, &v, 5)) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  return GetVarintGeneric(input, value, 10);
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len;
+  if (!GetVarint32(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+void PutBigEndian64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * (7 - i))) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+uint64_t DecodeBigEndian64(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void PutBigEndian32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * (3 - i))) & 0xff);
+  }
+  dst->append(buf, 4);
+}
+
+uint32_t DecodeBigEndian32(const char* ptr) {
+  const auto* p = reinterpret_cast<const unsigned char*>(ptr);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void PutOrderedDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Positive doubles: set the sign bit so they sort above negatives.
+  // Negative doubles: flip all bits so larger magnitude sorts lower.
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  PutBigEndian64(dst, bits);
+}
+
+double DecodeOrderedDouble(const char* ptr) {
+  uint64_t bits = DecodeBigEndian64(ptr);
+  if (bits & (1ull << 63)) {
+    bits &= ~(1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+bool GetDouble(Slice* input, double* value) {
+  if (input->size() < 8) return false;
+  uint64_t bits = DecodeFixed64(input->data());
+  std::memcpy(value, &bits, sizeof(*value));
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace trass

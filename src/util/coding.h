@@ -1,0 +1,63 @@
+// Binary encoding primitives: little-endian fixed-width integers, varints,
+// length-prefixed slices, and big-endian order-preserving encodings used in
+// row keys (a lexicographic byte comparison of two encoded keys must agree
+// with the numeric comparison of the original integers).
+
+#ifndef TRASS_UTIL_CODING_H_
+#define TRASS_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace trass {
+
+// ---------- little-endian fixed-width (values, internal metadata) ----------
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+// ---------- varints ----------
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Parses a varint32 from the front of `*input`, advancing it.
+/// Returns false on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Number of bytes a varint64 encoding of `value` occupies.
+int VarintLength(uint64_t value);
+
+// ---------- length-prefixed slices ----------
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// ---------- order-preserving big-endian (row-key components) ----------
+
+/// Appends `value` as 8 big-endian bytes, so unsigned numeric order equals
+/// lexicographic byte order.
+void PutBigEndian64(std::string* dst, uint64_t value);
+uint64_t DecodeBigEndian64(const char* ptr);
+
+/// Appends `value` as 4 big-endian bytes.
+void PutBigEndian32(std::string* dst, uint32_t value);
+uint32_t DecodeBigEndian32(const char* ptr);
+
+/// Order-preserving encoding of a double (assumes finite input): flips the
+/// sign bit (and all bits for negatives) so byte order equals numeric order.
+void PutOrderedDouble(std::string* dst, double value);
+double DecodeOrderedDouble(const char* ptr);
+
+/// Raw (little-endian IEEE) double, for values where order is irrelevant.
+void PutDouble(std::string* dst, double value);
+bool GetDouble(Slice* input, double* value);
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_CODING_H_

@@ -1,0 +1,56 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace trass {
+
+void Histogram::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Histogram::Mean() const {
+  return samples_.empty() ? 0.0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  Sort();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Histogram::Max() const {
+  Sort();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  Sort();
+  // Nearest-rank with linear interpolation between adjacent samples.
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (hi >= samples_.size()) hi = samples_.size() - 1;
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                Count(), Mean(), Percentile(50), Percentile(95),
+                Percentile(99), Max());
+  return buf;
+}
+
+}  // namespace trass

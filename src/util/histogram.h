@@ -1,0 +1,50 @@
+// Latency histogram with exact percentiles (stores samples; query counts in
+// the evaluation are a few hundred per configuration, so exactness is cheap
+// and avoids bucketing error in the tail-latency figure).
+
+#ifndef TRASS_UTIL_HISTOGRAM_H_
+#define TRASS_UTIL_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace trass {
+
+class Histogram {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Percentile in [0, 100]; e.g. Percentile(50) is the median and
+  /// Percentile(99) the 99th-percentile tail latency. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: "n=... mean=... p50=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_HISTOGRAM_H_

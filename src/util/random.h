@@ -1,0 +1,72 @@
+// Deterministic pseudo-random generator (splitmix64-seeded xorshift128+).
+// All workload generators and property tests use this so experiments are
+// reproducible across runs and platforms.
+
+#ifndef TRASS_UTIL_RANDOM_H_
+#define TRASS_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace trass {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // splitmix64 to spread weak seeds over the whole state space.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple, adequate
+  /// for workload synthesis).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_RANDOM_H_

@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace trass {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* type = "";
+  switch (rep_->code) {
+    case Code::kOk:
+      type = "OK";
+      break;
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "InvalidArgument: ";
+      break;
+    case Code::kIoError:
+      type = "IoError: ";
+      break;
+    case Code::kNotSupported:
+      type = "NotSupported: ";
+      break;
+  }
+  return std::string(type) + rep_->message;
+}
+
+}  // namespace trass

@@ -1,0 +1,86 @@
+// Status: error-propagation type used across the TraSS codebase.
+//
+// Follows the LevelDB/RocksDB convention: cheap to copy when OK (no
+// allocation), carries a code plus a human-readable message otherwise.
+// Library code returns Status instead of throwing exceptions.
+
+#ifndef TRASS_UTIL_STATUS_H_
+#define TRASS_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace trass {
+
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() noexcept = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIoError() const { return code() == Code::kIoError; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+
+  /// Returns a string such as "NotFound: no such key" (or "OK").
+  std::string ToString() const;
+
+ private:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIoError,
+    kNotSupported,
+  };
+
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::string(msg)})) {}
+
+  Code code() const { return rep_ ? rep_->code : Code::kOk; }
+
+  // Null when OK; this keeps the common success path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+// Wall-clock stopwatch used by the benchmark harnesses and query metrics.
+
+#ifndef TRASS_UTIL_STOPWATCH_H_
+#define TRASS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace trass {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in microseconds since construction or last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_STOPWATCH_H_

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by RegionStore to emulate parallel region
+// scans (HBase fans a scan out to region servers; we fan out to workers).
+
+#ifndef TRASS_UTIL_THREAD_POOL_H_
+#define TRASS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace trass {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for all.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_THREAD_POOL_H_

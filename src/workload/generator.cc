@@ -1,0 +1,248 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace trass {
+namespace workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+geo::Mbr BeijingExtent() {
+  // lon [115.9, 117.1], lat [39.6, 40.4] normalized to the unit square.
+  return geo::Mbr((115.9 + 180.0) / 360.0, (39.6 + 90.0) / 180.0,
+                  (117.1 + 180.0) / 360.0, (40.4 + 90.0) / 180.0);
+}
+
+geo::Mbr ChinaExtent() {
+  // lon [98, 122], lat [22, 45].
+  return geo::Mbr((98.0 + 180.0) / 360.0, (22.0 + 90.0) / 180.0,
+                  (122.0 + 180.0) / 360.0, (45.0 + 90.0) / 180.0);
+}
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+namespace {
+
+// A heading-perturbed walk covering roughly `span_km`, starting at (sx, sy).
+std::vector<geo::Point> RandomWalk(Random* rnd, double sx, double sy,
+                                   double span_km, int n) {
+  std::vector<geo::Point> points;
+  points.reserve(n);
+  const double step = span_km * kKm / n;
+  double heading = rnd->UniformDouble(0.0, kTwoPi);
+  double x = sx, y = sy;
+  for (int j = 0; j < n; ++j) {
+    points.push_back(geo::Point{Clamp01(x), Clamp01(y)});
+    heading += rnd->NextGaussian() * 0.25;  // gentle road curvature
+    x += std::cos(heading) * step * (0.5 + rnd->NextDouble());
+    y += std::sin(heading) * step * (0.5 + rnd->NextDouble());
+  }
+  return points;
+}
+
+double LogUniformSpan(Random* rnd, const TripOptions& options) {
+  const double log_lo = std::log(options.min_span_km);
+  const double log_hi = std::log(options.max_span_km);
+  return std::exp(rnd->UniformDouble(log_lo, log_hi));
+}
+
+}  // namespace
+
+std::vector<core::Trajectory> GenerateTrips(size_t count,
+                                            const TripOptions& options,
+                                            uint64_t seed) {
+  Random rnd(seed);
+
+  // Shared road corridors; each is a dense polyline spanning close to the
+  // maximum trip length, so sub-spans of it realize every trip scale.
+  std::vector<std::vector<geo::Point>> corridors;
+  if (options.corridor_fraction > 0.0) {
+    corridors.reserve(options.num_corridors);
+    for (int c = 0; c < options.num_corridors; ++c) {
+      const double sx = rnd.UniformDouble(options.extent.min_x(),
+                                          options.extent.max_x());
+      const double sy = rnd.UniformDouble(options.extent.min_y(),
+                                          options.extent.max_y());
+      corridors.push_back(
+          RandomWalk(&rnd, sx, sy, options.max_span_km, 512));
+    }
+  }
+
+  // Waiting spots (taxi ranks, depots): stationary vehicles cluster at
+  // shared locations, which is what makes them findable by similarity
+  // search (and what creates the paper's max-resolution peak).
+  std::vector<geo::Point> waiting_spots;
+  if (options.stationary_fraction > 0.0) {
+    for (int spot = 0; spot < 30; ++spot) {
+      waiting_spots.push_back(geo::Point{
+          rnd.UniformDouble(options.extent.min_x(), options.extent.max_x()),
+          rnd.UniformDouble(options.extent.min_y(),
+                            options.extent.max_y())});
+    }
+  }
+
+  std::vector<core::Trajectory> result;
+  result.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::Trajectory t;
+    t.id = i + 1;
+    const int n = options.min_points +
+                  static_cast<int>(rnd.Uniform(
+                      options.max_points - options.min_points + 1));
+    t.points.reserve(n);
+    const double sx = rnd.UniformDouble(options.extent.min_x(),
+                                        options.extent.max_x());
+    const double sy = rnd.UniformDouble(options.extent.min_y(),
+                                        options.extent.max_y());
+    if (!waiting_spots.empty() &&
+        rnd.Bernoulli(options.stationary_fraction)) {
+      // A waiting vehicle at a shared rank: parked within ~a block of the
+      // spot, GPS jittering by a few metres.
+      const geo::Point& spot = waiting_spots[rnd.Uniform(
+          waiting_spots.size())];
+      const double park_radius =
+          0.2 * kKm * std::exp(rnd.UniformDouble(-2.0, 1.0));
+      const double angle = rnd.UniformDouble(0.0, kTwoPi);
+      const double px = spot.x + std::cos(angle) * park_radius;
+      const double py = spot.y + std::sin(angle) * park_radius;
+      for (int j = 0; j < n; ++j) {
+        t.points.push_back(geo::Point{
+            Clamp01(px + rnd.NextGaussian() * 0.002 * kKm),
+            Clamp01(py + rnd.NextGaussian() * 0.002 * kKm)});
+      }
+    } else if (!corridors.empty() &&
+               rnd.Bernoulli(options.corridor_fraction)) {
+      // Follow a shared corridor between two of its "hotspots": sub-span
+      // endpoints snap to a coarse grid (trips share popular
+      // origin/destination pairs), so genuinely similar trajectories
+      // exist at every scale — what Fréchet-style search looks for.
+      const auto& corridor = corridors[rnd.Uniform(corridors.size())];
+      constexpr size_t kHotspotStride = 64;
+      const size_t num_hotspots = corridor.size() / kHotspotStride;  // 8
+      // Length: a power-of-two number of strides, log-uniform-ish.
+      size_t strides = 1;
+      while (strides < num_hotspots && rnd.Bernoulli(0.5)) strides *= 2;
+      const size_t span_points = strides * kHotspotStride;
+      const size_t start =
+          rnd.Uniform(num_hotspots - strides + 1) * kHotspotStride;
+      // A fixed GPS sampling rate: the point count scales with the trip
+      // length (plus +-10% jitter). Without this, discrete Fréchet
+      // between two samplings of the same route is dominated by the
+      // sparser trip's sampling interval, not by route similarity.
+      const double span_km = options.max_span_km *
+                             static_cast<double>(strides) /
+                             static_cast<double>(num_hotspots);
+      const double rate =
+          static_cast<double>(options.max_points) / options.max_span_km;
+      const int span_n = std::clamp(
+          static_cast<int>(span_km * rate * rnd.UniformDouble(0.9, 1.1)),
+          options.min_points, options.max_points);
+      // Route deviation is smooth in reality (a parallel street, a lane
+      // offset), so model it as a constant per-trip lateral shift whose
+      // magnitude spans two orders — Fréchet distances between
+      // bucket-mates then spread smoothly over the benchmark's eps range
+      // — plus a few metres of per-point GPS jitter.
+      const double offset_mag = options.lateral_noise_km * kKm *
+                                std::exp(rnd.UniformDouble(-2.0, 3.0));
+      const double offset_dir = rnd.UniformDouble(0.0, kTwoPi);
+      const double dx = std::cos(offset_dir) * offset_mag;
+      const double dy = std::sin(offset_dir) * offset_mag;
+      const double jitter = 0.005 * kKm;  // ~5 m GPS noise
+      for (int j = 0; j < span_n; ++j) {
+        // Interpolate along the corridor sub-span.
+        const double pos = static_cast<double>(j) /
+                           static_cast<double>(span_n - 1) *
+                           static_cast<double>(span_points - 1);
+        const size_t idx = start + static_cast<size_t>(pos);
+        const double frac = pos - std::floor(pos);
+        const geo::Point& a = corridor[idx];
+        const geo::Point& b =
+            corridor[std::min(idx + 1, corridor.size() - 1)];
+        t.points.push_back(geo::Point{
+            Clamp01(a.x + frac * (b.x - a.x) + dx +
+                    rnd.NextGaussian() * jitter),
+            Clamp01(a.y + frac * (b.y - a.y) + dy +
+                    rnd.NextGaussian() * jitter)});
+      }
+    } else {
+      t.points = RandomWalk(&rnd, sx, sy, LogUniformSpan(&rnd, options), n);
+    }
+    result.push_back(std::move(t));
+  }
+  return result;
+}
+
+std::vector<core::Trajectory> TDriveLike(size_t count, uint64_t seed) {
+  TripOptions options;
+  options.extent = BeijingExtent();
+  options.min_span_km = 0.5;
+  options.max_span_km = 78.0;
+  options.min_points = 30;
+  options.max_points = 300;
+  options.stationary_fraction = 0.15;
+  options.corridor_fraction = 0.6;
+  options.num_corridors = 40;
+  options.lateral_noise_km = 0.03;
+  return GenerateTrips(count, options, seed);
+}
+
+std::vector<core::Trajectory> LorryLike(size_t count, uint64_t seed) {
+  TripOptions options;
+  options.extent = ChinaExtent();
+  options.min_span_km = 5.0;
+  options.max_span_km = 1500.0;
+  options.min_points = 50;
+  options.max_points = 400;
+  options.stationary_fraction = 0.02;
+  options.corridor_fraction = 0.7;  // highways between logistics hubs
+  options.num_corridors = 30;
+  options.lateral_noise_km = 0.05;
+  return GenerateTrips(count, options, seed);
+}
+
+std::vector<core::Trajectory> Scale(const std::vector<core::Trajectory>& base,
+                                    int times, double jitter, uint64_t seed) {
+  Random rnd(seed);
+  std::vector<core::Trajectory> result;
+  result.reserve(base.size() * static_cast<size_t>(times));
+  uint64_t next_id = 1;
+  for (int copy = 0; copy < times; ++copy) {
+    for (const core::Trajectory& t : base) {
+      core::Trajectory replica;
+      replica.id = next_id++;
+      replica.points.reserve(t.points.size());
+      const double dx = copy == 0 ? 0.0 : rnd.UniformDouble(-jitter, jitter);
+      const double dy = copy == 0 ? 0.0 : rnd.UniformDouble(-jitter, jitter);
+      for (const geo::Point& p : t.points) {
+        replica.points.push_back(
+            geo::Point{Clamp01(p.x + dx), Clamp01(p.y + dy)});
+      }
+      result.push_back(std::move(replica));
+    }
+  }
+  return result;
+}
+
+std::vector<size_t> SampleIndices(size_t n, size_t count, uint64_t seed) {
+  Random rnd(seed);
+  count = std::min(count, n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rnd.Uniform(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace workload
+}  // namespace trass

@@ -1,0 +1,75 @@
+// Synthetic trajectory workloads standing in for the paper's datasets
+// (DESIGN.md documents the substitutions):
+//
+//  * TDriveLike — taxi trips inside the Beijing extent: random-walk trips
+//    whose spans range from ~0.5 km to ~78 km (the paper maps these to
+//    XZ* resolutions 10..16) plus a fraction of stationary "waiting"
+//    trajectories that land at the maximum resolution (the Figure 12
+//    peak).
+//  * LorryLike — long-haul logistics routes across a country-scale
+//    extent, stressing indexes that assume a compact spatial span.
+//  * Scale — replicates a dataset t times with jitter, like the paper's
+//    synthetic x-t datasets.
+//
+// All coordinates are normalized: the whole earth is [0,1]^2
+// (x = (lon+180)/360, y = (lat+90)/180), matching the paper's setup where
+// the entire index space covers the earth.
+
+#ifndef TRASS_WORKLOAD_GENERATOR_H_
+#define TRASS_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "geo/mbr.h"
+#include "geo/units.h"
+
+namespace trass {
+namespace workload {
+
+/// ~1 km expressed in normalized longitude units.
+constexpr double kKm = geo::kKilometre;
+
+struct TripOptions {
+  geo::Mbr extent;                  // where trips start
+  double min_span_km = 0.5;         // trip diameter range
+  double max_span_km = 78.0;
+  int min_points = 30;
+  int max_points = 300;
+  double stationary_fraction = 0.0; // trips that never move
+
+  // Real fleets share a road network, so many trajectories are laterally
+  // noisy copies of common corridors — that structure is what similarity
+  // search exploits. `corridor_fraction` of the trips follow one of
+  // `num_corridors` shared paths (a random sub-span of it) with
+  // `lateral_noise_km` of GPS jitter; the rest are free random walks.
+  double corridor_fraction = 0.0;
+  int num_corridors = 200;
+  double lateral_noise_km = 0.03;
+};
+
+/// Generic random-walk trip generator.
+std::vector<core::Trajectory> GenerateTrips(size_t count,
+                                            const TripOptions& options,
+                                            uint64_t seed);
+
+/// Taxi-like dataset (T-Drive stand-in): Beijing extent, 15% stationary.
+std::vector<core::Trajectory> TDriveLike(size_t count, uint64_t seed);
+
+/// Logistics-like dataset (JD Lorry stand-in): country-scale extent,
+/// long-haul spans.
+std::vector<core::Trajectory> LorryLike(size_t count, uint64_t seed);
+
+/// Replicates `base` `times` times (ids renumbered consecutively after
+/// the originals), jittering each copy by up to `jitter` per coordinate.
+std::vector<core::Trajectory> Scale(const std::vector<core::Trajectory>& base,
+                                    int times, double jitter, uint64_t seed);
+
+/// `count` distinct indices into a dataset of size `n` (query sampling).
+std::vector<size_t> SampleIndices(size_t n, size_t count, uint64_t seed);
+
+}  // namespace workload
+}  // namespace trass
+
+#endif  // TRASS_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/brute_force.h"
+#include "baselines/trass_searcher.h"
+#include "baselines/xz2_store.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : dir_("baselines") {}
+
+  trass::testing::ScratchDir dir_;
+};
+
+TEST_F(BaselinesTest, BruteForceThresholdIsSelfConsistent) {
+  const auto data = trass::testing::RandomDataset(21, 100);
+  BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  std::vector<core::SearchResult> results;
+  ASSERT_TRUE(brute
+                  .Threshold(data[0].points, 1e-12, core::Measure::kFrechet,
+                             &results, nullptr)
+                  .ok());
+  ASSERT_GE(results.size(), 1u);
+  EXPECT_EQ(results[0].distance, 0.0);
+}
+
+TEST_F(BaselinesTest, BruteForceTopKOrdering) {
+  const auto data = trass::testing::RandomDataset(22, 100);
+  BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  std::vector<core::SearchResult> results;
+  ASSERT_TRUE(brute
+                  .TopK(data[5].points, 10, core::Measure::kFrechet,
+                        &results, nullptr)
+                  .ok());
+  ASSERT_EQ(results.size(), 10u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].distance, results[i].distance);
+  }
+  EXPECT_EQ(results[0].distance, 0.0);  // the query itself is in the data
+}
+
+TEST_F(BaselinesTest, Xz2StoreThresholdMatchesBruteForce) {
+  const auto data = trass::testing::RandomDataset(23, 200);
+  Xz2Store::Options options;
+  options.shards = 4;
+  options.max_resolution = 12;
+  Xz2Store xz2(options, dir_.path() + "/xz2");
+  ASSERT_TRUE(xz2.Build(data).ok());
+  BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  Random rnd(24);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto& query = data[rnd.Uniform(data.size())].points;
+    for (double eps : {0.005, 0.02}) {
+      std::vector<core::SearchResult> got, expected;
+      ASSERT_TRUE(
+          xz2.Threshold(query, eps, core::Measure::kFrechet, &got, nullptr)
+              .ok());
+      ASSERT_TRUE(brute
+                      .Threshold(query, eps, core::Measure::kFrechet,
+                                 &expected, nullptr)
+                      .ok());
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+      }
+    }
+  }
+}
+
+TEST_F(BaselinesTest, Xz2StoreTopKMatchesBruteForceDistances) {
+  const auto data = trass::testing::RandomDataset(25, 150);
+  Xz2Store::Options options;
+  options.shards = 4;
+  options.max_resolution = 12;
+  Xz2Store xz2(options, dir_.path() + "/xz2_topk");
+  ASSERT_TRUE(xz2.Build(data).ok());
+  BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  const auto& query = data[42].points;
+  std::vector<core::SearchResult> got, expected;
+  ASSERT_TRUE(
+      xz2.TopK(query, 10, core::Measure::kFrechet, &got, nullptr).ok());
+  ASSERT_TRUE(
+      brute.TopK(query, 10, core::Measure::kFrechet, &expected, nullptr)
+          .ok());
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+  }
+}
+
+TEST_F(BaselinesTest, TrassRetrievesFewerRowsThanXz2) {
+  // The paper's core claim (Figures 9b/11b): XZ* global pruning touches
+  // fewer rows than XZ-Ordering on the same store.
+  const auto data = trass::testing::RandomDataset(26, 400, 20, 60);
+  core::TrassOptions trass_options;
+  trass_options.shards = 4;
+  trass_options.max_resolution = 12;
+  TrassSearcher trass_searcher(trass_options, dir_.path() + "/trass");
+  ASSERT_TRUE(trass_searcher.Build(data).ok());
+  Xz2Store::Options xz2_options;
+  xz2_options.shards = 4;
+  xz2_options.max_resolution = 12;
+  Xz2Store xz2(xz2_options, dir_.path() + "/xz2_cmp");
+  ASSERT_TRUE(xz2.Build(data).ok());
+
+  Random rnd(27);
+  uint64_t trass_retrieved = 0;
+  uint64_t xz2_retrieved = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto& query = data[rnd.Uniform(data.size())].points;
+    std::vector<core::SearchResult> a, b;
+    core::QueryMetrics ma, mb;
+    ASSERT_TRUE(trass_searcher
+                    .Threshold(query, 0.01, core::Measure::kFrechet, &a, &ma)
+                    .ok());
+    ASSERT_TRUE(
+        xz2.Threshold(query, 0.01, core::Measure::kFrechet, &b, &mb).ok());
+    ASSERT_EQ(a.size(), b.size());  // identical answers
+    trass_retrieved += ma.retrieved;
+    xz2_retrieved += mb.retrieved;
+  }
+  EXPECT_LT(trass_retrieved, xz2_retrieved);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace trass

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/block.h"
+#include "kv/block_builder.h"
+#include "kv/dbformat.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq = 1) {
+  std::string k;
+  AppendInternalKey(&k, user_key, seq, kTypeValue);
+  return k;
+}
+
+class BlockTest : public ::testing::Test {
+ protected:
+  // Builds a block with `n` keys k0000, k0001, ... and value v<i>.
+  std::unique_ptr<Block> BuildBlock(int n, int restart_interval = 16) {
+    BlockBuilder builder(restart_interval);
+    for (int i = 0; i < n; ++i) {
+      builder.Add(IKey(UserKey(i)), "v" + std::to_string(i));
+    }
+    return std::make_unique<Block>(builder.Finish().ToString());
+  }
+
+  static std::string UserKey(int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%04d", i);
+    return buf;
+  }
+};
+
+TEST_F(BlockTest, EmptyBlock) {
+  auto block = BuildBlock(0);
+  std::unique_ptr<Iterator> iter(block->NewIterator());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek(IKey("a"));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(BlockTest, IterateAll) {
+  auto block = BuildBlock(100);
+  std::unique_ptr<Iterator> iter(block->NewIterator());
+  int i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++i) {
+    EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(i));
+    EXPECT_EQ(iter->value().ToString(), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(i, 100);
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_F(BlockTest, PrefixCompressionSavesSpace) {
+  BlockBuilder with_compression(16);
+  BlockBuilder no_compression(1);
+  for (int i = 0; i < 100; ++i) {
+    with_compression.Add(IKey(UserKey(i)), "v");
+    no_compression.Add(IKey(UserKey(i)), "v");
+  }
+  EXPECT_LT(with_compression.Finish().size(), no_compression.Finish().size());
+}
+
+TEST_F(BlockTest, SeekExactAndBetween) {
+  auto block = BuildBlock(50);
+  std::unique_ptr<Iterator> iter(block->NewIterator());
+  // Exact key.
+  iter->Seek(IKey(UserKey(17), kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(17));
+  // Between keys: lands on the next one.
+  iter->Seek(IKey(UserKey(17) + "zzz", kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(18));
+  // Before everything.
+  iter->Seek(IKey("a", kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(0));
+  // Past everything.
+  iter->Seek(IKey("zzz", kMaxSequenceNumber));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(BlockTest, SeekWithVariousRestartIntervals) {
+  for (int restart : {1, 2, 5, 16, 100}) {
+    auto block = BuildBlock(64, restart);
+    std::unique_ptr<Iterator> iter(block->NewIterator());
+    for (int i = 0; i < 64; ++i) {
+      iter->Seek(IKey(UserKey(i), kMaxSequenceNumber));
+      ASSERT_TRUE(iter->Valid()) << "restart=" << restart << " i=" << i;
+      ASSERT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(i));
+    }
+  }
+}
+
+TEST_F(BlockTest, MalformedBlockYieldsErrorIterator) {
+  Block block("xy");  // too small to even hold the restart count
+  std::unique_ptr<Iterator> iter(block.NewIterator());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_FALSE(iter->status().ok());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,83 @@
+#include "kv/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+std::string Key(int i) { return "key-" + std::to_string(i); }
+
+TEST(BloomTest, EmptyFilterMatchesNothingDefinitively) {
+  BloomFilterBuilder builder(10);
+  const std::string filter = builder.Finish();
+  // No false negatives requirement trivially holds; an empty filter may
+  // reject everything.
+  EXPECT_FALSE(BloomKeyMayMatch("hello", filter));
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10000; ++i) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(BloomKeyMayMatch(Key(i), filter)) << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateIsBounded) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10000; ++i) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish();
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    if (BloomKeyMayMatch(Key(1000000 + i), filter)) ++false_positives;
+  }
+  // 10 bits/key gives ~1% theoretical; allow generous slack.
+  EXPECT_LT(false_positives, probes * 4 / 100)
+      << "false positive rate "
+      << 100.0 * false_positives / probes << "%";
+}
+
+TEST(BloomTest, TinyFilterStillSound) {
+  BloomFilterBuilder builder(10);
+  builder.AddKey("a");
+  builder.AddKey("b");
+  const std::string filter = builder.Finish();
+  EXPECT_TRUE(BloomKeyMayMatch("a", filter));
+  EXPECT_TRUE(BloomKeyMayMatch("b", filter));
+}
+
+TEST(BloomTest, MalformedFilterIsPermissive) {
+  EXPECT_TRUE(BloomKeyMayMatch("x", Slice("")));
+  EXPECT_TRUE(BloomKeyMayMatch("x", Slice("\x01", 1)));
+  // Probe count byte > 30 is reserved -> permissive.
+  std::string weird(10, '\0');
+  weird.push_back(static_cast<char>(31));
+  EXPECT_TRUE(BloomKeyMayMatch("x", weird));
+}
+
+TEST(BloomTest, BuilderIsReusableAfterFinish) {
+  BloomFilterBuilder builder(10);
+  builder.AddKey("a");
+  const std::string f1 = builder.Finish();
+  EXPECT_EQ(builder.num_keys(), 0u);
+  builder.AddKey("b");
+  const std::string f2 = builder.Finish();
+  EXPECT_TRUE(BloomKeyMayMatch("b", f2));
+}
+
+TEST(BloomTest, HashIsStable) {
+  // Pin the hash so on-disk filters stay compatible across builds.
+  EXPECT_EQ(BloomHash(Slice("")), BloomHash(Slice("")));
+  EXPECT_NE(BloomHash(Slice("abc")), BloomHash(Slice("abd")));
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,91 @@
+#include "kv/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kv/block_builder.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+std::shared_ptr<const Block> MakeBlock() {
+  BlockBuilder builder(16);
+  std::string key;
+  AppendInternalKey(&key, "k", 1, kTypeValue);
+  builder.Add(key, "v");
+  return std::make_shared<Block>(builder.Finish().ToString());
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(1 << 20);
+  BlockCache::Key key{1, 0};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(key, MakeBlock(), 100);
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsUnderPressure) {
+  BlockCache cache(8 * 1000);  // ~1000 bytes per shard
+  for (uint64_t i = 0; i < 1000; ++i) {
+    cache.Insert(BlockCache::Key{1, i}, MakeBlock(), 100);
+  }
+  EXPECT_LE(cache.TotalCharge(), 8u * 1000u + 8u * 100u);
+}
+
+TEST(BlockCacheTest, LruKeepsRecentlyUsed) {
+  BlockCache cache(8 * 350);  // a few entries per shard
+  // Insert entries that all land in distinct shards is not guaranteed;
+  // instead verify that a repeatedly-touched key survives heavy inserts.
+  BlockCache::Key hot{42, 4242};
+  cache.Insert(hot, MakeBlock(), 50);
+  for (uint64_t i = 0; i < 500; ++i) {
+    cache.Lookup(hot);  // keep hot at the LRU front
+    cache.Insert(BlockCache::Key{1, i}, MakeBlock(), 50);
+  }
+  EXPECT_NE(cache.Lookup(hot), nullptr);
+}
+
+TEST(BlockCacheTest, InsertReplacesExisting) {
+  BlockCache cache(1 << 20);
+  BlockCache::Key key{1, 7};
+  cache.Insert(key, MakeBlock(), 100);
+  cache.Insert(key, MakeBlock(), 200);
+  EXPECT_EQ(cache.TotalCharge(), 200u);
+}
+
+TEST(BlockCacheTest, EvictFileDropsAllItsBlocks) {
+  BlockCache cache(1 << 20);
+  for (uint64_t i = 0; i < 10; ++i) {
+    cache.Insert(BlockCache::Key{5, i}, MakeBlock(), 10);
+    cache.Insert(BlockCache::Key{6, i}, MakeBlock(), 10);
+  }
+  cache.EvictFile(5);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache.Lookup(BlockCache::Key{5, i}), nullptr);
+    EXPECT_NE(cache.Lookup(BlockCache::Key{6, i}), nullptr);
+  }
+}
+
+TEST(BlockCacheTest, SharedPtrKeepsEvictedBlockAlive) {
+  BlockCache cache(8 * 100);
+  BlockCache::Key key{1, 1};
+  cache.Insert(key, MakeBlock(), 50);
+  auto held = cache.Lookup(key);
+  ASSERT_NE(held, nullptr);
+  // Force eviction.
+  for (uint64_t i = 2; i < 200; ++i) {
+    cache.Insert(BlockCache::Key{1, i}, MakeBlock(), 50);
+  }
+  // The held block is still usable even if evicted from the cache.
+  std::unique_ptr<Iterator> iter(held->NewIterator());
+  iter->SeekToFirst();
+  EXPECT_TRUE(iter->Valid());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

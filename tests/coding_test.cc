@@ -1,0 +1,162 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace trass {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu, 0xffffffffu}) {
+    s.clear();
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  const std::vector<uint64_t> values = {
+      0, 1, 0xff, 0x123456789abcdef0ull,
+      std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    s.clear();
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 32; ++i) {
+    values.push_back(1u << i);
+    values.push_back((1u << i) - 1);
+  }
+  for (uint32_t v : values) PutVarint32(&s, v);
+  Slice input(s);
+  for (uint32_t expected : values) {
+    uint32_t actual = 0;
+    ASSERT_TRUE(GetVarint32(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  Random rnd(7);
+  std::string s;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rnd.Next() >> (rnd.Next() % 64);
+    values.push_back(v);
+    PutVarint64(&s, v);
+  }
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t actual = 0;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v :
+       {0ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 63)}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, GetVarintRejectsTruncatedInput) {
+  std::string s;
+  PutVarint64(&s, std::numeric_limits<uint64_t>::max());
+  s.pop_back();
+  Slice input(s);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice(std::string(300, 'x')));
+  Slice input(s);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 300u);
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &a));
+}
+
+TEST(CodingTest, BigEndian64PreservesOrder) {
+  Random rnd(11);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rnd.Next();
+    const uint64_t b = rnd.Next();
+    std::string ea, eb;
+    PutBigEndian64(&ea, a);
+    PutBigEndian64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea).compare(Slice(eb)) < 0);
+    EXPECT_EQ(DecodeBigEndian64(ea.data()), a);
+  }
+}
+
+TEST(CodingTest, BigEndian32RoundTrip) {
+  std::string s;
+  PutBigEndian32(&s, 0x01020304u);
+  EXPECT_EQ(s[0], 0x01);
+  EXPECT_EQ(s[3], 0x04);
+  EXPECT_EQ(DecodeBigEndian32(s.data()), 0x01020304u);
+}
+
+TEST(CodingTest, OrderedDoublePreservesOrder) {
+  Random rnd(13);
+  std::vector<double> values = {-1e300, -1.0, -1e-300, 0.0, 1e-300, 1.0,
+                                1e300};
+  for (int i = 0; i < 500; ++i) {
+    values.push_back((rnd.NextDouble() - 0.5) * 1e6);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      std::string ea, eb;
+      PutOrderedDouble(&ea, values[i]);
+      PutOrderedDouble(&eb, values[j]);
+      ASSERT_EQ(values[i] < values[j], Slice(ea).compare(Slice(eb)) < 0)
+          << values[i] << " vs " << values[j];
+    }
+  }
+  for (double v : values) {
+    std::string e;
+    PutOrderedDouble(&e, v);
+    EXPECT_EQ(DecodeOrderedDouble(e.data()), v);
+  }
+}
+
+TEST(CodingTest, RawDoubleRoundTrip) {
+  std::string s;
+  PutDouble(&s, 3.14159);
+  PutDouble(&s, -0.0);
+  Slice input(s);
+  double a, b;
+  ASSERT_TRUE(GetDouble(&input, &a));
+  ASSERT_TRUE(GetDouble(&input, &b));
+  EXPECT_EQ(a, 3.14159);
+  EXPECT_EQ(b, 0.0);
+  EXPECT_FALSE(GetDouble(&input, &a));
+}
+
+}  // namespace
+}  // namespace trass

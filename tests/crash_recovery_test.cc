@@ -1,0 +1,163 @@
+// Failure injection: simulate crashes by truncating the write-ahead log
+// at arbitrary byte offsets and verify the engine reopens cleanly and
+// recovers a consistent prefix of the acknowledged writes — never
+// corrupted data, never a write that was not issued.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kv/db.h"
+#include "kv/filename.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  CrashRecoveryTest() : dir_("crash") {}
+
+  std::string DbPath() const { return dir_.path() + "/db"; }
+
+  // Finds the live WAL (largest .log number) in the db directory.
+  std::string LiveWalPath() {
+    std::vector<std::string> children;
+    EXPECT_TRUE(Env::Default()->GetChildren(DbPath(), &children).ok());
+    uint64_t best = 0;
+    std::string path;
+    for (const auto& child : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(child, &number, &type) &&
+          type == FileType::kLogFile && number >= best) {
+        best = number;
+        path = DbPath() + "/" + child;
+      }
+    }
+    return path;
+  }
+
+  trass::testing::ScratchDir dir_;
+};
+
+TEST_F(CrashRecoveryTest, TruncatedWalRecoversPrefix) {
+  Random rnd(401);
+  for (int trial = 0; trial < 6; ++trial) {
+    Env::Default()->RemoveDirRecursively(DbPath());
+    std::map<std::string, std::string> model;
+    {
+      Options options;
+      options.write_buffer_size = 1 << 20;  // keep everything in the WAL
+      std::unique_ptr<DB> db;
+      ASSERT_TRUE(DB::Open(options, DbPath(), &db).ok());
+      for (int i = 0; i < 300; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        const std::string value(20 + rnd.Uniform(100), 'a' + i % 26);
+        ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+        model[key] = value;
+      }
+      // Simulate a crash: leak the memtable state by truncating the WAL
+      // behind the DB's back, then drop the DB without flushing.
+      const std::string wal = LiveWalPath();
+      ASSERT_FALSE(wal.empty());
+      std::string contents;
+      ASSERT_TRUE(Env::Default()->ReadFileToString(wal, &contents).ok());
+      const size_t cut =
+          contents.size() / 4 + rnd.Uniform(contents.size() / 2);
+      contents.resize(cut);
+      // Suppress the destructor's flush by releasing after truncation:
+      // the flush rewrites an SSTable from the memtable, which would mask
+      // the injected WAL damage, so wipe its output afterwards instead.
+      db.reset();
+      // Remove any SSTs the destructor flushed — the crash scenario is
+      // "process died before any flush".
+      std::vector<std::string> children;
+      ASSERT_TRUE(Env::Default()->GetChildren(DbPath(), &children).ok());
+      for (const auto& child : children) {
+        uint64_t number;
+        FileType type;
+        if (ParseFileName(child, &number, &type) &&
+            (type == FileType::kTableFile ||
+             type == FileType::kManifestFile ||
+             type == FileType::kCurrentFile)) {
+          ASSERT_TRUE(
+              Env::Default()->RemoveFile(DbPath() + "/" + child).ok());
+        }
+      }
+      ASSERT_TRUE(
+          Env::Default()->WriteStringToFile(contents, wal, false).ok());
+    }
+    // Reopen: must succeed and contain a consistent prefix.
+    Options options;
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, DbPath(), &db).ok());
+    int recovered = 0;
+    bool gap_seen = false;
+    for (int i = 0; i < 300; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      std::string value;
+      const Status s = db->Get(ReadOptions(), key, &value);
+      if (s.ok()) {
+        // Anything recovered must match exactly what was written.
+        ASSERT_EQ(value, model[key]) << key;
+        // Writes are sequential, so recovery must be a prefix.
+        ASSERT_FALSE(gap_seen) << "non-prefix recovery at " << key;
+        ++recovered;
+      } else {
+        gap_seen = true;
+      }
+    }
+    // Cutting the WAL at 25-75% must lose the tail but keep a prefix.
+    EXPECT_GT(recovered, 0) << "trial " << trial;
+    EXPECT_LT(recovered, 300) << "trial " << trial;
+  }
+}
+
+TEST_F(CrashRecoveryTest, GarbageAppendedToWalIsIgnored) {
+  std::unique_ptr<DB> db;
+  {
+    Options options;
+    ASSERT_TRUE(DB::Open(options, DbPath(), &db).ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), "stable", "value").ok());
+    db.reset();  // destructor flushes and switches to a fresh WAL
+    const std::string wal = LiveWalPath();
+    std::string contents;
+    ASSERT_TRUE(Env::Default()->ReadFileToString(wal, &contents).ok());
+    contents += std::string(100, '\x5a');  // torn garbage tail
+    ASSERT_TRUE(
+        Env::Default()->WriteStringToFile(contents, wal, false).ok());
+  }
+  Options options;
+  ASSERT_TRUE(DB::Open(options, DbPath(), &db).ok());
+  std::string value;
+  // The destructor flushed before our append, so the row is in an SST;
+  // the garbage WAL tail must not break recovery.
+  EXPECT_TRUE(db->Get(ReadOptions(), "stable", &value).ok());
+  EXPECT_EQ(value, "value");
+}
+
+TEST_F(CrashRecoveryTest, MissingCurrentFileStartsFresh) {
+  {
+    Options options;
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, DbPath(), &db).ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "v").ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  ASSERT_TRUE(
+      Env::Default()->RemoveFile(CurrentFileName(DbPath())).ok());
+  // Without CURRENT the manifest is unreachable; the store must still
+  // open (as empty) rather than crash.
+  Options options;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, DbPath(), &db).ok());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,47 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace trass {
+namespace crc32c {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // Known CRC32C test vectors (RFC 3720 / LevelDB's crc32c_test).
+  char buf[32];
+
+  std::memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(0x8a9136aau, Value(buf, sizeof(buf)));
+
+  std::memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(0x62a8ab43u, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(0x46dd794eu, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(0x113fdb5cu, Value(buf, sizeof(buf)));
+}
+
+TEST(Crc32cTest, Values) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+}
+
+TEST(Crc32cTest, Extend) {
+  EXPECT_EQ(Value("hello world", 11), Extend(Value("hello ", 6), "world", 5));
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  const uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace trass

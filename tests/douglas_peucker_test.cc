@@ -1,0 +1,93 @@
+#include "geo/douglas_peucker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace trass {
+namespace geo {
+namespace {
+
+TEST(DouglasPeuckerTest, EmptyAndSinglePoint) {
+  EXPECT_TRUE(DouglasPeucker({}, 0.1).empty());
+  const auto one = DouglasPeucker({{0.5, 0.5}}, 0.1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(DouglasPeuckerTest, StraightLineCollapsesToEndpoints) {
+  std::vector<Point> line;
+  for (int i = 0; i <= 100; ++i) line.push_back({i / 100.0, i / 100.0});
+  const auto keep = DouglasPeucker(line, 1e-6);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep.front(), 0u);
+  EXPECT_EQ(keep.back(), 100u);
+}
+
+TEST(DouglasPeuckerTest, SharpCornerIsKept) {
+  std::vector<Point> v = {{0, 0}, {0.25, 0}, {0.5, 0}, {0.5, 0.25},
+                          {0.5, 0.5}};
+  const auto keep = DouglasPeucker(v, 0.01);
+  // The corner at index 2 must be retained.
+  EXPECT_NE(std::find(keep.begin(), keep.end(), 2u), keep.end());
+}
+
+TEST(DouglasPeuckerTest, ZigZagBelowToleranceCollapses) {
+  std::vector<Point> v;
+  for (int i = 0; i <= 50; ++i) {
+    v.push_back({i / 50.0, (i % 2) * 0.001});  // 1e-3 amplitude zig-zag
+  }
+  EXPECT_EQ(DouglasPeucker(v, 0.01).size(), 2u);
+  EXPECT_GT(DouglasPeucker(v, 1e-5).size(), 2u);
+}
+
+TEST(DouglasPeuckerTest, ErrorBoundInvariantHolds) {
+  // Property: every dropped point lies within tolerance of the chord
+  // between its surrounding kept points.
+  Random rnd(21);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Point> points;
+    double x = 0.0, y = 0.5;
+    const int n = 10 + static_cast<int>(rnd.Uniform(200));
+    for (int i = 0; i < n; ++i) {
+      points.push_back({x, y});
+      x += rnd.NextDouble() * 0.02;
+      y += (rnd.NextDouble() - 0.5) * 0.05;
+    }
+    const double tol = 0.005 + rnd.NextDouble() * 0.02;
+    const auto keep = DouglasPeucker(points, tol);
+    ASSERT_GE(keep.size(), 2u);
+    ASSERT_EQ(keep.front(), 0u);
+    ASSERT_EQ(keep.back(), points.size() - 1);
+    for (size_t seg = 0; seg + 1 < keep.size(); ++seg) {
+      const Point& a = points[keep[seg]];
+      const Point& b = points[keep[seg + 1]];
+      for (uint32_t i = keep[seg] + 1; i < keep[seg + 1]; ++i) {
+        ASSERT_LE(PointSegmentDistance(points[i], a, b), tol + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DouglasPeuckerTest, IndicesAreStrictlyIncreasing) {
+  Random rnd(22);
+  std::vector<Point> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({rnd.NextDouble(), rnd.NextDouble()});
+  }
+  const auto keep = DouglasPeucker(points, 0.05);
+  for (size_t i = 1; i < keep.size(); ++i) {
+    ASSERT_LT(keep[i - 1], keep[i]);
+  }
+}
+
+TEST(DouglasPeuckerTest, ZeroToleranceKeepsAllNonCollinear) {
+  std::vector<Point> v = {{0, 0}, {0.1, 0.3}, {0.2, 0.1}, {0.3, 0.4}};
+  EXPECT_EQ(DouglasPeucker(v, 0.0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace trass

@@ -1,0 +1,96 @@
+#include "core/dp_features.h"
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace core {
+namespace {
+
+TEST(DpFeaturesTest, StructureInvariant) {
+  Random rnd(81);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto t = trass::testing::RandomTrajectory(&rnd, 1, 50).points;
+    const DpFeatures f = DpFeatures::Compute(t, 0.01);
+    ASSERT_GE(f.rep_indices.size(), 2u);
+    EXPECT_EQ(f.rep_indices.front(), 0u);
+    EXPECT_EQ(f.rep_indices.back(), t.size() - 1);
+    EXPECT_EQ(f.rep_points.size(), f.rep_indices.size());
+    EXPECT_EQ(f.boxes.size(), f.rep_indices.size() - 1);
+  }
+}
+
+TEST(DpFeaturesTest, BoxesCoverAllRawPoints) {
+  Random rnd(83);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto t = trass::testing::RandomTrajectory(&rnd, 1, 80).points;
+    const DpFeatures f = DpFeatures::Compute(t, 0.005);
+    for (const geo::Point& p : t) {
+      ASSERT_LT(f.DistancePointToBoxes(p), 1e-9);
+    }
+  }
+}
+
+TEST(DpFeaturesTest, FewRepresentativesForSmoothTrajectories) {
+  std::vector<geo::Point> line;
+  for (int i = 0; i <= 200; ++i) line.push_back({i / 200.0, 0.0});
+  const DpFeatures f = DpFeatures::Compute(line, 0.01);
+  EXPECT_EQ(f.rep_indices.size(), 2u);
+  EXPECT_EQ(f.boxes.size(), 1u);
+}
+
+TEST(DpFeaturesTest, SinglePointTrajectory) {
+  const DpFeatures f = DpFeatures::Compute({{0.5, 0.5}}, 0.01);
+  EXPECT_EQ(f.rep_indices.size(), 1u);
+  EXPECT_TRUE(f.boxes.empty());
+  EXPECT_NEAR(f.DistancePointToBoxes({0.5, 0.6}), 0.1, 1e-12);
+}
+
+TEST(DpFeaturesTest, PointToBoxesIsLowerBoundOnPointToTrajectory) {
+  // Lemma 13's soundness: d(p, T.B) <= d(p, T) for any p.
+  Random rnd(85);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto t = trass::testing::RandomTrajectory(&rnd, 1, 40).points;
+    const DpFeatures f = DpFeatures::Compute(t, 0.01);
+    const geo::Point p{rnd.NextDouble(), rnd.NextDouble()};
+    double exact = 1e18;
+    for (const geo::Point& tp : t) {
+      exact = std::min(exact, geo::Distance(p, tp));
+    }
+    ASSERT_LE(f.DistancePointToBoxes(p), exact + 1e-9);
+  }
+}
+
+TEST(DpFeaturesTest, BoxToFeatureDistanceIsLowerBoundOnFrechet) {
+  // Lemma 14's soundness: for boxes of T1, the edge bound never exceeds
+  // the true Fréchet distance between the trajectories.
+  Random rnd(87);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 30).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 30).points;
+    const DpFeatures fa = DpFeatures::Compute(a, 0.01);
+    const DpFeatures fb = DpFeatures::Compute(b, 0.01);
+    const double frechet = DiscreteFrechet(a, b);
+    for (const geo::OrientedBox& box : fa.boxes) {
+      ASSERT_LE(BoxToFeatureDistance(box, fb), frechet + 1e-9);
+    }
+    for (const geo::OrientedBox& box : fb.boxes) {
+      ASSERT_LE(BoxToFeatureDistance(box, fa), frechet + 1e-9);
+    }
+  }
+}
+
+TEST(DpFeaturesTest, TighterToleranceKeepsMorePoints) {
+  Random rnd(89);
+  const auto t = trass::testing::RandomTrajectory(&rnd, 1, 150).points;
+  const DpFeatures coarse = DpFeatures::Compute(t, 0.02);
+  const DpFeatures fine = DpFeatures::Compute(t, 0.0005);
+  EXPECT_LE(coarse.rep_indices.size(), fine.rep_indices.size());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace trass

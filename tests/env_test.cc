@@ -1,0 +1,119 @@
+#include "kv/env.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  EnvTest() : dir_("env"), env_(Env::Default()) {}
+
+  trass::testing::ScratchDir dir_;
+  Env* env_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  const std::string path = dir_.path() + "/file.txt";
+  ASSERT_TRUE(env_->WriteStringToFile("hello world", path, false).ok());
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+}
+
+TEST_F(EnvTest, FileExistsAndRemove) {
+  const std::string path = dir_.path() + "/exists.txt";
+  EXPECT_FALSE(env_->FileExists(path));
+  ASSERT_TRUE(env_->WriteStringToFile("x", path, false).ok());
+  EXPECT_TRUE(env_->FileExists(path));
+  ASSERT_TRUE(env_->RemoveFile(path).ok());
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_FALSE(env_->RemoveFile(path).ok());  // already gone
+}
+
+TEST_F(EnvTest, GetFileSize) {
+  const std::string path = dir_.path() + "/sized.txt";
+  ASSERT_TRUE(env_->WriteStringToFile(std::string(1234, 'x'), path, false)
+                  .ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(path, &size).ok());
+  EXPECT_EQ(size, 1234u);
+}
+
+TEST_F(EnvTest, GetChildrenListsEntries) {
+  ASSERT_TRUE(env_->WriteStringToFile("1", dir_.path() + "/a", false).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("2", dir_.path() + "/b", false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_.path(), &children).ok());
+  std::sort(children.begin(), children.end());
+  EXPECT_EQ(children, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(EnvTest, RenameReplacesTarget) {
+  const std::string src = dir_.path() + "/src";
+  const std::string dst = dir_.path() + "/dst";
+  ASSERT_TRUE(env_->WriteStringToFile("new", src, false).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("old", dst, false).ok());
+  ASSERT_TRUE(env_->RenameFile(src, dst).ok());
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString(dst, &contents).ok());
+  EXPECT_EQ(contents, "new");
+  EXPECT_FALSE(env_->FileExists(src));
+}
+
+TEST_F(EnvTest, RandomAccessReadsAtOffset) {
+  const std::string path = dir_.path() + "/random.bin";
+  ASSERT_TRUE(
+      env_->WriteStringToFile("0123456789abcdef", path, false).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_->NewRandomAccessFile(path, &file).ok());
+  EXPECT_EQ(file->Size(), 16u);
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(file->Read(10, 4, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "abcd");
+  // Read past EOF returns a short (possibly empty) result, not an error.
+  ASSERT_TRUE(file->Read(14, 8, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "ef");
+}
+
+TEST_F(EnvTest, SequentialReadAndSkip) {
+  const std::string path = dir_.path() + "/seq.bin";
+  ASSERT_TRUE(env_->WriteStringToFile("abcdefgh", path, false).ok());
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(env_->NewSequentialFile(path, &file).ok());
+  char scratch[4];
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "abc");
+  ASSERT_TRUE(file->Skip(2).ok());
+  ASSERT_TRUE(file->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "fgh");
+}
+
+TEST_F(EnvTest, RemoveDirRecursively) {
+  const std::string nested = dir_.path() + "/x/y";
+  ASSERT_TRUE(env_->CreateDir(dir_.path() + "/x").ok());
+  ASSERT_TRUE(env_->CreateDir(nested).ok());
+  ASSERT_TRUE(env_->WriteStringToFile("f", nested + "/file", false).ok());
+  ASSERT_TRUE(env_->RemoveDirRecursively(dir_.path() + "/x").ok());
+  EXPECT_FALSE(env_->FileExists(dir_.path() + "/x"));
+  // Removing a non-existent tree is a no-op.
+  EXPECT_TRUE(env_->RemoveDirRecursively(dir_.path() + "/x").ok());
+}
+
+TEST_F(EnvTest, OpenMissingFileFails) {
+  std::unique_ptr<RandomAccessFile> file;
+  EXPECT_TRUE(
+      env_->NewRandomAccessFile(dir_.path() + "/nope", &file).IsIoError());
+  std::unique_ptr<SequentialFile> seq;
+  EXPECT_TRUE(
+      env_->NewSequentialFile(dir_.path() + "/nope", &seq).IsIoError());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

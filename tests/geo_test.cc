@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+#include "util/random.h"
+
+namespace trass {
+namespace geo {
+namespace {
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, PointSegmentDistance) {
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  // Foot beyond the endpoints clamps to the endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 4}, {-1, 0}, {0, 0}), 5.0);
+  // Degenerate segment behaves like a point.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(PointTest, SegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {0, 1}, {1, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Touching at an endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(PointTest, SegmentSegmentDistance) {
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {1, 1}, {0, 1}, {1, 0}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance({0, 0}, {1, 0}, {0, 1}, {1, 1}),
+                   1.0);
+  // Parallel, offset diagonally.
+  EXPECT_NEAR(SegmentSegmentDistance({0, 0}, {1, 0}, {2, 1}, {3, 1}),
+              std::sqrt(2.0), 1e-12);
+}
+
+TEST(MbrTest, EmptyAndExtend) {
+  Mbr m;
+  EXPECT_TRUE(m.IsEmpty());
+  m.Extend(Point{0.5, 0.25});
+  EXPECT_FALSE(m.IsEmpty());
+  EXPECT_EQ(m.width(), 0.0);
+  m.Extend(Point{0.75, 0.5});
+  EXPECT_DOUBLE_EQ(m.width(), 0.25);
+  EXPECT_DOUBLE_EQ(m.height(), 0.25);
+}
+
+TEST(MbrTest, OfPoints) {
+  const Mbr m = Mbr::Of({{0.1, 0.9}, {0.4, 0.2}, {0.3, 0.5}});
+  EXPECT_DOUBLE_EQ(m.min_x(), 0.1);
+  EXPECT_DOUBLE_EQ(m.max_x(), 0.4);
+  EXPECT_DOUBLE_EQ(m.min_y(), 0.2);
+  EXPECT_DOUBLE_EQ(m.max_y(), 0.9);
+}
+
+TEST(MbrTest, ContainsAndIntersects) {
+  const Mbr a(0, 0, 1, 1);
+  const Mbr b(0.5, 0.5, 1.5, 1.5);
+  const Mbr c(2, 2, 3, 3);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(a.Contains(Point{1.5, 0.5}));
+  EXPECT_TRUE(a.Contains(Mbr(0.2, 0.2, 0.8, 0.8)));
+  EXPECT_FALSE(a.Contains(b));
+  // Touching edges intersect.
+  EXPECT_TRUE(a.Intersects(Mbr(1, 0, 2, 1)));
+}
+
+TEST(MbrTest, Expanded) {
+  const Mbr m = Mbr(0.4, 0.4, 0.6, 0.6).Expanded(0.1);
+  EXPECT_DOUBLE_EQ(m.min_x(), 0.3);
+  EXPECT_DOUBLE_EQ(m.max_y(), 0.7);
+}
+
+TEST(MbrTest, PointDistance) {
+  const Mbr m(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(m.Distance(Point{0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Point{2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Point{4, 5}), 5.0);
+}
+
+TEST(MbrTest, RectDistance) {
+  const Mbr a(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(a.Distance(Mbr(0.5, 0.5, 2, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Mbr(2, 0, 3, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(a.Distance(Mbr(4, 5, 6, 7)), 5.0);
+}
+
+TEST(MbrTest, SegmentDistance) {
+  const Mbr m(0, 0, 1, 1);
+  // Segment crossing the box.
+  EXPECT_DOUBLE_EQ(m.SegmentDistance({-1, 0.5}, {2, 0.5}), 0.0);
+  // Endpoint inside.
+  EXPECT_DOUBLE_EQ(m.SegmentDistance({0.5, 0.5}, {5, 5}), 0.0);
+  // Fully outside.
+  EXPECT_DOUBLE_EQ(m.SegmentDistance({2, 0}, {2, 1}), 1.0);
+  EXPECT_NEAR(m.SegmentDistance({2, 2}, {3, 2}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(MbrTest, SegmentDistanceMatchesSampledMinimum) {
+  // Property: rect-segment distance equals the minimum over dense samples
+  // of the segment of the point-rect distance.
+  Random rnd(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double x0 = rnd.NextDouble(), y0 = rnd.NextDouble();
+    const Mbr m(x0, y0, x0 + rnd.NextDouble() * 0.5,
+                y0 + rnd.NextDouble() * 0.5);
+    const Point a{rnd.NextDouble() * 2 - 0.5, rnd.NextDouble() * 2 - 0.5};
+    const Point b{rnd.NextDouble() * 2 - 0.5, rnd.NextDouble() * 2 - 0.5};
+    const double exact = m.SegmentDistance(a, b);
+    double sampled = 1e9;
+    for (int s = 0; s <= 200; ++s) {
+      const double t = s / 200.0;
+      sampled = std::min(
+          sampled,
+          m.Distance(Point{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)}));
+    }
+    ASSERT_LE(exact, sampled + 1e-9);
+    ASSERT_GE(exact, sampled - 0.01);  // sampling resolution slack
+  }
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace trass

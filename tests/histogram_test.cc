@@ -1,0 +1,60 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace trass {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.Min(), 42.0);
+  EXPECT_EQ(h.Max(), 42.0);
+  EXPECT_EQ(h.Median(), 42.0);
+  EXPECT_EQ(h.Percentile(99), 42.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformSequence) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.Min(), 1.0);
+  EXPECT_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.05);
+  EXPECT_NEAR(h.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, InsertionOrderIrrelevant) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.Add(i);
+  for (int i = 49; i >= 0; --i) b.Add(i);
+  EXPECT_EQ(a.Median(), b.Median());
+  EXPECT_EQ(a.Percentile(95), b.Percentile(95));
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1.0);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(HistogramTest, ToStringContainsFields) {
+  Histogram h;
+  h.Add(1.0);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trass

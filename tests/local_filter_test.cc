@@ -1,0 +1,126 @@
+#include "core/local_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace core {
+namespace {
+
+StoredTrajectory MakeStored(uint64_t id, const std::vector<geo::Point>& points,
+                            double tolerance = 0.01) {
+  StoredTrajectory t;
+  t.id = id;
+  t.points = points;
+  t.features = DpFeatures::Compute(points, tolerance);
+  return t;
+}
+
+class LocalFilterTest : public ::testing::Test {
+ protected:
+  Random rnd_{117};
+};
+
+TEST_F(LocalFilterTest, NeverRejectsSimilarPairs) {
+  // Soundness across all three measures: a candidate within eps must pass.
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 25).points;
+    const auto t = trass::testing::RandomTrajectory(&rnd_, 2, 25).points;
+    const QueryContext ctx = QueryContext::Make(q, 0.01);
+    const StoredTrajectory stored = MakeStored(2, t);
+    for (Measure measure :
+         {Measure::kFrechet, Measure::kHausdorff, Measure::kDtw}) {
+      const double d = Similarity(measure, q, t);
+      // Any eps >= d must keep the candidate.
+      for (double eps : {d, d * 1.5, d + 0.01}) {
+        ASSERT_TRUE(LocalFilterPass(ctx, stored, eps, measure))
+            << MeasureName(measure) << " d=" << d << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST_F(LocalFilterTest, RejectsObviouslyDissimilar) {
+  std::vector<geo::Point> q, t;
+  for (int i = 0; i < 10; ++i) {
+    q.push_back({0.1 + i * 0.001, 0.1});
+    t.push_back({0.9 - i * 0.001, 0.9});
+  }
+  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const StoredTrajectory stored = MakeStored(2, t);
+  EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.01, Measure::kFrechet));
+  EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.01, Measure::kHausdorff));
+  EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.01, Measure::kDtw));
+}
+
+TEST_F(LocalFilterTest, Lemma12OnlyForOrderedMeasures) {
+  // Same geometry, reversed direction: endpoints swap, so Fréchet/DTW can
+  // reject via Lemma 12 but Hausdorff (orderless) must keep it when the
+  // point sets are close.
+  std::vector<geo::Point> q, t;
+  for (int i = 0; i <= 20; ++i) q.push_back({0.3 + i * 0.01, 0.5});
+  t = q;
+  std::reverse(t.begin(), t.end());
+  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const StoredTrajectory stored = MakeStored(2, t);
+  EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.05, Measure::kFrechet));
+  EXPECT_TRUE(LocalFilterPass(ctx, stored, 0.05, Measure::kHausdorff));
+  EXPECT_EQ(Hausdorff(q, t), 0.0);
+}
+
+TEST_F(LocalFilterTest, EmptyCandidateRejected) {
+  const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 5).points;
+  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  StoredTrajectory empty;
+  EXPECT_FALSE(LocalFilterPass(ctx, empty, 1.0, Measure::kFrechet));
+}
+
+TEST_F(LocalFilterTest, ScanFilterCountsAndDecodes) {
+  const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 20).points;
+  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  LocalScanFilter filter(&ctx, 0.02, Measure::kFrechet);
+
+  // A row that is the query itself (kept).
+  const DpFeatures f = DpFeatures::Compute(q, 0.01);
+  const std::string key = EncodeRowKey(0, 1, 1);
+  const std::string value = EncodeRowValue(q, f);
+  EXPECT_TRUE(filter.Keep(key, value));
+
+  // A far-away row (dropped).
+  std::vector<geo::Point> far;
+  for (const auto& p : q) {
+    far.push_back({std::min(p.x + 0.4, 1.0), std::min(p.y + 0.4, 1.0)});
+  }
+  const std::string far_value =
+      EncodeRowValue(far, DpFeatures::Compute(far, 0.01));
+  EXPECT_FALSE(filter.Keep(key, far_value));
+
+  // Garbage row (dropped, no crash).
+  EXPECT_FALSE(filter.Keep(key, Slice("garbage")));
+
+  EXPECT_EQ(filter.scanned(), 3u);
+  EXPECT_EQ(filter.kept(), 1u);
+}
+
+TEST_F(LocalFilterTest, FilterRateIsMeaningful) {
+  // On random data with a small eps, most dissimilar candidates should be
+  // rejected before the exact computation — the filter must actually
+  // filter, not just be sound.
+  const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 30).points;
+  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  int rejected = 0;
+  const int total = 300;
+  for (int i = 0; i < total; ++i) {
+    const auto t = trass::testing::RandomTrajectory(&rnd_, 2, 30).points;
+    const StoredTrajectory stored = MakeStored(2, t);
+    if (!LocalFilterPass(ctx, stored, 0.002, Measure::kFrechet)) ++rejected;
+  }
+  EXPECT_GT(rejected, total / 2);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace trass

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/env.h"
+#include "kv/log_reader.h"
+#include "kv/log_writer.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : dir_("log"), path_(dir_.path() + "/wal.log") {}
+
+  void WriteRecords(const std::vector<std::string>& records) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(Env::Default()->NewWritableFile(path_, &file).ok());
+    log::Writer writer(file.get());
+    for (const auto& record : records) {
+      ASSERT_TRUE(writer.AddRecord(record).ok());
+    }
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  std::vector<std::string> ReadRecords(bool* corruption = nullptr) {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(Env::Default()->NewSequentialFile(path_, &file).ok());
+    log::Reader reader(file.get());
+    std::vector<std::string> records;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    if (corruption != nullptr) *corruption = reader.corruption_detected();
+    return records;
+  }
+
+  trass::testing::ScratchDir dir_;
+  std::string path_;
+};
+
+TEST_F(LogTest, EmptyLog) {
+  WriteRecords({});
+  EXPECT_TRUE(ReadRecords().empty());
+}
+
+TEST_F(LogTest, SmallRecordsRoundTrip) {
+  const std::vector<std::string> records = {"foo", "bar", "", "baz"};
+  WriteRecords(records);
+  EXPECT_EQ(ReadRecords(), records);
+}
+
+TEST_F(LogTest, RecordSpanningMultipleBlocks) {
+  // > 3 blocks worth of payload forces FIRST/MIDDLE/LAST fragmentation.
+  const std::string big(3 * log::kBlockSize + 1234, 'q');
+  WriteRecords({"head", big, "tail"});
+  const auto records = ReadRecords();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "head");
+  EXPECT_EQ(records[1], big);
+  EXPECT_EQ(records[2], "tail");
+}
+
+TEST_F(LogTest, RecordsExactlyAtBlockBoundary) {
+  // Leave exactly < kHeaderSize bytes at the end of a block so the writer
+  // must pad; the reader must skip the padding.
+  const std::string a(log::kBlockSize - log::kHeaderSize - 3, 'a');
+  WriteRecords({a, "next"});
+  const auto records = ReadRecords();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], "next");
+}
+
+TEST_F(LogTest, ManyRandomRecords) {
+  Random rnd(17);
+  std::vector<std::string> records;
+  for (int i = 0; i < 300; ++i) {
+    records.push_back(std::string(rnd.Uniform(5000), 'a' + i % 26));
+  }
+  WriteRecords(records);
+  bool corruption = false;
+  EXPECT_EQ(ReadRecords(&corruption), records);
+  EXPECT_FALSE(corruption);
+}
+
+TEST_F(LogTest, TruncatedTailIsToleratedAsTornWrite) {
+  WriteRecords({"first", std::string(1000, 'x')});
+  // Truncate mid-record.
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path_, &contents).ok());
+  contents.resize(contents.size() - 500);
+  ASSERT_TRUE(Env::Default()
+                  ->WriteStringToFile(contents, path_, false)
+                  .ok());
+  const auto records = ReadRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "first");
+}
+
+TEST_F(LogTest, CorruptedCrcDropsRecord) {
+  WriteRecords({"aaaa", "bbbb"});
+  std::string contents;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path_, &contents).ok());
+  contents[log::kHeaderSize + 1] ^= 0x40;  // flip a payload bit of record 1
+  ASSERT_TRUE(Env::Default()
+                  ->WriteStringToFile(contents, path_, false)
+                  .ok());
+  bool corruption = false;
+  const auto records = ReadRecords(&corruption);
+  EXPECT_TRUE(corruption);
+  // The corrupted record is dropped; with block-granularity skipping the
+  // second record (same block) is dropped too. No bad data surfaces.
+  for (const auto& r : records) {
+    EXPECT_TRUE(r == "aaaa" || r == "bbbb");
+  }
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

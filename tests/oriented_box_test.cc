@@ -1,0 +1,111 @@
+#include "geo/oriented_box.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace trass {
+namespace geo {
+namespace {
+
+std::vector<Point> DiagonalPoints() {
+  // Points roughly along y = x with bounded deviation.
+  return {{0.0, 0.0}, {0.25, 0.3}, {0.5, 0.45}, {0.75, 0.8}, {1.0, 1.0}};
+}
+
+TEST(OrientedBoxTest, CoverContainsAllCoveredPoints) {
+  const auto points = DiagonalPoints();
+  const OrientedBox box =
+      OrientedBox::Cover(points, 0, points.size() - 1, points.front(),
+                         points.back());
+  for (const Point& p : points) {
+    EXPECT_TRUE(box.Contains(p)) << p.x << "," << p.y;
+    EXPECT_DOUBLE_EQ(box.Distance(p), 0.0);
+  }
+}
+
+TEST(OrientedBoxTest, OrientedBoxIsTighterThanAxisAlignedForDiagonal) {
+  const auto points = DiagonalPoints();
+  const OrientedBox box =
+      OrientedBox::Cover(points, 0, points.size() - 1, points.front(),
+                         points.back());
+  // The oriented box of near-diagonal points is a thin sliver; its area is
+  // far below the axis-aligned bounding square.
+  const Point& c0 = box.corner(0);
+  const Point& c1 = box.corner(1);
+  const Point& c3 = box.corner(3);
+  const double len = Distance(c0, c1);
+  const double wid = Distance(c0, c3);
+  EXPECT_LT(len * wid, 0.5 * 1.0 * 1.0);
+}
+
+TEST(OrientedBoxTest, DegenerateAxisFallsBackToAxisAligned) {
+  const std::vector<Point> points = {{0.3, 0.3}, {0.4, 0.5}, {0.5, 0.3}};
+  const OrientedBox box =
+      OrientedBox::Cover(points, 0, 2, points.front(), points.front());
+  for (const Point& p : points) EXPECT_TRUE(box.Contains(p));
+}
+
+TEST(OrientedBoxTest, SinglePointBox) {
+  const std::vector<Point> points = {{0.5, 0.5}};
+  const OrientedBox box =
+      OrientedBox::Cover(points, 0, 0, points[0], points[0]);
+  EXPECT_TRUE(box.Contains(points[0]));
+  EXPECT_NEAR(box.Distance(Point{0.5, 0.6}), 0.1, 1e-12);
+}
+
+TEST(OrientedBoxTest, DistanceToOutsidePoint) {
+  const std::vector<Point> points = {{0, 0}, {1, 0}};
+  const OrientedBox box = OrientedBox::Cover(points, 0, 1, points[0],
+                                             points[1]);
+  EXPECT_NEAR(box.Distance(Point{0.5, 1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(box.Distance(Point{2.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(OrientedBoxTest, SegmentDistance) {
+  const std::vector<Point> points = {{0, 0}, {1, 0}};
+  const OrientedBox box = OrientedBox::Cover(points, 0, 1, points[0],
+                                             points[1]);
+  EXPECT_DOUBLE_EQ(box.SegmentDistance({0.5, -1}, {0.5, 1}), 0.0);
+  EXPECT_NEAR(box.SegmentDistance({0, 2}, {1, 2}), 2.0, 1e-12);
+}
+
+TEST(OrientedBoxTest, BoxToBoxDistance) {
+  const std::vector<Point> a = {{0, 0}, {1, 0}};
+  const std::vector<Point> b = {{0, 2}, {1, 2}};
+  const std::vector<Point> c = {{0.5, -0.5}, {0.5, 0.5}};
+  const OrientedBox ba = OrientedBox::Cover(a, 0, 1, a[0], a[1]);
+  const OrientedBox bb = OrientedBox::Cover(b, 0, 1, b[0], b[1]);
+  const OrientedBox bc = OrientedBox::Cover(c, 0, 1, c[0], c[1]);
+  EXPECT_NEAR(ba.Distance(bb), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ba.Distance(bc), 0.0);  // crossing boxes
+  EXPECT_DOUBLE_EQ(ba.Distance(ba), 0.0);
+}
+
+TEST(OrientedBoxTest, RotatedFrameRoundTripProperty) {
+  // Property: for random point clouds and axes, Cover() contains every
+  // covered point and its Bounds() contains the box corners.
+  Random rnd(5);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Point> points;
+    const int n = 2 + static_cast<int>(rnd.Uniform(20));
+    for (int i = 0; i < n; ++i) {
+      points.push_back(Point{rnd.NextDouble(), rnd.NextDouble()});
+    }
+    const OrientedBox box = OrientedBox::Cover(
+        points, 0, points.size() - 1, points.front(), points.back());
+    for (const Point& p : points) {
+      ASSERT_TRUE(box.Contains(p));
+    }
+    const Mbr bounds = box.Bounds();
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_TRUE(bounds.Contains(box.corner(c)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace trass

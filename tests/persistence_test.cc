@@ -1,0 +1,116 @@
+// Durability integration tests: a TrassStore reopened from disk must
+// answer queries exactly as before (value directory and ingest statistics
+// are rebuilt from the stored rows).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/brute_force.h"
+#include "core/trass_store.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() : dir_("persistence") {}
+
+  TrassOptions Options() const {
+    TrassOptions options;
+    options.shards = 4;
+    options.max_resolution = 12;
+    return options;
+  }
+
+  std::string StorePath() const { return dir_.path() + "/store"; }
+
+  trass::testing::ScratchDir dir_;
+};
+
+TEST_F(PersistenceTest, ReopenedStoreAnswersQueries) {
+  const auto data = trass::testing::RandomDataset(301, 200);
+  {
+    std::unique_ptr<TrassStore> store;
+    ASSERT_TRUE(TrassStore::Open(Options(), StorePath(), &store).ok());
+    for (const auto& t : data) ASSERT_TRUE(store->Put(t).ok());
+    ASSERT_TRUE(store->Flush().ok());
+  }  // closed
+
+  std::unique_ptr<TrassStore> reopened;
+  ASSERT_TRUE(TrassStore::Open(Options(), StorePath(), &reopened).ok());
+  EXPECT_EQ(reopened->num_trajectories(), data.size());
+  EXPECT_GT(reopened->distinct_index_values(), 0u);
+
+  baselines::BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  Random rnd(302);
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto& query = data[rnd.Uniform(data.size())].points;
+    std::vector<SearchResult> got, expected;
+    ASSERT_TRUE(reopened
+                    ->ThresholdSearch(query, 0.01, Measure::kFrechet, &got)
+                    .ok());
+    ASSERT_TRUE(
+        brute.Threshold(query, 0.01, Measure::kFrechet, &expected, nullptr)
+            .ok());
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id);
+    }
+    ASSERT_TRUE(
+        reopened->TopKSearch(query, 10, Measure::kFrechet, &got).ok());
+    ASSERT_TRUE(
+        brute.TopK(query, 10, Measure::kFrechet, &expected, nullptr).ok());
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, ReopenWithoutFlushRecoversFromWal) {
+  const auto data = trass::testing::RandomDataset(303, 50);
+  {
+    std::unique_ptr<TrassStore> store;
+    ASSERT_TRUE(TrassStore::Open(Options(), StorePath(), &store).ok());
+    for (const auto& t : data) ASSERT_TRUE(store->Put(t).ok());
+    // No Flush(): rows live in WAL + memtable; the DB destructor flushes
+    // best-effort, and WAL replay covers a hard crash.
+  }
+  std::unique_ptr<TrassStore> reopened;
+  ASSERT_TRUE(TrassStore::Open(Options(), StorePath(), &reopened).ok());
+  EXPECT_EQ(reopened->num_trajectories(), data.size());
+  std::vector<SearchResult> got;
+  ASSERT_TRUE(reopened
+                  ->ThresholdSearch(data[7].points, 1e-9, Measure::kFrechet,
+                                    &got)
+                  .ok());
+  bool found = false;
+  for (const auto& r : got) found = found || r.id == data[7].id;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PersistenceTest, StatisticsSurviveReopen) {
+  std::vector<uint64_t> resolution_before, position_before;
+  const auto data = trass::testing::RandomDataset(305, 120);
+  {
+    std::unique_ptr<TrassStore> store;
+    ASSERT_TRUE(TrassStore::Open(Options(), StorePath(), &store).ok());
+    for (const auto& t : data) ASSERT_TRUE(store->Put(t).ok());
+    ASSERT_TRUE(store->Flush().ok());
+    resolution_before = store->resolution_histogram();
+    position_before = store->position_code_histogram();
+  }
+  std::unique_ptr<TrassStore> reopened;
+  ASSERT_TRUE(TrassStore::Open(Options(), StorePath(), &reopened).ok());
+  EXPECT_EQ(reopened->resolution_histogram(), resolution_before);
+  EXPECT_EQ(reopened->position_code_histogram(), position_before);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace trass

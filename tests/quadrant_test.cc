@@ -1,0 +1,136 @@
+#include "index/quadrant.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace trass {
+namespace index {
+namespace {
+
+TEST(QuadSeqTest, RootProperties) {
+  QuadSeq root;
+  EXPECT_EQ(root.length(), 0);
+  EXPECT_EQ(root.CellWidth(), 1.0);
+  EXPECT_EQ(root.CellOrigin(), (geo::Point{0.0, 0.0}));
+  const geo::Mbr element = root.ElementBounds();
+  EXPECT_DOUBLE_EQ(element.max_x(), 2.0);
+}
+
+TEST(QuadSeqTest, ChildDigitsAndGeometry) {
+  QuadSeq root;
+  // Reversed-Z: 0 = lower-left, 1 = lower-right, 2 = upper-left,
+  // 3 = upper-right.
+  EXPECT_EQ(root.Child(0).CellOrigin(), (geo::Point{0.0, 0.0}));
+  EXPECT_EQ(root.Child(1).CellOrigin(), (geo::Point{0.5, 0.0}));
+  EXPECT_EQ(root.Child(2).CellOrigin(), (geo::Point{0.0, 0.5}));
+  EXPECT_EQ(root.Child(3).CellOrigin(), (geo::Point{0.5, 0.5}));
+  EXPECT_EQ(root.Child(3).CellWidth(), 0.5);
+  EXPECT_EQ(root.Child(3).Child(0).CellWidth(), 0.25);
+}
+
+TEST(QuadSeqTest, StringRoundTrip) {
+  const QuadSeq seq = QuadSeq::FromString("0312");
+  EXPECT_EQ(seq.length(), 4);
+  EXPECT_EQ(seq.ToString(), "0312");
+  EXPECT_EQ(seq.digit(0), 0);
+  EXPECT_EQ(seq.digit(1), 3);
+  EXPECT_EQ(seq.digit(2), 1);
+  EXPECT_EQ(seq.digit(3), 2);
+}
+
+TEST(QuadSeqTest, ElementBoundsDoubleTowardUpperRight) {
+  const QuadSeq seq = QuadSeq::FromString("03");
+  // '0' -> cell [0,0.5)^2; '3' -> cell [0.25,0.5)^2 at width 0.25.
+  const geo::Mbr element = seq.ElementBounds();
+  EXPECT_DOUBLE_EQ(element.min_x(), 0.25);
+  EXPECT_DOUBLE_EQ(element.min_y(), 0.25);
+  EXPECT_DOUBLE_EQ(element.max_x(), 0.75);
+  EXPECT_DOUBLE_EQ(element.max_y(), 0.75);
+}
+
+TEST(SequenceForTest, PointMbrGoesToMaxResolution) {
+  const geo::Mbr point_mbr(0.3, 0.3, 0.3, 0.3);
+  EXPECT_EQ(SequenceFor(point_mbr, 16).length(), 16);
+}
+
+TEST(SequenceForTest, HugeMbrGoesToRoot) {
+  // Inside the unit square a level-1 enlarged element always covers, so
+  // the root only appears for boxes that spill out — exactly what
+  // Ext(Q.MBR, eps) does for large eps.
+  const geo::Mbr inside(0.01, 0.01, 0.99, 0.99);
+  EXPECT_EQ(SequenceFor(inside, 16).length(), 1);
+  const geo::Mbr spilling = inside.Expanded(0.3);
+  EXPECT_EQ(SequenceFor(spilling, 16).length(), 0);
+}
+
+TEST(SequenceForTest, ElementAlwaysCoversMbr) {
+  Random rnd(31);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const double x1 = rnd.NextDouble() * 0.9;
+    const double y1 = rnd.NextDouble() * 0.9;
+    const double w = rnd.NextDouble() * rnd.NextDouble() * (0.999 - x1);
+    const double h = rnd.NextDouble() * rnd.NextDouble() * (0.999 - y1);
+    const geo::Mbr mbr(x1, y1, x1 + w, y1 + h);
+    const QuadSeq seq = SequenceFor(mbr, 16);
+    const geo::Mbr element = seq.ElementBounds();
+    ASSERT_TRUE(element.Contains(mbr))
+        << "seq=" << seq.ToString() << " mbr=(" << x1 << "," << y1 << ","
+        << x1 + w << "," << y1 + h << ")";
+  }
+}
+
+TEST(SequenceForTest, SequenceAddressesLowerLeftCorner) {
+  Random rnd(33);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const double x1 = rnd.NextDouble() * 0.9;
+    const double y1 = rnd.NextDouble() * 0.9;
+    const geo::Mbr mbr(x1, y1, x1 + 0.01, y1 + 0.01);
+    const QuadSeq seq = SequenceFor(mbr, 16);
+    const geo::Point origin = seq.CellOrigin();
+    const double w = seq.CellWidth();
+    ASSERT_GE(x1, origin.x);
+    ASSERT_LT(x1, origin.x + w);
+    ASSERT_GE(y1, origin.y);
+    ASSERT_LT(y1, origin.y + w);
+  }
+}
+
+TEST(SequenceForTest, SmallestCoveringElement) {
+  // The chosen element is the smallest: one level deeper must fail to
+  // cover (unless already at max resolution).
+  Random rnd(37);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const double x1 = rnd.NextDouble() * 0.9;
+    const double y1 = rnd.NextDouble() * 0.9;
+    const double w = rnd.NextDouble() * 0.2;
+    const double h = rnd.NextDouble() * 0.2;
+    const geo::Mbr mbr(x1, y1, std::min(x1 + w, 1.0), std::min(y1 + h, 1.0));
+    const int max_res = 16;
+    const QuadSeq seq = SequenceFor(mbr, max_res);
+    if (seq.length() >= max_res) continue;
+    // Construct the element one level deeper anchored at the lower-left
+    // corner's cell; it must not cover the MBR.
+    QuadSeq deeper;
+    double cx = 0, cy = 0, cw = 1.0;
+    for (int i = 0; i < seq.length() + 1; ++i) {
+      cw *= 0.5;
+      int q = 0;
+      if (mbr.min_x() >= cx + cw) {
+        q |= 1;
+        cx += cw;
+      }
+      if (mbr.min_y() >= cy + cw) {
+        q |= 2;
+        cy += cw;
+      }
+      deeper = deeper.Child(q);
+    }
+    ASSERT_FALSE(deeper.ElementBounds().Contains(mbr))
+        << "seq=" << seq.ToString() << " not minimal";
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace trass

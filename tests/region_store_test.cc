@@ -1,0 +1,139 @@
+#include "kv/region_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "test_util.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+// Keeps rows whose value has even length.
+class EvenValueFilter final : public ScanFilter {
+ public:
+  bool Keep(const Slice&, const Slice& value) const override {
+    return value.size() % 2 == 0;
+  }
+};
+
+class RegionStoreTest : public ::testing::Test {
+ protected:
+  RegionStoreTest() : dir_("region_store") {
+    RegionStore::RegionOptions options;
+    options.num_regions = 4;
+    options.scan_threads = 2;
+    options.db_options.write_buffer_size = 16 * 1024;
+    EXPECT_TRUE(
+        RegionStore::Open(options, dir_.path() + "/store", &store_).ok());
+  }
+
+  static std::string Key(int shard, const std::string& rest) {
+    std::string key(1, static_cast<char>(shard));
+    key += rest;
+    return key;
+  }
+
+  trass::testing::ScratchDir dir_;
+  std::unique_ptr<RegionStore> store_;
+};
+
+TEST_F(RegionStoreTest, PutGetRoutesByShard) {
+  for (int shard = 0; shard < 4; ++shard) {
+    ASSERT_TRUE(store_
+                    ->Put(WriteOptions(), Key(shard, "k"),
+                          "v" + std::to_string(shard))
+                    .ok());
+  }
+  for (int shard = 0; shard < 4; ++shard) {
+    std::string value;
+    ASSERT_TRUE(store_->Get(ReadOptions(), Key(shard, "k"), &value).ok());
+    EXPECT_EQ(value, "v" + std::to_string(shard));
+  }
+}
+
+TEST_F(RegionStoreTest, RejectsOutOfRangeShard) {
+  EXPECT_FALSE(store_->Put(WriteOptions(), Key(9, "k"), "v").ok());
+  EXPECT_FALSE(store_->Put(WriteOptions(), "", "v").ok());
+}
+
+TEST_F(RegionStoreTest, ScanReplicatesRangeAcrossShards) {
+  // Each shard gets keys 00..99; a range scan without a shard byte must
+  // return matches from every shard.
+  for (int shard = 0; shard < 4; ++shard) {
+    for (int i = 0; i < 100; ++i) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%02d", i);
+      ASSERT_TRUE(
+          store_->Put(WriteOptions(), Key(shard, buf), "value").ok());
+    }
+  }
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"10", "20"}}, nullptr, &rows).ok());
+  EXPECT_EQ(rows.size(), 4u * 10u);
+  for (const Row& row : rows) {
+    const std::string rest = row.key.substr(1);
+    EXPECT_GE(rest, "10");
+    EXPECT_LT(rest, "20");
+  }
+}
+
+TEST_F(RegionStoreTest, ScanAppliesPushdownFilter) {
+  ASSERT_TRUE(store_->Put(WriteOptions(), Key(0, "a"), "xx").ok());    // even
+  ASSERT_TRUE(store_->Put(WriteOptions(), Key(0, "b"), "xxx").ok());   // odd
+  ASSERT_TRUE(store_->Put(WriteOptions(), Key(1, "c"), "xxxx").ok());  // even
+  EvenValueFilter filter;
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, &filter, &rows).ok());
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(RegionStoreTest, MultipleRangesInOneScan) {
+  for (int i = 0; i < 50; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%02d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), Key(0, buf), "v").ok());
+  }
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_
+                  ->Scan({ScanRange{"05", "10"}, ScanRange{"40", "45"}},
+                         nullptr, &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST_F(RegionStoreTest, ScanWithLimitStopsEarly) {
+  for (int i = 0; i < 100; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%03d", i);
+    ASSERT_TRUE(store_->Put(WriteOptions(), Key(0, buf), "v").ok());
+  }
+  std::vector<Row> rows;
+  ASSERT_TRUE(
+      store_->ScanWithLimit({ScanRange{"", ""}}, nullptr, 5, &rows).ok());
+  EXPECT_EQ(rows.size(), 5u);
+}
+
+TEST_F(RegionStoreTest, IoStatsAggregateAcrossRegions) {
+  for (int shard = 0; shard < 4; ++shard) {
+    ASSERT_TRUE(store_->Put(WriteOptions(), Key(shard, "k"), "v").ok());
+  }
+  store_->ResetIoStats();
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows).ok());
+  EXPECT_EQ(store_->TotalIoStats().rows_scanned, 4u);
+}
+
+TEST_F(RegionStoreTest, FlushPersistsAllRegions) {
+  for (int shard = 0; shard < 4; ++shard) {
+    ASSERT_TRUE(store_->Put(WriteOptions(), Key(shard, "k"), "v").ok());
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  EXPECT_GT(store_->TotalTableBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

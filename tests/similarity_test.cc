@@ -1,0 +1,204 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace core {
+namespace {
+
+using geo::Point;
+using Points = std::vector<Point>;
+
+TEST(FrechetTest, IdenticalTrajectoriesAreAtZero) {
+  const Points t = {{0, 0}, {0.5, 0.5}, {1, 1}};
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(t, t), 0.0);
+}
+
+TEST(FrechetTest, SinglePoints) {
+  EXPECT_DOUBLE_EQ(DiscreteFrechet({{0, 0}}, {{3, 4}}), 5.0);
+}
+
+TEST(FrechetTest, ParallelLinesAtConstantOffset) {
+  Points a, b;
+  for (int i = 0; i <= 10; ++i) {
+    a.push_back({i / 10.0, 0.0});
+    b.push_back({i / 10.0, 0.25});
+  }
+  EXPECT_NEAR(DiscreteFrechet(a, b), 0.25, 1e-12);
+}
+
+TEST(FrechetTest, KnownAsymmetricCase) {
+  // Walking a straight line vs. a detour: Fréchet is the detour depth.
+  const Points line = {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const Points detour = {{0, 0}, {1, 0}, {2, 1}, {3, 0}, {4, 0}};
+  EXPECT_NEAR(DiscreteFrechet(line, detour), 1.0, 1e-12);
+}
+
+TEST(FrechetTest, SymmetricInArguments) {
+  Random rnd(63);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 12).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 17).points;
+    EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b), DiscreteFrechet(b, a));
+  }
+}
+
+TEST(FrechetTest, DominatesHausdorff) {
+  // D_F >= D_H always (Fréchet respects order, Hausdorff does not).
+  Random rnd(65);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 10).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 13).points;
+    EXPECT_GE(DiscreteFrechet(a, b) + 1e-12, Hausdorff(a, b));
+  }
+}
+
+TEST(FrechetTest, WithinAgreesWithExact) {
+  Random rnd(67);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 15).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 15).points;
+    const double exact = DiscreteFrechet(a, b);
+    // Stay a relative ulp away from the boundary: the decision procedure
+    // works on squared distances, the exact value went through a sqrt.
+    for (double eps : {exact * 0.5, exact * 0.99, exact * (1 - 1e-9)}) {
+      EXPECT_FALSE(FrechetWithin(a, b, eps))
+          << "exact=" << exact << " eps=" << eps;
+    }
+    for (double eps : {exact * (1 + 1e-9), exact * 1.01, exact * 2}) {
+      EXPECT_TRUE(FrechetWithin(a, b, eps))
+          << "exact=" << exact << " eps=" << eps;
+    }
+  }
+}
+
+TEST(HausdorffTest, Basic) {
+  // Discrete Hausdorff over point sets: the detour point (0.5, 0.4) is
+  // 0.4 from the sample at (0.5, 0).
+  const Points a = {{0, 0}, {0.5, 0}, {1, 0}};
+  const Points b = {{0, 0}, {0.5, 0}, {1, 0}, {0.5, 0.4}};
+  EXPECT_NEAR(Hausdorff(a, b), 0.4, 1e-12);
+  EXPECT_NEAR(Hausdorff(b, a), 0.4, 1e-12);  // symmetric
+}
+
+TEST(HausdorffTest, WithinAgreesWithExact) {
+  Random rnd(69);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 12).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 19).points;
+    const double exact = Hausdorff(a, b);
+    EXPECT_FALSE(HausdorffWithin(a, b, exact * (1 - 1e-9)));
+    EXPECT_TRUE(HausdorffWithin(a, b, exact * (1 + 1e-9)));
+    EXPECT_TRUE(HausdorffWithin(a, b, exact * 1.1));
+  }
+}
+
+TEST(DtwTest, IdenticalIsZero) {
+  const Points t = {{0, 0}, {0.5, 0.5}, {1, 1}};
+  EXPECT_DOUBLE_EQ(Dtw(t, t), 0.0);
+}
+
+TEST(DtwTest, SinglePointSumsAllDistances) {
+  // Definition 13: if n == 1, DTW is the sum of distances to every point.
+  const Points one = {{0, 0}};
+  const Points three = {{1, 0}, {2, 0}, {3, 0}};
+  EXPECT_DOUBLE_EQ(Dtw(one, three), 6.0);
+  EXPECT_DOUBLE_EQ(Dtw(three, one), 6.0);
+}
+
+TEST(DtwTest, WarpingAbsorbsResampling) {
+  // The same path sampled at different rates has small DTW.
+  Points coarse, fine;
+  for (int i = 0; i <= 4; ++i) coarse.push_back({i / 4.0, 0.0});
+  for (int i = 0; i <= 16; ++i) fine.push_back({i / 16.0, 0.0});
+  // Every fine sample pays its offset to the nearest coarse sample:
+  // ~1/16 on average over 17 points, so the total stays near 1.0 even
+  // though the curves are geometrically identical.
+  EXPECT_LT(Dtw(coarse, fine), 1.25);
+  EXPECT_LT(DiscreteFrechet(coarse, fine), 0.13);  // max, not sum
+}
+
+TEST(DtwTest, DominatesPointwiseLowerBound) {
+  // Paper Section VII-B: D_D(Q,T) >= d(q, T) for every q in Q.
+  Random rnd(71);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 10).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 10).points;
+    const double dtw = Dtw(a, b);
+    for (const Point& q : a) {
+      double nearest = 1e18;
+      for (const Point& t : b) {
+        nearest = std::min(nearest, geo::Distance(q, t));
+      }
+      ASSERT_GE(dtw + 1e-12, nearest);
+    }
+  }
+}
+
+TEST(DtwTest, WithinAgreesWithExact) {
+  Random rnd(73);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 12).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 12).points;
+    const double exact = Dtw(a, b);
+    for (double eps : {exact * 0.9, exact, exact * 1.1}) {
+      EXPECT_EQ(DtwWithin(a, b, eps), exact <= eps)
+          << "exact=" << exact << " eps=" << eps;
+    }
+  }
+}
+
+TEST(DispatchTest, MatchesDirectCalls) {
+  Random rnd(75);
+  const auto a = trass::testing::RandomTrajectory(&rnd, 1, 9).points;
+  const auto b = trass::testing::RandomTrajectory(&rnd, 2, 11).points;
+  EXPECT_EQ(Similarity(Measure::kFrechet, a, b), DiscreteFrechet(a, b));
+  EXPECT_EQ(Similarity(Measure::kHausdorff, a, b), Hausdorff(a, b));
+  EXPECT_EQ(Similarity(Measure::kDtw, a, b), Dtw(a, b));
+}
+
+TEST(MeasureTest, Names) {
+  EXPECT_STREQ(MeasureName(Measure::kFrechet), "Frechet");
+  EXPECT_STREQ(MeasureName(Measure::kHausdorff), "Hausdorff");
+  EXPECT_STREQ(MeasureName(Measure::kDtw), "DTW");
+}
+
+// Lemma 5: if some point of T1 is farther than eps from all of T2, the
+// Fréchet distance exceeds eps.
+TEST(LemmaTest, Lemma5PointwiseLowerBound) {
+  Random rnd(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 10).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 14).points;
+    const double frechet = DiscreteFrechet(a, b);
+    double worst = 0.0;
+    for (const Point& t : a) {
+      double nearest = 1e18;
+      for (const Point& q : b) {
+        nearest = std::min(nearest, geo::Distance(t, q));
+      }
+      worst = std::max(worst, nearest);
+    }
+    ASSERT_GE(frechet + 1e-12, worst);
+  }
+}
+
+// Lemma 12: the endpoint distances lower-bound Fréchet and DTW.
+TEST(LemmaTest, Lemma12Endpoints) {
+  Random rnd(79);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto a = trass::testing::RandomTrajectory(&rnd, 1, 10).points;
+    const auto b = trass::testing::RandomTrajectory(&rnd, 2, 10).points;
+    const double start = geo::Distance(a.front(), b.front());
+    const double end = geo::Distance(a.back(), b.back());
+    ASSERT_GE(DiscreteFrechet(a, b) + 1e-12, std::max(start, end));
+    ASSERT_GE(Dtw(a, b) + 1e-12, std::max(start, end));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace trass

@@ -1,0 +1,86 @@
+#include "kv/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "util/random.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+struct CStrCompare {
+  int operator()(const char* a, const char* b) const {
+    return std::strcmp(a, b);
+  }
+};
+
+class SkipListTest : public ::testing::Test {
+ protected:
+  const char* Intern(const std::string& s) {
+    char* mem = arena_.Allocate(s.size() + 1);
+    std::memcpy(mem, s.c_str(), s.size() + 1);
+    return mem;
+  }
+
+  Arena arena_;
+  SkipList<CStrCompare> list_{CStrCompare{}, &arena_};
+};
+
+TEST_F(SkipListTest, EmptyList) {
+  EXPECT_FALSE(list_.Contains("a"));
+  SkipList<CStrCompare>::Iterator iter(&list_);
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST_F(SkipListTest, InsertAndContains) {
+  list_.Insert(Intern("b"));
+  list_.Insert(Intern("a"));
+  list_.Insert(Intern("c"));
+  EXPECT_TRUE(list_.Contains("a"));
+  EXPECT_TRUE(list_.Contains("b"));
+  EXPECT_TRUE(list_.Contains("c"));
+  EXPECT_FALSE(list_.Contains("d"));
+}
+
+TEST_F(SkipListTest, IterationIsSorted) {
+  Random rnd(3);
+  std::set<std::string> expected;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = std::to_string(rnd.Uniform(100000));
+    if (expected.insert(key).second) {
+      list_.Insert(Intern(key));
+    }
+  }
+  SkipList<CStrCompare>::Iterator iter(&list_);
+  iter.SeekToFirst();
+  for (const std::string& key : expected) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(key, iter.entry());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST_F(SkipListTest, SeekFindsFirstGreaterOrEqual) {
+  for (const char* key : {"apple", "banana", "cherry", "damson"}) {
+    list_.Insert(Intern(key));
+  }
+  SkipList<CStrCompare>::Iterator iter(&list_);
+  iter.Seek("banana");
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_STREQ(iter.entry(), "banana");
+  iter.Seek("bb");
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_STREQ(iter.entry(), "cherry");
+  iter.Seek("zzz");
+  EXPECT_FALSE(iter.Valid());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

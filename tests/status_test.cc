@@ -1,0 +1,53 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace trass {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_EQ(Status::NotFound("missing key").ToString(),
+            "NotFound: missing key");
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::NotFound("x").IsCorruption());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad block");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.ToString(), s.ToString());
+  // Copy-assign over an error.
+  Status ok;
+  copy = ok;
+  EXPECT_TRUE(copy.ok());
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::IoError("disk gone");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIoError());
+}
+
+TEST(StatusTest, SelfAssignment) {
+  Status s = Status::NotFound("x");
+  s = *&s;
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+}  // namespace
+}  // namespace trass

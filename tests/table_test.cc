@@ -1,0 +1,190 @@
+#include "kv/table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "kv/dbformat.h"
+#include "kv/table_builder.h"
+#include "test_util.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq = 1) {
+  std::string k;
+  AppendInternalKey(&k, user_key, seq, kTypeValue);
+  return k;
+}
+
+std::string UserKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%05d", i);
+  return buf;
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : dir_("table"), cache_(1 << 20) {}
+
+  void BuildTable(int n, const Options& options) {
+    path_ = dir_.path() + "/test.sst";
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(Env::Default()->NewWritableFile(path_, &file).ok());
+    TableBuilder builder(options, file.get());
+    for (int i = 0; i < n; ++i) {
+      builder.Add(IKey(UserKey(i)), "value-" + std::to_string(i));
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  std::unique_ptr<Table> OpenTable(const Options& options) {
+    std::unique_ptr<RandomAccessFile> file;
+    EXPECT_TRUE(Env::Default()->NewRandomAccessFile(path_, &file).ok());
+    std::unique_ptr<Table> table;
+    EXPECT_TRUE(
+        Table::Open(options, 1, std::move(file), &cache_, &stats_, &table)
+            .ok());
+    return table;
+  }
+
+  trass::testing::ScratchDir dir_;
+  std::string path_;
+  BlockCache cache_;
+  IoStats stats_;
+};
+
+TEST_F(TableTest, RoundTripSmall) {
+  Options options;
+  BuildTable(10, options);
+  auto table = OpenTable(options);
+  std::unique_ptr<Iterator> iter(table->NewIterator(ReadOptions()));
+  int i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++i) {
+    EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(i));
+    EXPECT_EQ(iter->value().ToString(), "value-" + std::to_string(i));
+  }
+  EXPECT_EQ(i, 10);
+}
+
+TEST_F(TableTest, RoundTripManyBlocks) {
+  Options options;
+  options.block_size = 256;  // force many data blocks
+  BuildTable(5000, options);
+  auto table = OpenTable(options);
+  std::unique_ptr<Iterator> iter(table->NewIterator(ReadOptions()));
+  int i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++i) {
+    ASSERT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(i));
+  }
+  EXPECT_EQ(i, 5000);
+}
+
+TEST_F(TableTest, SeekAcrossBlocks) {
+  Options options;
+  options.block_size = 128;
+  BuildTable(1000, options);
+  auto table = OpenTable(options);
+  std::unique_ptr<Iterator> iter(table->NewIterator(ReadOptions()));
+  for (int i : {0, 1, 499, 500, 998, 999}) {
+    iter->Seek(IKey(UserKey(i), kMaxSequenceNumber));
+    ASSERT_TRUE(iter->Valid()) << i;
+    EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), UserKey(i));
+  }
+  iter->Seek(IKey("zzzz", kMaxSequenceNumber));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(TableTest, InternalGetFindsKeys) {
+  Options options;
+  options.block_size = 128;
+  BuildTable(500, options);
+  auto table = OpenTable(options);
+  for (int i : {0, 123, 499}) {
+    bool found = false;
+    std::string key, value;
+    ASSERT_TRUE(table
+                    ->InternalGet(ReadOptions(),
+                                  IKey(UserKey(i), kMaxSequenceNumber),
+                                  &found, &key, &value)
+                    .ok());
+    ASSERT_TRUE(found) << i;
+    EXPECT_EQ(ExtractUserKey(Slice(key)).ToString(), UserKey(i));
+    EXPECT_EQ(value, "value-" + std::to_string(i));
+  }
+}
+
+TEST_F(TableTest, BloomFilterSkipsAbsentKeys) {
+  Options options;
+  options.bloom_bits_per_key = 10;
+  BuildTable(1000, options);
+  auto table = OpenTable(options);
+  const uint64_t skips_before = stats_.bloom_skips.load();
+  int found_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool found = false;
+    std::string key, value;
+    ASSERT_TRUE(table
+                    ->InternalGet(ReadOptions(),
+                                  IKey("absent-" + std::to_string(i),
+                                       kMaxSequenceNumber),
+                                  &found, &key, &value)
+                    .ok());
+    if (found) ++found_count;
+  }
+  // Bloom must skip the large majority of absent probes without touching
+  // data blocks.
+  EXPECT_GT(stats_.bloom_skips.load() - skips_before, 150u);
+  (void)found_count;
+}
+
+TEST_F(TableTest, BlockCacheServesRepeatReads) {
+  Options options;
+  options.block_size = 128;
+  BuildTable(1000, options);
+  auto table = OpenTable(options);
+  auto scan = [&] {
+    std::unique_ptr<Iterator> iter(table->NewIterator(ReadOptions()));
+    int count = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) ++count;
+    EXPECT_EQ(count, 1000);
+  };
+  scan();
+  const uint64_t blocks_after_first = stats_.blocks_read.load();
+  scan();
+  // Second scan should be (nearly) all cache hits.
+  EXPECT_EQ(stats_.blocks_read.load(), blocks_after_first);
+  EXPECT_GT(stats_.cache_hits.load(), 0u);
+}
+
+TEST_F(TableTest, OpenRejectsGarbage) {
+  path_ = dir_.path() + "/garbage.sst";
+  ASSERT_TRUE(Env::Default()
+                  ->WriteStringToFile(std::string(100, 'g'), path_, false)
+                  .ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(Env::Default()->NewRandomAccessFile(path_, &file).ok());
+  std::unique_ptr<Table> table;
+  EXPECT_FALSE(
+      Table::Open(Options(), 2, std::move(file), nullptr, nullptr, &table)
+          .ok());
+}
+
+TEST_F(TableTest, OpenRejectsTruncatedFile) {
+  path_ = dir_.path() + "/tiny.sst";
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(std::string("ab"), path_, false).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(Env::Default()->NewRandomAccessFile(path_, &file).ok());
+  std::unique_ptr<Table> table;
+  EXPECT_FALSE(
+      Table::Open(Options(), 3, std::move(file), nullptr, nullptr, &table)
+          .ok());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

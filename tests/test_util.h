@@ -1,0 +1,71 @@
+// Shared test helpers: scratch directories and random trajectories.
+
+#ifndef TRASS_TESTS_TEST_UTIL_H_
+#define TRASS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "geo/point.h"
+#include "kv/env.h"
+#include "util/random.h"
+
+namespace trass {
+namespace testing {
+
+/// Creates (wiping any leftover) a scratch directory under /tmp and
+/// removes it on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("/tmp/trass_test_" + name) {
+    kv::Env::Default()->RemoveDirRecursively(path_);
+    kv::Env::Default()->CreateDir(path_);
+  }
+  ~ScratchDir() { kv::Env::Default()->RemoveDirRecursively(path_); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Random-walk trajectory inside [lo, hi]^2.
+inline core::Trajectory RandomTrajectory(Random* rnd, uint64_t id, int points,
+                                         double lo = 0.2, double hi = 0.8,
+                                         double step = 0.005) {
+  core::Trajectory t;
+  t.id = id;
+  double x = rnd->UniformDouble(lo, hi);
+  double y = rnd->UniformDouble(lo, hi);
+  for (int i = 0; i < points; ++i) {
+    t.points.push_back(geo::Point{x, y});
+    x += rnd->UniformDouble(-step, step);
+    y += rnd->UniformDouble(-step, step);
+    if (x < 0.0) x = 0.0;
+    if (x > 1.0) x = 1.0;
+    if (y < 0.0) y = 0.0;
+    if (y > 1.0) y = 1.0;
+  }
+  return t;
+}
+
+inline std::vector<core::Trajectory> RandomDataset(uint64_t seed, size_t count,
+                                                   int min_points = 5,
+                                                   int max_points = 60) {
+  Random rnd(seed);
+  std::vector<core::Trajectory> data;
+  data.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int n = min_points + static_cast<int>(rnd.Uniform(
+                                   max_points - min_points + 1));
+    data.push_back(RandomTrajectory(&rnd, i + 1, n));
+  }
+  return data;
+}
+
+}  // namespace testing
+}  // namespace trass
+
+#endif  // TRASS_TESTS_TEST_UTIL_H_

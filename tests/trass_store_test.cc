@@ -1,0 +1,325 @@
+#include "core/trass_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/brute_force.h"
+#include "core/similarity.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace trass {
+namespace core {
+namespace {
+
+class TrassStoreTest : public ::testing::Test {
+ protected:
+  TrassStoreTest() : dir_("trass_store") {}
+
+  void OpenStore(TrassOptions options = DefaultOptions()) {
+    store_.reset();
+    kv::Env::Default()->RemoveDirRecursively(dir_.path() + "/store");
+    ASSERT_TRUE(
+        TrassStore::Open(options, dir_.path() + "/store", &store_).ok());
+  }
+
+  static TrassOptions DefaultOptions() {
+    TrassOptions options;
+    options.shards = 4;
+    options.max_resolution = 12;
+    options.scan_threads = 2;
+    options.db_options.write_buffer_size = 256 * 1024;
+    return options;
+  }
+
+  void Load(const std::vector<Trajectory>& data) {
+    for (const Trajectory& t : data) {
+      ASSERT_TRUE(store_->Put(t).ok());
+    }
+    ASSERT_TRUE(store_->Flush().ok());
+  }
+
+  trass::testing::ScratchDir dir_;
+  std::unique_ptr<TrassStore> store_;
+};
+
+TEST_F(TrassStoreTest, RejectsBadOptions) {
+  TrassOptions options;
+  options.shards = 0;
+  std::unique_ptr<TrassStore> store;
+  EXPECT_FALSE(TrassStore::Open(options, dir_.path() + "/x", &store).ok());
+  options = TrassOptions();
+  options.max_resolution = 99;
+  EXPECT_FALSE(TrassStore::Open(options, dir_.path() + "/y", &store).ok());
+}
+
+TEST_F(TrassStoreTest, EmptyStoreReturnsNothing) {
+  OpenStore();
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(store_
+                  ->ThresholdSearch({{0.5, 0.5}, {0.51, 0.51}}, 0.01,
+                                    Measure::kFrechet, &results)
+                  .ok());
+  EXPECT_TRUE(results.empty());
+  ASSERT_TRUE(store_
+                  ->TopKSearch({{0.5, 0.5}, {0.51, 0.51}}, 5,
+                               Measure::kFrechet, &results)
+                  .ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(TrassStoreTest, FindsExactCopy) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(1, 50);
+  Load(data);
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(store_
+                  ->ThresholdSearch(data[7].points, 1e-9, Measure::kFrechet,
+                                    &results)
+                  .ok());
+  ASSERT_GE(results.size(), 1u);
+  bool found = false;
+  for (const auto& r : results) {
+    if (r.id == data[7].id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TrassStoreTest, ThresholdMatchesBruteForce) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(2, 300);
+  Load(data);
+  baselines::BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  Random rnd(3);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto& query = data[rnd.Uniform(data.size())].points;
+    for (double eps : {0.001, 0.01, 0.05}) {
+      std::vector<SearchResult> got, expected;
+      QueryMetrics metrics;
+      ASSERT_TRUE(store_
+                      ->ThresholdSearch(query, eps, Measure::kFrechet, &got,
+                                        &metrics)
+                      .ok());
+      ASSERT_TRUE(
+          brute.Threshold(query, eps, Measure::kFrechet, &expected, nullptr)
+              .ok());
+      ASSERT_EQ(got.size(), expected.size()) << "eps=" << eps;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+      }
+      // Pruning must actually prune relative to a full scan.
+      EXPECT_LE(metrics.retrieved, data.size());
+    }
+  }
+}
+
+TEST_F(TrassStoreTest, ThresholdMatchesBruteForceAllMeasures) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(4, 200);
+  Load(data);
+  baselines::BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  Random rnd(5);
+  for (Measure measure :
+       {Measure::kFrechet, Measure::kHausdorff, Measure::kDtw}) {
+    // DTW sums distances, so use a larger threshold scale for it.
+    const double eps = measure == Measure::kDtw ? 0.2 : 0.01;
+    for (int iter = 0; iter < 8; ++iter) {
+      const auto& query = data[rnd.Uniform(data.size())].points;
+      std::vector<SearchResult> got, expected;
+      ASSERT_TRUE(
+          store_->ThresholdSearch(query, eps, measure, &got, nullptr).ok());
+      ASSERT_TRUE(
+          brute.Threshold(query, eps, measure, &expected, nullptr).ok());
+      ASSERT_EQ(got.size(), expected.size()) << MeasureName(measure);
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+      }
+    }
+  }
+}
+
+TEST_F(TrassStoreTest, TopKMatchesBruteForce) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(6, 250);
+  Load(data);
+  baselines::BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  Random rnd(7);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto& query = data[rnd.Uniform(data.size())].points;
+    for (int k : {1, 5, 20}) {
+      std::vector<SearchResult> got, expected;
+      ASSERT_TRUE(
+          store_->TopKSearch(query, k, Measure::kFrechet, &got, nullptr)
+              .ok());
+      ASSERT_TRUE(
+          brute.TopK(query, k, Measure::kFrechet, &expected, nullptr).ok());
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      // Distances must agree; ids may differ only on exact ties.
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9)
+            << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(TrassStoreTest, TopKMatchesBruteForceOtherMeasures) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(8, 150);
+  Load(data);
+  baselines::BruteForce brute;
+  ASSERT_TRUE(brute.Build(data).ok());
+  const auto& query = data[33].points;
+  for (Measure measure : {Measure::kHausdorff, Measure::kDtw}) {
+    std::vector<SearchResult> got, expected;
+    ASSERT_TRUE(store_->TopKSearch(query, 10, measure, &got, nullptr).ok());
+    ASSERT_TRUE(brute.TopK(query, 10, measure, &expected, nullptr).ok());
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9)
+          << MeasureName(measure);
+    }
+  }
+}
+
+TEST_F(TrassStoreTest, TopKWithKLargerThanDataset) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(9, 20);
+  Load(data);
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(store_
+                  ->TopKSearch(data[0].points, 100, Measure::kFrechet,
+                               &results, nullptr)
+                  .ok());
+  EXPECT_EQ(results.size(), data.size());
+}
+
+TEST_F(TrassStoreTest, RangeQueryMatchesDirectCheck) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(10, 300);
+  Load(data);
+  Random rnd(11);
+  for (int iter = 0; iter < 10; ++iter) {
+    const double x = rnd.UniformDouble(0.2, 0.7);
+    const double y = rnd.UniformDouble(0.2, 0.7);
+    const geo::Mbr window(x, y, x + 0.1, y + 0.1);
+    std::vector<uint64_t> got;
+    ASSERT_TRUE(store_->RangeQuery(window, &got).ok());
+    std::vector<uint64_t> expected;
+    for (const auto& t : data) {
+      for (const auto& p : t.points) {
+        if (window.Contains(p)) {
+          expected.push_back(t.id);
+          break;
+        }
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST_F(TrassStoreTest, IngestStatisticsAreMaintained) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(12, 100);
+  Load(data);
+  EXPECT_EQ(store_->num_trajectories(), 100u);
+  uint64_t histogram_total = 0;
+  for (uint64_t c : store_->resolution_histogram()) histogram_total += c;
+  EXPECT_EQ(histogram_total, 100u);
+  uint64_t position_total = 0;
+  for (uint64_t c : store_->position_code_histogram()) position_total += c;
+  EXPECT_EQ(position_total, 100u);
+  EXPECT_GT(store_->distinct_index_values(), 0u);
+  EXPECT_LE(store_->distinct_index_values(), 100u);
+  EXPECT_DOUBLE_EQ(store_->average_rowkey_bytes(), 17.0);
+}
+
+TEST_F(TrassStoreTest, StringKeyModeStoresButRejectsQueries) {
+  TrassOptions options = DefaultOptions();
+  options.max_resolution = 16;
+  options.string_keys = true;
+  OpenStore(options);
+  // Compact trajectories index at deep resolutions, where string keys
+  // (1 + |seq| + 1 + 8 bytes) exceed the fixed 17-byte integer keys —
+  // the Figure 13(c) situation.
+  Random rnd(13);
+  std::vector<Trajectory> data;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back(trass::testing::RandomTrajectory(&rnd, i + 1, 20, 0.3,
+                                                    0.7, 0.00001));
+  }
+  Load(data);
+  EXPECT_GT(store_->average_rowkey_bytes(), 17.0);
+  std::vector<SearchResult> results;
+  EXPECT_TRUE(store_
+                  ->ThresholdSearch(data[0].points, 0.01, Measure::kFrechet,
+                                    &results)
+                  .IsNotSupported());
+}
+
+TEST_F(TrassStoreTest, MetricsArePopulated) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(14, 200);
+  Load(data);
+  QueryMetrics metrics;
+  std::vector<SearchResult> results;
+  ASSERT_TRUE(store_
+                  ->ThresholdSearch(data[0].points, 0.01, Measure::kFrechet,
+                                    &results, &metrics)
+                  .ok());
+  EXPECT_GT(metrics.index_values, 0u);
+  EXPECT_GE(metrics.retrieved, metrics.candidates);
+  EXPECT_GE(metrics.candidates, results.size());
+  EXPECT_EQ(metrics.results, results.size());
+  EXPECT_GT(metrics.total_ms, 0.0);
+}
+
+TEST_F(TrassStoreTest, SimilarityJoinMatchesBruteForce) {
+  OpenStore();
+  auto data = trass::testing::RandomDataset(15, 100);
+  // Plant guaranteed-similar pairs: shifted copies of some trajectories.
+  const size_t original = data.size();
+  for (size_t i = 0; i < 10; ++i) {
+    Trajectory copy = data[i * 7];
+    copy.id = 1000 + i;
+    for (auto& p : copy.points) {
+      p.x = std::min(p.x + 0.002, 1.0);
+    }
+    data.push_back(std::move(copy));
+  }
+  (void)original;
+  Load(data);
+  const double eps = 0.008;
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  ASSERT_TRUE(store_->SimilarityJoin(eps, Measure::kFrechet, &got).ok());
+  std::vector<std::pair<uint64_t, uint64_t>> expected;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      if (SimilarityWithin(Measure::kFrechet, data[i].points,
+                           data[j].points, eps)) {
+        expected.emplace_back(std::min(data[i].id, data[j].id),
+                              std::max(data[i].id, data[j].id));
+      }
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(got, expected);
+  EXPECT_GT(got.size(), 0u);  // the dataset must exercise the join
+}
+
+TEST_F(TrassStoreTest, RejectsEmptyTrajectory) {
+  OpenStore();
+  Trajectory empty;
+  empty.id = 1;
+  EXPECT_FALSE(store_->Put(empty).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace trass

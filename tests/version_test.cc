@@ -1,0 +1,146 @@
+#include "kv/version.h"
+
+#include <gtest/gtest.h>
+
+#include "kv/dbformat.h"
+#include "test_util.h"
+
+namespace trass {
+namespace kv {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq = 1) {
+  std::string k;
+  AppendInternalKey(&k, user_key, seq, kTypeValue);
+  return k;
+}
+
+FileMetaData File(uint64_t number, const std::string& smallest,
+                  const std::string& largest, uint64_t size = 1000) {
+  FileMetaData f;
+  f.number = number;
+  f.file_size = size;
+  f.smallest = IKey(smallest);
+  f.largest = IKey(largest);
+  return f;
+}
+
+TEST(VersionTest, OverlappingSelectsByUserKeyRange) {
+  Version v;
+  v.files[1] = {File(1, "a", "c"), File(2, "e", "g"), File(3, "i", "k")};
+  auto hits = v.Overlapping(1, "f", "j");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].number, 2u);
+  EXPECT_EQ(hits[1].number, 3u);
+  // Boundary touch counts as overlap.
+  EXPECT_EQ(v.Overlapping(1, "c", "c").size(), 1u);
+  // Unbounded sides.
+  EXPECT_EQ(v.Overlapping(1, Slice(), Slice()).size(), 3u);
+  EXPECT_EQ(v.Overlapping(1, "h", Slice()).size(), 1u);
+  EXPECT_EQ(v.Overlapping(1, Slice(), "d").size(), 1u);
+}
+
+TEST(VersionTest, LevelAccounting) {
+  Version v;
+  v.files[2] = {File(1, "a", "b", 500), File(2, "c", "d", 700)};
+  EXPECT_EQ(v.LevelBytes(2), 1200u);
+  EXPECT_EQ(v.NumFiles(2), 2);
+  EXPECT_EQ(v.NumFiles(3), 0);
+}
+
+class VersionSetTest : public ::testing::Test {
+ protected:
+  VersionSetTest() : dir_("version_set") {}
+
+  trass::testing::ScratchDir dir_;
+};
+
+TEST_F(VersionSetTest, SnapshotRecoverRoundTrip) {
+  {
+    VersionSet versions(dir_.path(), Env::Default());
+    versions.mutable_current()->files[0].push_back(File(7, "k1", "k9"));
+    versions.mutable_current()->files[3].push_back(File(9, "a", "z", 4096));
+    versions.set_last_sequence(12345);
+    versions.set_log_number(42);
+    while (versions.next_file_number() < 50) versions.NewFileNumber();
+    ASSERT_TRUE(versions.WriteSnapshot().ok());
+  }
+  VersionSet recovered(dir_.path(), Env::Default());
+  bool found = false;
+  ASSERT_TRUE(recovered.Recover(&found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(recovered.last_sequence(), 12345u);
+  EXPECT_EQ(recovered.log_number(), 42u);
+  EXPECT_GE(recovered.next_file_number(), 50u);
+  ASSERT_EQ(recovered.current().NumFiles(0), 1);
+  EXPECT_EQ(recovered.current().files[0][0].number, 7u);
+  ASSERT_EQ(recovered.current().NumFiles(3), 1);
+  EXPECT_EQ(recovered.current().files[3][0].file_size, 4096u);
+  EXPECT_EQ(ExtractUserKey(Slice(recovered.current().files[3][0].smallest))
+                .ToString(),
+            "a");
+}
+
+TEST_F(VersionSetTest, RecoverWithoutManifestReportsAbsent) {
+  VersionSet versions(dir_.path(), Env::Default());
+  bool found = true;
+  ASSERT_TRUE(versions.Recover(&found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(VersionSetTest, CorruptManifestRejected) {
+  {
+    VersionSet versions(dir_.path(), Env::Default());
+    ASSERT_TRUE(versions.WriteSnapshot().ok());
+  }
+  // Clobber the manifest contents.
+  std::vector<std::string> children;
+  ASSERT_TRUE(Env::Default()->GetChildren(dir_.path(), &children).ok());
+  for (const auto& child : children) {
+    if (child.rfind("MANIFEST-", 0) == 0) {
+      ASSERT_TRUE(Env::Default()
+                      ->WriteStringToFile("garbage-manifest",
+                                          dir_.path() + "/" + child, false)
+                      .ok());
+    }
+  }
+  VersionSet versions(dir_.path(), Env::Default());
+  bool found = false;
+  EXPECT_FALSE(versions.Recover(&found).ok());
+}
+
+TEST_F(VersionSetTest, PickCompactionLevel) {
+  VersionSet versions(dir_.path(), Env::Default());
+  Version* v = versions.mutable_current();
+  // No files: nothing to compact.
+  EXPECT_EQ(versions.PickCompactionLevel(4, 1000), -1);
+  // L0 trigger by file count.
+  for (int i = 0; i < 4; ++i) {
+    v->files[0].push_back(File(10 + i, "a", "b", 10));
+  }
+  EXPECT_EQ(versions.PickCompactionLevel(4, 1000), 0);
+  v->files[0].clear();
+  // Level byte budgets: L1 budget = base, L2 = 10x base.
+  v->files[1].push_back(File(20, "a", "b", 1500));
+  EXPECT_EQ(versions.PickCompactionLevel(4, 1000), 1);
+  v->files[1].clear();
+  v->files[2].push_back(File(21, "a", "b", 9000));
+  EXPECT_EQ(versions.PickCompactionLevel(4, 1000), -1);  // under 10x budget
+  v->files[2][0].file_size = 11000;
+  EXPECT_EQ(versions.PickCompactionLevel(4, 1000), 2);
+}
+
+TEST_F(VersionSetTest, FileNumbersMonotonic) {
+  VersionSet versions(dir_.path(), Env::Default());
+  const uint64_t a = versions.NewFileNumber();
+  const uint64_t b = versions.NewFileNumber();
+  EXPECT_LT(a, b);
+  versions.BumpFileNumber(100);
+  EXPECT_GT(versions.NewFileNumber(), 100u);
+  versions.BumpFileNumber(5);  // lower floor is a no-op
+  EXPECT_GT(versions.NewFileNumber(), 100u);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,107 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "index/xzstar.h"
+
+namespace trass {
+namespace workload {
+namespace {
+
+TEST(WorkloadTest, TDriveLikeBasics) {
+  const auto data = TDriveLike(200, 42);
+  ASSERT_EQ(data.size(), 200u);
+  for (const auto& t : data) {
+    ASSERT_GE(t.points.size(), 30u);
+    ASSERT_LE(t.points.size(), 300u);
+    for (const auto& p : t.points) {
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LE(p.x, 1.0);
+      ASSERT_GE(p.y, 0.0);
+      ASSERT_LE(p.y, 1.0);
+    }
+  }
+  // Ids are unique and consecutive from 1.
+  EXPECT_EQ(data.front().id, 1u);
+  EXPECT_EQ(data.back().id, 200u);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  const auto a = TDriveLike(50, 7);
+  const auto b = TDriveLike(50, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].points.size(), b[i].points.size());
+    for (size_t j = 0; j < a[i].points.size(); ++j) {
+      ASSERT_EQ(a[i].points[j], b[i].points[j]);
+    }
+  }
+  const auto c = TDriveLike(50, 8);
+  EXPECT_FALSE(a[0].points[1] == c[0].points[1]);
+}
+
+TEST(WorkloadTest, StationaryTrajectoriesLandAtMaxResolution) {
+  // Figure 12(a)'s peak: waiting taxis index at the maximum resolution.
+  const auto data = TDriveLike(400, 9);
+  index::XzStar xz(16);
+  int at_max = 0;
+  for (const auto& t : data) {
+    if (xz.Index(t.points).seq.length() == 16) ++at_max;
+  }
+  // ~15% stationary plus short trips.
+  EXPECT_GT(at_max, 400 / 20);
+}
+
+TEST(WorkloadTest, ResolutionsSpreadAcrossRange) {
+  const auto data = TDriveLike(500, 10);
+  index::XzStar xz(16);
+  std::vector<int> histogram(17, 0);
+  for (const auto& t : data) {
+    ++histogram[xz.Index(t.points).seq.length()];
+  }
+  // Driving ranges 0.5-78 km should cover roughly resolutions 10..16.
+  int in_band = 0;
+  for (int r = 9; r <= 16; ++r) in_band += histogram[r];
+  EXPECT_GT(in_band, 400);
+}
+
+TEST(WorkloadTest, LorryLikeSpansCountryScale) {
+  const auto data = LorryLike(200, 11);
+  geo::Mbr all;
+  for (const auto& t : data) {
+    all.Extend(geo::Mbr::Of(t.points));
+  }
+  // Country-scale extent: far wider than a city.
+  EXPECT_GT(all.width(), 0.03);
+}
+
+TEST(WorkloadTest, ScaleMultipliesAndRenumbers) {
+  const auto base = TDriveLike(50, 12);
+  const auto scaled = Scale(base, 3, 0.001, 13);
+  ASSERT_EQ(scaled.size(), 150u);
+  for (size_t i = 0; i < scaled.size(); ++i) {
+    EXPECT_EQ(scaled[i].id, i + 1);
+  }
+  // First copy is exact.
+  for (size_t j = 0; j < base[0].points.size(); ++j) {
+    EXPECT_EQ(scaled[0].points[j], base[0].points[j]);
+  }
+}
+
+TEST(WorkloadTest, SampleIndicesDistinctAndInRange) {
+  const auto indices = SampleIndices(1000, 100, 14);
+  ASSERT_EQ(indices.size(), 100u);
+  std::vector<bool> seen(1000, false);
+  for (size_t idx : indices) {
+    ASSERT_LT(idx, 1000u);
+    ASSERT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(WorkloadTest, SampleMoreThanAvailableClamps) {
+  EXPECT_EQ(SampleIndices(10, 100, 15).size(), 10u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace trass

@@ -1,0 +1,128 @@
+#include "index/xz2.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace trass {
+namespace index {
+namespace {
+
+TEST(Xz2Test, SubtreeSizes) {
+  Xz2 xz(2);
+  EXPECT_EQ(xz.SubtreeSize(2), 1);
+  EXPECT_EQ(xz.SubtreeSize(1), 5);
+  EXPECT_EQ(xz.TotalElements(), 21);  // 4*5 regular + root
+}
+
+TEST(Xz2Test, DfsNumberingAtResolution2) {
+  Xz2 xz(2);
+  // DFS: '0'=0, '00'=1, '01'=2, '02'=3, '03'=4, '1'=5, ...
+  EXPECT_EQ(xz.Encode(QuadSeq::FromString("0")), 0);
+  EXPECT_EQ(xz.Encode(QuadSeq::FromString("00")), 1);
+  EXPECT_EQ(xz.Encode(QuadSeq::FromString("03")), 4);
+  EXPECT_EQ(xz.Encode(QuadSeq::FromString("1")), 5);
+  EXPECT_EQ(xz.Encode(QuadSeq::FromString("33")), 19);
+  EXPECT_EQ(xz.Encode(QuadSeq()), 20);  // root overflow
+}
+
+TEST(Xz2Test, EncodeDecodeBijective) {
+  Xz2 xz(8);
+  Random rnd(41);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const int64_t value =
+        static_cast<int64_t>(rnd.Uniform(xz.TotalElements()));
+    const QuadSeq seq = xz.Decode(value);
+    EXPECT_EQ(xz.Encode(seq), value);
+  }
+}
+
+TEST(Xz2Test, EncodePreservesDfsOrder) {
+  // Prefix relationships: a parent's code is less than every descendant's
+  // and descendants of lower-numbered siblings come earlier.
+  Xz2 xz(6);
+  Random rnd(43);
+  for (int iter = 0; iter < 2000; ++iter) {
+    QuadSeq a, b;
+    const int la = 1 + static_cast<int>(rnd.Uniform(6));
+    const int lb = 1 + static_cast<int>(rnd.Uniform(6));
+    for (int i = 0; i < la; ++i) a = a.Child(static_cast<int>(rnd.Uniform(4)));
+    for (int i = 0; i < lb; ++i) b = b.Child(static_cast<int>(rnd.Uniform(4)));
+    const std::string sa = a.ToString();
+    const std::string sb = b.ToString();
+    if (sa == sb) continue;
+    // DFS order on sequences equals lexicographic order of digit strings.
+    EXPECT_EQ(sa < sb, xz.Encode(a) < xz.Encode(b)) << sa << " vs " << sb;
+  }
+}
+
+TEST(Xz2Test, IndexSelectsCoveringElement) {
+  Xz2 xz(16);
+  const geo::Mbr mbr(0.26, 0.26, 0.49, 0.49);
+  const QuadSeq seq = xz.Index(mbr);
+  EXPECT_TRUE(seq.ElementBounds().Contains(mbr));
+}
+
+TEST(Xz2Test, RangesCoverIndexedTrajectories) {
+  // Property: for random data MBRs intersecting a random window, the
+  // window's ranges must include the MBR's element value.
+  Xz2 xz(12);
+  Random rnd(47);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const double wx = rnd.NextDouble() * 0.8;
+    const double wy = rnd.NextDouble() * 0.8;
+    const geo::Mbr window(wx, wy, wx + 0.1 + rnd.NextDouble() * 0.1,
+                          wy + 0.1 + rnd.NextDouble() * 0.1);
+    const double dx = rnd.NextDouble() * 0.9;
+    const double dy = rnd.NextDouble() * 0.9;
+    const geo::Mbr data(dx, dy, std::min(dx + rnd.NextDouble() * 0.1, 1.0),
+                        std::min(dy + rnd.NextDouble() * 0.1, 1.0));
+    if (!window.Intersects(data)) continue;
+    const int64_t value = xz.Encode(xz.Index(data));
+    const auto ranges = xz.Ranges(window);
+    bool covered = false;
+    for (const auto& [lo, hi] : ranges) {
+      if (value >= lo && value <= hi) {
+        covered = true;
+        break;
+      }
+    }
+    // The trajectory's points are inside `data`; if data's element
+    // intersects the window the value must be covered. (data's element
+    // contains data which intersects window, so it always intersects.)
+    ASSERT_TRUE(covered);
+  }
+}
+
+TEST(Xz2Test, RangesAreSortedAndMerged) {
+  Xz2 xz(10);
+  const auto ranges = xz.Ranges(geo::Mbr(0.3, 0.3, 0.42, 0.40));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i].first, ranges[i].second);
+    if (i > 0) {
+      EXPECT_GT(ranges[i].first, ranges[i - 1].second + 1);
+    }
+  }
+}
+
+TEST(MergeRangesTest, MergesAdjacentAndOverlapping) {
+  std::vector<std::pair<int64_t, int64_t>> ranges = {
+      {5, 7}, {1, 2}, {3, 4}, {10, 12}, {11, 15}};
+  MergeRanges(&ranges);
+  // {1,2}+{3,4}+{5,7} chain into one (adjacent values merge).
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].first, 1);
+  EXPECT_EQ(ranges[0].second, 7);
+  EXPECT_EQ(ranges[1].first, 10);
+  EXPECT_EQ(ranges[1].second, 15);
+}
+
+TEST(MergeRangesTest, EmptyInput) {
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  MergeRanges(&ranges);
+  EXPECT_TRUE(ranges.empty());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace trass
