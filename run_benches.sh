@@ -1,12 +1,37 @@
 #!/bin/bash
 # Runs every benchmark binary sequentially, appending to bench_output.txt.
-cd /root/repo
-: > bench_output.txt
+# Fails fast: a missing bench directory, an empty binary set, or a
+# non-zero bench exit aborts the run with a diagnostic instead of
+# silently producing a partial bench_output.txt.
+set -u
+cd /root/repo || exit 1
+
+if [ ! -d build/bench ]; then
+  echo "run_benches.sh: build/bench not found (build with -DTRASS_BUILD_BENCHMARKS=ON first)" >&2
+  exit 1
+fi
+
+benches=()
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
-    echo "##### $b" >> bench_output.txt
-    timeout 1200 "$b" >> bench_output.txt 2>&1
-    echo "[exit $?] $b" >> bench_status.txt
+    benches+=("$b")
+  fi
+done
+if [ "${#benches[@]}" -eq 0 ]; then
+  echo "run_benches.sh: no executable benchmarks in build/bench" >&2
+  exit 1
+fi
+
+: > bench_output.txt
+: > bench_status.txt
+for b in "${benches[@]}"; do
+  echo "##### $b" >> bench_output.txt
+  timeout 1200 "$b" >> bench_output.txt 2>&1
+  rc=$?
+  echo "[exit $rc] $b" >> bench_status.txt
+  if [ "$rc" -ne 0 ]; then
+    echo "run_benches.sh: $b exited with $rc (see bench_output.txt)" >&2
+    exit "$rc"
   fi
 done
 echo ALL_BENCHES_DONE >> bench_status.txt

@@ -23,6 +23,13 @@ struct QueryMetrics {
   uint64_t refined = 0;         // exact similarity computations executed
   uint64_t results = 0;         // final answers
 
+  /// Degraded-mode availability (see RegionStore::RegionOptions). When
+  /// `partial` is set, one or more store regions were skipped after
+  /// exhausting retries and the answer may be missing their rows.
+  bool partial = false;
+  uint64_t skipped_regions = 0;  // region-skip events across all scans
+  uint64_t scan_retries = 0;     // scan attempts beyond the first
+
   double precision() const {
     return candidates == 0
                ? 1.0

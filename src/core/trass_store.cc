@@ -19,6 +19,14 @@ namespace {
 // exists to spread consecutive ids over regions.
 uint64_t HashId(uint64_t id) { return id * 0x9e3779b97f4a7c15ull; }
 
+// Folds a fan-out scan's availability outcome into the query metrics so
+// callers can tell a complete answer from a degraded one.
+void FoldScanReport(const kv::ScanReport& report, QueryMetrics* m) {
+  m->partial = m->partial || !report.complete();
+  m->skipped_regions += report.skipped.size();
+  m->scan_retries += report.retries;
+}
+
 std::vector<kv::ScanRange> ToScanRanges(
     const std::vector<std::pair<int64_t, int64_t>>& value_ranges) {
   std::vector<kv::ScanRange> ranges;
@@ -94,6 +102,7 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   region_options.db_options = options.db_options;
   region_options.num_regions = options.shards;
   region_options.scan_threads = options.scan_threads;
+  region_options.degraded_scans = options.degraded_scans;
   Status s = kv::RegionStore::Open(region_options, path, &impl->store_);
   if (!s.ok()) return s;
   s = impl->RebuildIngestState();
@@ -232,8 +241,11 @@ Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
   phase.Reset();
   LocalScanFilter filter(&ctx, eps, measure);
   std::vector<kv::Row> rows;
-  Status s = store_->Scan(ToScanRanges(present_ranges), &filter, &rows);
+  kv::ScanReport report;
+  Status s =
+      store_->Scan(ToScanRanges(present_ranges), &filter, &rows, &report);
   if (!s.ok()) return s;
+  FoldScanReport(report, m);
   m->scan_ms = phase.ElapsedMillis();
   m->retrieved = filter.scanned();
   m->candidates = filter.kept();
@@ -359,8 +371,11 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
       phase.Reset();
       LocalScanFilter filter(&ctx, current_eps(), measure);
       std::vector<kv::Row> rows;
-      Status s = store_->Scan(ToScanRanges(batch_values), &filter, &rows);
+      kv::ScanReport report;
+      Status s =
+          store_->Scan(ToScanRanges(batch_values), &filter, &rows, &report);
       if (!s.ok()) return s;
+      FoldScanReport(report, m);
       m->retrieved += filter.scanned();
       m->candidates += filter.kept();
       m->index_values += batch_values.size();
@@ -457,8 +472,10 @@ Status TrassStore::SimilarityJoin(
   // (A production join would partition by element and join partitions;
   // probe-per-row reuses the threshold machinery and is exact.)
   std::vector<kv::Row> rows;
-  Status s = store_->Scan({kv::ScanRange{"", ""}}, nullptr, &rows);
+  kv::ScanReport report;
+  Status s = store_->Scan({kv::ScanRange{"", ""}}, nullptr, &rows, &report);
   if (!s.ok()) return s;
+  FoldScanReport(report, m);
   for (const kv::Row& row : rows) {
     StoredTrajectory t;
     s = DecodeRow(Slice(row.key), Slice(row.value), &t);
@@ -467,6 +484,9 @@ Status TrassStore::SimilarityJoin(
     QueryMetrics probe;
     s = ThresholdSearch(t.points, eps, measure, &matches, &probe);
     if (!s.ok()) return s;
+    m->partial = m->partial || probe.partial;
+    m->skipped_regions += probe.skipped_regions;
+    m->scan_retries += probe.scan_retries;
     m->retrieved += probe.retrieved;
     m->candidates += probe.candidates;
     m->refined += probe.refined;
@@ -554,8 +574,10 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   phase.Reset();
   WindowScanFilter filter(window);
   std::vector<kv::Row> rows;
-  Status s = store_->Scan(ToScanRanges(present), &filter, &rows);
+  kv::ScanReport report;
+  Status s = store_->Scan(ToScanRanges(present), &filter, &rows, &report);
   if (!s.ok()) return s;
+  FoldScanReport(report, m);
   m->scan_ms = phase.ElapsedMillis();
   m->retrieved = filter.scanned();
   m->candidates = rows.size();

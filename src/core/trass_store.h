@@ -43,6 +43,13 @@ struct TrassOptions {
   /// comparison). Stores only; queries are unsupported in this mode.
   bool string_keys = false;
 
+  /// Opt-in availability-over-completeness: when a store region keeps
+  /// failing after retries, skip it instead of failing the query. Query
+  /// results are then flagged via QueryMetrics::partial /
+  /// skipped_regions. Off by default: a query either sees every region
+  /// or returns the region-attributed error.
+  bool degraded_scans = false;
+
   /// Underlying LSM engine tuning.
   kv::Options db_options;
 };

@@ -34,6 +34,16 @@ class DB {
   static Status Open(const Options& options, const std::string& name,
                      std::unique_ptr<DB>* db);
 
+  /// Best-effort offline repair of the database at `name` (the DB must
+  /// not be open). Rebuilds a fresh manifest from the SSTables that
+  /// still pass a full checksum walk: unreadable/corrupt tables are
+  /// quarantined (renamed to `<file>.bad`), survivors are installed at
+  /// level 0, and the log number is reset so every surviving WAL is
+  /// replayed on the next Open. Use when Open fails with a corrupt or
+  /// missing manifest/CURRENT; what it cannot salvage is data whose only
+  /// copy lived in a corrupt table or an unsynced WAL tail.
+  static Status Repair(const Options& options, const std::string& name);
+
   ~DB();
 
   DB(const DB&) = delete;
@@ -56,6 +66,12 @@ class DB {
 
   /// Compacts everything down to the last non-empty level.
   Status CompactRange();
+
+  /// Scrub: re-reads every SSTable referenced by the current version
+  /// (footer, filter, index, and all data blocks) straight from disk,
+  /// verifying block checksums, and re-parses the manifest. Returns the
+  /// first corruption found, with the offending file in the message.
+  Status VerifyIntegrity();
 
   const IoStats& io_stats() const { return stats_; }
   IoStats* mutable_io_stats() { return &stats_; }

@@ -1,0 +1,358 @@
+#include "kv/fault_injection_env.h"
+
+namespace trass {
+namespace kv {
+
+namespace {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpenWrite:
+      return "open-write";
+    case FaultOp::kOpenRead:
+      return "open-read";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kAppend:
+      return "append";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kRename:
+      return "rename";
+  }
+  return "unknown";
+}
+
+Status InactiveError(const std::string& path) {
+  return Status::IoError(path + ": filesystem inactive (simulated crash)");
+}
+
+}  // namespace
+
+/// WritableFile wrapper reporting appends/syncs back to the env so crash
+/// simulation knows each file's durable prefix.
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string fname,
+                             std::unique_ptr<WritableFile> target)
+      : env_(env), fname_(std::move(fname)), target_(std::move(target)) {}
+
+  Status Append(const Slice& data) override {
+    if (!env_->writes_allowed()) return InactiveError(fname_);
+    Status s = env_->CheckFault(FaultOp::kAppend, fname_);
+    if (!s.ok()) return s;
+    s = target_->Append(data);
+    if (s.ok()) env_->OnAppend(fname_, data.size());
+    return s;
+  }
+
+  Status Flush() override {
+    if (!env_->writes_allowed()) return InactiveError(fname_);
+    return target_->Flush();
+  }
+
+  Status Sync() override {
+    if (!env_->writes_allowed()) return InactiveError(fname_);
+    Status s = env_->CheckFault(FaultOp::kSync, fname_);
+    if (!s.ok()) return s;
+    s = target_->Sync();
+    if (s.ok()) env_->OnSync(fname_);
+    return s;
+  }
+
+  Status Close() override { return target_->Close(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<WritableFile> target_;
+};
+
+namespace {
+
+class FaultInjectionRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultInjectionRandomAccessFile(FaultInjectionEnv* env, std::string fname,
+                                 std::unique_ptr<RandomAccessFile> target)
+      : env_(env), fname_(std::move(fname)), target_(std::move(target)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = env_->CheckFault(FaultOp::kRead, fname_);
+    if (!s.ok()) return s;
+    return target_->Read(offset, n, result, scratch);
+  }
+
+  uint64_t Size() const override { return target_->Size(); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<RandomAccessFile> target_;
+};
+
+class FaultInjectionSequentialFile final : public SequentialFile {
+ public:
+  FaultInjectionSequentialFile(FaultInjectionEnv* env, std::string fname,
+                               std::unique_ptr<SequentialFile> target)
+      : env_(env), fname_(std::move(fname)), target_(std::move(target)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = env_->CheckFault(FaultOp::kRead, fname_);
+    if (!s.ok()) return s;
+    return target_->Read(n, result, scratch);
+  }
+
+  Status Skip(uint64_t n) override { return target_->Skip(n); }
+
+ private:
+  FaultInjectionEnv* const env_;
+  const std::string fname_;
+  std::unique_ptr<SequentialFile> target_;
+};
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* target)
+    : target_(target), rng_(0xfa17) {}
+
+void FaultInjectionEnv::InjectFault(const FaultPoint& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(fault);
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+}
+
+uint64_t FaultInjectionEnv::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
+void FaultInjectionEnv::SetFilesystemActive(bool active) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_ = active;
+}
+
+bool FaultInjectionEnv::writes_allowed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+Status FaultInjectionEnv::CheckFault(FaultOp op, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    FaultPoint& fault = faults_[i];
+    if (fault.op != op) continue;
+    if (!fault.path_substring.empty() &&
+        path.find(fault.path_substring) == std::string::npos) {
+      continue;
+    }
+    if (fault.probability > 0.0) {
+      if (!rng_.Bernoulli(fault.probability)) return Status::OK();
+    } else if (fault.countdown > 0) {
+      --fault.countdown;
+      return Status::OK();
+    }
+    ++faults_fired_;
+    const std::string msg = path + ": injected " +
+                            std::string(FaultOpName(op)) + " fault";
+    if (!fault.permanent) faults_.erase(faults_.begin() + i);
+    return Status::IoError(msg);
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::OnAppend(const std::string& fname, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[fname].pos += bytes;
+}
+
+void FaultInjectionEnv::OnSync(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[fname];
+  state.synced_pos = state.pos;
+  state.ever_synced = true;
+}
+
+uint64_t FaultInjectionEnv::SyncedBytes(const std::string& fname) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  return it == files_.end() ? 0 : it->second.synced_pos;
+}
+
+void FaultInjectionEnv::ResetState() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+}
+
+Status FaultInjectionEnv::DropUnsyncedData() {
+  std::map<std::string, FileState> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files = files_;
+  }
+  for (const auto& [fname, state] : files) {
+    if (!target_->FileExists(fname)) continue;
+    if (!state.ever_synced) {
+      // Never synced: the file's directory entry is not durable.
+      Status s = target_->RemoveFile(fname);
+      if (!s.ok()) return s;
+      std::lock_guard<std::mutex> lock(mu_);
+      files_.erase(fname);
+      continue;
+    }
+    if (state.synced_pos >= state.pos) continue;  // fully durable
+    std::string contents;
+    Status s = target_->ReadFileToString(fname, &contents);
+    if (!s.ok()) return s;
+    if (contents.size() > state.synced_pos) {
+      contents.resize(state.synced_pos);
+    }
+    s = target_->WriteStringToFile(Slice(contents), fname, /*sync=*/true);
+    if (!s.ok()) return s;
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[fname].pos = state.synced_pos;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  if (!writes_allowed()) return InactiveError(fname);
+  Status s = CheckFault(FaultOp::kOpenWrite, fname);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> file;
+  s = target_->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  {
+    // Creation truncates, so tracking restarts from zero.
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[fname] = FileState{};
+  }
+  *result = std::make_unique<FaultInjectionWritableFile>(this, fname,
+                                                         std::move(file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  Status s = CheckFault(FaultOp::kOpenRead, fname);
+  if (!s.ok()) return s;
+  std::unique_ptr<RandomAccessFile> file;
+  s = target_->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultInjectionRandomAccessFile>(this, fname,
+                                                             std::move(file));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  Status s = CheckFault(FaultOp::kOpenRead, fname);
+  if (!s.ok()) return s;
+  std::unique_ptr<SequentialFile> file;
+  s = target_->NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultInjectionSequentialFile>(this, fname,
+                                                           std::move(file));
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return target_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dir,
+                                      std::vector<std::string>* result) {
+  return target_->GetChildren(dir, result);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  if (!writes_allowed()) return InactiveError(fname);
+  Status s = target_->RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
+  if (!writes_allowed()) return InactiveError(dirname);
+  return target_->CreateDir(dirname);
+}
+
+Status FaultInjectionEnv::RemoveDirRecursively(const std::string& dirname) {
+  if (!writes_allowed()) return InactiveError(dirname);
+  Status s = target_->RemoveDirRecursively(dirname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string prefix = dirname + "/";
+    for (auto it = files_.begin(); it != files_.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = files_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target) {
+  if (!writes_allowed()) return InactiveError(src);
+  Status s = CheckFault(FaultOp::kRename, src);
+  if (!s.ok()) return s;
+  s = target_->RenameFile(src, target);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target] = it->second;
+      files_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  return target_->GetFileSize(fname, size);
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& fname,
+                                           std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  static constexpr size_t kBufSize = 1 << 16;
+  std::string scratch(kBufSize, '\0');
+  for (;;) {
+    Slice fragment;
+    s = file->Read(kBufSize, &fragment, scratch.data());
+    if (!s.ok()) return s;
+    if (fragment.empty()) break;
+    data->append(fragment.data(), fragment.size());
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteStringToFile(const Slice& data,
+                                            const std::string& fname,
+                                            bool sync) {
+  std::unique_ptr<WritableFile> file;
+  Status s = NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(data);
+  if (s.ok() && sync) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  return s;
+}
+
+}  // namespace kv
+}  // namespace trass

@@ -1,0 +1,150 @@
+// FaultInjectionEnv: an Env wrapper that simulates storage failures for
+// the crash/corruption test matrix.
+//
+// Two failure families are modeled:
+//
+//  * Crashes. The wrapper tracks, per file, how many bytes were covered
+//    by the last successful Sync(). DropUnsyncedData() then reverts the
+//    directory to what a power loss would leave behind: every tracked
+//    file is truncated back to its synced prefix, and files that were
+//    never synced are removed. SetFilesystemActive(false) makes all
+//    mutations fail, so a DB torn down "mid-crash" cannot mask the
+//    damage with its destructor flush.
+//
+//  * I/O errors. InjectFault() arms a fault point matched by operation
+//    kind and (optionally) a path substring; a fault fires after an
+//    operation countdown or with a given probability, once (transient)
+//    or on every subsequent match (permanent).
+//
+// The model is: synced bytes survive a crash, renames survive a crash,
+// unsynced bytes and never-synced files do not. Directory-entry fsync is
+// not modeled separately (see DESIGN.md "Failure model & recovery").
+
+#ifndef TRASS_KV_FAULT_INJECTION_ENV_H_
+#define TRASS_KV_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kv/env.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace trass {
+namespace kv {
+
+/// Operation kinds a fault point can match.
+enum class FaultOp {
+  kOpenWrite,   // NewWritableFile
+  kOpenRead,    // NewRandomAccessFile / NewSequentialFile
+  kRead,        // RandomAccessFile::Read / SequentialFile::Read
+  kAppend,      // WritableFile::Append
+  kSync,        // WritableFile::Sync
+  kRename,      // RenameFile
+};
+
+/// One armed fault. Matches operations of kind `op` whose path contains
+/// `path_substring` (empty matches everything). When `probability` is 0
+/// the fault fires on the first match after skipping `countdown` matches;
+/// otherwise each match fires independently with the given probability.
+/// Transient faults disarm after firing once; permanent faults keep
+/// firing.
+struct FaultPoint {
+  FaultOp op;
+  int countdown = 0;
+  double probability = 0.0;
+  bool permanent = false;
+  std::string path_substring;
+};
+
+class FaultInjectionEnv final : public Env {
+ public:
+  /// Wraps `target` (not owned); pass Env::Default() for the POSIX env.
+  explicit FaultInjectionEnv(Env* target);
+
+  // ---- fault control ----
+
+  void InjectFault(const FaultPoint& fault);
+  void ClearFaults();
+  /// Number of operations failed by armed fault points so far.
+  uint64_t faults_fired() const;
+
+  /// When inactive, every mutating operation fails with IoError without
+  /// touching the target filesystem (the post-crash "process is dead"
+  /// window). Reads still pass through.
+  void SetFilesystemActive(bool active);
+
+  /// Simulates power loss: truncates every tracked file to its synced
+  /// prefix and removes tracked files that were never synced. Requires
+  /// the filesystem to be inactive or all writers closed; safe either
+  /// way because writers fail while inactive.
+  Status DropUnsyncedData();
+
+  /// Bytes of `fname` covered by its last successful Sync (0 if never
+  /// synced or untracked).
+  uint64_t SyncedBytes(const std::string& fname) const;
+
+  /// Forgets sync-state tracking (e.g. between crash trials).
+  void ResetState();
+
+  Env* target() const { return target_; }
+
+  /// Returns a non-OK status when an armed fault matches (op, path).
+  /// Public so the file wrappers (and tests) can consult it.
+  Status CheckFault(FaultOp op, const std::string& path);
+  bool writes_allowed() const;
+
+  // ---- Env interface ----
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDirRecursively(const std::string& dirname) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status ReadFileToString(const std::string& fname,
+                          std::string* data) override;
+  Status WriteStringToFile(const Slice& data, const std::string& fname,
+                           bool sync) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t pos = 0;         // bytes appended so far
+    uint64_t synced_pos = 0;  // bytes covered by the last Sync
+    bool ever_synced = false;
+  };
+
+  // Writer callbacks (serialized on mu_).
+  void OnAppend(const std::string& fname, uint64_t bytes);
+  void OnSync(const std::string& fname);
+
+  Env* const target_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  std::vector<FaultPoint> faults_;
+  uint64_t faults_fired_ = 0;
+  bool active_ = true;
+  Random rng_;
+};
+
+}  // namespace kv
+}  // namespace trass
+
+#endif  // TRASS_KV_FAULT_INJECTION_ENV_H_

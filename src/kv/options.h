@@ -46,6 +46,13 @@ struct Options {
   /// fsync WAL appends (off by default: benchmarks measure CPU/IO of the
   /// query path, not disk durability).
   bool sync_wal = false;
+
+  /// Treat every detected inconsistency as an error: block checksums are
+  /// verified on all reads (Get / iterators), and WAL recovery fails on
+  /// a corrupted record instead of truncating at it. Off by default —
+  /// the lenient mode matches the availability posture of the paper's
+  /// HBase substrate, where a torn WAL tail is expected after a crash.
+  bool paranoid_checks = false;
 };
 
 struct ReadOptions {

@@ -1,6 +1,9 @@
 #include "kv/region_store.h"
 
-#include <mutex>
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace trass {
 namespace kv {
@@ -20,10 +23,11 @@ Status RegionStore::Open(const RegionOptions& options, const std::string& path,
   if (!s.ok()) return s;
   std::unique_ptr<RegionStore> impl(new RegionStore(options, path));
   impl->regions_.resize(options.num_regions);
+  impl->health_.resize(options.num_regions);
   for (int i = 0; i < options.num_regions; ++i) {
     const std::string region_path = path + "/region-" + std::to_string(i);
     s = DB::Open(options.db_options, region_path, &impl->regions_[i]);
-    if (!s.ok()) return s;
+    if (!s.ok()) return s.WithContext("region " + std::to_string(i));
   }
   impl->pool_ = std::make_unique<ThreadPool>(options.scan_threads);
   *store = std::move(impl);
@@ -61,79 +65,158 @@ Status RegionStore::Get(const ReadOptions& options, const Slice& key,
                         std::string* value) {
   Status s = CheckKey(key, num_regions());
   if (!s.ok()) return s;
-  return regions_[static_cast<unsigned char>(key[0])]->Get(options, key,
-                                                           value);
+  ReadOptions read_options = options;
+  read_options.verify_checksums = true;
+  const int shard = static_cast<unsigned char>(key[0]);
+  return regions_[shard]
+      ->Get(read_options, key, value)
+      .WithContext("region " + std::to_string(shard));
 }
 
 Status RegionStore::Scan(const std::vector<ScanRange>& ranges,
-                         const ScanFilter* filter, std::vector<Row>* out) {
-  return ScanInternal(ranges, filter, /*limit=*/0, out);
+                         const ScanFilter* filter, std::vector<Row>* out,
+                         ScanReport* report) {
+  return ScanInternal(ranges, filter, /*limit=*/0, out, report);
 }
 
 Status RegionStore::ScanWithLimit(const std::vector<ScanRange>& ranges,
                                   const ScanFilter* filter, size_t limit,
-                                  std::vector<Row>* out) {
-  return ScanInternal(ranges, filter, limit, out);
+                                  std::vector<Row>* out, ScanReport* report) {
+  return ScanInternal(ranges, filter, limit, out, report);
+}
+
+Status RegionStore::ScanRegionOnce(size_t region,
+                                   const std::vector<ScanRange>& ranges,
+                                   const ScanFilter* filter, size_t limit,
+                                   std::vector<Row>* rows) {
+  DB* db = regions_[region].get();
+  ReadOptions read_options;
+  read_options.verify_checksums = true;
+  std::unique_ptr<Iterator> iter(db->NewIterator(read_options));
+  const char shard = static_cast<char>(region);
+  std::vector<Row> kept;
+  for (const ScanRange& range : ranges) {
+    std::string start(1, shard);
+    start += range.start;
+    std::string end;
+    if (!range.end.empty()) {
+      end.assign(1, shard);
+      end += range.end;
+    }
+    for (iter->Seek(Slice(start)); iter->Valid(); iter->Next()) {
+      const Slice key = iter->key();
+      // An unbounded range needs no end check: a region database holds
+      // exactly one shard, so every key of this region matches.
+      if (!end.empty() && key.compare(Slice(end)) >= 0) break;
+      if (filter == nullptr || filter->Keep(key, iter->value())) {
+        kept.push_back(Row{key.ToString(), iter->value().ToString()});
+        if (limit != 0 && kept.size() >= limit) break;
+      }
+    }
+    if (!iter->status().ok()) return iter->status();
+    if (limit != 0 && kept.size() >= limit) break;
+  }
+  *rows = std::move(kept);
+  return Status::OK();
 }
 
 Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
                                  const ScanFilter* filter, size_t limit,
-                                 std::vector<Row>* out) {
+                                 std::vector<Row>* out, ScanReport* report) {
+  if (report != nullptr) *report = ScanReport{};
   if (ranges.empty()) return Status::OK();
   const size_t n = regions_.size();
   std::vector<std::vector<Row>> per_region(n);
   std::vector<Status> statuses(n);
+  std::atomic<uint64_t> retries{0};
 
+  const int attempts = 1 + std::max(0, options_.max_scan_retries);
   pool_->ParallelFor(n, [&](size_t region) {
-    DB* db = regions_[region].get();
-    ReadOptions read_options;
-    std::unique_ptr<Iterator> iter(db->NewIterator(read_options));
-    const char shard = static_cast<char>(region);
-    std::vector<Row>& rows = per_region[region];
-    for (const ScanRange& range : ranges) {
-      std::string start(1, shard);
-      start += range.start;
-      std::string end;
-      if (!range.end.empty()) {
-        end.assign(1, shard);
-        end += range.end;
-      }
-      for (iter->Seek(Slice(start)); iter->Valid(); iter->Next()) {
-        const Slice key = iter->key();
-        if (!end.empty()) {
-          if (key.compare(Slice(end)) >= 0) break;
-        } else {
-          // Unbounded range still must not leak into... there is only one
-          // shard per region database, so any key of this region matches.
-        }
-        if (filter == nullptr || filter->Keep(key, iter->value())) {
-          rows.push_back(Row{key.ToString(), iter->value().ToString()});
-          if (limit != 0 && rows.size() >= limit) break;
+    Status last;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        retries.fetch_add(1, std::memory_order_relaxed);
+        uint64_t backoff_ms = options_.retry_backoff_ms
+                              << std::min(attempt - 1, 20);
+        backoff_ms = std::min(backoff_ms, options_.max_retry_backoff_ms);
+        if (backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
         }
       }
-      if (!iter->status().ok()) {
-        statuses[region] = iter->status();
+      last = ScanRegionOnce(region, ranges, filter, limit,
+                            &per_region[region]);
+      if (last.ok()) {
+        RecordSuccess(region);
         return;
       }
-      if (limit != 0 && rows.size() >= limit) break;
+      RecordFailure(region, last);
     }
+    // Attribute the failure to its region (shard == region index).
+    statuses[region] =
+        last.WithContext("region " + std::to_string(region));
   });
 
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
+  Status failure;
+  for (size_t region = 0; region < n; ++region) {
+    if (statuses[region].ok()) continue;
+    if (options_.degraded_scans) {
+      RecordSkip(region);
+      if (report != nullptr) {
+        report->skipped.push_back(SkippedRegion{
+            static_cast<int>(region), statuses[region].ToString()});
+      }
+    } else if (failure.ok()) {
+      failure = statuses[region];
+    }
   }
-  for (auto& rows : per_region) {
-    for (auto& row : rows) {
+  if (report != nullptr) {
+    report->retries = retries.load(std::memory_order_relaxed);
+  }
+  if (!failure.ok()) return failure;
+  for (size_t region = 0; region < n; ++region) {
+    if (!statuses[region].ok()) continue;  // degraded: skip failed region
+    for (auto& row : per_region[region]) {
       out->push_back(std::move(row));
     }
   }
   return Status::OK();
 }
 
+void RegionStore::RecordFailure(size_t region, const Status& s) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  RegionHealth& health = health_[region];
+  ++health.failed_attempts;
+  ++health.consecutive_failures;
+  health.last_error = s.ToString();
+}
+
+void RegionStore::RecordSuccess(size_t region) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_[region].consecutive_failures = 0;
+}
+
+void RegionStore::RecordSkip(size_t region) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ++health_[region].skipped_scans;
+}
+
+RegionHealth RegionStore::Health(int region) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_.at(region);
+}
+
 Status RegionStore::Flush() {
-  for (auto& region : regions_) {
-    Status s = region->Flush();
-    if (!s.ok()) return s;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    Status s = regions_[i]->Flush();
+    if (!s.ok()) return s.WithContext("region " + std::to_string(i));
+  }
+  return Status::OK();
+}
+
+Status RegionStore::VerifyIntegrity() {
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    Status s = regions_[i]->VerifyIntegrity();
+    if (!s.ok()) return s.WithContext("region " + std::to_string(i));
   }
   return Status::OK();
 }
@@ -149,6 +232,8 @@ IoStats::Snapshot RegionStore::TotalIoStats() const {
     total.bloom_skips += s.bloom_skips;
     total.point_gets += s.point_gets;
     total.range_scans += s.range_scans;
+    total.checksum_verifications += s.checksum_verifications;
+    total.corruptions_detected += s.corruptions_detected;
   }
   return total;
 }

@@ -3,11 +3,20 @@
 // each region is an independent LSM database, and scans fan out across
 // regions on a thread pool with the filter pushed down (coprocessor
 // style). I/O counters aggregate across regions for the evaluation.
+//
+// Availability: a failed region scan is retried with bounded exponential
+// backoff; failures are tracked per region. In opt-in degraded mode a
+// region that still fails after retries is skipped — the scan returns
+// rows from the healthy regions plus a ScanReport naming the skipped
+// shards — instead of failing the whole query. Without degraded mode the
+// error is returned, attributed to its region.
 
 #ifndef TRASS_KV_REGION_STORE_H_
 #define TRASS_KV_REGION_STORE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +27,29 @@
 namespace trass {
 namespace kv {
 
+/// One region a degraded scan skipped after exhausting retries.
+struct SkippedRegion {
+  int shard = 0;
+  std::string error;  // final attempt's status, region-attributed
+};
+
+/// Outcome of one fan-out scan. `skipped` is empty for a complete
+/// result; callers surfacing partial results must propagate it.
+struct ScanReport {
+  std::vector<SkippedRegion> skipped;
+  uint64_t retries = 0;  // scan attempts beyond the first, all regions
+
+  bool complete() const { return skipped.empty(); }
+};
+
+/// Cumulative availability counters for one region.
+struct RegionHealth {
+  uint64_t failed_attempts = 0;       // scan attempts that errored
+  uint64_t consecutive_failures = 0;  // cleared by a successful scan
+  uint64_t skipped_scans = 0;         // degraded-mode skips
+  std::string last_error;
+};
+
 class RegionStore {
  public:
   struct RegionOptions {
@@ -26,6 +58,16 @@ class RegionStore {
     int num_regions = 8;
     /// Worker threads for parallel region scans.
     size_t scan_threads = 4;
+    /// Retries per region scan after a failure (0 disables). Each retry
+    /// rebuilds the region iterator, so transient faults heal.
+    int max_scan_retries = 2;
+    /// Backoff before the first retry; doubles per retry up to the cap.
+    uint64_t retry_backoff_ms = 2;
+    uint64_t max_retry_backoff_ms = 100;
+    /// Opt-in degraded mode: skip regions that fail after retries and
+    /// report them instead of failing the scan. Callers must check the
+    /// ScanReport (or query metrics) to learn the result is partial.
+    bool degraded_scans = false;
   };
 
   /// Opens `num_regions` databases under directory `path`.
@@ -35,7 +77,9 @@ class RegionStore {
   int num_regions() const { return static_cast<int>(regions_.size()); }
 
   /// Routes by the first key byte (the shard). Keys must be non-empty and
-  /// their first byte must be < num_regions.
+  /// their first byte must be < num_regions. Read paths verify block
+  /// checksums regardless of the passed options (torn-page detection is
+  /// part of the store's contract).
   Status Put(const WriteOptions& options, const Slice& key,
              const Slice& value);
   Status Delete(const WriteOptions& options, const Slice& key);
@@ -46,18 +90,26 @@ class RegionStore {
   /// (null keeps all rows). Appends kept rows to *out (unordered across
   /// regions). Ranges must NOT include the shard byte: the store prepends
   /// each shard to each range, mirroring how TraSS replicates a scan
-  /// across salted key spaces.
+  /// across salted key spaces. When `report` is non-null it receives the
+  /// scan outcome (retries, skipped shards in degraded mode).
   Status Scan(const std::vector<ScanRange>& ranges, const ScanFilter* filter,
-              std::vector<Row>* out);
+              std::vector<Row>* out, ScanReport* report = nullptr);
 
   /// Like Scan but stops globally after `limit` kept rows (approximate:
   /// each region stops at `limit`, the caller trims).
   Status ScanWithLimit(const std::vector<ScanRange>& ranges,
                        const ScanFilter* filter, size_t limit,
-                       std::vector<Row>* out);
+                       std::vector<Row>* out, ScanReport* report = nullptr);
+
+  /// Snapshot of one region's availability counters.
+  RegionHealth Health(int region) const;
 
   /// Flushes all regions (memtables -> SSTs).
   Status Flush();
+
+  /// Checksum-scrubs every region (see DB::VerifyIntegrity); failures
+  /// are attributed to their region.
+  Status VerifyIntegrity();
 
   /// Sums I/O counters across regions.
   IoStats::Snapshot TotalIoStats() const;
@@ -70,12 +122,24 @@ class RegionStore {
 
   Status ScanInternal(const std::vector<ScanRange>& ranges,
                       const ScanFilter* filter, size_t limit,
-                      std::vector<Row>* out);
+                      std::vector<Row>* out, ScanReport* report);
+
+  /// One scan attempt over one region; *rows is only filled on success.
+  Status ScanRegionOnce(size_t region, const std::vector<ScanRange>& ranges,
+                        const ScanFilter* filter, size_t limit,
+                        std::vector<Row>* rows);
+
+  void RecordFailure(size_t region, const Status& s);
+  void RecordSuccess(size_t region);
+  void RecordSkip(size_t region);
 
   RegionOptions options_;
   std::string path_;
   std::vector<std::unique_ptr<DB>> regions_;
   std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex health_mu_;
+  std::vector<RegionHealth> health_;
 };
 
 }  // namespace kv

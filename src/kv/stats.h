@@ -18,6 +18,8 @@ struct IoStats {
   std::atomic<uint64_t> bloom_skips{0};       // tables skipped by bloom
   std::atomic<uint64_t> point_gets{0};
   std::atomic<uint64_t> range_scans{0};
+  std::atomic<uint64_t> checksum_verifications{0};  // blocks CRC-checked
+  std::atomic<uint64_t> corruptions_detected{0};    // checksum mismatches
 
   void Reset() {
     blocks_read = 0;
@@ -27,6 +29,8 @@ struct IoStats {
     bloom_skips = 0;
     point_gets = 0;
     range_scans = 0;
+    checksum_verifications = 0;
+    corruptions_detected = 0;
   }
 
   struct Snapshot {
@@ -37,13 +41,20 @@ struct IoStats {
     uint64_t bloom_skips;
     uint64_t point_gets;
     uint64_t range_scans;
+    uint64_t checksum_verifications;
+    uint64_t corruptions_detected;
   };
 
   Snapshot Read() const {
-    return Snapshot{blocks_read.load(),  block_bytes_read.load(),
-                    cache_hits.load(),   rows_scanned.load(),
-                    bloom_skips.load(),  point_gets.load(),
-                    range_scans.load()};
+    return Snapshot{blocks_read.load(),
+                    block_bytes_read.load(),
+                    cache_hits.load(),
+                    rows_scanned.load(),
+                    bloom_skips.load(),
+                    point_gets.load(),
+                    range_scans.load(),
+                    checksum_verifications.load(),
+                    corruptions_detected.load()};
   }
 };
 

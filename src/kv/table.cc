@@ -82,8 +82,18 @@ std::shared_ptr<const Block> Table::ReadDataBlock(const ReadOptions& options,
     }
   }
   BlockContents contents;
+  if (rep_->stats && options.verify_checksums) {
+    rep_->stats->checksum_verifications.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
   *s = ReadBlock(rep_->file.get(), options, handle, &contents);
-  if (!s->ok()) return nullptr;
+  if (!s->ok()) {
+    if (rep_->stats && s->IsCorruption()) {
+      rep_->stats->corruptions_detected.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
   if (rep_->stats) {
     rep_->stats->blocks_read.fetch_add(1, std::memory_order_relaxed);
     rep_->stats->block_bytes_read.fetch_add(contents.data.size(),

@@ -58,7 +58,11 @@ Status VersionSet::WriteSnapshot() {
   }
   const uint64_t manifest_number = NewFileNumber();
   const std::string fname = ManifestFileName(dbname_, manifest_number);
-  Status s = env_->WriteStringToFile(Slice(contents), fname, /*sync=*/false);
+  // The manifest and the CURRENT pointer must be durable before CURRENT
+  // is repointed: a crash after the rename with an unsynced manifest
+  // would leave CURRENT referencing a missing/torn file. Snapshots are
+  // rare (one per flush/compaction), so the fsyncs are cheap.
+  Status s = env_->WriteStringToFile(Slice(contents), fname, /*sync=*/true);
   if (!s.ok()) return s;
   // Atomically repoint CURRENT via rename of a temp file.
   const std::string tmp = dbname_ + "/CURRENT.tmp";
@@ -68,7 +72,7 @@ Status VersionSet::WriteSnapshot() {
                 static_cast<unsigned long long>(manifest_number));
   pointer += buf;
   pointer += "\n";
-  s = env_->WriteStringToFile(Slice(pointer), tmp, /*sync=*/false);
+  s = env_->WriteStringToFile(Slice(pointer), tmp, /*sync=*/true);
   if (!s.ok()) return s;
   s = env_->RenameFile(tmp, CurrentFileName(dbname_));
   if (!s.ok()) return s;

@@ -28,4 +28,10 @@ std::string Status::ToString() const {
   return std::string(type) + rep_->message;
 }
 
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  return Status(rep_->code,
+                std::string(context) + ": " + rep_->message);
+}
+
 }  // namespace trass

@@ -57,6 +57,12 @@ class Status {
   /// Returns a string such as "NotFound: no such key" (or "OK").
   std::string ToString() const;
 
+  /// Returns a copy with `context` prepended to the message, keeping the
+  /// code: Corruption("bad block") -> Corruption("region 3: bad block").
+  /// No-op on OK statuses. Used to attribute failures to a component
+  /// (region, file) as they propagate up.
+  Status WithContext(std::string_view context) const;
+
  private:
   enum class Code {
     kOk = 0,

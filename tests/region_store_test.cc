@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "kv/fault_injection_env.h"
 #include "test_util.h"
 
 namespace trass {
@@ -132,6 +133,125 @@ TEST_F(RegionStoreTest, FlushPersistsAllRegions) {
   }
   ASSERT_TRUE(store_->Flush().ok());
   EXPECT_GT(store_->TotalTableBytes(), 0u);
+}
+
+// Fixture for availability tests: the store's regions live on a
+// FaultInjectionEnv so individual regions can be made to fail.
+class RegionStoreFaultTest : public ::testing::Test {
+ protected:
+  RegionStoreFaultTest()
+      : dir_("region_store_fault"), env_(Env::Default()) {}
+
+  void OpenStore(bool degraded) {
+    RegionStore::RegionOptions options;
+    options.num_regions = 4;
+    options.scan_threads = 2;
+    options.max_scan_retries = 2;
+    options.retry_backoff_ms = 1;
+    options.degraded_scans = degraded;
+    options.db_options.env = &env_;
+    ASSERT_TRUE(
+        RegionStore::Open(options, dir_.path() + "/store", &store_).ok());
+    // Ten rows per region, flushed so scans must read table files (where
+    // the injected faults live).
+    for (int shard = 0; shard < 4; ++shard) {
+      for (int i = 0; i < 10; ++i) {
+        std::string key(1, static_cast<char>(shard));
+        key += "k" + std::to_string(i);
+        ASSERT_TRUE(store_->Put(WriteOptions(), key, "v").ok());
+      }
+    }
+    ASSERT_TRUE(store_->Flush().ok());
+  }
+
+  // Makes every table read in region `shard` fail until faults clear.
+  void BreakRegion(int shard) {
+    for (FaultOp op : {FaultOp::kOpenRead, FaultOp::kRead}) {
+      FaultPoint fault;
+      fault.op = op;
+      fault.permanent = true;
+      fault.path_substring = "region-" + std::to_string(shard);
+      env_.InjectFault(fault);
+    }
+  }
+
+  trass::testing::ScratchDir dir_;
+  FaultInjectionEnv env_;
+  std::unique_ptr<RegionStore> store_;
+};
+
+TEST_F(RegionStoreFaultTest, DegradedScanSkipsFailedRegionAndReportsIt) {
+  OpenStore(/*degraded=*/true);
+  BreakRegion(2);
+  std::vector<Row> rows;
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report).ok());
+  // All rows from the three healthy regions, none from the broken one.
+  EXPECT_EQ(rows.size(), 30u);
+  for (const Row& row : rows) {
+    EXPECT_NE(row.key[0], 2) << "row from the skipped region";
+  }
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].shard, 2);
+  EXPECT_NE(report.skipped[0].error.find("region 2"), std::string::npos)
+      << report.skipped[0].error;
+  EXPECT_FALSE(report.complete());
+  // 1 initial attempt + 2 retries, all failed, then one skip.
+  const RegionHealth health = store_->Health(2);
+  EXPECT_EQ(health.failed_attempts, 3u);
+  EXPECT_EQ(health.consecutive_failures, 3u);
+  EXPECT_EQ(health.skipped_scans, 1u);
+  EXPECT_FALSE(health.last_error.empty());
+  EXPECT_GE(report.retries, 2u);
+  EXPECT_EQ(store_->Health(0).failed_attempts, 0u);
+}
+
+TEST_F(RegionStoreFaultTest, NonDegradedScanReturnsAttributedError) {
+  OpenStore(/*degraded=*/false);
+  BreakRegion(2);
+  std::vector<Row> rows;
+  ScanReport report;
+  const Status s = store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("region 2"), std::string::npos)
+      << s.ToString();
+  EXPECT_TRUE(rows.empty());  // no partial rows without opting in
+  EXPECT_TRUE(report.skipped.empty());
+}
+
+TEST_F(RegionStoreFaultTest, TransientFaultHealsViaRetry) {
+  OpenStore(/*degraded=*/false);
+  FaultPoint fault;  // one-shot: first table open in region 1 fails
+  fault.op = FaultOp::kOpenRead;
+  fault.path_substring = "region-1";
+  env_.InjectFault(fault);
+  std::vector<Row> rows;
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report).ok());
+  EXPECT_EQ(rows.size(), 40u);  // retry recovered the full result
+  EXPECT_GE(report.retries, 1u);
+  EXPECT_TRUE(report.complete());
+  const RegionHealth health = store_->Health(1);
+  EXPECT_EQ(health.failed_attempts, 1u);
+  EXPECT_EQ(health.consecutive_failures, 0u);  // cleared by the success
+  EXPECT_EQ(health.skipped_scans, 0u);
+}
+
+TEST_F(RegionStoreFaultTest, GetAttributesErrorToRegion) {
+  OpenStore(/*degraded=*/true);
+  BreakRegion(3);
+  std::string value;
+  std::string key(1, static_cast<char>(3));
+  key += "k0";
+  const Status s = store_->Get(ReadOptions(), key, &value);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("region 3"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(RegionStoreFaultTest, VerifyIntegrityCoversEveryRegion) {
+  OpenStore(/*degraded=*/true);
+  EXPECT_TRUE(store_->VerifyIntegrity().ok());
 }
 
 }  // namespace

@@ -49,5 +49,18 @@ TEST(StatusTest, SelfAssignment) {
   EXPECT_TRUE(s.IsNotFound());
 }
 
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  const Status s = Status::IoError("read failed").WithContext("region 3");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(s.ToString(), "IoError: region 3: read failed");
+  // Chaining stacks outermost-first.
+  EXPECT_EQ(s.WithContext("scan").ToString(),
+            "IoError: scan: region 3: read failed");
+}
+
+TEST(StatusTest, WithContextOnOkIsOk) {
+  EXPECT_TRUE(Status().WithContext("ignored").ok());
+}
+
 }  // namespace
 }  // namespace trass
