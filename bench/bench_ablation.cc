@@ -68,8 +68,8 @@ VariantResult RunVariant(core::TrassStore* store,
                          int local_filter /*0=none,1=endpoints,2=full*/) {
   VariantResult out;
   Stopwatch total;
-  const core::QueryContext ctx =
-      core::QueryContext::Make(query, store->options().dp_tolerance);
+  const core::QueryGeometry ctx =
+      core::QueryGeometry::Make(query, store->options().dp_tolerance);
   std::vector<kv::ScanRange> scan_ranges;
   if (global_pruning) {
     core::GlobalPruner pruner(&store->xz_index(), &ctx,

@@ -1,8 +1,15 @@
-// Figure 18: 99th-percentile tail latency of threshold and top-k search
-// per solution.
+// Figure 18: tail latency (p50/p99) of threshold and top-k search per
+// solution, plus a second pass exercising the serving-path controls on
+// TraSS: per-query deadlines (miss and partial-result rates) and
+// admission control under synthetic overload (shed rate).
 
 #include "bench_common.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/admission.h"
 #include "core/metrics.h"
 #include "util/histogram.h"
 
@@ -10,13 +17,22 @@ namespace trass {
 namespace bench {
 namespace {
 
+void FormatMs(char* buf, size_t len, const Histogram& h, double pct) {
+  if (h.Count() == 0) {
+    std::snprintf(buf, len, "n/a");
+  } else {
+    std::snprintf(buf, len, "%.2f", h.Percentile(pct));
+  }
+}
+
 void RunDataset(const Dataset& dataset, const std::string& dir) {
-  std::printf("\n=== Figure 18 — tail latency (p99) — %s (%zu queries) ===\n",
-              dataset.name.c_str(), dataset.num_queries());
+  std::printf(
+      "\n=== Figure 18 — tail latency — %s (%zu queries) ===\n",
+      dataset.name.c_str(), dataset.num_queries());
   auto searchers = MakeAllSearchers(dir);
-  std::printf("%-22s %20s %20s\n", "solution", "threshold-p99-ms",
-              "topk50-p99-ms");
-  PrintRule(66);
+  std::printf("%-22s %14s %14s %14s %14s\n", "solution", "thr-p50-ms",
+              "thr-p99-ms", "topk50-p50-ms", "topk50-p99-ms");
+  PrintRule(84);
   for (auto& searcher : searchers) {
     Status s = searcher->Build(dataset.data);
     if (!s.ok()) continue;
@@ -37,19 +53,135 @@ void RunDataset(const Dataset& dataset, const std::string& dir) {
         topk_latency.Add(metrics.total_ms);
       }
     }
-    char threshold_buf[32] = "n/a";
-    if (threshold_latency.Count() > 0) {
-      std::snprintf(threshold_buf, sizeof(threshold_buf), "%.2f",
-                    threshold_latency.Percentile(99));
-    }
-    char topk_buf[32] = "n/a";
-    if (topk_latency.Count() > 0) {
-      std::snprintf(topk_buf, sizeof(topk_buf), "%.2f",
-                    topk_latency.Percentile(99));
-    }
-    std::printf("%-22s %20s %20s\n", searcher->name().c_str(), threshold_buf,
-                topk_buf);
+    char thr_p50[32], thr_p99[32], topk_p50[32], topk_p99[32];
+    FormatMs(thr_p50, sizeof(thr_p50), threshold_latency, 50);
+    FormatMs(thr_p99, sizeof(thr_p99), threshold_latency, 99);
+    FormatMs(topk_p50, sizeof(topk_p50), topk_latency, 50);
+    FormatMs(topk_p99, sizeof(topk_p99), topk_latency, 99);
+    std::printf("%-22s %14s %14s %14s %14s\n", searcher->name().c_str(),
+                thr_p50, thr_p99, topk_p50, topk_p99);
   }
+}
+
+/// Pass 2: the serving-path controls, TraSS only. The deadline is set to
+/// half the undeadlined median so a realistic fraction of queries trips
+/// it; the overload phase squeezes the store down to two slots and a
+/// two-deep queue while eight client threads hammer it.
+void RunServingControls(const Dataset& dataset, const std::string& dir) {
+  std::printf(
+      "\n=== Figure 18b — deadlines & admission — %s (%zu queries) ===\n",
+      dataset.name.c_str(), dataset.num_queries());
+  core::TrassOptions options;
+  baselines::TrassSearcher searcher(options, dir + "/trass_controls");
+  if (!searcher.Build(dataset.data).ok()) {
+    std::printf("build failed; skipping\n");
+    return;
+  }
+  core::TrassStore* store = searcher.store();
+
+  // Undeadlined baseline: calibrates the deadline and anchors the table.
+  Histogram base;
+  for (size_t q = 0; q < dataset.num_queries(); ++q) {
+    std::vector<core::SearchResult> found;
+    core::QueryMetrics metrics;
+    if (store->ThresholdSearch(dataset.Query(q), EpsNorm(0.01),
+                               core::Measure::kFrechet, &found, &metrics)
+            .ok()) {
+      base.Add(metrics.total_ms);
+    }
+  }
+  if (base.Count() == 0) {
+    std::printf("no successful baseline queries; skipping\n");
+    return;
+  }
+  const double deadline_ms = std::max(1.0, base.Median() * 0.5);
+
+  // Deadlined, fail-fast: an expired deadline surfaces as TimedOut.
+  Histogram deadlined;
+  size_t missed = 0;
+  for (size_t q = 0; q < dataset.num_queries(); ++q) {
+    std::vector<core::SearchResult> found;
+    core::QueryMetrics metrics;
+    core::QueryOptions qo;
+    qo.deadline_ms = deadline_ms;
+    const Status s = store->ThresholdSearch(dataset.Query(q), EpsNorm(0.01),
+                                            core::Measure::kFrechet, &found,
+                                            &metrics, qo);
+    deadlined.Add(metrics.total_ms);
+    if (s.IsTimedOut()) ++missed;
+  }
+
+  // Deadlined, allow_partial: same budget, but the verified prefix is
+  // returned and the truncation is flagged in the metrics.
+  Histogram partial_latency;
+  size_t partials = 0;
+  for (size_t q = 0; q < dataset.num_queries(); ++q) {
+    std::vector<core::SearchResult> found;
+    core::QueryMetrics metrics;
+    core::QueryOptions qo;
+    qo.deadline_ms = deadline_ms;
+    qo.allow_partial = true;
+    if (store->ThresholdSearch(dataset.Query(q), EpsNorm(0.01),
+                               core::Measure::kFrechet, &found, &metrics, qo)
+            .ok()) {
+      partial_latency.Add(metrics.total_ms);
+      if (metrics.partial) ++partials;
+    }
+  }
+
+  // Overload: 2 slots, 2-deep queue, 5 ms queue timeout, 8 client
+  // threads. Shed queries surface as Busy and bump the shed counters.
+  core::AdmissionController* admission = store->admission_controller();
+  const uint64_t sheds_before = admission->counters().sheds();
+  core::AdmissionController::Options squeeze;
+  squeeze.max_concurrent = 2;
+  squeeze.max_queue = 2;
+  squeeze.queue_timeout_ms = 5.0;
+  admission->Configure(squeeze);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 8;
+  std::atomic<size_t> attempts{0};
+  {
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        for (int i = 0; i < kPerClient; ++i) {
+          std::vector<core::SearchResult> found;
+          core::QueryMetrics metrics;
+          core::QueryOptions qo;
+          qo.deadline_ms = deadline_ms;
+          qo.allow_partial = true;
+          (void)store->ThresholdSearch(
+              dataset.Query(static_cast<size_t>(t * kPerClient + i)),
+              EpsNorm(0.01), core::Measure::kFrechet, &found, &metrics, qo);
+          attempts.fetch_add(1);
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+  const uint64_t sheds = admission->counters().sheds() - sheds_before;
+  admission->Configure(core::AdmissionController::Options());  // re-open
+
+  const double n = static_cast<double>(dataset.num_queries());
+  std::printf("deadline          : %.2f ms (half of undeadlined p50)\n",
+              deadline_ms);
+  std::printf("%-28s %10s %10s %12s\n", "mode", "p50-ms", "p99-ms", "rate");
+  PrintRule(64);
+  std::printf("%-28s %10.2f %10.2f %12s\n", "no deadline", base.Median(),
+              base.Percentile(99), "-");
+  std::printf("%-28s %10.2f %10.2f %11.1f%%\n", "deadline (miss rate)",
+              deadlined.Median(), deadlined.Percentile(99),
+              100.0 * static_cast<double>(missed) / n);
+  std::printf("%-28s %10.2f %10.2f %11.1f%%\n", "deadline+partial (partial)",
+              partial_latency.Median(), partial_latency.Percentile(99),
+              100.0 * static_cast<double>(partials) /
+                  static_cast<double>(std::max<size_t>(
+                      partial_latency.Count(), 1)));
+  std::printf("%-28s %10s %10s %11.1f%%\n", "overload 8x (shed rate)", "-",
+              "-",
+              100.0 * static_cast<double>(sheds) /
+                  static_cast<double>(std::max<size_t>(attempts.load(), 1)));
 }
 
 }  // namespace
@@ -59,7 +191,11 @@ void RunDataset(const Dataset& dataset, const std::string& dir) {
 int main() {
   using namespace trass::bench;
   const std::string dir = ScratchDir("fig18");
-  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
-  RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
+  const Dataset tdrive = MakeTDrive(DefaultN(), DefaultQueries());
+  const Dataset lorry = MakeLorry(DefaultN(), DefaultQueries());
+  RunDataset(tdrive, dir);
+  RunDataset(lorry, dir);
+  RunServingControls(tdrive, dir);
+  RunServingControls(lorry, dir);
   return 0;
 }

@@ -74,8 +74,8 @@ void BM_GlobalPruningRangeGeneration(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     const auto& query = data[i % data.size()].points;
-    const trass::core::QueryContext ctx =
-        trass::core::QueryContext::Make(query, 0.01);
+    const trass::core::QueryGeometry ctx =
+        trass::core::QueryGeometry::Make(query, 0.01);
     trass::core::GlobalPruner pruner(&xz, &ctx);
     benchmark::DoNotOptimize(pruner.CandidateRanges(eps));
     ++i;

@@ -80,7 +80,7 @@ BENCHMARK(BM_DpFeatureComputation);
 
 void BM_LocalFilter(benchmark::State& state) {
   const auto& data = SharedData();
-  const auto ctx = trass::core::QueryContext::Make(data[0].points, 0.01);
+  const auto ctx = trass::core::QueryGeometry::Make(data[0].points, 0.01);
   std::vector<trass::core::StoredTrajectory> stored;
   for (const auto& t : data) {
     trass::core::StoredTrajectory s;

@@ -1,0 +1,85 @@
+#include "core/admission.h"
+
+#include <chrono>
+
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace core {
+
+Status AdmissionController::Admit(double* waited_ms) {
+  if (waited_ms != nullptr) *waited_ms = 0.0;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_concurrent <= 0) {  // admission control disabled
+    ++counters_.admitted;
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (in_flight_ < options_.max_concurrent) {
+    ++counters_.admitted;
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (waiting_ >= options_.max_queue) {
+    ++counters_.shed_queue_full;
+    return Status::Busy("admission queue full (" +
+                        std::to_string(in_flight_) + " queries in flight)");
+  }
+  ++waiting_;
+  ++counters_.queued;
+  Stopwatch wait;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              options_.queue_timeout_ms));
+  const bool got_slot = slot_free_.wait_until(lock, deadline, [this] {
+    return options_.max_concurrent <= 0 ||
+           in_flight_ < options_.max_concurrent;
+  });
+  --waiting_;
+  if (waited_ms != nullptr) *waited_ms = wait.ElapsedMillis();
+  if (!got_slot) {
+    ++counters_.shed_timeout;
+    return Status::Busy("admission queue timeout after " +
+                        std::to_string(options_.queue_timeout_ms) + " ms");
+  }
+  ++counters_.admitted;
+  ++in_flight_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_free_.notify_one();
+}
+
+void AdmissionController::Configure(const Options& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
+  }
+  // Raised limits may unblock queued callers.
+  slot_free_.notify_all();
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+AdmissionController::Options AdmissionController::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+}  // namespace core
+}  // namespace trass

@@ -1,0 +1,98 @@
+// AdmissionController: overload protection for the query serving path.
+//
+// A fixed number of queries run concurrently; a bounded number more may
+// wait in an admission queue (FIFO by condition-variable wakeup) for up
+// to a queue timeout. Everything beyond that is shed immediately with
+// Status::Busy — overload turns into fast rejections the client can
+// retry against another replica, instead of a convoy that collapses
+// tail latency for everyone (the ROADMAP's "millions of users" failure
+// mode). Counters expose admitted/queued/shed totals for dashboards and
+// the Figure 18 bench's shed-rate column.
+
+#ifndef TRASS_CORE_ADMISSION_H_
+#define TRASS_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace trass {
+namespace core {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries allowed in flight at once; 0 disables admission control
+    /// entirely (every Admit succeeds immediately).
+    int max_concurrent = 0;
+    /// Callers allowed to wait for a slot beyond the concurrency limit;
+    /// 0 sheds immediately when all slots are busy.
+    int max_queue = 0;
+    /// Longest a queued caller waits before being shed.
+    double queue_timeout_ms = 100.0;
+  };
+
+  struct Counters {
+    uint64_t admitted = 0;         // queries granted a slot
+    uint64_t queued = 0;           // admissions that had to wait first
+    uint64_t shed_queue_full = 0;  // rejected: queue already full
+    uint64_t shed_timeout = 0;     // rejected: queue wait timed out
+    uint64_t sheds() const { return shed_queue_full + shed_timeout; }
+  };
+
+  explicit AdmissionController(const Options& options)
+      : options_(options) {}
+
+  /// Blocks until a slot is free (at most queue_timeout_ms, and only if
+  /// a queue position is free), then claims it. Returns OK (caller MUST
+  /// later call Release exactly once) or Busy (caller must not).
+  /// `waited_ms`, when non-null, receives the time spent queued.
+  Status Admit(double* waited_ms = nullptr);
+
+  /// Returns a slot claimed by a successful Admit.
+  void Release();
+
+  /// Replaces the limits. Safe at any time: queries already in flight
+  /// or queued finish under their admission; new limits govern new
+  /// arrivals. Shrinking max_concurrent below in_flight just delays new
+  /// admissions until enough releases happen.
+  void Configure(const Options& options);
+
+  Counters counters() const;
+  int in_flight() const;
+  Options options() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  Options options_;
+  int in_flight_ = 0;
+  int waiting_ = 0;
+  Counters counters_;
+};
+
+/// RAII admission slot: releases on destruction iff Admit succeeded.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* controller,
+                         double* waited_ms = nullptr)
+      : controller_(controller), status_(controller->Admit(waited_ms)) {}
+  ~AdmissionSlot() {
+    if (status_.ok()) controller_->Release();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  AdmissionController* controller_;
+  Status status_;
+};
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_ADMISSION_H_

@@ -3,7 +3,7 @@
 namespace trass {
 namespace core {
 
-bool LocalFilterPass(const QueryContext& query,
+bool LocalFilterPass(const QueryGeometry& query,
                      const StoredTrajectory& candidate, double eps,
                      Measure measure) {
   if (candidate.points.empty()) return false;

@@ -28,14 +28,14 @@ namespace core {
 
 /// The pure predicate: true when (query, candidate) survives Lemmas
 /// 12-14 under `eps` (i.e. the pair still *may* be similar).
-bool LocalFilterPass(const QueryContext& query,
+bool LocalFilterPass(const QueryGeometry& query,
                      const StoredTrajectory& candidate, double eps,
                      Measure measure);
 
 /// Pushdown form. Thread-safe; counts scanned/kept rows for the metrics.
 class LocalScanFilter final : public kv::ScanFilter {
  public:
-  LocalScanFilter(const QueryContext* query, double eps, Measure measure)
+  LocalScanFilter(const QueryGeometry* query, double eps, Measure measure)
       : query_(query), eps_(eps), measure_(measure) {}
 
   bool Keep(const Slice& key, const Slice& value) const override;
@@ -44,7 +44,7 @@ class LocalScanFilter final : public kv::ScanFilter {
   uint64_t kept() const { return kept_.load(); }
 
  private:
-  const QueryContext* query_;
+  const QueryGeometry* query_;
   const double eps_;
   const Measure measure_;
   mutable std::atomic<uint64_t> scanned_{0};

@@ -30,6 +30,16 @@ struct QueryMetrics {
   uint64_t skipped_regions = 0;  // region-skip events across all scans
   uint64_t scan_retries = 0;     // scan attempts beyond the first
 
+  /// Cooperative-stop outcome (see QueryOptions). With `allow_partial`
+  /// the query returns OK with `partial` set and the reason recorded
+  /// here; the flags compose with `skipped_regions` (a query can be
+  /// partial for both reasons at once). Without `allow_partial` the
+  /// reason arrives as the returned Status instead.
+  bool deadline_expired = false;   // stopped at QueryOptions::deadline_ms
+  bool cancelled = false;          // stopped via QueryOptions::cancel
+  bool budget_exhausted = false;   // stopped at QueryOptions::max_candidates
+  double admission_wait_ms = 0.0;  // time queued in admission control
+
   double precision() const {
     return candidates == 0
                ? 1.0

@@ -9,9 +9,9 @@
 namespace trass {
 namespace core {
 
-QueryContext QueryContext::Make(const std::vector<geo::Point>& query_points,
+QueryGeometry QueryGeometry::Make(const std::vector<geo::Point>& query_points,
                                 double dp_tolerance) {
-  QueryContext ctx;
+  QueryGeometry ctx;
   ctx.points = query_points;
   ctx.mbr = geo::Mbr::Of(query_points);
   ctx.features = DpFeatures::ComputeCapped(query_points, dp_tolerance);
@@ -165,6 +165,14 @@ void GlobalPruner::Visit(
   if (*budget == 0) {
     // Out of traversal budget: cover the whole subtree conservatively.
     out->push_back(SubtreeRange(seq));
+    return;
+  }
+  // Cooperative stop: piggyback on the visit budget so the clock is read
+  // once per kControlCheckStride elements, not per element. Abandoning
+  // here leaves the ranges incomplete; the caller checks the control.
+  if (control_ != nullptr && (*budget % kControlCheckStride) == 0 &&
+      control_->ShouldStop()) {
+    *budget = 0;
     return;
   }
   --*budget;

@@ -26,17 +26,18 @@
 #include "geo/mbr.h"
 #include "geo/point.h"
 #include "index/xzstar.h"
+#include "util/query_context.h"
 
 namespace trass {
 namespace core {
 
 /// Query-side context reused across pruning and filtering.
-struct QueryContext {
+struct QueryGeometry {
   std::vector<geo::Point> points;
   geo::Mbr mbr;
   DpFeatures features;
 
-  static QueryContext Make(const std::vector<geo::Point>& query_points,
+  static QueryGeometry Make(const std::vector<geo::Point>& query_points,
                            double dp_tolerance);
 };
 
@@ -71,9 +72,14 @@ class GlobalPruner {
   /// `directory`, when non-null, is the store's sorted list of index
   /// values actually present; subtrees without data are not descended
   /// (the traversal becomes data-bounded instead of 4^r-bounded).
-  GlobalPruner(const index::XzStar* xz, const QueryContext* query,
-               const std::vector<int64_t>* directory = nullptr)
-      : xz_(xz), query_(query), directory_(directory) {}
+  /// `control`, when non-null, is polled every kControlCheckStride
+  /// visited elements: once it says stop, CandidateRanges abandons the
+  /// traversal and returns what it has — the caller must consult the
+  /// control before treating the ranges as complete.
+  GlobalPruner(const index::XzStar* xz, const QueryGeometry* query,
+               const std::vector<int64_t>* directory = nullptr,
+               const QueryContext* control = nullptr)
+      : xz_(xz), query_(query), directory_(directory), control_(control) {}
 
   /// Algorithm 1: every index value that may hold a trajectory within
   /// `eps` of the query, merged into inclusive [lo, hi] value ranges.
@@ -90,6 +96,10 @@ class GlobalPruner {
       bool use_position_codes = true) const;
 
   static constexpr size_t kDefaultVisitBudget = 65536;
+
+  /// Elements visited between QueryContext polls (a clock read per
+  /// element would dominate small traversals).
+  static constexpr size_t kControlCheckStride = 64;
 
   /// Number of individual candidate index values in `ranges`.
   static int64_t CountValues(
@@ -117,8 +127,9 @@ class GlobalPruner {
   bool SubtreeHasData(const index::QuadSeq& seq) const;
 
   const index::XzStar* xz_;
-  const QueryContext* query_;
+  const QueryGeometry* query_;
   const std::vector<int64_t>* directory_;
+  const QueryContext* control_;
 };
 
 }  // namespace core

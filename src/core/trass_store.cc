@@ -39,6 +39,15 @@ std::vector<kv::ScanRange> ToScanRanges(
   return ranges;
 }
 
+// Arms a QueryContext from the caller's per-query options.
+void ArmControl(const QueryOptions& query_options, QueryContext* control) {
+  control->SetDeadlineAfterMillis(query_options.deadline_ms);
+  if (query_options.cancel != nullptr) {
+    control->SetCancelFlag(query_options.cancel);
+  }
+  control->SetCandidateBudget(query_options.max_candidates);
+}
+
 // Collects row keys server-side without materializing values (used to
 // rebuild ingest state when opening an existing store).
 class KeyCollectorFilter final : public kv::ScanFilter {
@@ -85,7 +94,13 @@ TrassStore::TrassStore(const TrassOptions& options)
     : options_(options),
       xz_(options.max_resolution),
       resolution_histogram_(options.max_resolution + 1, 0),
-      position_histogram_(11, 0) {}
+      position_histogram_(11, 0) {
+  AdmissionController::Options admission;
+  admission.max_concurrent = options.max_concurrent_queries;
+  admission.max_queue = options.admission_queue;
+  admission.queue_timeout_ms = options.admission_queue_timeout_ms;
+  admission_.Configure(admission);
+}
 
 Status TrassStore::Open(const TrassOptions& options, const std::string& path,
                         std::unique_ptr<TrassStore>* store) {
@@ -103,6 +118,8 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   region_options.num_regions = options.shards;
   region_options.scan_threads = options.scan_threads;
   region_options.degraded_scans = options.degraded_scans;
+  region_options.max_scan_retries = options.max_scan_retries;
+  region_options.retry_backoff_ms = options.scan_retry_backoff_ms;
   Status s = kv::RegionStore::Open(region_options, path, &impl->store_);
   if (!s.ok()) return s;
   s = impl->RebuildIngestState();
@@ -119,6 +136,7 @@ Status TrassStore::RebuildIngestState() {
   std::vector<kv::Row> ignored;
   Status s = store_->Scan({kv::ScanRange{"", ""}}, &collector, &ignored);
   if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(values_mu_);
   for (const std::string& key : collector.TakeKeys()) {
     ++num_trajectories_;
     total_key_bytes_ += key.size();
@@ -163,12 +181,19 @@ Status TrassStore::Put(const Trajectory& trajectory) {
   total_key_bytes_ += key.size();
   resolution_histogram_[space.seq.length()] += 1;
   position_histogram_[space.pos] += 1;
-  seen_values_.push_back(value);
-  values_dirty_ = true;
+  {
+    std::lock_guard<std::mutex> lock(values_mu_);
+    seen_values_.push_back(value);
+    values_dirty_ = true;
+  }
   return Status::OK();
 }
 
 const std::vector<int64_t>& TrassStore::value_directory() const {
+  // Admission control lets queries run concurrently; each may race to
+  // perform the lazy sort, so it is serialized here. Ingest stays
+  // single-writer and must not overlap queries holding the reference.
+  std::lock_guard<std::mutex> lock(values_mu_);
   if (values_dirty_) {
     std::sort(seen_values_.begin(), seen_values_.end());
     seen_values_.erase(std::unique(seen_values_.begin(), seen_values_.end()),
@@ -211,10 +236,25 @@ std::vector<std::pair<int64_t, int64_t>> TrassStore::IntersectWithDirectory(
 
 Status TrassStore::Flush() { return store_->Flush(); }
 
+Status TrassStore::ResolveStop(const Status& stop, bool allow_partial,
+                               QueryMetrics* m) {
+  if (stop.IsTimedOut()) {
+    m->deadline_expired = true;
+  } else if (stop.IsCancelled()) {
+    m->cancelled = true;
+  } else if (stop.IsBusy()) {
+    m->budget_exhausted = true;
+  }
+  if (!allow_partial) return stop;
+  m->partial = true;
+  return Status::OK();
+}
+
 Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
                                    double eps, Measure measure,
                                    std::vector<SearchResult>* results,
-                                   QueryMetrics* metrics) {
+                                   QueryMetrics* metrics,
+                                   const QueryOptions& query_options) {
   results->clear();
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (options_.string_keys) {
@@ -223,12 +263,28 @@ Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  double waited_ms = 0.0;
+  AdmissionSlot slot(&admission_, &waited_ms);
+  m->admission_wait_ms = waited_ms;
+  if (!slot.status().ok()) return slot.status();
+  // The deadline starts after admission: a queued query gets its full
+  // budget once it runs (admission_wait_ms records the queueing).
+  QueryContext control;
+  ArmControl(query_options, &control);
+  return ThresholdSearchInternal(query, eps, measure, &control,
+                                 query_options.allow_partial, results, m);
+}
+
+Status TrassStore::ThresholdSearchInternal(
+    const std::vector<geo::Point>& query, double eps, Measure measure,
+    const QueryContext* control, bool allow_partial,
+    std::vector<SearchResult>* results, QueryMetrics* m) {
   Stopwatch total;
 
   // Global pruning (Algorithm 1), data-directed via the value directory.
   Stopwatch phase;
-  const QueryContext ctx = QueryContext::Make(query, options_.dp_tolerance);
-  GlobalPruner pruner(&xz_, &ctx, &value_directory());
+  const QueryGeometry ctx = QueryGeometry::Make(query, options_.dp_tolerance);
+  GlobalPruner pruner(&xz_, &ctx, &value_directory(), control);
   const auto value_ranges = pruner.CandidateRanges(eps);
   // Skip ranges the value directory proves empty (free in HBase, a real
   // round-trip here).
@@ -236,23 +292,39 @@ Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
   m->pruning_ms = phase.ElapsedMillis();
   m->scan_ranges = present_ranges.size();
   m->index_values = GlobalPruner::CountValues(value_ranges);
+  if (Status stop = control->Check(); !stop.ok()) {
+    // An abandoned traversal leaves the ranges incomplete; nothing has
+    // been verified yet, so even a partial answer is empty.
+    m->total_ms = total.ElapsedMillis();
+    return ResolveStop(stop, allow_partial, m);
+  }
 
   // Scan with the local filter pushed down (Algorithm 2 + 3).
   phase.Reset();
   LocalScanFilter filter(&ctx, eps, measure);
   std::vector<kv::Row> rows;
   kv::ScanReport report;
-  Status s =
-      store_->Scan(ToScanRanges(present_ranges), &filter, &rows, &report);
-  if (!s.ok()) return s;
+  Status s = store_->Scan(ToScanRanges(present_ranges), &filter, &rows,
+                          &report, control);
   FoldScanReport(report, m);
   m->scan_ms = phase.ElapsedMillis();
   m->retrieved = filter.scanned();
   m->candidates = filter.kept();
+  if (s.IsQueryStop()) {
+    m->total_ms = total.ElapsedMillis();
+    return ResolveStop(s, allow_partial, m);
+  }
+  if (!s.ok()) return s;
 
-  // Refine: exact similarity on the survivors.
+  // Refine: exact similarity on the survivors, stopping cooperatively —
+  // everything verified so far is a sound (if partial) answer.
   phase.Reset();
+  Status stopped;
   for (const kv::Row& row : rows) {
+    if (Status stop = control->Check(); !stop.ok()) {
+      stopped = stop;
+      break;
+    }
     StoredTrajectory t;
     s = DecodeRow(Slice(row.key), Slice(row.value), &t);
     if (!s.ok()) return s;
@@ -266,13 +338,15 @@ Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
   std::sort(results->begin(), results->end());
   m->results = results->size();
   m->total_ms = total.ElapsedMillis();
+  if (!stopped.ok()) return ResolveStop(stopped, allow_partial, m);
   return Status::OK();
 }
 
 Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
                               Measure measure,
                               std::vector<SearchResult>* results,
-                              QueryMetrics* metrics) {
+                              QueryMetrics* metrics,
+                              const QueryOptions& query_options) {
   results->clear();
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (k <= 0) return Status::OK();
@@ -282,10 +356,26 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  double waited_ms = 0.0;
+  AdmissionSlot slot(&admission_, &waited_ms);
+  m->admission_wait_ms = waited_ms;
+  if (!slot.status().ok()) return slot.status();
+  QueryContext control;
+  ArmControl(query_options, &control);
+  return TopKSearchInternal(query, k, measure, &control,
+                            query_options.allow_partial, results, m);
+}
+
+Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
+                                      int k, Measure measure,
+                                      const QueryContext* control,
+                                      bool allow_partial,
+                                      std::vector<SearchResult>* results,
+                                      QueryMetrics* m) {
   Stopwatch total;
 
-  const QueryContext ctx = QueryContext::Make(query, options_.dp_tolerance);
-  GlobalPruner pruner(&xz_, &ctx, &value_directory());
+  const QueryGeometry ctx = QueryGeometry::Make(query, options_.dp_tolerance);
+  GlobalPruner pruner(&xz_, &ctx, &value_directory(), control);
   const int r = xz_.max_resolution();
 
   struct ElementEntry {
@@ -341,7 +431,15 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
 
   Stopwatch phase;
   double pruning_ms = 0.0;
+  // Best-first exploration is the deadline's natural ally: everything
+  // already in the result heap is exact, so a cooperative stop yields
+  // the best k' trajectories found so far.
+  Status stopped;
   while (!element_queue.empty() || !space_queue.empty()) {
+    if (Status stop = control->Check(); !stop.ok()) {
+      stopped = stop;
+      break;
+    }
     const double eps = current_eps();
     const double best_element =
         element_queue.empty() ? std::numeric_limits<double>::infinity()
@@ -372,16 +470,24 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
       LocalScanFilter filter(&ctx, current_eps(), measure);
       std::vector<kv::Row> rows;
       kv::ScanReport report;
-      Status s =
-          store_->Scan(ToScanRanges(batch_values), &filter, &rows, &report);
-      if (!s.ok()) return s;
+      Status s = store_->Scan(ToScanRanges(batch_values), &filter, &rows,
+                              &report, control);
       FoldScanReport(report, m);
       m->retrieved += filter.scanned();
       m->candidates += filter.kept();
       m->index_values += batch_values.size();
       m->scan_ms += phase.ElapsedMillis();
       phase.Reset();
+      if (s.IsQueryStop()) {
+        stopped = s;
+        break;
+      }
+      if (!s.ok()) return s;
       for (const kv::Row& row : rows) {
+        if (Status stop = control->Check(); !stop.ok()) {
+          stopped = stop;
+          break;
+        }
         StoredTrajectory t;
         s = DecodeRow(Slice(row.key), Slice(row.value), &t);
         if (!s.ok()) return s;
@@ -403,6 +509,7 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
       }
       m->refine_ms += phase.ElapsedMillis();
       phase.Reset();
+      if (!stopped.ok()) break;
     } else {
       // Expand the nearest element: emit its index spaces, push children.
       const ElementEntry entry = element_queue.top();
@@ -452,13 +559,14 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
   std::sort(results->begin(), results->end());
   m->results = results->size();
   m->total_ms = total.ElapsedMillis();
+  if (!stopped.ok()) return ResolveStop(stopped, allow_partial, m);
   return Status::OK();
 }
 
 Status TrassStore::SimilarityJoin(
     double eps, Measure measure,
     std::vector<std::pair<uint64_t, uint64_t>>* pairs,
-    QueryMetrics* metrics) {
+    QueryMetrics* metrics, const QueryOptions& query_options) {
   pairs->clear();
   if (options_.string_keys) {
     return Status::NotSupported("queries unsupported in string-key mode");
@@ -466,24 +574,42 @@ Status TrassStore::SimilarityJoin(
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  double waited_ms = 0.0;
+  AdmissionSlot slot(&admission_, &waited_ms);
+  m->admission_wait_ms = waited_ms;
+  if (!slot.status().ok()) return slot.status();
+  QueryContext control;
+  ArmControl(query_options, &control);
   Stopwatch total;
 
   // Stream every stored trajectory once, then probe the index with each.
   // (A production join would partition by element and join partitions;
   // probe-per-row reuses the threshold machinery and is exact.)
+  // The probes bypass admission — the join already holds the slot — but
+  // share this join's QueryContext, so one deadline covers the whole join.
   std::vector<kv::Row> rows;
   kv::ScanReport report;
-  Status s = store_->Scan({kv::ScanRange{"", ""}}, nullptr, &rows, &report);
-  if (!s.ok()) return s;
+  Status s = store_->Scan({kv::ScanRange{"", ""}}, nullptr, &rows, &report,
+                          &control);
   FoldScanReport(report, m);
+  if (s.IsQueryStop()) {
+    m->total_ms = total.ElapsedMillis();
+    return ResolveStop(s, query_options.allow_partial, m);
+  }
+  if (!s.ok()) return s;
+  Status stopped;
   for (const kv::Row& row : rows) {
+    if (Status stop = control.Check(); !stop.ok()) {
+      stopped = stop;
+      break;
+    }
     StoredTrajectory t;
     s = DecodeRow(Slice(row.key), Slice(row.value), &t);
     if (!s.ok()) return s;
     std::vector<SearchResult> matches;
     QueryMetrics probe;
-    s = ThresholdSearch(t.points, eps, measure, &matches, &probe);
-    if (!s.ok()) return s;
+    s = ThresholdSearchInternal(t.points, eps, measure, &control,
+                                /*allow_partial=*/false, &matches, &probe);
     m->partial = m->partial || probe.partial;
     m->skipped_regions += probe.skipped_regions;
     m->scan_retries += probe.scan_retries;
@@ -493,6 +619,13 @@ Status TrassStore::SimilarityJoin(
     m->pruning_ms += probe.pruning_ms;
     m->scan_ms += probe.scan_ms;
     m->refine_ms += probe.refine_ms;
+    if (s.IsQueryStop()) {
+      // Pairs from completed probes are exact; the stopped probe's
+      // partial matches are discarded (they could miss pairs).
+      stopped = s;
+      break;
+    }
+    if (!s.ok()) return s;
     for (const SearchResult& match : matches) {
       if (match.id > t.id) {
         pairs->emplace_back(t.id, match.id);
@@ -502,12 +635,16 @@ Status TrassStore::SimilarityJoin(
   std::sort(pairs->begin(), pairs->end());
   m->results = pairs->size();
   m->total_ms = total.ElapsedMillis();
+  if (!stopped.ok()) {
+    return ResolveStop(stopped, query_options.allow_partial, m);
+  }
   return Status::OK();
 }
 
 Status TrassStore::RangeQuery(const geo::Mbr& window,
                               std::vector<uint64_t>* ids,
-                              QueryMetrics* metrics) {
+                              QueryMetrics* metrics,
+                              const QueryOptions& query_options) {
   ids->clear();
   if (options_.string_keys) {
     return Status::NotSupported("queries unsupported in string-key mode");
@@ -515,6 +652,12 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  double waited_ms = 0.0;
+  AdmissionSlot slot(&admission_, &waited_ms);
+  m->admission_wait_ms = waited_ms;
+  if (!slot.status().ok()) return slot.status();
+  QueryContext control;
+  ArmControl(query_options, &control);
   Stopwatch total;
   Stopwatch phase;
 
@@ -527,7 +670,10 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
     const index::XzStar* xz;
     const TrassStore* store;
     const geo::Mbr* window;
+    const QueryContext* control;
     std::vector<std::pair<int64_t, int64_t>>* out;
+    size_t tick = 0;
+    bool stop = false;
 
     void Emit(const index::QuadSeq& seq) {
       const int64_t base = xz->ElementBaseValue(seq);
@@ -546,6 +692,13 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
     }
 
     void Visit(const index::QuadSeq& seq) {
+      if (stop) return;
+      // Same polling cadence as the pruner's traversal.
+      if (++tick % GlobalPruner::kControlCheckStride == 0 &&
+          control->ShouldStop()) {
+        stop = true;
+        return;
+      }
       if (!seq.ElementBounds().Intersects(*window)) return;
       // Skip subtrees with no stored trajectories (value directory).
       const int64_t base = xz->ElementBaseValue(seq);
@@ -560,7 +713,7 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
       }
     }
   };
-  Walker walker{&xz_, this, &window, &values};
+  Walker walker{&xz_, this, &window, &control, &values};
   walker.Emit(index::QuadSeq());  // root overflow bucket
   for (int q = 0; q < 4; ++q) {
     walker.Visit(index::QuadSeq().Child(q));
@@ -570,19 +723,33 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   m->pruning_ms = phase.ElapsedMillis();
   m->scan_ranges = present.size();
   m->index_values = GlobalPruner::CountValues(values);
+  if (Status stop = control.Check(); !stop.ok()) {
+    m->total_ms = total.ElapsedMillis();
+    return ResolveStop(stop, query_options.allow_partial, m);
+  }
 
   phase.Reset();
   WindowScanFilter filter(window);
   std::vector<kv::Row> rows;
   kv::ScanReport report;
-  Status s = store_->Scan(ToScanRanges(present), &filter, &rows, &report);
-  if (!s.ok()) return s;
+  Status s =
+      store_->Scan(ToScanRanges(present), &filter, &rows, &report, &control);
   FoldScanReport(report, m);
   m->scan_ms = phase.ElapsedMillis();
   m->retrieved = filter.scanned();
   m->candidates = rows.size();
+  if (s.IsQueryStop()) {
+    m->total_ms = total.ElapsedMillis();
+    return ResolveStop(s, query_options.allow_partial, m);
+  }
+  if (!s.ok()) return s;
 
+  Status stopped;
   for (const kv::Row& row : rows) {
+    if (Status stop = control.Check(); !stop.ok()) {
+      stopped = stop;
+      break;
+    }
     uint8_t shard;
     int64_t value;
     uint64_t tid;
@@ -593,6 +760,9 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   std::sort(ids->begin(), ids->end());
   m->results = ids->size();
   m->total_ms = total.ElapsedMillis();
+  if (!stopped.ok()) {
+    return ResolveStop(stopped, query_options.allow_partial, m);
+  }
   return Status::OK();
 }
 

@@ -7,10 +7,13 @@
 #ifndef TRASS_CORE_TRASS_STORE_H_
 #define TRASS_CORE_TRASS_STORE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/measure.h"
 #include "core/metrics.h"
 #include "core/pruning.h"
@@ -19,6 +22,7 @@
 #include "geo/units.h"
 #include "index/xzstar.h"
 #include "kv/region_store.h"
+#include "util/query_context.h"
 
 namespace trass {
 namespace core {
@@ -50,8 +54,47 @@ struct TrassOptions {
   /// or returns the region-attributed error.
   bool degraded_scans = false;
 
+  /// Region-scan retry tuning (see RegionStore::RegionOptions).
+  int max_scan_retries = 2;
+  uint64_t scan_retry_backoff_ms = 2;
+
+  /// Admission control for the four query APIs: at most
+  /// `max_concurrent_queries` run at once (0 = unlimited), at most
+  /// `admission_queue` more wait up to `admission_queue_timeout_ms` for
+  /// a slot; everything beyond is shed with Status::Busy.
+  int max_concurrent_queries = 0;
+  int admission_queue = 0;
+  double admission_queue_timeout_ms = 100.0;
+
   /// Underlying LSM engine tuning.
   kv::Options db_options;
+};
+
+/// Per-query controls threaded through every layer the query touches.
+/// All fields are optional; the zero state is "run to completion".
+struct QueryOptions {
+  /// Wall-clock budget for the whole query in milliseconds; <= 0 leaves
+  /// the query undeadlined. An expired query returns Status::TimedOut
+  /// unless `allow_partial` is set.
+  double deadline_ms = 0.0;
+
+  /// Caller-owned cancellation flag, polled cooperatively (per pruning
+  /// batch, per scanned-row batch, per refined candidate). Must outlive
+  /// the call. A cancelled query returns Status::Cancelled unless
+  /// `allow_partial` is set.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Cap on rows local filtering may keep across all regions — the
+  /// query's candidate memory bound. 0 = unlimited. Exceeding it returns
+  /// Status::Busy unless `allow_partial` is set.
+  uint64_t max_candidates = 0;
+
+  /// When a deadline/cancel/budget stop fires, return OK with the
+  /// results verified so far (a sound subset, never corrupt or
+  /// duplicated) and record the reason in QueryMetrics (`partial` plus
+  /// `deadline_expired`/`cancelled`/`budget_exhausted`) instead of
+  /// returning the stop status.
+  bool allow_partial = false;
 };
 
 class TrassStore {
@@ -69,16 +112,19 @@ class TrassStore {
   /// Threshold similarity search (Definition 3 / Algorithm 3).
   Status ThresholdSearch(const std::vector<geo::Point>& query, double eps,
                          Measure measure, std::vector<SearchResult>* results,
-                         QueryMetrics* metrics = nullptr);
+                         QueryMetrics* metrics = nullptr,
+                         const QueryOptions& query_options = QueryOptions());
 
   /// Top-k similarity search (Definition 4 / Algorithm 4).
   Status TopKSearch(const std::vector<geo::Point>& query, int k,
                     Measure measure, std::vector<SearchResult>* results,
-                    QueryMetrics* metrics = nullptr);
+                    QueryMetrics* metrics = nullptr,
+                    const QueryOptions& query_options = QueryOptions());
 
   /// Ids of trajectories with at least one point inside `window`.
   Status RangeQuery(const geo::Mbr& window, std::vector<uint64_t>* ids,
-                    QueryMetrics* metrics = nullptr);
+                    QueryMetrics* metrics = nullptr,
+                    const QueryOptions& query_options = QueryOptions());
 
   /// Similarity self-join (the extension the paper's conclusion points
   /// to): every unordered pair {a, b} of stored trajectories with
@@ -86,11 +132,17 @@ class TrassStore {
   /// trajectory; pairs are reported once with first < second.
   Status SimilarityJoin(double eps, Measure measure,
                         std::vector<std::pair<uint64_t, uint64_t>>* pairs,
-                        QueryMetrics* metrics = nullptr);
+                        QueryMetrics* metrics = nullptr,
+                        const QueryOptions& query_options = QueryOptions());
 
   const index::XzStar& xz_index() const { return xz_; }
   kv::RegionStore* region_store() { return store_.get(); }
   const TrassOptions& options() const { return options_; }
+
+  /// The overload gate in front of the four query APIs. Exposed so
+  /// operators can inspect counters, reconfigure limits at runtime
+  /// (AdmissionController::Configure), and tests can occupy slots.
+  AdmissionController* admission_controller() { return &admission_; }
 
   // ---- ingest statistics (Figure 12 / 13) ----
 
@@ -123,6 +175,27 @@ class TrassStore {
   const std::vector<int64_t>& value_directory() const;
 
  private:
+  /// Internal query bodies: no admission (SimilarityJoin re-enters
+  /// ThresholdSearch and must not deadlock on its own slot), shared
+  /// QueryContext threaded through every phase.
+  Status ThresholdSearchInternal(const std::vector<geo::Point>& query,
+                                 double eps, Measure measure,
+                                 const QueryContext* control,
+                                 bool allow_partial,
+                                 std::vector<SearchResult>* results,
+                                 QueryMetrics* m);
+  Status TopKSearchInternal(const std::vector<geo::Point>& query, int k,
+                            Measure measure, const QueryContext* control,
+                            bool allow_partial,
+                            std::vector<SearchResult>* results,
+                            QueryMetrics* m);
+
+  /// Resolves a cooperative stop: with allow_partial, flags the metrics
+  /// with the reason and reports OK (partial results stand); without,
+  /// returns the stop status.
+  static Status ResolveStop(const Status& stop, bool allow_partial,
+                            QueryMetrics* m);
+
   /// Narrows candidate [lo, hi] value ranges to the values actually
   /// present, re-merged into contiguous runs.
   std::vector<std::pair<int64_t, int64_t>> IntersectWithDirectory(
@@ -142,11 +215,17 @@ class TrassStore {
   TrassOptions options_;
   index::XzStar xz_;
   std::unique_ptr<kv::RegionStore> store_;
+  AdmissionController admission_{AdmissionController::Options{}};
 
   uint64_t num_trajectories_ = 0;
   uint64_t total_key_bytes_ = 0;
   std::vector<uint64_t> resolution_histogram_;
   std::vector<uint64_t> position_histogram_;
+  // Guards the lazily sorted value directory: admission control lets
+  // queries run concurrently, and each may trigger the sort. Ingest
+  // (Put) remains single-writer and must not run concurrently with
+  // queries that hold a directory reference.
+  mutable std::mutex values_mu_;
   mutable std::vector<int64_t> seen_values_;  // sorted-unique lazily
   mutable bool values_dirty_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 namespace trass {
@@ -75,19 +76,21 @@ Status RegionStore::Get(const ReadOptions& options, const Slice& key,
 
 Status RegionStore::Scan(const std::vector<ScanRange>& ranges,
                          const ScanFilter* filter, std::vector<Row>* out,
-                         ScanReport* report) {
-  return ScanInternal(ranges, filter, /*limit=*/0, out, report);
+                         ScanReport* report, const QueryContext* control) {
+  return ScanInternal(ranges, filter, /*limit=*/0, out, report, control);
 }
 
 Status RegionStore::ScanWithLimit(const std::vector<ScanRange>& ranges,
                                   const ScanFilter* filter, size_t limit,
-                                  std::vector<Row>* out, ScanReport* report) {
-  return ScanInternal(ranges, filter, limit, out, report);
+                                  std::vector<Row>* out, ScanReport* report,
+                                  const QueryContext* control) {
+  return ScanInternal(ranges, filter, limit, out, report, control);
 }
 
 Status RegionStore::ScanRegionOnce(size_t region,
                                    const std::vector<ScanRange>& ranges,
                                    const ScanFilter* filter, size_t limit,
+                                   const QueryContext* control,
                                    std::vector<Row>* rows) {
   DB* db = regions_[region].get();
   ReadOptions read_options;
@@ -95,6 +98,7 @@ Status RegionStore::ScanRegionOnce(size_t region,
   std::unique_ptr<Iterator> iter(db->NewIterator(read_options));
   const char shard = static_cast<char>(region);
   std::vector<Row> kept;
+  size_t since_check = 0;
   for (const ScanRange& range : ranges) {
     std::string start(1, shard);
     start += range.start;
@@ -108,7 +112,15 @@ Status RegionStore::ScanRegionOnce(size_t region,
       // An unbounded range needs no end check: a region database holds
       // exactly one shard, so every key of this region matches.
       if (!end.empty() && key.compare(Slice(end)) >= 0) break;
+      if (control != nullptr && ++since_check >= kControlCheckInterval) {
+        since_check = 0;
+        Status stop = control->Check();
+        if (!stop.ok()) return stop;
+      }
       if (filter == nullptr || filter->Keep(key, iter->value())) {
+        if (control != nullptr && !control->ChargeCandidates(1)) {
+          return control->Check();  // Busy: candidate budget exhausted
+        }
         kept.push_back(Row{key.ToString(), iter->value().ToString()});
         if (limit != 0 && kept.size() >= limit) break;
       }
@@ -122,31 +134,53 @@ Status RegionStore::ScanRegionOnce(size_t region,
 
 Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
                                  const ScanFilter* filter, size_t limit,
-                                 std::vector<Row>* out, ScanReport* report) {
+                                 std::vector<Row>* out, ScanReport* report,
+                                 const QueryContext* control) {
   if (report != nullptr) *report = ScanReport{};
   if (ranges.empty()) return Status::OK();
   const size_t n = regions_.size();
   std::vector<std::vector<Row>> per_region(n);
   std::vector<Status> statuses(n);
+  std::vector<char> attempted(n, 0);
   std::atomic<uint64_t> retries{0};
 
   const int attempts = 1 + std::max(0, options_.max_scan_retries);
-  pool_->ParallelFor(n, [&](size_t region) {
+  auto scan_region = [&](size_t region) {
+    attempted[region] = 1;
     Status last;
     for (int attempt = 0; attempt < attempts; ++attempt) {
       if (attempt > 0) {
+        // A query stop ends the retrying, but the *fault* outcome stands
+        // (degraded mode may still skip this region); sleeping past the
+        // deadline is pointless, so the backoff is clamped to it.
+        if (control != nullptr && control->ShouldStop()) break;
         retries.fetch_add(1, std::memory_order_relaxed);
         uint64_t backoff_ms = options_.retry_backoff_ms
                               << std::min(attempt - 1, 20);
         backoff_ms = std::min(backoff_ms, options_.max_retry_backoff_ms);
+        if (control != nullptr) {
+          const double remaining = control->RemainingMillis();
+          if (remaining < static_cast<double>(backoff_ms)) {
+            // Round up: waking a fraction of a millisecond *before* the
+            // deadline would only buy one more doomed attempt.
+            backoff_ms =
+                static_cast<uint64_t>(std::ceil(std::max(remaining, 0.0)));
+          }
+        }
         if (backoff_ms > 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
         }
       }
-      last = ScanRegionOnce(region, ranges, filter, limit,
+      last = ScanRegionOnce(region, ranges, filter, limit, control,
                             &per_region[region]);
       if (last.ok()) {
         RecordSuccess(region);
+        return;
+      }
+      if (last.IsQueryStop()) {
+        // Caller-attributed stop, not a region fault: no retry, no
+        // health bookkeeping, no region attribution.
+        statuses[region] = last;
         return;
       }
       RecordFailure(region, last);
@@ -154,11 +188,27 @@ Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
     // Attribute the failure to its region (shard == region index).
     statuses[region] =
         last.WithContext("region " + std::to_string(region));
-  });
+  };
+  if (control != nullptr) {
+    // Early-exit fan-out: regions not yet started when the query stops
+    // are never scanned (their statuses stay OK with no rows, and the
+    // stop status below fails the whole scan anyway).
+    pool_->ParallelFor(n, scan_region,
+                       [control] { return control->ShouldStop(); });
+  } else {
+    pool_->ParallelFor(n, scan_region);
+  }
 
   Status failure;
+  Status query_stop;
   for (size_t region = 0; region < n; ++region) {
     if (statuses[region].ok()) continue;
+    if (statuses[region].IsQueryStop()) {
+      // Never degraded-skipped: a timed-out/cancelled scan is not a
+      // partial-but-complete-per-region answer, it is an aborted query.
+      if (query_stop.ok()) query_stop = statuses[region];
+      continue;
+    }
     if (options_.degraded_scans) {
       RecordSkip(region);
       if (report != nullptr) {
@@ -172,7 +222,22 @@ Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
   if (report != nullptr) {
     report->retries = retries.load(std::memory_order_relaxed);
   }
+  if (!query_stop.ok()) return query_stop;
   if (!failure.ok()) return failure;
+  // The fan-out may also have stopped before some regions even started
+  // (skipped by the cancellation-aware ParallelFor, statuses left OK);
+  // surface that as the stop status rather than a silently short result.
+  // A scan whose every region completed stays OK even if the deadline
+  // expired at the tail — partial-result policy belongs to the caller.
+  for (size_t region = 0; region < n; ++region) {
+    if (attempted[region]) continue;
+    Status stop =
+        control != nullptr ? control->Check() : Status::OK();
+    return stop.ok()
+               ? Status::Cancelled("scan aborted before reaching region " +
+                                   std::to_string(region))
+               : stop;
+  }
   for (size_t region = 0; region < n; ++region) {
     if (!statuses[region].ok()) continue;  // degraded: skip failed region
     for (auto& row : per_region[region]) {

@@ -10,6 +10,16 @@
 // rows from the healthy regions plus a ScanReport naming the skipped
 // shards — instead of failing the whole query. Without degraded mode the
 // error is returned, attributed to its region.
+//
+// Cooperative cancellation: scans accept an optional QueryContext whose
+// deadline/cancel/budget is polled inside the worker tasks every
+// kControlCheckInterval rows and around every retry sleep. A query stop
+// is caller-attributed, never a region fault: it is not retried, not
+// counted against region health, and degraded mode does not "skip" the
+// region over it — the scan fails with the stop status so callers can
+// decide on partial-result semantics. A deadline that expires while a
+// faulty region still has retries left stops the retrying (the fault
+// outcome stands, so degraded mode can still skip that region).
 
 #ifndef TRASS_KV_REGION_STORE_H_
 #define TRASS_KV_REGION_STORE_H_
@@ -22,6 +32,7 @@
 
 #include "kv/db.h"
 #include "kv/scan.h"
+#include "util/query_context.h"
 #include "util/thread_pool.h"
 
 namespace trass {
@@ -91,15 +102,23 @@ class RegionStore {
   /// regions). Ranges must NOT include the shard byte: the store prepends
   /// each shard to each range, mirroring how TraSS replicates a scan
   /// across salted key spaces. When `report` is non-null it receives the
-  /// scan outcome (retries, skipped shards in degraded mode).
+  /// scan outcome (retries, skipped shards in degraded mode). `control`,
+  /// when non-null, is polled cooperatively inside the workers; an
+  /// expired/cancelled query returns the stop status (rows gathered so
+  /// far are discarded) and charges kept rows against its budget.
   Status Scan(const std::vector<ScanRange>& ranges, const ScanFilter* filter,
-              std::vector<Row>* out, ScanReport* report = nullptr);
+              std::vector<Row>* out, ScanReport* report = nullptr,
+              const QueryContext* control = nullptr);
 
   /// Like Scan but stops globally after `limit` kept rows (approximate:
   /// each region stops at `limit`, the caller trims).
   Status ScanWithLimit(const std::vector<ScanRange>& ranges,
                        const ScanFilter* filter, size_t limit,
-                       std::vector<Row>* out, ScanReport* report = nullptr);
+                       std::vector<Row>* out, ScanReport* report = nullptr,
+                       const QueryContext* control = nullptr);
+
+  /// Rows a scan worker processes between QueryContext polls.
+  static constexpr size_t kControlCheckInterval = 128;
 
   /// Snapshot of one region's availability counters.
   RegionHealth Health(int region) const;
@@ -122,12 +141,13 @@ class RegionStore {
 
   Status ScanInternal(const std::vector<ScanRange>& ranges,
                       const ScanFilter* filter, size_t limit,
-                      std::vector<Row>* out, ScanReport* report);
+                      std::vector<Row>* out, ScanReport* report,
+                      const QueryContext* control);
 
   /// One scan attempt over one region; *rows is only filled on success.
   Status ScanRegionOnce(size_t region, const std::vector<ScanRange>& ranges,
                         const ScanFilter* filter, size_t limit,
-                        std::vector<Row>* rows);
+                        const QueryContext* control, std::vector<Row>* rows);
 
   void RecordFailure(size_t region, const Status& s);
   void RecordSuccess(size_t region);

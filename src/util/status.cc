@@ -24,6 +24,15 @@ std::string Status::ToString() const {
     case Code::kNotSupported:
       type = "NotSupported: ";
       break;
+    case Code::kTimedOut:
+      type = "TimedOut: ";
+      break;
+    case Code::kCancelled:
+      type = "Cancelled: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
   }
   return std::string(type) + rep_->message;
 }

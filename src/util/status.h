@@ -46,6 +46,15 @@ class Status {
   static Status NotSupported(std::string_view msg) {
     return Status(Code::kNotSupported, msg);
   }
+  static Status TimedOut(std::string_view msg) {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(Code::kCancelled, msg);
+  }
+  static Status Busy(std::string_view msg) {
+    return Status(Code::kBusy, msg);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -53,6 +62,17 @@ class Status {
   bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
   bool IsIoError() const { return code() == Code::kIoError; }
   bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsTimedOut() const { return code() == Code::kTimedOut; }
+  bool IsCancelled() const { return code() == Code::kCancelled; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+
+  /// True for the statuses a cooperative query control emits when a query
+  /// must stop (deadline, cancellation, budget, admission). These are
+  /// caller-attributed conditions, never storage faults: retry/degraded
+  /// machinery must not treat them as region failures.
+  bool IsQueryStop() const {
+    return IsTimedOut() || IsCancelled() || IsBusy();
+  }
 
   /// Returns a string such as "NotFound: no such key" (or "OK").
   std::string ToString() const;
@@ -71,6 +91,9 @@ class Status {
     kInvalidArgument,
     kIoError,
     kNotSupported,
+    kTimedOut,
+    kCancelled,
+    kBusy,
   };
 
   struct Rep {

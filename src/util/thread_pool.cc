@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 
 namespace trass {
 
@@ -12,14 +13,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) {
-    w.join();
+    if (w.joinable()) w.join();
   }
 }
 
@@ -28,26 +32,63 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Shutting down: no worker will ever pop this task. Fail the
+      // future immediately instead of handing back one that never
+      // resolves (or aborting on a broken promise).
+      std::promise<void> failed;
+      failed.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool is shut down")));
+      return failed.get_future();
+    }
     tasks_.push(std::move(packaged));
   }
   cv_.notify_one();
   return future;
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  ParallelFor(n, fn, [] { return false; });
+}
+
+size_t ThreadPool::ParallelFor(size_t n,
+                               const std::function<void(size_t)>& fn,
+                               const std::function<bool()>& should_stop) {
+  if (n == 0) return 0;
   if (n == 1) {
+    if (should_stop()) return 0;
     fn(0);
-    return;
+    return 1;
   }
+  std::atomic<size_t> ran{0};
+  std::atomic<bool> failed{false};
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+    futures.push_back(Submit([&fn, &should_stop, &ran, &failed, i] {
+      if (failed.load(std::memory_order_relaxed) || should_stop()) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;  // captured by the packaged_task, rethrown from get()
+      }
+      ran.fetch_add(1, std::memory_order_relaxed);
+    }));
   }
+  // Wait for everything before surfacing any exception: a task may still
+  // be touching fn/should_stop/ran, which live on this frame.
+  std::exception_ptr first;
   for (auto& f : futures) {
-    f.get();
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
   }
+  if (first != nullptr) std::rethrow_exception(first);
+  return ran.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::WorkerLoop() {

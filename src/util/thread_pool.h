@@ -1,5 +1,13 @@
 // Fixed-size thread pool used by RegionStore to emulate parallel region
 // scans (HBase fans a scan out to region servers; we fan out to workers).
+//
+// Shutdown safety: Submit() after Shutdown() (or during destruction)
+// returns a future that is already failed instead of enqueueing work
+// that will never run. ParallelFor waits for every task it launched —
+// even when one throws — then rethrows the first exception, so no task
+// can outlive the locals the caller passed in. The cancellation-aware
+// overload supports early-exit fan-outs: indices not yet started when
+// the predicate turns true are skipped.
 
 #ifndef TRASS_UTIL_THREAD_POOL_H_
 #define TRASS_UTIL_THREAD_POOL_H_
@@ -24,10 +32,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; the returned future resolves when it completes.
+  /// After Shutdown() the task is dropped and the future is already
+  /// failed (std::runtime_error) — the call never deadlocks or aborts.
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for all.
+  /// If any task throws, every task still runs to completion and the
+  /// first exception (by index) is rethrown afterwards.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Cancellation-aware overload: `should_stop` is polled (possibly from
+  /// several workers at once — it must be thread-safe) before each index
+  /// starts; once it returns true, indices that have not started yet are
+  /// skipped. A thrown task also stops the remaining indices. Waits for
+  /// everything it launched, rethrows the first exception, and returns
+  /// the number of indices that actually ran to completion.
+  size_t ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                     const std::function<bool()>& should_stop);
+
+  /// Stops the workers after draining already-queued tasks; idempotent.
+  /// Subsequent Submit() calls fail fast. Called by the destructor.
+  void Shutdown();
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -1,0 +1,160 @@
+#include "core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace trass {
+namespace core {
+namespace {
+
+AdmissionController::Options MakeOptions(int max_concurrent, int max_queue,
+                                         double queue_timeout_ms) {
+  AdmissionController::Options options;
+  options.max_concurrent = max_concurrent;
+  options.max_queue = max_queue;
+  options.queue_timeout_ms = queue_timeout_ms;
+  return options;
+}
+
+TEST(AdmissionTest, DisabledAdmitsEverything) {
+  AdmissionController controller(MakeOptions(0, 0, 10.0));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(controller.Admit().ok());
+  }
+  EXPECT_EQ(controller.in_flight(), 100);
+  EXPECT_EQ(controller.counters().admitted, 100u);
+  EXPECT_EQ(controller.counters().sheds(), 0u);
+}
+
+TEST(AdmissionTest, EnforcesMaxConcurrentWithEmptyQueue) {
+  AdmissionController controller(MakeOptions(2, 0, 50.0));
+  ASSERT_TRUE(controller.Admit().ok());
+  ASSERT_TRUE(controller.Admit().ok());
+  const Status third = controller.Admit();
+  EXPECT_TRUE(third.IsBusy());
+  EXPECT_TRUE(third.IsQueryStop());
+  EXPECT_EQ(controller.counters().shed_queue_full, 1u);
+  EXPECT_EQ(controller.in_flight(), 2);
+
+  controller.Release();
+  EXPECT_TRUE(controller.Admit().ok());  // a freed slot admits again
+  controller.Release();
+  controller.Release();
+  EXPECT_EQ(controller.in_flight(), 0);
+}
+
+TEST(AdmissionTest, QueuedCallerGetsSlotAfterRelease) {
+  AdmissionController controller(MakeOptions(1, 1, 5000.0));
+  ASSERT_TRUE(controller.Admit().ok());
+
+  Status queued_status;
+  double waited_ms = -1.0;
+  std::thread waiter([&] { queued_status = controller.Admit(&waited_ms); });
+  // Wait until the thread is actually queued, then free the slot.
+  while (controller.counters().queued == 0) {
+    std::this_thread::yield();
+  }
+  controller.Release();
+  waiter.join();
+
+  EXPECT_TRUE(queued_status.ok());
+  EXPECT_GE(waited_ms, 0.0);
+  EXPECT_EQ(controller.counters().queued, 1u);
+  EXPECT_EQ(controller.counters().sheds(), 0u);
+  controller.Release();
+}
+
+TEST(AdmissionTest, QueueTimeoutSheds) {
+  AdmissionController controller(MakeOptions(1, 1, 5.0));
+  ASSERT_TRUE(controller.Admit().ok());
+  double waited_ms = 0.0;
+  const Status s = controller.Admit(&waited_ms);
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_GE(waited_ms, 5.0);
+  EXPECT_EQ(controller.counters().shed_timeout, 1u);
+  controller.Release();
+}
+
+TEST(AdmissionTest, FullQueueShedsImmediately) {
+  AdmissionController controller(MakeOptions(1, 1, 5000.0));
+  ASSERT_TRUE(controller.Admit().ok());
+
+  std::thread waiter([&] { (void)controller.Admit(); });
+  while (controller.counters().queued == 0) {
+    std::this_thread::yield();
+  }
+  // Slot busy and the one queue position taken: shed without waiting.
+  const Status s = controller.Admit();
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_EQ(controller.counters().shed_queue_full, 1u);
+
+  controller.Release();
+  waiter.join();
+  controller.Release();
+}
+
+TEST(AdmissionTest, ConfigureRaisingLimitUnblocksQueuedCaller) {
+  AdmissionController controller(MakeOptions(1, 1, 5000.0));
+  ASSERT_TRUE(controller.Admit().ok());
+  Status queued_status;
+  std::thread waiter([&] { queued_status = controller.Admit(); });
+  while (controller.counters().queued == 0) {
+    std::this_thread::yield();
+  }
+  controller.Configure(MakeOptions(2, 1, 5000.0));
+  waiter.join();
+  EXPECT_TRUE(queued_status.ok());
+  EXPECT_EQ(controller.in_flight(), 2);
+  controller.Release();
+  controller.Release();
+}
+
+TEST(AdmissionTest, SlotReleasesOnlyOnSuccess) {
+  AdmissionController controller(MakeOptions(1, 0, 5.0));
+  {
+    AdmissionSlot slot(&controller);
+    ASSERT_TRUE(slot.status().ok());
+    EXPECT_EQ(controller.in_flight(), 1);
+    AdmissionSlot rejected(&controller);
+    EXPECT_TRUE(rejected.status().IsBusy());
+  }  // both slots destroyed; only the successful one released
+  EXPECT_EQ(controller.in_flight(), 0);
+  EXPECT_TRUE(controller.Admit().ok());
+  controller.Release();
+}
+
+TEST(AdmissionTest, ConcurrentAdmitNeverExceedsLimit) {
+  AdmissionController controller(MakeOptions(3, 2, 20.0));
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        AdmissionSlot slot(&controller);
+        if (!slot.status().ok()) continue;
+        const int now = active.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        admitted.fetch_add(1);
+        std::this_thread::yield();
+        active.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_EQ(controller.in_flight(), 0);
+  const auto counters = controller.counters();
+  EXPECT_EQ(counters.admitted, static_cast<uint64_t>(admitted.load()));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace trass

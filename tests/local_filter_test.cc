@@ -29,7 +29,7 @@ TEST_F(LocalFilterTest, NeverRejectsSimilarPairs) {
   for (int iter = 0; iter < 400; ++iter) {
     const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 25).points;
     const auto t = trass::testing::RandomTrajectory(&rnd_, 2, 25).points;
-    const QueryContext ctx = QueryContext::Make(q, 0.01);
+    const QueryGeometry ctx = QueryGeometry::Make(q, 0.01);
     const StoredTrajectory stored = MakeStored(2, t);
     for (Measure measure :
          {Measure::kFrechet, Measure::kHausdorff, Measure::kDtw}) {
@@ -49,7 +49,7 @@ TEST_F(LocalFilterTest, RejectsObviouslyDissimilar) {
     q.push_back({0.1 + i * 0.001, 0.1});
     t.push_back({0.9 - i * 0.001, 0.9});
   }
-  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(q, 0.01);
   const StoredTrajectory stored = MakeStored(2, t);
   EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.01, Measure::kFrechet));
   EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.01, Measure::kHausdorff));
@@ -64,7 +64,7 @@ TEST_F(LocalFilterTest, Lemma12OnlyForOrderedMeasures) {
   for (int i = 0; i <= 20; ++i) q.push_back({0.3 + i * 0.01, 0.5});
   t = q;
   std::reverse(t.begin(), t.end());
-  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(q, 0.01);
   const StoredTrajectory stored = MakeStored(2, t);
   EXPECT_FALSE(LocalFilterPass(ctx, stored, 0.05, Measure::kFrechet));
   EXPECT_TRUE(LocalFilterPass(ctx, stored, 0.05, Measure::kHausdorff));
@@ -73,14 +73,14 @@ TEST_F(LocalFilterTest, Lemma12OnlyForOrderedMeasures) {
 
 TEST_F(LocalFilterTest, EmptyCandidateRejected) {
   const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 5).points;
-  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(q, 0.01);
   StoredTrajectory empty;
   EXPECT_FALSE(LocalFilterPass(ctx, empty, 1.0, Measure::kFrechet));
 }
 
 TEST_F(LocalFilterTest, ScanFilterCountsAndDecodes) {
   const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 20).points;
-  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(q, 0.01);
   LocalScanFilter filter(&ctx, 0.02, Measure::kFrechet);
 
   // A row that is the query itself (kept).
@@ -110,7 +110,7 @@ TEST_F(LocalFilterTest, FilterRateIsMeaningful) {
   // rejected before the exact computation — the filter must actually
   // filter, not just be sound.
   const auto q = trass::testing::RandomTrajectory(&rnd_, 1, 30).points;
-  const QueryContext ctx = QueryContext::Make(q, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(q, 0.01);
   int rejected = 0;
   const int total = 300;
   for (int i = 0; i < total; ++i) {

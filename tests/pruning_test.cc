@@ -95,7 +95,7 @@ TEST_F(GlobalPrunerTest, CandidatesCoverAllSimilarTrajectories) {
   Random rnd(103);
   for (int iter = 0; iter < 40; ++iter) {
     const auto query = trass::testing::RandomTrajectory(&rnd, 1, 20).points;
-    const QueryContext ctx = QueryContext::Make(query, 0.01);
+    const QueryGeometry ctx = QueryGeometry::Make(query, 0.01);
     GlobalPruner pruner(&xz_, &ctx);
     for (double eps : {0.001, 0.01, 0.05}) {
       const auto ranges = pruner.CandidateRanges(eps);
@@ -123,7 +123,7 @@ TEST_F(GlobalPrunerTest, SimilarCopiesAlwaysCovered) {
   Random rnd(105);
   for (int iter = 0; iter < 60; ++iter) {
     const auto query = trass::testing::RandomTrajectory(&rnd, 1, 25).points;
-    const QueryContext ctx = QueryContext::Make(query, 0.01);
+    const QueryGeometry ctx = QueryGeometry::Make(query, 0.01);
     GlobalPruner pruner(&xz_, &ctx);
     const double eps = 0.005;
     const auto ranges = pruner.CandidateRanges(eps);
@@ -157,7 +157,7 @@ TEST_F(GlobalPrunerTest, PrunesFarAwayRegions) {
   for (int i = 0; i < 20; ++i) {
     query.push_back({0.1 + i * 0.001, 0.1 + i * 0.001});
   }
-  const QueryContext ctx = QueryContext::Make(query, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(query, 0.01);
   GlobalPruner pruner(&xz_, &ctx);
   const auto ranges = pruner.CandidateRanges(0.005);
   ASSERT_FALSE(ranges.empty());
@@ -175,7 +175,7 @@ TEST_F(GlobalPrunerTest, PrunesFarAwayRegions) {
 TEST_F(GlobalPrunerTest, CandidateCountShrinksWithEps) {
   Random rnd(109);
   const auto query = trass::testing::RandomTrajectory(&rnd, 1, 30).points;
-  const QueryContext ctx = QueryContext::Make(query, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(query, 0.01);
   GlobalPruner pruner(&xz_, &ctx);
   const auto small = pruner.CandidateRanges(0.001);
   const auto large = pruner.CandidateRanges(0.05);
@@ -190,7 +190,7 @@ TEST_F(GlobalPrunerTest, IndexSpaceLowerBoundIsAdmissible) {
   for (int iter = 0; iter < 200; ++iter) {
     const auto query = trass::testing::RandomTrajectory(&rnd, 1, 15).points;
     const auto t = trass::testing::RandomTrajectory(&rnd, 2, 15).points;
-    const QueryContext ctx = QueryContext::Make(query, 0.01);
+    const QueryGeometry ctx = QueryGeometry::Make(query, 0.01);
     GlobalPruner pruner(&xz_, &ctx);
     const auto space = xz_.Index(t);
     const double bound = pruner.IndexSpaceLowerBound(space.seq, space.pos);
@@ -205,7 +205,7 @@ TEST_F(GlobalPrunerTest, IndexSpaceLowerBoundIsAdmissible) {
 TEST_F(GlobalPrunerTest, RangesAreSortedDisjoint) {
   Random rnd(113);
   const auto query = trass::testing::RandomTrajectory(&rnd, 1, 20).points;
-  const QueryContext ctx = QueryContext::Make(query, 0.01);
+  const QueryGeometry ctx = QueryGeometry::Make(query, 0.01);
   GlobalPruner pruner(&xz_, &ctx);
   const auto ranges = pruner.CandidateRanges(0.01);
   for (size_t i = 0; i < ranges.size(); ++i) {

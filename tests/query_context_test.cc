@@ -1,0 +1,106 @@
+#include "util/query_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace trass {
+namespace {
+
+TEST(QueryContextTest, DefaultNeverStops) {
+  QueryContext control;
+  EXPECT_FALSE(control.has_deadline());
+  EXPECT_FALSE(control.ShouldStop());
+  EXPECT_TRUE(control.Check().ok());
+  EXPECT_TRUE(std::isinf(control.RemainingMillis()));
+  EXPECT_TRUE(control.ChargeCandidates(1 << 20));  // unlimited budget
+  EXPECT_FALSE(control.ShouldStop());
+}
+
+TEST(QueryContextTest, NonPositiveDeadlineLeavesQueryUndeadlined) {
+  QueryContext control;
+  control.SetDeadlineAfterMillis(0.0);
+  EXPECT_FALSE(control.has_deadline());
+  control.SetDeadlineAfterMillis(-5.0);
+  EXPECT_FALSE(control.has_deadline());
+}
+
+TEST(QueryContextTest, DeadlineExpires) {
+  QueryContext control;
+  control.SetDeadlineAfterMillis(1.0);
+  EXPECT_TRUE(control.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(control.deadline_expired());
+  EXPECT_TRUE(control.ShouldStop());
+  const Status s = control.Check();
+  EXPECT_TRUE(s.IsTimedOut());
+  EXPECT_EQ(control.RemainingMillis(), 0.0);
+}
+
+TEST(QueryContextTest, GenerousDeadlineDoesNotStop) {
+  QueryContext control;
+  control.SetDeadlineAfterMillis(60000.0);
+  EXPECT_FALSE(control.ShouldStop());
+  EXPECT_TRUE(control.Check().ok());
+  EXPECT_GT(control.RemainingMillis(), 1000.0);
+}
+
+TEST(QueryContextTest, CancelFlagStopsTheQuery) {
+  std::atomic<bool> cancel{false};
+  QueryContext control;
+  control.SetCancelFlag(&cancel);
+  EXPECT_FALSE(control.ShouldStop());
+  cancel.store(true);
+  EXPECT_TRUE(control.cancelled());
+  EXPECT_TRUE(control.Check().IsCancelled());
+}
+
+TEST(QueryContextTest, CancelWinsOverExpiredDeadline) {
+  std::atomic<bool> cancel{true};
+  QueryContext control;
+  control.SetCancelFlag(&cancel);
+  control.SetDeadlineAfterMillis(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Both conditions hold; the explicit cancel is reported.
+  EXPECT_TRUE(control.Check().IsCancelled());
+}
+
+TEST(QueryContextTest, CandidateBudgetExhausts) {
+  QueryContext control;
+  control.SetCandidateBudget(10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(control.ChargeCandidates(1)) << "row " << i;
+  }
+  EXPECT_FALSE(control.ChargeCandidates(1));  // row 11 exceeds the cap
+  EXPECT_TRUE(control.budget_exhausted());
+  const Status s = control.Check();
+  EXPECT_TRUE(s.IsBusy());
+  EXPECT_TRUE(s.IsQueryStop());
+}
+
+TEST(QueryContextTest, ConcurrentChargesRespectBudget) {
+  QueryContext control;
+  constexpr uint64_t kBudget = 10000;
+  control.SetCandidateBudget(kBudget);
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        if (control.ChargeCandidates(1)) accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // fetch_add hands out distinct pre-increment values, so exactly
+  // kBudget charges see a total within budget.
+  EXPECT_EQ(accepted.load(), kBudget);
+  EXPECT_TRUE(control.budget_exhausted());
+}
+
+}  // namespace
+}  // namespace trass

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "kv/fault_injection_env.h"
 #include "test_util.h"
+#include "util/query_context.h"
 
 namespace trass {
 namespace kv {
@@ -252,6 +256,154 @@ TEST_F(RegionStoreFaultTest, GetAttributesErrorToRegion) {
 TEST_F(RegionStoreFaultTest, VerifyIntegrityCoversEveryRegion) {
   OpenStore(/*degraded=*/true);
   EXPECT_TRUE(store_->VerifyIntegrity().ok());
+}
+
+// ---- cooperative cancellation ----
+
+// A pushdown filter that raises the query's cancel flag after `trigger`
+// rows — deterministic mid-scan cancellation without timing assumptions.
+class CancelAfterFilter final : public ScanFilter {
+ public:
+  CancelAfterFilter(std::atomic<bool>* cancel, uint64_t trigger)
+      : cancel_(cancel), trigger_(trigger) {}
+
+  bool Keep(const Slice&, const Slice&) const override {
+    if (seen_.fetch_add(1) + 1 >= trigger_) cancel_->store(true);
+    return true;
+  }
+
+ private:
+  std::atomic<bool>* cancel_;
+  const uint64_t trigger_;
+  mutable std::atomic<uint64_t> seen_{0};
+};
+
+class RegionStoreControlTest : public RegionStoreTest {
+ protected:
+  // Enough rows in one region that the worker's per-128-row control poll
+  // fires several times mid-scan.
+  void FillShardZero(int rows) {
+    for (int i = 0; i < rows; ++i) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%04d", i);
+      ASSERT_TRUE(store_->Put(WriteOptions(), Key(0, buf), "v").ok());
+    }
+  }
+};
+
+TEST_F(RegionStoreControlTest, ExpiredDeadlineFailsScanWithTimedOut) {
+  FillShardZero(64);
+  QueryContext control;
+  control.SetDeadlineAfterMillis(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<Row> rows;
+  ScanReport report;
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report, &control);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_TRUE(rows.empty());  // gathered rows discarded on a stop
+  EXPECT_TRUE(report.skipped.empty());  // a stop is not a degraded skip
+}
+
+TEST_F(RegionStoreControlTest, MidScanCancelStopsWorkerAtCheckInterval) {
+  FillShardZero(1000);
+  std::atomic<bool> cancel{false};
+  CancelAfterFilter filter(&cancel, /*trigger=*/1);
+  QueryContext control;
+  control.SetCancelFlag(&cancel);
+  std::vector<Row> rows;
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, &filter, &rows, nullptr, &control);
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(RegionStoreControlTest, CandidateBudgetStopsScanWithBusy) {
+  FillShardZero(500);
+  QueryContext control;
+  control.SetCandidateBudget(10);
+  std::vector<Row> rows;
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, nullptr, &rows, nullptr, &control);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_TRUE(s.IsQueryStop());
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(RegionStoreControlTest, UnarmedControlScansCompletely) {
+  FillShardZero(300);
+  QueryContext control;  // nothing armed: must behave like no control
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, nullptr,
+                           &control)
+                  .ok());
+  EXPECT_EQ(rows.size(), 300u);
+}
+
+TEST_F(RegionStoreFaultTest, QueryStopIsNeverCountedAsRegionFault) {
+  OpenStore(/*degraded=*/true);
+  QueryContext control;
+  control.SetDeadlineAfterMillis(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<Row> rows;
+  ScanReport report;
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report, &control);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  // Degraded mode must not "skip" regions over a deadline, and region
+  // health must not blame storage for a caller-attributed stop.
+  EXPECT_TRUE(report.skipped.empty());
+  for (int region = 0; region < 4; ++region) {
+    const RegionHealth health = store_->Health(region);
+    EXPECT_EQ(health.failed_attempts, 0u) << "region " << region;
+    EXPECT_EQ(health.skipped_scans, 0u) << "region " << region;
+  }
+}
+
+TEST_F(RegionStoreFaultTest, DeadlineDuringRetriesStillSkipsBrokenRegion) {
+  // A deadline that expires while the broken region sleeps between
+  // retries stops the retrying, but the *fault* outcome stands: degraded
+  // mode skips the region and the healthy rows are returned — the caller
+  // sees OK + a skip report, and decides the partial policy itself.
+  RegionStore::RegionOptions options;
+  options.num_regions = 4;
+  options.scan_threads = 4;  // healthy regions finish while 2 retries
+  options.max_scan_retries = 3;
+  options.retry_backoff_ms = 64;
+  options.degraded_scans = true;
+  options.db_options.env = &env_;
+  ASSERT_TRUE(
+      RegionStore::Open(options, dir_.path() + "/store", &store_).ok());
+  for (int shard = 0; shard < 4; ++shard) {
+    for (int i = 0; i < 10; ++i) {
+      std::string key(1, static_cast<char>(shard));
+      key += "k" + std::to_string(i);
+      ASSERT_TRUE(store_->Put(WriteOptions(), key, "v").ok());
+    }
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  BreakRegion(2);
+
+  QueryContext control;
+  control.SetDeadlineAfterMillis(30.0);
+  std::vector<Row> rows;
+  ScanReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report, &control);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(rows.size(), 30u);  // the three healthy regions
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].shard, 2);
+  EXPECT_GE(report.retries, 1u);
+  // The deadline clamps the backoff sleeps: total retry time collapses
+  // to roughly the 30ms budget instead of the 64+100+100ms schedule.
+  EXPECT_LT(elapsed_ms, 150.0);
+  EXPECT_EQ(store_->Health(2).skipped_scans, 1u);
 }
 
 }  // namespace

@@ -62,5 +62,46 @@ TEST(StatusTest, WithContextOnOkIsOk) {
   EXPECT_TRUE(Status().WithContext("ignored").ok());
 }
 
+TEST(StatusTest, QueryStopFactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_FALSE(Status::TimedOut("x").ok());
+  EXPECT_FALSE(Status::Cancelled("x").ok());
+  EXPECT_FALSE(Status::Busy("x").ok());
+  EXPECT_EQ(Status::TimedOut("deadline expired").ToString(),
+            "TimedOut: deadline expired");
+  EXPECT_EQ(Status::Cancelled("caller gave up").ToString(),
+            "Cancelled: caller gave up");
+  EXPECT_EQ(Status::Busy("queue full").ToString(), "Busy: queue full");
+}
+
+TEST(StatusTest, QueryStopCodesAreDistinct) {
+  EXPECT_FALSE(Status::TimedOut("x").IsCancelled());
+  EXPECT_FALSE(Status::TimedOut("x").IsBusy());
+  EXPECT_FALSE(Status::Cancelled("x").IsTimedOut());
+  EXPECT_FALSE(Status::Busy("x").IsTimedOut());
+  EXPECT_FALSE(Status::TimedOut("x").IsIoError());
+}
+
+TEST(StatusTest, IsQueryStopCoversExactlyTheStopCodes) {
+  EXPECT_TRUE(Status::TimedOut("x").IsQueryStop());
+  EXPECT_TRUE(Status::Cancelled("x").IsQueryStop());
+  EXPECT_TRUE(Status::Busy("x").IsQueryStop());
+  EXPECT_FALSE(Status().IsQueryStop());
+  EXPECT_FALSE(Status::IoError("x").IsQueryStop());
+  EXPECT_FALSE(Status::Corruption("x").IsQueryStop());
+  EXPECT_FALSE(Status::NotFound("x").IsQueryStop());
+}
+
+TEST(StatusTest, WithContextPreservesQueryStopCodes) {
+  const Status timed = Status::TimedOut("deadline").WithContext("scan");
+  EXPECT_TRUE(timed.IsTimedOut());
+  EXPECT_TRUE(timed.IsQueryStop());
+  EXPECT_EQ(timed.ToString(), "TimedOut: scan: deadline");
+  EXPECT_TRUE(Status::Cancelled("x").WithContext("refine").IsCancelled());
+  EXPECT_TRUE(Status::Busy("x").WithContext("admit").IsBusy());
+}
+
 }  // namespace
 }  // namespace trass

@@ -56,5 +56,68 @@ TEST(ThreadPoolTest, DestructorDrainsCleanly) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFailedFuture) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  auto future = pool.Submit([&ran] { ran = true; });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrainsQueued) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  for (auto& f : futures) f.get();  // queued work still ran
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(32, [&completed](size_t i) {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7 failed");
+  }
+  // Every non-throwing task that started must have finished before the
+  // rethrow (no task may outlive the call and touch dead stack locals).
+  EXPECT_LE(completed.load(), 31);
+}
+
+TEST(ThreadPoolTest, CancellationAwareParallelForSkipsUnstartedIndices) {
+  ThreadPool pool(2);
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> ran{0};
+  const size_t count = pool.ParallelFor(
+      1000,
+      [&](size_t) {
+        if (ran.fetch_add(1) + 1 >= 10) stop.store(true);
+      },
+      [&stop] { return stop.load(); });
+  EXPECT_EQ(count, ran.load());
+  EXPECT_GE(count, 10u);
+  EXPECT_LT(count, 1000u);  // the stop flag pruned the tail
+}
+
+TEST(ThreadPoolTest, CancellationAwareParallelForRunsAllWithoutStop) {
+  ThreadPool pool(3);
+  std::atomic<size_t> ran{0};
+  const size_t count = pool.ParallelFor(
+      64, [&ran](size_t) { ran.fetch_add(1); }, [] { return false; });
+  EXPECT_EQ(count, 64u);
+  EXPECT_EQ(ran.load(), 64u);
+}
+
 }  // namespace
 }  // namespace trass

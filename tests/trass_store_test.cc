@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <map>
 #include <memory>
+#include <set>
+#include <thread>
 
 #include "baselines/brute_force.h"
 #include "core/similarity.h"
+#include "kv/fault_injection_env.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -318,6 +324,348 @@ TEST_F(TrassStoreTest, RejectsEmptyTrajectory) {
   Trajectory empty;
   empty.id = 1;
   EXPECT_FALSE(store_->Put(empty).ok());
+}
+
+// ---- query deadlines, cancellation, budgets, admission ----
+
+// No duplicated ids: a cooperative stop must never corrupt the answer.
+void ExpectUniqueIds(const std::vector<SearchResult>& results) {
+  std::set<uint64_t> ids;
+  for (const SearchResult& r : results) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+  }
+}
+
+// Dense 50k-trajectory store shared by the deadline tests (built once —
+// ingest dominates the suite otherwise). Queries with a generous eps over
+// this store take tens of milliseconds undeadlined, so a 1ms deadline has
+// something to cut short.
+class TrassStoreDeadlineTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kTrajectories = 50000;
+  static constexpr double kEps = 0.05;
+
+  static void SetUpTestSuite() {
+    dir_ = new trass::testing::ScratchDir("trass_store_deadline");
+    TrassOptions options;
+    options.shards = 4;
+    options.max_resolution = 12;
+    options.scan_threads = 2;
+    options.db_options.write_buffer_size = 1024 * 1024;
+    ASSERT_TRUE(
+        TrassStore::Open(options, dir_->path() + "/store", &store_).ok());
+    Random rnd(71);
+    for (uint64_t id = 1; id <= kTrajectories; ++id) {
+      ASSERT_TRUE(store_
+                      ->Put(trass::testing::RandomTrajectory(
+                          &rnd, id, /*points=*/8, 0.3, 0.7, 0.003))
+                      .ok());
+    }
+    ASSERT_TRUE(store_->Flush().ok());
+    query_ = trass::testing::RandomTrajectory(&rnd, 0, /*points=*/10, 0.45,
+                                              0.55, 0.003)
+                 .points;
+  }
+
+  static void TearDownTestSuite() {
+    store_.reset();
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  template <typename Fn>
+  static double TimedMs(const Fn& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
+  static trass::testing::ScratchDir* dir_;
+  static std::unique_ptr<TrassStore> store_;
+  static std::vector<geo::Point> query_;
+};
+
+trass::testing::ScratchDir* TrassStoreDeadlineTest::dir_ = nullptr;
+std::unique_ptr<TrassStore> TrassStoreDeadlineTest::store_;
+std::vector<geo::Point> TrassStoreDeadlineTest::query_;
+
+TEST_F(TrassStoreDeadlineTest, ThresholdDeadlineCutsLatency) {
+  std::vector<SearchResult> full;
+  const double undeadlined_ms = TimedMs([&] {
+    ASSERT_TRUE(
+        store_->ThresholdSearch(query_, kEps, Measure::kFrechet, &full).ok());
+  });
+  ASSERT_GT(full.size(), 0u) << "dataset must make the query expensive";
+
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  QueryOptions query_options;
+  query_options.deadline_ms = 1.0;
+  Status s;
+  const double deadlined_ms = TimedMs([&] {
+    s = store_->ThresholdSearch(query_, kEps, Measure::kFrechet, &results,
+                                &metrics, query_options);
+  });
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_TRUE(metrics.deadline_expired);
+  EXPECT_LT(deadlined_ms, undeadlined_ms / 4.0)
+      << "deadlined " << deadlined_ms << "ms vs undeadlined "
+      << undeadlined_ms << "ms";
+}
+
+TEST_F(TrassStoreDeadlineTest, TopKDeadlineCutsLatency) {
+  std::vector<SearchResult> full;
+  const double undeadlined_ms = TimedMs([&] {
+    ASSERT_TRUE(
+        store_->TopKSearch(query_, 500, Measure::kFrechet, &full).ok());
+  });
+  ASSERT_EQ(full.size(), 500u);
+
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  QueryOptions query_options;
+  query_options.deadline_ms = 1.0;
+  Status s;
+  const double deadlined_ms = TimedMs([&] {
+    s = store_->TopKSearch(query_, 500, Measure::kFrechet, &results,
+                           &metrics, query_options);
+  });
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_TRUE(metrics.deadline_expired);
+  EXPECT_LT(deadlined_ms, undeadlined_ms / 4.0)
+      << "deadlined " << deadlined_ms << "ms vs undeadlined "
+      << undeadlined_ms << "ms";
+}
+
+TEST_F(TrassStoreDeadlineTest, AllowPartialReturnsSoundSubset) {
+  std::vector<SearchResult> full;
+  ASSERT_TRUE(
+      store_->ThresholdSearch(query_, kEps, Measure::kFrechet, &full).ok());
+  std::map<uint64_t, double> full_by_id;
+  for (const SearchResult& r : full) full_by_id[r.id] = r.distance;
+
+  std::vector<SearchResult> partial;
+  QueryMetrics metrics;
+  QueryOptions query_options;
+  query_options.deadline_ms = 3.0;
+  query_options.allow_partial = true;
+  const Status s = store_->ThresholdSearch(query_, kEps, Measure::kFrechet,
+                                           &partial, &metrics, query_options);
+  ASSERT_TRUE(s.ok()) << s.ToString();  // partial mode reports OK
+  EXPECT_TRUE(metrics.partial);
+  EXPECT_TRUE(metrics.deadline_expired);
+  EXPECT_LT(partial.size(), full.size());
+  ExpectUniqueIds(partial);
+  // Everything returned was verified: it must appear in the full answer
+  // with the same distance.
+  for (const SearchResult& r : partial) {
+    const auto it = full_by_id.find(r.id);
+    ASSERT_NE(it, full_by_id.end()) << "unsound partial result " << r.id;
+    EXPECT_NEAR(it->second, r.distance, 1e-12);
+  }
+}
+
+TEST_F(TrassStoreDeadlineTest, TopKAllowPartialKeepsVerifiedHeap) {
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  QueryOptions query_options;
+  query_options.deadline_ms = 3.0;
+  query_options.allow_partial = true;
+  const Status s = store_->TopKSearch(query_, 500, Measure::kFrechet,
+                                      &results, &metrics, query_options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(metrics.partial);
+  EXPECT_TRUE(metrics.deadline_expired);
+  EXPECT_LE(results.size(), 500u);
+  ExpectUniqueIds(results);
+  // The heap's contents are exact distances, sorted ascending.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].distance, results[i].distance);
+  }
+}
+
+TEST_F(TrassStoreDeadlineTest, CancelFlagStopsQuery) {
+  std::atomic<bool> cancel{true};  // cancelled before it starts
+  QueryOptions query_options;
+  query_options.cancel = &cancel;
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  const Status s = store_->ThresholdSearch(query_, kEps, Measure::kFrechet,
+                                           &results, &metrics, query_options);
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+  EXPECT_TRUE(metrics.cancelled);
+
+  query_options.allow_partial = true;
+  const Status partial_status = store_->ThresholdSearch(
+      query_, kEps, Measure::kFrechet, &results, &metrics, query_options);
+  EXPECT_TRUE(partial_status.ok());
+  EXPECT_TRUE(metrics.partial);
+  EXPECT_TRUE(metrics.cancelled);
+}
+
+TEST_F(TrassStoreDeadlineTest, CandidateBudgetBoundsKeptRows) {
+  QueryOptions query_options;
+  query_options.max_candidates = 100;
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  const Status s = store_->ThresholdSearch(query_, kEps, Measure::kFrechet,
+                                           &results, &metrics, query_options);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_TRUE(metrics.budget_exhausted);
+  EXPECT_FALSE(metrics.deadline_expired);
+}
+
+TEST_F(TrassStoreDeadlineTest, AdmissionShedsBeyondConcurrencyLimit) {
+  AdmissionController* admission = store_->admission_controller();
+  AdmissionController::Options limits;
+  limits.max_concurrent = 2;
+  limits.max_queue = 0;
+  admission->Configure(limits);
+  const uint64_t sheds_before = admission->counters().sheds();
+
+  // Occupy both slots, exactly as two in-flight queries would.
+  ASSERT_TRUE(admission->Admit().ok());
+  ASSERT_TRUE(admission->Admit().ok());
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  const Status s = store_->ThresholdSearch(query_, 0.001, Measure::kFrechet,
+                                           &results, &metrics);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_EQ(admission->counters().shed_queue_full, sheds_before + 1);
+
+  admission->Release();
+  // One slot free again: the same query is admitted and completes.
+  EXPECT_TRUE(store_->ThresholdSearch(query_, 0.001, Measure::kFrechet,
+                                      &results, &metrics)
+                  .ok());
+  admission->Release();
+  admission->Configure(AdmissionController::Options{});  // restore: disabled
+}
+
+TEST_F(TrassStoreDeadlineTest, ConcurrentQueriesUnderAdmissionSucceed) {
+  AdmissionController* admission = store_->admission_controller();
+  AdmissionController::Options limits;
+  limits.max_concurrent = 2;
+  limits.max_queue = 4;
+  limits.queue_timeout_ms = 10000.0;
+  admission->Configure(limits);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      std::vector<SearchResult> results;
+      const Status s =
+          store_->ThresholdSearch(query_, 0.01, Measure::kFrechet, &results);
+      if (!s.ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Queue of 4 with a generous timeout: nobody is shed, everyone runs.
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(admission->in_flight(), 0);
+  admission->Configure(AdmissionController::Options{});
+}
+
+// ---- deadline x degraded-scan composition (fault injection) ----
+
+class TrassStoreFaultTest : public ::testing::Test {
+ protected:
+  TrassStoreFaultTest()
+      : dir_("trass_store_fault"), env_(kv::Env::Default()) {}
+
+  void OpenDegradedStore() {
+    TrassOptions options;
+    options.shards = 4;
+    options.max_resolution = 12;
+    options.scan_threads = 4;
+    options.degraded_scans = true;
+    options.max_scan_retries = 3;
+    options.scan_retry_backoff_ms = 32;
+    options.db_options.env = &env_;
+    ASSERT_TRUE(
+        TrassStore::Open(options, dir_.path() + "/store", &store_).ok());
+    // Long trajectories make refinement slow enough (quadratic DP per
+    // candidate) that a deadline expiring at the tail of the scan is
+    // always caught by the refine-phase checks — the scan itself ends
+    // within a millisecond of the deadline because retry backoff is
+    // clamped to the remaining budget.
+    const auto data = trass::testing::RandomDataset(23, 100, 180, 220);
+    for (const Trajectory& t : data) {
+      ASSERT_TRUE(store_->Put(t).ok());
+    }
+    ASSERT_TRUE(store_->Flush().ok());
+    query_ = data[0].points;
+  }
+
+  // Makes every table read in region `shard` fail until faults clear.
+  void BreakRegion(int shard) {
+    for (kv::FaultOp op : {kv::FaultOp::kOpenRead, kv::FaultOp::kRead}) {
+      kv::FaultPoint fault;
+      fault.op = op;
+      fault.permanent = true;
+      fault.path_substring = "region-" + std::to_string(shard);
+      env_.InjectFault(fault);
+    }
+  }
+
+  trass::testing::ScratchDir dir_;
+  kv::FaultInjectionEnv env_;
+  std::unique_ptr<TrassStore> store_;
+  std::vector<geo::Point> query_;
+};
+
+TEST_F(TrassStoreFaultTest, DeadlineAndDegradedSkipAreBothReported) {
+  OpenDegradedStore();
+  BreakRegion(2);
+
+  // The deadline expires while the broken region sleeps between retries
+  // (32ms first backoff vs a 40ms budget): the region is still skipped as
+  // a *fault* (degraded mode), and the deadline is separately reported as
+  // the reason the query stopped early. Both must surface in the metrics.
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  QueryOptions query_options;
+  query_options.deadline_ms = 40.0;
+  query_options.allow_partial = true;
+  const Status s = store_->ThresholdSearch(query_, 0.05, Measure::kFrechet,
+                                           &results, &metrics, query_options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(metrics.partial);
+  EXPECT_EQ(metrics.skipped_regions, 1u);
+  EXPECT_TRUE(metrics.deadline_expired);
+  EXPECT_GE(metrics.scan_retries, 1u);
+  ExpectUniqueIds(results);
+}
+
+TEST_F(TrassStoreFaultTest, DeadlineOverFaultyRegionWithoutPartialOptIn) {
+  OpenDegradedStore();
+  BreakRegion(2);
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  QueryOptions query_options;
+  query_options.deadline_ms = 40.0;  // no allow_partial
+  const Status s = store_->ThresholdSearch(query_, 0.05, Measure::kFrechet,
+                                           &results, &metrics, query_options);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_TRUE(metrics.deadline_expired);
+  EXPECT_EQ(metrics.skipped_regions, 1u);  // the fault is still recorded
+}
+
+TEST_F(TrassStoreFaultTest, DegradedSkipAloneStaysOkWithoutDeadline) {
+  OpenDegradedStore();
+  BreakRegion(2);
+  std::vector<SearchResult> results;
+  QueryMetrics metrics;
+  const Status s = store_->ThresholdSearch(query_, 0.05, Measure::kFrechet,
+                                           &results, &metrics);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(metrics.partial);
+  EXPECT_EQ(metrics.skipped_regions, 1u);
+  EXPECT_FALSE(metrics.deadline_expired);  // fault, not a deadline
+  ExpectUniqueIds(results);
 }
 
 }  // namespace
