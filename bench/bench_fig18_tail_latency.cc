@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "core/admission.h"
 #include "core/metrics.h"
+#include "core/trass_store.h"
+#include "kv/fault_injection_env.h"
 #include "util/histogram.h"
 
 namespace trass {
@@ -184,12 +187,107 @@ void RunServingControls(const Dataset& dataset, const std::string& dir) {
                   static_cast<double>(std::max<size_t>(attempts.load(), 1)));
 }
 
+/// Pass 3: availability under a single-replica fault — replication
+/// factor 1 (every query degrades to a skip) against factor
+/// `replication` (every query fails over and stays complete). The
+/// primary replica of every shard is fault-injected down, the hardest
+/// single-replica failure the store can see.
+void RunFailoverVsSkip(const Dataset& dataset, const std::string& dir,
+                       int replication) {
+  std::printf(
+      "\n=== Figure 18c — failover vs skip, 1 replica/shard down — %s "
+      "(%zu queries) ===\n",
+      dataset.name.c_str(), dataset.num_queries());
+  std::printf("%-22s %10s %10s %12s %12s\n", "config", "p50-ms", "p99-ms",
+              "skip-rate", "failovers");
+  PrintRule(72);
+  for (const int factor : {1, replication}) {
+    kv::FaultInjectionEnv env(kv::Env::Default());
+    core::TrassOptions options;
+    options.degraded_scans = true;
+    options.max_scan_retries = 1;
+    options.scan_retry_backoff_ms = 1;
+    options.replication_factor = factor;
+    options.db_options.env = &env;
+    const std::string store_dir =
+        dir + "/" + dataset.name + "_failover_f" + std::to_string(factor);
+    std::unique_ptr<core::TrassStore> store;
+    if (!core::TrassStore::Open(options, store_dir, &store).ok()) {
+      std::printf("open failed for factor %d; skipping\n", factor);
+      continue;
+    }
+    bool built = true;
+    for (const core::Trajectory& t : dataset.data) {
+      if (!store->Put(t).ok()) {
+        built = false;
+        break;
+      }
+    }
+    if (!built || !store->Flush().ok()) {
+      std::printf("build failed for factor %d; skipping\n", factor);
+      continue;
+    }
+    // Down the primary replica of every shard ("region-N/" matches only
+    // the replica-0 directories).
+    for (int shard = 0; shard < options.shards; ++shard) {
+      for (kv::FaultOp op : {kv::FaultOp::kOpenRead, kv::FaultOp::kRead}) {
+        kv::FaultPoint fault;
+        fault.op = op;
+        fault.permanent = true;
+        fault.path_substring = "region-" + std::to_string(shard) + "/";
+        env.InjectFault(fault);
+      }
+    }
+    Histogram latency;
+    size_t skipped_queries = 0;
+    uint64_t failovers = 0;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      if (store->ThresholdSearch(dataset.Query(q), EpsNorm(0.01),
+                                 core::Measure::kFrechet, &found, &metrics)
+              .ok()) {
+        latency.Add(metrics.total_ms);
+        if (metrics.skipped_regions > 0) ++skipped_queries;
+        failovers += metrics.replica_failovers;
+      }
+    }
+    char p50[32], p99[32];
+    FormatMs(p50, sizeof(p50), latency, 50);
+    FormatMs(p99, sizeof(p99), latency, 99);
+    char config[32];
+    std::snprintf(config, sizeof(config), "replication=%d", factor);
+    std::printf("%-22s %10s %10s %11.1f%% %12llu\n", config, p50, p99,
+                100.0 * static_cast<double>(skipped_queries) /
+                    static_cast<double>(std::max<size_t>(
+                        dataset.num_queries(), 1)),
+                static_cast<unsigned long long>(failovers));
+    if (replication == 1) break;  // both configs would be identical
+  }
+}
+
+/// Replication factor for the failover pass: --replication=N (or
+/// "--replication N"), else TRASS_BENCH_REPLICATION, else 2.
+int ParseReplication(int argc, char** argv) {
+  int factor = static_cast<int>(EnvSize("TRASS_BENCH_REPLICATION", 2));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--replication=", 14) == 0) {
+      factor = std::atoi(argv[i] + 14);
+    } else if (std::strcmp(argv[i], "--replication") == 0 &&
+               i + 1 < argc) {
+      factor = std::atoi(argv[++i]);
+    }
+  }
+  return std::max(1, std::min(8, factor));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace trass
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trass::bench;
+  const int replication = ParseReplication(argc, argv);
   const std::string dir = ScratchDir("fig18");
   const Dataset tdrive = MakeTDrive(DefaultN(), DefaultQueries());
   const Dataset lorry = MakeLorry(DefaultN(), DefaultQueries());
@@ -197,5 +295,7 @@ int main() {
   RunDataset(lorry, dir);
   RunServingControls(tdrive, dir);
   RunServingControls(lorry, dir);
+  RunFailoverVsSkip(tdrive, dir, replication);
+  RunFailoverVsSkip(lorry, dir, replication);
   return 0;
 }

@@ -1,0 +1,57 @@
+#!/bin/bash
+# CI entry point: builds and tests the three configurations the project
+# promises to keep green —
+#   release   plain Release, all targets (tests + benches + examples)
+#   asan      ASan + UBSan, tests only
+#   tsan      TSan, tests only (failover/scrub/scan concurrency races)
+#
+# Usage: ci.sh [release|asan|tsan ...]   (default: all three, in order)
+#
+# Each configuration gets its own build tree under build-ci/ so a local
+# developer build/ is never clobbered. Fails fast on the first broken
+# configuration.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+configs=("$@")
+if [ "${#configs[@]}" -eq 0 ]; then
+  configs=(release asan tsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-ci/$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  echo "=== [$name] OK ==="
+}
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    release)
+      run_config release
+      ;;
+    asan)
+      run_config asan \
+        -DTRASS_SANITIZE=address,undefined \
+        -DTRASS_BUILD_BENCHMARKS=OFF -DTRASS_BUILD_EXAMPLES=OFF
+      ;;
+    tsan)
+      run_config tsan \
+        -DTRASS_SANITIZE=thread \
+        -DTRASS_BUILD_BENCHMARKS=OFF -DTRASS_BUILD_EXAMPLES=OFF
+      ;;
+    *)
+      echo "ci.sh: unknown configuration: $config (want release|asan|tsan)" >&2
+      exit 1
+      ;;
+  esac
+done
+echo "ci.sh: all configurations green"

@@ -3,8 +3,34 @@
 # Fails fast: a missing bench directory, an empty binary set, or a
 # non-zero bench exit aborts the run with a diagnostic instead of
 # silently producing a partial bench_output.txt.
+#
+# Usage: run_benches.sh [--replication N]
+#   --replication N   replication factor for the availability passes
+#                     (bench_fig18_tail_latency's failover-vs-skip
+#                     table); exported as TRASS_BENCH_REPLICATION.
 set -u
 cd /root/repo || exit 1
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --replication)
+      if [ $# -lt 2 ]; then
+        echo "run_benches.sh: --replication needs a value" >&2
+        exit 1
+      fi
+      export TRASS_BENCH_REPLICATION="$2"
+      shift 2
+      ;;
+    --replication=*)
+      export TRASS_BENCH_REPLICATION="${1#--replication=}"
+      shift
+      ;;
+    *)
+      echo "run_benches.sh: unknown argument: $1" >&2
+      exit 1
+      ;;
+  esac
+done
 
 if [ ! -d build/bench ]; then
   echo "run_benches.sh: build/bench not found (build with -DTRASS_BUILD_BENCHMARKS=ON first)" >&2

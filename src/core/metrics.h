@@ -30,6 +30,12 @@ struct QueryMetrics {
   uint64_t skipped_regions = 0;  // region-skip events across all scans
   uint64_t scan_retries = 0;     // scan attempts beyond the first
 
+  /// Replication (see RegionOptions::replication_factor). Failovers are
+  /// reads that moved to another replica of the same shard after a
+  /// fault; a query can fail over and still be complete (not partial),
+  /// which is the whole point of replication.
+  uint64_t replica_failovers = 0;
+
   /// Cooperative-stop outcome (see QueryOptions). With `allow_partial`
   /// the query returns OK with `partial` set and the reason recorded
   /// here; the flags compose with `skipped_regions` (a query can be

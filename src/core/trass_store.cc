@@ -25,6 +25,7 @@ void FoldScanReport(const kv::ScanReport& report, QueryMetrics* m) {
   m->partial = m->partial || !report.complete();
   m->skipped_regions += report.skipped.size();
   m->scan_retries += report.retries;
+  m->replica_failovers += report.failovers;
 }
 
 std::vector<kv::ScanRange> ToScanRanges(
@@ -120,6 +121,9 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   region_options.degraded_scans = options.degraded_scans;
   region_options.max_scan_retries = options.max_scan_retries;
   region_options.retry_backoff_ms = options.scan_retry_backoff_ms;
+  region_options.replication_factor = options.replication_factor;
+  region_options.replica_demote_threshold = options.replica_demote_threshold;
+  region_options.replica_probe_interval = options.replica_probe_interval;
   Status s = kv::RegionStore::Open(region_options, path, &impl->store_);
   if (!s.ok()) return s;
   s = impl->RebuildIngestState();
@@ -235,6 +239,10 @@ std::vector<std::pair<int64_t, int64_t>> TrassStore::IntersectWithDirectory(
 }
 
 Status TrassStore::Flush() { return store_->Flush(); }
+
+Status TrassStore::ScrubReplicas(kv::ScrubReport* report) {
+  return store_->ScrubReplicas(report);
+}
 
 Status TrassStore::ResolveStop(const Status& stop, bool allow_partial,
                                QueryMetrics* m) {

@@ -58,6 +58,16 @@ struct TrassOptions {
   int max_scan_retries = 2;
   uint64_t scan_retry_backoff_ms = 2;
 
+  /// Replication (see RegionStore::RegionOptions): copies kept per
+  /// shard. With > 1, ingest writes every copy synchronously and a scan
+  /// whose preferred replica faults fails over to a healthy peer before
+  /// spending the region retry budget, so queries stay complete unless
+  /// *every* replica of a shard is down. 1 = no replication (seed
+  /// behavior and on-disk layout).
+  int replication_factor = 1;
+  int replica_demote_threshold = 2;    // consecutive faults -> demoted
+  uint64_t replica_probe_interval = 8;  // every Nth scan probes demoted
+
   /// Admission control for the four query APIs: at most
   /// `max_concurrent_queries` run at once (0 = unlimited), at most
   /// `admission_queue` more wait up to `admission_queue_timeout_ms` for
@@ -108,6 +118,14 @@ class TrassStore {
 
   /// Forces memtables to disk.
   Status Flush();
+
+  /// Anti-entropy pass over the replicated store: cross-checks the
+  /// replicas of every shard and rebuilds corrupt or divergent ones
+  /// from a healthy peer. Must not run concurrently with Put/Flush;
+  /// concurrent queries are safe (they fail over past a replica while
+  /// it is being rebuilt). No-op at replication_factor 1 beyond
+  /// integrity verification bookkeeping.
+  Status ScrubReplicas(kv::ScrubReport* report = nullptr);
 
   /// Threshold similarity search (Definition 3 / Algorithm 3).
   Status ThresholdSearch(const std::vector<geo::Point>& query, double eps,

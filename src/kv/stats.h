@@ -20,6 +20,9 @@ struct IoStats {
   std::atomic<uint64_t> range_scans{0};
   std::atomic<uint64_t> checksum_verifications{0};  // blocks CRC-checked
   std::atomic<uint64_t> corruptions_detected{0};    // checksum mismatches
+  std::atomic<uint64_t> replica_failovers{0};  // reads moved to another replica
+  std::atomic<uint64_t> scrub_rounds{0};       // anti-entropy passes started
+  std::atomic<uint64_t> replicas_rebuilt{0};   // replicas restored from a peer
 
   void Reset() {
     blocks_read = 0;
@@ -31,6 +34,9 @@ struct IoStats {
     range_scans = 0;
     checksum_verifications = 0;
     corruptions_detected = 0;
+    replica_failovers = 0;
+    scrub_rounds = 0;
+    replicas_rebuilt = 0;
   }
 
   struct Snapshot {
@@ -43,6 +49,9 @@ struct IoStats {
     uint64_t range_scans;
     uint64_t checksum_verifications;
     uint64_t corruptions_detected;
+    uint64_t replica_failovers;
+    uint64_t scrub_rounds;
+    uint64_t replicas_rebuilt;
   };
 
   Snapshot Read() const {
@@ -54,7 +63,10 @@ struct IoStats {
                     point_gets.load(),
                     range_scans.load(),
                     checksum_verifications.load(),
-                    corruptions_detected.load()};
+                    corruptions_detected.load(),
+                    replica_failovers.load(),
+                    scrub_rounds.load(),
+                    replicas_rebuilt.load()};
   }
 };
 

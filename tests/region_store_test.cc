@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "kv/fault_injection_env.h"
+#include "kv/filename.h"
 #include "test_util.h"
 #include "util/query_context.h"
 
@@ -404,6 +405,444 @@ TEST_F(RegionStoreFaultTest, DeadlineDuringRetriesStillSkipsBrokenRegion) {
   // to roughly the 30ms budget instead of the 64+100+100ms schedule.
   EXPECT_LT(elapsed_ms, 150.0);
   EXPECT_EQ(store_->Health(2).skipped_scans, 1u);
+}
+
+// ---- replication ----
+
+// Fixture for replication tests: every replica database lives on a
+// FaultInjectionEnv so individual replicas (or whole regions) can be
+// made to fail, and table files can be byte-flipped for scrub tests.
+class RegionStoreReplicaTest : public ::testing::Test {
+ protected:
+  RegionStoreReplicaTest()
+      : dir_("region_store_replica"), env_(Env::Default()) {}
+
+  std::string StorePath() const { return dir_.path() + "/store"; }
+
+  void OpenStore(bool degraded, int factor = 2, int scan_threads = 2,
+                 uint64_t probe_interval = 8, int demote_threshold = 2) {
+    RegionStore::RegionOptions options;
+    options.num_regions = 4;
+    options.scan_threads = scan_threads;
+    options.max_scan_retries = 2;
+    options.retry_backoff_ms = 1;
+    options.degraded_scans = degraded;
+    options.replication_factor = factor;
+    options.replica_demote_threshold = demote_threshold;
+    options.replica_probe_interval = probe_interval;
+    options.db_options.env = &env_;
+    ASSERT_TRUE(RegionStore::Open(options, StorePath(), &store_).ok());
+  }
+
+  // Ten rows per region, flushed so scans must read table files (where
+  // the injected faults live).
+  void Fill() {
+    for (int shard = 0; shard < 4; ++shard) {
+      for (int i = 0; i < 10; ++i) {
+        std::string key(1, static_cast<char>(shard));
+        key += "k" + std::to_string(i);
+        ASSERT_TRUE(store_->Put(WriteOptions(), key, "v").ok());
+      }
+    }
+    ASSERT_TRUE(store_->Flush().ok());
+  }
+
+  std::string ReplicaDir(int shard, int replica) const {
+    std::string dir = StorePath() + "/region-" + std::to_string(shard);
+    if (replica > 0) dir += "-replica-" + std::to_string(replica);
+    return dir;
+  }
+
+  // Replica 0's files live at .../region-N/...; the trailing separator
+  // keeps the substring from also matching region-N-replica-*.
+  std::string ReplicaPathSubstring(int shard, int replica) const {
+    return replica == 0
+               ? "region-" + std::to_string(shard) + "/"
+               : "region-" + std::to_string(shard) + "-replica-" +
+                     std::to_string(replica);
+  }
+
+  // Makes every table read in one replica of `shard` fail until faults
+  // clear; the other replica stays healthy.
+  void BreakReplica(int shard, int replica) {
+    for (FaultOp op : {FaultOp::kOpenRead, FaultOp::kRead}) {
+      FaultPoint fault;
+      fault.op = op;
+      fault.permanent = true;
+      fault.path_substring = ReplicaPathSubstring(shard, replica);
+      env_.InjectFault(fault);
+    }
+  }
+
+  // Makes every replica of `shard` fail ("region-N" matches both the
+  // region-N/ and region-N-replica-*/ directories).
+  void BreakAllReplicas(int shard) {
+    for (FaultOp op : {FaultOp::kOpenRead, FaultOp::kRead}) {
+      FaultPoint fault;
+      fault.op = op;
+      fault.permanent = true;
+      fault.path_substring = "region-" + std::to_string(shard);
+      env_.InjectFault(fault);
+    }
+  }
+
+  // Byte-flips the middle of every table file of one replica — silent
+  // on-disk corruption the block checksums catch at read time.
+  void CorruptReplicaTables(int shard, int replica) {
+    const std::string dir = ReplicaDir(shard, replica);
+    std::vector<std::string> children;
+    ASSERT_TRUE(env_.GetChildren(dir, &children).ok());
+    int corrupted = 0;
+    for (const std::string& child : children) {
+      uint64_t number;
+      FileType type;
+      if (!ParseFileName(child, &number, &type) ||
+          type != FileType::kTableFile) {
+        continue;
+      }
+      const std::string path = dir + "/" + child;
+      std::string contents;
+      ASSERT_TRUE(env_.ReadFileToString(path, &contents).ok());
+      ASSERT_GT(contents.size(), 32u);
+      for (size_t i = contents.size() / 2;
+           i < contents.size() / 2 + 16 && i < contents.size(); ++i) {
+        contents[i] = static_cast<char>(contents[i] ^ 0xff);
+      }
+      ASSERT_TRUE(
+          env_.WriteStringToFile(contents, path, /*sync=*/false).ok());
+      ++corrupted;
+    }
+    ASSERT_GT(corrupted, 0) << "no table files under " << dir;
+  }
+
+  trass::testing::ScratchDir dir_;
+  FaultInjectionEnv env_;
+  std::unique_ptr<RegionStore> store_;
+};
+
+TEST_F(RegionStoreReplicaTest, FailoverServesCompleteResult) {
+  OpenStore(/*degraded=*/true);
+  Fill();
+  BreakReplica(/*shard=*/2, /*replica=*/0);
+  std::vector<Row> rows;
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report).ok());
+  // The fault is invisible except through the failover counters: all 40
+  // rows arrive, nothing is skipped, no retry budget was spent.
+  EXPECT_EQ(rows.size(), 40u);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_GE(report.failovers, 1u);
+  ASSERT_EQ(report.regions.size(), 4u);
+  EXPECT_EQ(report.regions[2].served_replica, 1);
+  EXPECT_GE(report.regions[2].failovers, 1u);
+  const RegionHealth health = store_->Health(2);
+  EXPECT_EQ(health.failed_attempts, 0u);  // no full pass ever failed
+  EXPECT_EQ(health.skipped_scans, 0u);
+  EXPECT_GE(health.failovers, 1u);
+  ASSERT_EQ(health.replicas.size(), 2u);
+  EXPECT_GE(health.replicas[0].failed_attempts, 1u);
+  EXPECT_FALSE(health.replicas[0].last_error.empty());
+  EXPECT_EQ(health.replicas[1].failed_attempts, 0u);
+  EXPECT_GE(store_->TotalIoStats().replica_failovers, 1u);
+}
+
+TEST_F(RegionStoreReplicaTest, FailoverNeedsNoDegradedMode) {
+  // Replication keeps strict (non-degraded) scans available through a
+  // single-replica fault — nothing given up, no error.
+  OpenStore(/*degraded=*/false);
+  Fill();
+  BreakReplica(/*shard=*/1, /*replica=*/0);
+  std::vector<Row> rows;
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report).ok());
+  EXPECT_EQ(rows.size(), 40u);
+  EXPECT_GE(report.failovers, 1u);
+}
+
+TEST_F(RegionStoreReplicaTest, AllReplicasDownStillDegradedSkips) {
+  OpenStore(/*degraded=*/true);
+  Fill();
+  BreakAllReplicas(2);
+  std::vector<Row> rows;
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report).ok());
+  // Exactly the single-replica degraded contract: the region is skipped
+  // after the retry budget, and only then.
+  EXPECT_EQ(rows.size(), 30u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].shard, 2);
+  EXPECT_EQ(report.regions[2].served_replica, -1);
+  const RegionHealth health = store_->Health(2);
+  EXPECT_EQ(health.failed_attempts, 3u);  // 1 attempt + 2 retries
+  EXPECT_EQ(health.skipped_scans, 1u);
+}
+
+TEST_F(RegionStoreReplicaTest, GetFailsOverAndNotFoundIsAuthoritative) {
+  OpenStore(/*degraded=*/false);
+  Fill();
+  BreakReplica(/*shard=*/3, /*replica=*/0);
+  std::string value;
+  std::string key(1, static_cast<char>(3));
+  key += "k0";
+  ASSERT_TRUE(store_->Get(ReadOptions(), key, &value).ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_GE(store_->TotalIoStats().replica_failovers, 1u);
+  // A miss on the serving replica is final — replicas are
+  // write-synchronous, so it cannot be hiding on a broken peer.
+  std::string missing(1, static_cast<char>(0));
+  missing += "nope";
+  EXPECT_TRUE(store_->Get(ReadOptions(), missing, &value).IsNotFound());
+}
+
+TEST_F(RegionStoreReplicaTest, DemotedReplicaIsProbedAndReinstated) {
+  OpenStore(/*degraded=*/false, /*factor=*/2, /*scan_threads=*/2,
+            /*probe_interval=*/3, /*demote_threshold=*/2);
+  Fill();
+  BreakReplica(/*shard=*/0, /*replica=*/0);
+  std::vector<Row> rows;
+  // Two failing scans demote replica 0 of region 0 (threshold 2); both
+  // still serve completely via failover.
+  for (int i = 0; i < 2; ++i) {
+    rows.clear();
+    ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows).ok());
+    EXPECT_EQ(rows.size(), 40u);
+  }
+  std::vector<RegionHealth> all = store_->HealthSnapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_TRUE(all[0].replicas[0].demoted);
+  EXPECT_EQ(all[0].replicas[0].consecutive_failures, 2u);
+  // The replica heals; the third scan of the region is the probe
+  // (interval 3) — it tries the demoted replica first, succeeds, and
+  // reinstates it as preferred.
+  env_.ClearFaults();
+  rows.clear();
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report).ok());
+  EXPECT_EQ(rows.size(), 40u);
+  EXPECT_EQ(report.regions[0].served_replica, 0);
+  all = store_->HealthSnapshot();
+  EXPECT_FALSE(all[0].replicas[0].demoted);
+  EXPECT_EQ(all[0].replicas[0].consecutive_failures, 0u);
+}
+
+// ---- failover × deadline / cancellation ----
+
+TEST_F(RegionStoreReplicaTest, FailoverCompletesWithinDeadline) {
+  OpenStore(/*degraded=*/true);
+  Fill();
+  BreakReplica(/*shard=*/2, /*replica=*/0);
+  QueryContext control;
+  control.SetDeadlineAfterMillis(5000.0);
+  std::vector<Row> rows;
+  ScanReport report;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report,
+                           &control)
+                  .ok());
+  EXPECT_EQ(rows.size(), 40u);
+  EXPECT_TRUE(report.complete());
+  EXPECT_GE(report.failovers, 1u);
+}
+
+TEST_F(RegionStoreReplicaTest, DeadlineDuringFailoverRetryKeepsFaultOutcome) {
+  // Deterministic mid-pass stop *after* a proven-down pass: region 2
+  // has both replicas broken, so pass 1 faults on every replica (fast),
+  // and the retry backoff — clamped to the remaining deadline — sleeps
+  // across the deadline. Pass 2 then faults on replica 0 and observes
+  // the expired deadline at the failover poll. Because a full pass
+  // already proved the region down, the fault outcome stands: degraded
+  // mode skips the region and the healthy rows are returned, exactly
+  // composing PR 2's deadline-during-retries semantics with failover.
+  RegionStore::RegionOptions options;
+  options.num_regions = 4;
+  options.scan_threads = 4;
+  options.max_scan_retries = 3;
+  options.retry_backoff_ms = 64;
+  options.degraded_scans = true;
+  options.replication_factor = 2;
+  options.db_options.env = &env_;
+  ASSERT_TRUE(RegionStore::Open(options, StorePath(), &store_).ok());
+  Fill();
+  BreakAllReplicas(2);
+
+  QueryContext control;
+  control.SetDeadlineAfterMillis(50.0);
+  std::vector<Row> rows;
+  ScanReport report;
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report, &control);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(rows.size(), 30u);  // the three healthy regions
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(report.skipped[0].shard, 2);
+  const RegionHealth health = store_->Health(2);
+  // Only the *complete* pass counts as a region-level attempt; the
+  // interrupted pass 2 reached replica 0 but stopped at the failover
+  // poll before replica 1 — visible in the per-replica counters.
+  EXPECT_EQ(health.failed_attempts, 1u);
+  EXPECT_EQ(health.skipped_scans, 1u);
+  EXPECT_EQ(health.replicas[0].failed_attempts, 2u);
+  EXPECT_EQ(health.replicas[1].failed_attempts, 1u);
+}
+
+TEST_F(RegionStoreReplicaTest, ExpiredDeadlineDuringFailoverIsTimedOut) {
+  OpenStore(/*degraded=*/true);
+  Fill();
+  BreakReplica(/*shard=*/0, /*replica=*/0);
+  QueryContext control;
+  control.SetDeadlineAfterMillis(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::vector<Row> rows;
+  ScanReport report;
+  const Status s =
+      store_->Scan({ScanRange{"", ""}}, nullptr, &rows, &report, &control);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_TRUE(rows.empty());
+  EXPECT_TRUE(report.skipped.empty());  // a stop is never a degraded skip
+  for (int region = 0; region < 4; ++region) {
+    EXPECT_EQ(store_->Health(region).failed_attempts, 0u)
+        << "region " << region;
+  }
+}
+
+// ---- anti-entropy scrub ----
+
+TEST_F(RegionStoreReplicaTest, ScrubRebuildsCorruptReplica) {
+  OpenStore(/*degraded=*/false);
+  Fill();
+  std::vector<Row> before;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &before).ok());
+  ASSERT_EQ(before.size(), 40u);
+
+  CorruptReplicaTables(/*shard=*/1, /*replica=*/1);
+  ScrubReport report;
+  ASSERT_TRUE(store_->ScrubReplicas(&report).ok());
+  EXPECT_EQ(report.regions_checked, 4u);
+  EXPECT_EQ(report.corrupt_replicas, 1u);
+  EXPECT_EQ(report.replicas_rebuilt, 1u);
+  EXPECT_EQ(report.rows_copied, 10u);
+  // The old tree is quarantined, never destroyed.
+  EXPECT_TRUE(env_.FileExists(ReplicaDir(1, 1) + ".bad"));
+
+  const RegionHealth health = store_->Health(1);
+  EXPECT_EQ(health.replicas[1].rebuilds, 1u);
+  EXPECT_FALSE(health.replicas[1].offline);
+  EXPECT_GE(store_->TotalIoStats().replicas_rebuilt, 1u);
+  EXPECT_GE(store_->TotalIoStats().scrub_rounds, 1u);
+
+  // The rebuilt replica serves byte-identical results: reopen the store
+  // (so nothing is served from warm caches) and break replica 0, so
+  // region 1 can only answer from the rebuild.
+  store_.reset();
+  OpenStore(/*degraded=*/false);
+  BreakReplica(/*shard=*/1, /*replica=*/0);
+  std::vector<Row> after;
+  ScanReport scan_report;
+  ASSERT_TRUE(
+      store_->Scan({ScanRange{"", ""}}, nullptr, &after, &scan_report).ok());
+  auto by_key = [](const Row& a, const Row& b) { return a.key < b.key; };
+  std::sort(before.begin(), before.end(), by_key);
+  std::sort(after.begin(), after.end(), by_key);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].key, before[i].key);
+    EXPECT_EQ(after[i].value, before[i].value);
+  }
+  EXPECT_EQ(scan_report.regions[1].served_replica, 1);
+}
+
+TEST_F(RegionStoreReplicaTest, ScrubRebuildsDivergentReplica) {
+  OpenStore(/*degraded=*/false);
+  Fill();
+  // Manufacture divergence: drop one row directly from replica 1 of
+  // region 2 — readable and checksum-clean, but behind its peer (the
+  // shape a failed half-applied write leaves).
+  store_.reset();
+  {
+    Options db_options;
+    db_options.env = &env_;
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(db_options, ReplicaDir(2, 1), &db).ok());
+    std::string key(1, static_cast<char>(2));
+    key += "k3";
+    ASSERT_TRUE(db->Delete(WriteOptions(), key).ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  OpenStore(/*degraded=*/false);
+
+  ScrubReport report;
+  ASSERT_TRUE(store_->ScrubReplicas(&report).ok());
+  EXPECT_EQ(report.divergent_replicas, 1u);
+  EXPECT_EQ(report.replicas_rebuilt, 1u);
+  EXPECT_EQ(report.rows_copied, 10u);  // restored from the fuller peer
+
+  BreakReplica(/*shard=*/2, /*replica=*/0);
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows).ok());
+  EXPECT_EQ(rows.size(), 40u);  // the dropped row is back
+}
+
+TEST_F(RegionStoreReplicaTest, ScrubBackfillsReplicaAddedToExistingStore) {
+  // Raising the factor on an existing store opens empty new replicas;
+  // the scrub populates them from the original copy.
+  OpenStore(/*degraded=*/false, /*factor=*/1);
+  Fill();
+  store_.reset();
+  OpenStore(/*degraded=*/false, /*factor=*/2);
+  ScrubReport report;
+  ASSERT_TRUE(store_->ScrubReplicas(&report).ok());
+  EXPECT_EQ(report.divergent_replicas, 4u);  // every new replica was empty
+  EXPECT_EQ(report.replicas_rebuilt, 4u);
+  EXPECT_EQ(report.rows_copied, 40u);
+  // Every region now serves fully from its second replica.
+  for (int shard = 0; shard < 4; ++shard) BreakReplica(shard, 0);
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows).ok());
+  EXPECT_EQ(rows.size(), 40u);
+}
+
+TEST_F(RegionStoreReplicaTest, ScrubReportsWhenNoCleanSourceExists) {
+  OpenStore(/*degraded=*/false);
+  Fill();
+  CorruptReplicaTables(/*shard=*/0, /*replica=*/0);
+  CorruptReplicaTables(/*shard=*/0, /*replica=*/1);
+  ScrubReport report;
+  const Status s = store_->ScrubReplicas(&report);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("region 0"), std::string::npos) << s.ToString();
+  EXPECT_EQ(report.replicas_rebuilt, 0u);  // nothing to rebuild from
+}
+
+TEST_F(RegionStoreReplicaTest, ScansStayCompleteDuringConcurrentScrub) {
+  // TSan target: readers race the scrub's replica swap. Every scan must
+  // return the full result no matter when the rebuild happens.
+  OpenStore(/*degraded=*/false, /*factor=*/2, /*scan_threads=*/4);
+  Fill();
+  CorruptReplicaTables(/*shard=*/0, /*replica=*/1);
+  std::atomic<bool> done{false};
+  std::atomic<int> bad_scans{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        std::vector<Row> rows;
+        const Status s = store_->Scan({ScanRange{"", ""}}, nullptr, &rows);
+        if (!s.ok() || rows.size() != 40u) bad_scans.fetch_add(1);
+      }
+    });
+  }
+  ScrubReport report;
+  const Status scrub = store_->ScrubReplicas(&report);
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  ASSERT_TRUE(scrub.ok()) << scrub.ToString();
+  EXPECT_EQ(report.replicas_rebuilt, 1u);
+  EXPECT_EQ(bad_scans.load(), 0);
+  // And the rebuilt replica is live again afterwards.
+  BreakReplica(/*shard=*/0, /*replica=*/0);
+  std::vector<Row> rows;
+  ASSERT_TRUE(store_->Scan({ScanRange{"", ""}}, nullptr, &rows).ok());
+  EXPECT_EQ(rows.size(), 40u);
 }
 
 }  // namespace
