@@ -72,8 +72,8 @@ VariantResult RunVariant(core::TrassStore* store,
       core::QueryGeometry::Make(query, store->options().dp_tolerance);
   std::vector<kv::ScanRange> scan_ranges;
   if (global_pruning) {
-    core::GlobalPruner pruner(&store->xz_index(), &ctx,
-                              &store->value_directory());
+    const auto directory = store->value_directory();
+    core::GlobalPruner pruner(&store->xz_index(), &ctx, directory.get());
     const auto ranges = pruner.CandidateRanges(
         eps, core::GlobalPruner::kDefaultVisitBudget, position_codes);
     for (const auto& [lo, hi] : ranges) {

@@ -1,0 +1,233 @@
+// Online ingest pipeline benchmark (DESIGN.md "Ingest pipeline"):
+//
+//   table 1 — write-path throughput: per-row Put vs PutBatch group
+//             commit at batch sizes 8/32/128 and the async pipeline.
+//             Group commit's win is one WAL record per region per batch
+//             instead of one per row; the acceptance bar is >= 2x over
+//             per-row Put at batch >= 32.
+//   table 2 — sustained SubmitAsync under a concurrent query mix:
+//             ingest throughput, Submit latency percentiles, shed rate,
+//             and the query-side view (queries keep answering, each at a
+//             consistent watermark).
+//   table 3 — backpressure: a bursty arrival stream offered faster than
+//             the pipeline drains against a small queue; sheds are
+//             explicit (Status::Busy), never unbounded blocking.
+
+#include "bench_common.h"
+
+#include <atomic>
+#include <thread>
+
+#include "core/metrics.h"
+#include "core/trass_store.h"
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace bench {
+namespace {
+
+double PayloadMegabytes(const std::vector<core::Trajectory>& data) {
+  size_t bytes = 0;
+  for (const auto& t : data) bytes += t.points.size() * sizeof(geo::Point);
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+std::unique_ptr<core::TrassStore> FreshStore(const std::string& dir,
+                                             const std::string& name,
+                                             bool durable = false) {
+  core::TrassOptions options;
+  // Durable mode fsyncs every WAL append — the regime group commit
+  // exists for: per-row Put pays one fsync per trajectory, a batch pays
+  // one per touched region.
+  options.db_options.sync_wal = durable;
+  const std::string path = dir + "/" + name;
+  kv::Env::Default()->RemoveDirRecursively(path);
+  std::unique_ptr<core::TrassStore> store;
+  if (!core::TrassStore::Open(options, path, &store).ok()) return nullptr;
+  return store;
+}
+
+void RunWritePathTable(const Dataset& dataset, const std::string& dir,
+                       bool durable) {
+  const double mb = PayloadMegabytes(dataset.data);
+  std::printf("\n=== Ingest write path (%s WAL) — %s (%zu trajectories, "
+              "%.1f MB of points) ===\n",
+              durable ? "synced" : "unsynced", dataset.name.c_str(),
+              dataset.data.size(), mb);
+  std::printf("%-18s %12s %12s %12s\n", "variant", "time-ms", "rows/s",
+              "vs per-row");
+  PrintRule(60);
+
+  double per_row_ms = 0.0;
+  {
+    auto store = FreshStore(dir, "put", durable);
+    if (!store) return;
+    Stopwatch timer;
+    for (const auto& t : dataset.data) {
+      if (!store->Put(t).ok()) return;
+    }
+    per_row_ms = timer.ElapsedMillis();
+    std::printf("%-18s %12.1f %12.0f %12s\n", "put-per-row", per_row_ms,
+                dataset.data.size() / per_row_ms * 1000.0, "1.00x");
+  }
+
+  for (size_t batch : {size_t{8}, size_t{32}, size_t{128}}) {
+    auto store = FreshStore(dir, "putbatch", durable);
+    if (!store) return;
+    Stopwatch timer;
+    for (size_t i = 0; i < dataset.data.size(); i += batch) {
+      const size_t end = std::min(i + batch, dataset.data.size());
+      std::vector<core::Trajectory> chunk(dataset.data.begin() + i,
+                                          dataset.data.begin() + end);
+      if (!store->PutBatch(chunk).ok()) return;
+    }
+    const double ms = timer.ElapsedMillis();
+    std::printf("put-batch-%-8zu %12.1f %12.0f %11.2fx\n", batch, ms,
+                dataset.data.size() / ms * 1000.0, per_row_ms / ms);
+  }
+
+  {
+    auto store = FreshStore(dir, "async", durable);
+    if (!store) return;
+    Stopwatch timer;
+    for (const auto& t : dataset.data) {
+      Status s;
+      do {
+        s = store->SubmitAsync(t, 100);
+      } while (s.IsBusy());
+      if (!s.ok()) return;
+    }
+    if (!store->DrainIngest(600000).ok()) return;
+    const double ms = timer.ElapsedMillis();
+    const auto stats = store->ingest_stats();
+    std::printf("%-18s %12.1f %12.0f %11.2fx   (batches %llu, max batch "
+                "%llu)\n",
+                "submit-async", ms, dataset.data.size() / ms * 1000.0,
+                per_row_ms / ms,
+                static_cast<unsigned long long>(stats.batches_committed),
+                static_cast<unsigned long long>(stats.max_batch_rows));
+  }
+}
+
+void RunConcurrentQueryTable(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Sustained ingest + query mix — %s ===\n",
+              dataset.name.c_str());
+  auto store = FreshStore(dir, "mixed");
+  if (!store) return;
+
+  // Seed a third of the data so early queries have something to chew on.
+  const size_t seed_count = dataset.data.size() / 3;
+  std::vector<core::Trajectory> seed(dataset.data.begin(),
+                                     dataset.data.begin() + seed_count);
+  if (!store->PutBatch(seed).ok()) return;
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> query_failures{0};
+  std::thread querier([&] {
+    const double eps = EpsNorm(0.01);
+    size_t qi = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::vector<core::SearchResult> results;
+      core::QueryMetrics metrics;
+      if (store
+              ->ThresholdSearch(dataset.Query(qi++), eps,
+                                core::Measure::kFrechet, &results, &metrics)
+              .ok()) {
+        queries.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        query_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  Histogram submit_latency;  // microseconds
+  Stopwatch timer;
+  for (size_t i = seed_count; i < dataset.data.size(); ++i) {
+    Stopwatch one;
+    Status s;
+    do {
+      s = store->SubmitAsync(dataset.data[i], 100);
+    } while (s.IsBusy());
+    submit_latency.Add(one.ElapsedMillis() * 1000.0);
+    if (!s.ok()) return;
+  }
+  if (!store->DrainIngest(600000).ok()) return;
+  const double ms = timer.ElapsedMillis();
+  done.store(true);
+  querier.join();
+
+  const auto stats = store->ingest_stats();
+  const size_t ingested = dataset.data.size() - seed_count;
+  std::printf("ingested %zu rows in %.1f ms (%.0f rows/s) while answering "
+              "%llu queries (%llu failed)\n",
+              ingested, ms, ingested / ms * 1000.0,
+              static_cast<unsigned long long>(queries.load()),
+              static_cast<unsigned long long>(query_failures.load()));
+  std::printf("submit latency us: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+              submit_latency.Percentile(50), submit_latency.Percentile(95),
+              submit_latency.Percentile(99), submit_latency.Max());
+  std::printf("sheds %llu  batches %llu  max-batch %llu  queue-high-water "
+              "%llu\n",
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.batches_committed),
+              static_cast<unsigned long long>(stats.max_batch_rows),
+              static_cast<unsigned long long>(stats.queue_high_water));
+}
+
+void RunBackpressureTable(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Backpressure — bursty offered load, queue capacity 256 "
+              "— %s ===\n",
+              dataset.name.c_str());
+  core::TrassOptions options;
+  options.ingest_queue_capacity = 256;
+  const std::string path = dir + "/backpressure";
+  kv::Env::Default()->RemoveDirRecursively(path);
+  std::unique_ptr<core::TrassStore> store;
+  if (!core::TrassStore::Open(options, path, &store).ok()) return;
+
+  workload::StreamOptions stream_options;
+  stream_options.burst_fraction = 0.3;
+  stream_options.burst_multiplier = 20.0;
+  const auto stream =
+      workload::MakeStream(dataset.data, stream_options, /*seed=*/99);
+
+  // Offer the stream faster than the pipeline drains: shed-on-full
+  // (max_wait_ms = 0) makes backpressure visible as Busy rejections
+  // instead of producer stalls.
+  uint64_t shed = 0;
+  Stopwatch timer;
+  for (const auto& item : stream) {
+    if (store->SubmitAsync(item.traj, 0).IsBusy()) ++shed;
+  }
+  if (!store->DrainIngest(600000).ok()) return;
+  const double ms = timer.ElapsedMillis();
+  const auto stats = store->ingest_stats();
+  std::printf("offered %zu  accepted %llu  shed %llu (%.1f%%)  in %.1f ms; "
+              "queue high water %llu/%zu\n",
+              stream.size(),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(shed),
+              100.0 * static_cast<double>(shed) /
+                  static_cast<double>(stream.size()),
+              ms, static_cast<unsigned long long>(stats.queue_high_water),
+              options.ingest_queue_capacity);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trass
+
+int main() {
+  using namespace trass::bench;
+  const std::string dir = ScratchDir("ingest");
+  // The write-path comparison dominates runtime; a reduced N keeps the
+  // default bench sweep snappy while staying far above batch sizes.
+  const size_t n = std::min<size_t>(DefaultN(), 8000);
+  Dataset tdrive = MakeTDrive(n, DefaultQueries());
+  RunWritePathTable(tdrive, dir, /*durable=*/true);
+  RunWritePathTable(tdrive, dir, /*durable=*/false);
+  RunConcurrentQueryTable(tdrive, dir);
+  RunBackpressureTable(tdrive, dir);
+  return 0;
+}

@@ -46,6 +46,12 @@ struct QueryMetrics {
   bool budget_exhausted = false;   // stopped at QueryOptions::max_candidates
   double admission_wait_ms = 0.0;  // time queued in admission control
 
+  /// Ingest watermark snapshot taken when the query started: every
+  /// trajectory with ticket <= this value was fully visible (row +
+  /// features + value-directory entry) to the query; later ingest may or
+  /// may not be observed (see TrassStore::SubmitAsync).
+  uint64_t ingest_watermark = 0;
+
   double precision() const {
     return candidates == 0
                ? 1.0

@@ -95,7 +95,8 @@ TrassStore::TrassStore(const TrassOptions& options)
     : options_(options),
       xz_(options.max_resolution),
       resolution_histogram_(options.max_resolution + 1, 0),
-      position_histogram_(11, 0) {
+      position_histogram_(11, 0),
+      directory_(std::make_shared<std::vector<int64_t>>()) {
   AdmissionController::Options admission;
   admission.max_concurrent = options.max_concurrent_queries;
   admission.max_queue = options.admission_queue;
@@ -128,6 +129,23 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   if (!s.ok()) return s;
   s = impl->RebuildIngestState();
   if (!s.ok()) return s;
+  ingest::IngestOptions ingest_options;
+  ingest_options.queue_capacity = options.ingest_queue_capacity;
+  ingest_options.batch_max_rows = options.ingest_batch_max_rows;
+  ingest_options.batch_linger_ms = options.ingest_batch_linger_ms;
+  ingest_options.encode_threads = options.ingest_encode_threads;
+  // The raw pointer outlives the pipeline: pipeline_ is the last member,
+  // so its destructor (which drains through these callbacks) runs while
+  // the rest of the store is still alive.
+  TrassStore* raw = impl.get();
+  impl->pipeline_ = std::make_unique<ingest::IngestPipeline>(
+      ingest_options,
+      [raw](const Trajectory& t, ingest::EncodedRow* row) {
+        return raw->EncodeTrajectory(t, row);
+      },
+      [raw](std::vector<ingest::EncodedRow>* rows) {
+        return raw->CommitEncoded(rows);
+      });
   *store = std::move(impl);
   return Status::OK();
 }
@@ -140,10 +158,12 @@ Status TrassStore::RebuildIngestState() {
   std::vector<kv::Row> ignored;
   Status s = store_->Scan({kv::ScanRange{"", ""}}, &collector, &ignored);
   if (!s.ok()) return s;
+  uint64_t count = 0;
+  uint64_t key_bytes = 0;
   std::lock_guard<std::mutex> lock(values_mu_);
   for (const std::string& key : collector.TakeKeys()) {
-    ++num_trajectories_;
-    total_key_bytes_ += key.size();
+    ++count;
+    key_bytes += key.size();
     if (options_.string_keys) continue;  // stats only in integer mode
     uint8_t shard;
     int64_t value;
@@ -155,6 +175,8 @@ Status TrassStore::RebuildIngestState() {
     resolution_histogram_[space.seq.length()] += 1;
     position_histogram_[space.pos] += 1;
   }
+  num_trajectories_.store(count, std::memory_order_relaxed);
+  total_key_bytes_.store(key_bytes, std::memory_order_relaxed);
   values_dirty_ = !seen_values_.empty();
   return Status::OK();
 }
@@ -164,7 +186,8 @@ uint8_t TrassStore::ShardOf(uint64_t tid) const {
                               static_cast<uint64_t>(options_.shards));
 }
 
-Status TrassStore::Put(const Trajectory& trajectory) {
+Status TrassStore::EncodeTrajectory(const Trajectory& trajectory,
+                                    ingest::EncodedRow* row) const {
   if (trajectory.points.empty()) {
     return Status::InvalidArgument("trajectory has no points");
   }
@@ -173,58 +196,150 @@ Status TrassStore::Put(const Trajectory& trajectory) {
   const DpFeatures features =
       DpFeatures::ComputeCapped(trajectory.points, options_.dp_tolerance);
   const uint8_t shard = ShardOf(trajectory.id);
-  const std::string key =
-      options_.string_keys
-          ? EncodeStringRowKey(shard, space, trajectory.id)
-          : EncodeRowKey(shard, value, trajectory.id);
-  const std::string row_value = EncodeRowValue(trajectory.points, features);
-  Status s = store_->Put(kv::WriteOptions(), Slice(key), Slice(row_value));
-  if (!s.ok()) return s;
-
-  ++num_trajectories_;
-  total_key_bytes_ += key.size();
-  resolution_histogram_[space.seq.length()] += 1;
-  position_histogram_[space.pos] += 1;
-  {
-    std::lock_guard<std::mutex> lock(values_mu_);
-    seen_values_.push_back(value);
-    values_dirty_ = true;
-  }
+  row->tid = trajectory.id;
+  row->shard = shard;
+  row->index_value = value;
+  row->resolution = space.seq.length();
+  row->position_code = space.pos;
+  row->key = options_.string_keys
+                 ? EncodeStringRowKey(shard, space, trajectory.id)
+                 : EncodeRowKey(shard, value, trajectory.id);
+  row->value = EncodeRowValue(trajectory.points, features);
   return Status::OK();
 }
 
-const std::vector<int64_t>& TrassStore::value_directory() const {
-  // Admission control lets queries run concurrently; each may race to
-  // perform the lazy sort, so it is serialized here. Ingest stays
-  // single-writer and must not overlap queries holding the reference.
+Status TrassStore::CommitEncoded(std::vector<ingest::EncodedRow>* rows) {
+  if (rows->empty()) return Status::OK();
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+
+  // One WriteBatch per touched region: each becomes a single WAL record
+  // per replica (the group-commit win over per-row Put).
+  std::vector<kv::WriteBatch> batches(options_.shards);
+  std::vector<char> touched(options_.shards, 0);
+  for (const ingest::EncodedRow& row : *rows) {
+    batches[row.shard].Put(Slice(row.key), Slice(row.value));
+    touched[row.shard] = 1;
+  }
+  Status first_failure;
+  std::vector<char> applied(options_.shards, 0);
+  for (int shard = 0; shard < options_.shards; ++shard) {
+    if (!touched[shard]) continue;
+    Status s = store_->ApplyBatch(kv::WriteOptions(), shard, &batches[shard],
+                                  options_.ingest_min_ack_replicas);
+    if (s.ok()) {
+      applied[shard] = 1;
+    } else if (first_failure.ok()) {
+      first_failure = s;
+    }
+  }
+
+  // Publish the applied rows' statistics and directory entries. The rows
+  // are already readable in the store, so publish-before-watermark makes
+  // the whole trajectory (row + features + directory entry) visible
+  // atomically from a query's point of view: queries snapshot the
+  // directory once, and the pipeline advances the watermark only after
+  // this returns. Rows in regions whose apply failed publish nothing —
+  // they were never stored.
+  uint64_t count = 0;
+  uint64_t key_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(values_mu_);
+    for (const ingest::EncodedRow& row : *rows) {
+      if (!applied[row.shard]) continue;
+      ++count;
+      key_bytes += row.key.size();
+      resolution_histogram_[row.resolution] += 1;
+      position_histogram_[row.position_code] += 1;
+      seen_values_.push_back(row.index_value);
+      values_dirty_ = true;
+    }
+  }
+  num_trajectories_.fetch_add(count, std::memory_order_relaxed);
+  total_key_bytes_.fetch_add(key_bytes, std::memory_order_relaxed);
+  return first_failure;
+}
+
+Status TrassStore::Put(const Trajectory& trajectory) {
+  std::vector<ingest::EncodedRow> rows(1);
+  Status s = EncodeTrajectory(trajectory, &rows[0]);
+  if (!s.ok()) return s;
+  return CommitEncoded(&rows);
+}
+
+Status TrassStore::PutBatch(const std::vector<Trajectory>& trajectories) {
+  if (trajectories.empty()) return Status::OK();
+  std::vector<ingest::EncodedRow> rows(trajectories.size());
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    Status s = EncodeTrajectory(trajectories[i], &rows[i]);
+    if (!s.ok()) return s;
+  }
+  return CommitEncoded(&rows);
+}
+
+Status TrassStore::SubmitAsync(Trajectory trajectory, uint64_t max_wait_ms,
+                               uint64_t* ticket) {
+  return pipeline_->Submit(std::move(trajectory), max_wait_ms, ticket);
+}
+
+Status TrassStore::WaitForWatermark(uint64_t ticket,
+                                    uint64_t timeout_ms) const {
+  return pipeline_->WaitForWatermark(ticket, timeout_ms);
+}
+
+Status TrassStore::DrainIngest(uint64_t timeout_ms) const {
+  return pipeline_->Drain(timeout_ms);
+}
+
+uint64_t TrassStore::ingest_watermark() const {
+  return pipeline_ != nullptr ? pipeline_->watermark() : 0;
+}
+
+ingest::IngestStatsSnapshot TrassStore::ingest_stats() const {
+  return pipeline_->stats();
+}
+
+Status TrassStore::ingest_last_error() const {
+  return pipeline_->last_error();
+}
+
+std::shared_ptr<const std::vector<int64_t>> TrassStore::value_directory()
+    const {
+  // Queries race to perform the lazy sort, so it is serialized here; the
+  // published snapshot is immutable, so a query holding it is unaffected
+  // by later commits (they publish a *new* snapshot).
   std::lock_guard<std::mutex> lock(values_mu_);
   if (values_dirty_) {
     std::sort(seen_values_.begin(), seen_values_.end());
     seen_values_.erase(std::unique(seen_values_.begin(), seen_values_.end()),
                        seen_values_.end());
+    directory_ = std::make_shared<const std::vector<int64_t>>(seen_values_);
     values_dirty_ = false;
   }
-  return seen_values_;
+  return directory_;
 }
 
 uint64_t TrassStore::distinct_index_values() const {
-  return value_directory().size();
+  return value_directory()->size();
 }
 
-bool TrassStore::RangeHasValues(int64_t lo, int64_t hi) const {
-  const auto& directory = value_directory();
-  const auto it = std::lower_bound(directory.begin(), directory.end(), lo);
-  return it != directory.end() && *it <= hi;
+std::vector<uint64_t> TrassStore::resolution_histogram() const {
+  std::lock_guard<std::mutex> lock(values_mu_);
+  return resolution_histogram_;
+}
+
+std::vector<uint64_t> TrassStore::position_code_histogram() const {
+  std::lock_guard<std::mutex> lock(values_mu_);
+  return position_histogram_;
 }
 
 std::vector<std::pair<int64_t, int64_t>> TrassStore::IntersectWithDirectory(
-    const std::vector<std::pair<int64_t, int64_t>>& ranges) const {
+    const std::vector<std::pair<int64_t, int64_t>>& ranges,
+    const std::vector<int64_t>& directory) {
   // Every value inside an input range is a candidate, so within one range
   // the optimal scan is the single interval [first present, last present]:
   // empty candidate values in between cost nothing to scan over. Distinct
   // input ranges are NOT merged — the gap between them holds
   // non-candidate values that may contain rows.
-  const auto& directory = value_directory();
   std::vector<std::pair<int64_t, int64_t>> present;
   for (const auto& [lo, hi] : ranges) {
     const auto first = std::lower_bound(directory.begin(), directory.end(),
@@ -241,6 +356,11 @@ std::vector<std::pair<int64_t, int64_t>> TrassStore::IntersectWithDirectory(
 Status TrassStore::Flush() { return store_->Flush(); }
 
 Status TrassStore::ScrubReplicas(kv::ScrubReport* report) {
+  // Serialized against the write paths (CommitEncoded): a rebuild
+  // snapshots a source replica and would silently miss rows written
+  // while it streams. Group commits queue behind a running scrub;
+  // SubmitAsync callers feel it as backpressure, not corruption.
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   return store_->ScrubReplicas(report);
 }
 
@@ -271,6 +391,7 @@ Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  m->ingest_watermark = ingest_watermark();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -290,13 +411,16 @@ Status TrassStore::ThresholdSearchInternal(
   Stopwatch total;
 
   // Global pruning (Algorithm 1), data-directed via the value directory.
+  // One immutable directory snapshot serves the whole query (snapshot
+  // consistency under concurrent ingest).
   Stopwatch phase;
+  const auto directory = value_directory();
   const QueryGeometry ctx = QueryGeometry::Make(query, options_.dp_tolerance);
-  GlobalPruner pruner(&xz_, &ctx, &value_directory(), control);
+  GlobalPruner pruner(&xz_, &ctx, directory.get(), control);
   const auto value_ranges = pruner.CandidateRanges(eps);
   // Skip ranges the value directory proves empty (free in HBase, a real
   // round-trip here).
-  const auto present_ranges = IntersectWithDirectory(value_ranges);
+  const auto present_ranges = IntersectWithDirectory(value_ranges, *directory);
   m->pruning_ms = phase.ElapsedMillis();
   m->scan_ranges = present_ranges.size();
   m->index_values = GlobalPruner::CountValues(value_ranges);
@@ -364,6 +488,7 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  m->ingest_watermark = ingest_watermark();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -382,8 +507,9 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
                                       QueryMetrics* m) {
   Stopwatch total;
 
+  const auto directory = value_directory();  // one snapshot per query
   const QueryGeometry ctx = QueryGeometry::Make(query, options_.dp_tolerance);
-  GlobalPruner pruner(&xz_, &ctx, &value_directory(), control);
+  GlobalPruner pruner(&xz_, &ctx, directory.get(), control);
   const int r = xz_.max_resolution();
 
   struct ElementEntry {
@@ -422,7 +548,7 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
     const int64_t base = xz_.ElementBaseValue(seq);
     const int64_t span =
         seq.length() == 0 ? 10 : xz_.NumIndexSpaces(seq.length());
-    return RangeHasValues(base, base + span - 1);
+    return SortedContainsRange(*directory, base, base + span - 1);
   };
 
   // Seed with the root overflow bucket and the four top-level elements.
@@ -537,7 +663,9 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
         const int max_pos = (l == r || l == 0) ? 10 : 9;
         for (int pos = 1; pos <= max_pos; ++pos) {
           const int64_t value = base + pos - 1;
-          if (!RangeHasValues(value, value)) continue;  // nothing stored
+          if (!SortedContainsRange(*directory, value, value)) {
+            continue;  // nothing stored
+          }
           const double bound = pruner.IndexSpaceLowerBound(entry.seq, pos);
           if (bound <= current_eps()) {
             space_queue.push(SpaceEntry{bound, value});
@@ -582,6 +710,7 @@ Status TrassStore::SimilarityJoin(
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  m->ingest_watermark = ingest_watermark();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -660,6 +789,7 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   QueryMetrics local_metrics;
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
+  m->ingest_watermark = ingest_watermark();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -673,10 +803,11 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   // intersects the window, restricted to position codes whose sub-quad
   // union still touches the window (a trajectory intersecting the window
   // has a point in one of its occupied sub-quads).
+  const auto directory = value_directory();  // one snapshot per query
   std::vector<std::pair<int64_t, int64_t>> values;
   struct Walker {
     const index::XzStar* xz;
-    const TrassStore* store;
+    const std::vector<int64_t>* directory;
     const geo::Mbr* window;
     const QueryContext* control;
     std::vector<std::pair<int64_t, int64_t>>* out;
@@ -710,9 +841,9 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
       if (!seq.ElementBounds().Intersects(*window)) return;
       // Skip subtrees with no stored trajectories (value directory).
       const int64_t base = xz->ElementBaseValue(seq);
-      if (!store->RangeHasValues(base,
-                                 base + xz->NumIndexSpaces(seq.length()) -
-                                     1)) {
+      if (!SortedContainsRange(
+              *directory, base,
+              base + xz->NumIndexSpaces(seq.length()) - 1)) {
         return;
       }
       Emit(seq);
@@ -721,13 +852,13 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
       }
     }
   };
-  Walker walker{&xz_, this, &window, &control, &values};
+  Walker walker{&xz_, directory.get(), &window, &control, &values};
   walker.Emit(index::QuadSeq());  // root overflow bucket
   for (int q = 0; q < 4; ++q) {
     walker.Visit(index::QuadSeq().Child(q));
   }
   index::MergeRanges(&values);
-  const auto present = IntersectWithDirectory(values);
+  const auto present = IntersectWithDirectory(values, *directory);
   m->pruning_ms = phase.ElapsedMillis();
   m->scan_ranges = present.size();
   m->index_values = GlobalPruner::CountValues(values);

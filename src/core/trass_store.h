@@ -21,6 +21,7 @@
 #include "core/trajectory.h"
 #include "geo/units.h"
 #include "index/xzstar.h"
+#include "ingest/ingest_pipeline.h"
 #include "kv/region_store.h"
 #include "util/query_context.h"
 
@@ -76,6 +77,23 @@ struct TrassOptions {
   int admission_queue = 0;
   double admission_queue_timeout_ms = 100.0;
 
+  /// Online ingest pipeline (SubmitAsync): bounded queue slots before
+  /// Submit sheds with Busy, group-commit batch bound and linger, and
+  /// the encoding worker count (0 = encode on the commit thread).
+  size_t ingest_queue_capacity = 1024;
+  size_t ingest_batch_max_rows = 256;
+  double ingest_batch_linger_ms = 2.0;
+  size_t ingest_encode_threads = 2;
+
+  /// Replicas that must accept a group commit for it to succeed. 0 (the
+  /// default) means all of them — strict, matching Put. With 1 <= n <
+  /// replication_factor, ingest keeps flowing through a single-replica
+  /// fault: the failed replica is demoted and healed by the next
+  /// ScrubReplicas. Caveat: until that scrub, a read served by a replica
+  /// that missed a write can be stale-by-omission; keep the default when
+  /// read-your-writes matters more than ingest availability.
+  int ingest_min_ack_replicas = 0;
+
   /// Underlying LSM engine tuning.
   kv::Options db_options;
 };
@@ -114,17 +132,59 @@ class TrassStore {
 
   /// Indexes and stores one trajectory (id must be unique; points
   /// normalized to [0,1]^2). Precomputes the DP features (Section IV-D).
+  /// Thread-safe: writes are serialized internally and may run
+  /// concurrently with queries — a query started before the Put returns
+  /// sees either none of the trajectory or all of it (row, features,
+  /// value-directory entry), never a torn state.
   Status Put(const Trajectory& trajectory);
+
+  /// Group commit: indexes and stores a batch of trajectories in one
+  /// commit per touched region (one WAL record per region instead of one
+  /// per trajectory), which is where batched ingest beats repeated Put.
+  /// All-or-nothing per region; thread-safe like Put. The batch becomes
+  /// visible to queries atomically (directory + statistics publish after
+  /// every region applied).
+  Status PutBatch(const std::vector<Trajectory>& trajectories);
+
+  /// Asynchronous ingest: queues `trajectory` into the ingest pipeline
+  /// and returns immediately. On acceptance *ticket (if non-null)
+  /// receives a sequence number for WaitForWatermark. Backpressure is
+  /// explicit: a full queue makes the call wait up to `max_wait_ms` and
+  /// then shed with Status::Busy (the admission-control convention).
+  /// Callable from any thread, concurrently with everything else.
+  Status SubmitAsync(Trajectory trajectory, uint64_t max_wait_ms = 0,
+                     uint64_t* ticket = nullptr);
+
+  /// Blocks until every trajectory with ticket <= `ticket` has resolved
+  /// (visible to queries, or recorded as an ingest failure — see
+  /// ingest_stats()/ingest_last_error()). TimedOut after `timeout_ms`.
+  Status WaitForWatermark(uint64_t ticket, uint64_t timeout_ms) const;
+
+  /// Waits until everything accepted by SubmitAsync so far has resolved.
+  Status DrainIngest(uint64_t timeout_ms) const;
+
+  /// Last resolved ingest ticket; queries record the watermark they ran
+  /// at in QueryMetrics::ingest_watermark.
+  uint64_t ingest_watermark() const;
+
+  /// Ingest pipeline counters (queue depth/high-water, sheds, batches,
+  /// watermark lag).
+  ingest::IngestStatsSnapshot ingest_stats() const;
+
+  /// Most recent asynchronous ingest failure (OK when none).
+  Status ingest_last_error() const;
 
   /// Forces memtables to disk.
   Status Flush();
 
   /// Anti-entropy pass over the replicated store: cross-checks the
   /// replicas of every shard and rebuilds corrupt or divergent ones
-  /// from a healthy peer. Must not run concurrently with Put/Flush;
-  /// concurrent queries are safe (they fail over past a replica while
-  /// it is being rebuilt). No-op at replication_factor 1 beyond
-  /// integrity verification bookkeeping.
+  /// from a healthy peer. Safe to call concurrently with both queries
+  /// (they fail over past a replica while it is being rebuilt) and
+  /// ingest: the scrub and the ingest commit path are serialized on an
+  /// internal mutex, so group commits queue up behind a running scrub
+  /// (backpressure may shed SubmitAsync calls while it runs). No-op at
+  /// replication_factor 1 beyond integrity verification bookkeeping.
   Status ScrubReplicas(kv::ScrubReport* report = nullptr);
 
   /// Threshold similarity search (Definition 3 / Algorithm 3).
@@ -155,6 +215,9 @@ class TrassStore {
 
   const index::XzStar& xz_index() const { return xz_; }
   kv::RegionStore* region_store() { return store_.get(); }
+  /// The asynchronous ingest pipeline behind SubmitAsync (test hooks,
+  /// detailed stats). Never null after a successful Open.
+  ingest::IngestPipeline* ingest_pipeline() { return pipeline_.get(); }
   const TrassOptions& options() const { return options_; }
 
   /// The overload gate in front of the four query APIs. Exposed so
@@ -163,23 +226,24 @@ class TrassStore {
   AdmissionController* admission_controller() { return &admission_; }
 
   // ---- ingest statistics (Figure 12 / 13) ----
+  // All accessors are safe to call concurrently with ingest; histogram
+  // accessors return copies taken under the ingest-state lock.
 
-  uint64_t num_trajectories() const { return num_trajectories_; }
+  uint64_t num_trajectories() const {
+    return num_trajectories_.load(std::memory_order_relaxed);
+  }
   /// Count of stored trajectories per quadrant-sequence resolution
   /// (index 0 = root overflow bucket .. max_resolution).
-  const std::vector<uint64_t>& resolution_histogram() const {
-    return resolution_histogram_;
-  }
+  std::vector<uint64_t> resolution_histogram() const;
   /// Count per position code (index 1..10; index 0 unused).
-  const std::vector<uint64_t>& position_code_histogram() const {
-    return position_histogram_;
-  }
+  std::vector<uint64_t> position_code_histogram() const;
   /// Mean row-key length in bytes (integer vs string encoding).
   double average_rowkey_bytes() const {
-    return num_trajectories_ == 0
-               ? 0.0
-               : static_cast<double>(total_key_bytes_) /
-                     static_cast<double>(num_trajectories_);
+    const uint64_t n = num_trajectories_.load(std::memory_order_relaxed);
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        total_key_bytes_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
   }
   /// Distinct index values seen during ingest (selectivity numerator for
   /// Figures 14/15).
@@ -190,7 +254,10 @@ class TrassStore {
   /// uses to skip empty key ranges for free: query processing consults it
   /// so that neither the threshold scan nor the best-first top-k pays a
   /// store round-trip for an index space that holds no trajectories.
-  const std::vector<int64_t>& value_directory() const;
+  /// Returns an immutable snapshot: each query takes one at its start and
+  /// consults only it, so a concurrent group commit (which publishes a
+  /// fresh snapshot) can never mutate a directory mid-query.
+  std::shared_ptr<const std::vector<int64_t>> value_directory() const;
 
  private:
   /// Internal query bodies: no admission (SimilarityJoin re-enters
@@ -215,37 +282,61 @@ class TrassStore {
                             QueryMetrics* m);
 
   /// Narrows candidate [lo, hi] value ranges to the values actually
-  /// present, re-merged into contiguous runs.
-  std::vector<std::pair<int64_t, int64_t>> IntersectWithDirectory(
-      const std::vector<std::pair<int64_t, int64_t>>& ranges) const;
-
-  /// True when any stored index value lies in [lo, hi].
-  bool RangeHasValues(int64_t lo, int64_t hi) const;
+  /// present in `directory`, re-merged into contiguous runs.
+  static std::vector<std::pair<int64_t, int64_t>> IntersectWithDirectory(
+      const std::vector<std::pair<int64_t, int64_t>>& ranges,
+      const std::vector<int64_t>& directory);
 
   TrassStore(const TrassOptions& options);
 
   /// Reconstructs the value directory and ingest statistics from stored
-  /// row keys when opening an existing store.
+  /// row keys when opening an existing store. Also the crash-recovery
+  /// path: after a crash mid-batch, whatever rows the WAL replay kept
+  /// are re-derived into a consistent directory + statistics view.
   Status RebuildIngestState();
 
   uint8_t ShardOf(uint64_t tid) const;
+
+  /// Encodes one trajectory into its ready-to-write row (XZ* index, DP
+  /// features, row codec). Thread-safe; called from the encode pool.
+  Status EncodeTrajectory(const Trajectory& trajectory,
+                          ingest::EncodedRow* row) const;
+
+  /// The single commit path every write funnels through (Put, PutBatch,
+  /// and the pipeline's group commits): groups rows by region, applies
+  /// one WriteBatch per region via RegionStore::ApplyBatch, then
+  /// publishes statistics and a fresh value-directory snapshot for the
+  /// applied rows. Serialized on ingest_mu_ (also against
+  /// ScrubReplicas). Rows from regions whose apply failed are neither
+  /// stored nor published; the first failure is returned.
+  Status CommitEncoded(std::vector<ingest::EncodedRow>* rows);
 
   TrassOptions options_;
   index::XzStar xz_;
   std::unique_ptr<kv::RegionStore> store_;
   AdmissionController admission_{AdmissionController::Options{}};
 
-  uint64_t num_trajectories_ = 0;
-  uint64_t total_key_bytes_ = 0;
+  // Serializes writers: Put/PutBatch callers, the pipeline's commit
+  // thread, and ScrubReplicas (a rebuild would miss concurrent writes).
+  // Ordered before values_mu_ (CommitEncoded takes both, in that order).
+  mutable std::mutex ingest_mu_;
+
+  std::atomic<uint64_t> num_trajectories_{0};
+  std::atomic<uint64_t> total_key_bytes_{0};
+  // Guards the histograms, the raw seen-values pool, and the published
+  // directory snapshot. Queries take the snapshot (a shared_ptr to an
+  // immutable vector) once and never touch the guarded state again, so
+  // ingest publishing a new snapshot never races a running query.
+  mutable std::mutex values_mu_;
   std::vector<uint64_t> resolution_histogram_;
   std::vector<uint64_t> position_histogram_;
-  // Guards the lazily sorted value directory: admission control lets
-  // queries run concurrently, and each may trigger the sort. Ingest
-  // (Put) remains single-writer and must not run concurrently with
-  // queries that hold a directory reference.
-  mutable std::mutex values_mu_;
   mutable std::vector<int64_t> seen_values_;  // sorted-unique lazily
   mutable bool values_dirty_ = false;
+  mutable std::shared_ptr<const std::vector<int64_t>> directory_;
+
+  // Declared after store_: destroyed first, so the pipeline drains its
+  // queue through CommitEncoded while the region store is still alive.
+  std::unique_ptr<ingest::IngestPipeline> pipeline_;
 };
 
 }  // namespace core

@@ -32,6 +32,26 @@ class TableOwningIterator final : public Iterator {
   std::unique_ptr<Iterator> iter_;
 };
 
+// Iterator over a memtable that keeps the memtable alive, so a flush
+// replacing DB::mem_ cannot destroy it under a live scan.
+class MemOwningIterator final : public Iterator {
+ public:
+  explicit MemOwningIterator(std::shared_ptr<MemTable> mem)
+      : mem_(std::move(mem)), iter_(mem_->NewIterator()) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<MemTable> mem_;
+  std::unique_ptr<Iterator> iter_;
+};
+
 // User-facing iterator: collapses internal-key versions into the newest
 // visible value per user key and hides deletions.
 class DBIterator final : public Iterator {
@@ -110,7 +130,7 @@ DB::DB(const Options& options, std::string name)
     : options_(options),
       dbname_(std::move(name)),
       env_(options.env != nullptr ? options.env : Env::Default()),
-      mem_(std::make_unique<MemTable>()),
+      mem_(std::make_shared<MemTable>()),
       block_cache_(options.block_cache_size) {
   options_.env = env_;
   versions_ = std::make_unique<VersionSet>(dbname_, env_);
@@ -324,7 +344,7 @@ Iterator* DB::NewIterator(const ReadOptions& options_in) {
   const SequenceNumber snapshot = versions_->last_sequence();
   Version version = versions_->current();
   std::vector<Iterator*> children;
-  children.push_back(mem_->NewIterator());
+  children.push_back(new MemOwningIterator(mem_));
   lock.unlock();
 
   for (int level = 0; level < kNumLevels; ++level) {
@@ -351,7 +371,7 @@ Status DB::FlushMemTableLocked() {
   if (mem_->empty()) return MaybeCompactLocked();
   Status s = WriteLevel0TableLocked(mem_.get());
   if (!s.ok()) return s;
-  mem_ = std::make_unique<MemTable>();
+  mem_ = std::make_shared<MemTable>();
   s = SwitchToNewLog();
   if (!s.ok()) return s;
   s = versions_->WriteSnapshot();

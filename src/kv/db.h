@@ -95,7 +95,10 @@ class DB {
   Env* env_;
 
   mutable std::mutex mu_;
-  std::unique_ptr<MemTable> mem_;
+  // shared_ptr: flush replaces the memtable while escaped iterators
+  // (NewIterator snapshots) may still be reading the old one; each
+  // iterator co-owns the memtable it was created against.
+  std::shared_ptr<MemTable> mem_;
   std::unique_ptr<log::Writer> log_;
   std::unique_ptr<WritableFile> logfile_;
   uint64_t logfile_number_ = 0;

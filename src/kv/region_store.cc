@@ -95,6 +95,41 @@ Status RegionStore::Put(const WriteOptions& options, const Slice& key,
   return Status::OK();
 }
 
+Status RegionStore::ApplyBatch(const WriteOptions& options, int shard,
+                               WriteBatch* batch, int min_acks) {
+  if (shard < 0 || shard >= num_regions()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  if (batch == nullptr || batch->Count() == 0) return Status::OK();
+  const int factor = options_.replication_factor;
+  const int required =
+      min_acks <= 0 ? factor : std::min(min_acks, factor);
+  int acks = 0;
+  Status first_failure;
+  for (int r = 0; r < factor; ++r) {
+    std::shared_ptr<DB> db = Replica(shard, r);
+    // DB::Write stamps the batch with that replica's own sequence
+    // numbers, so reusing one batch across replicas is safe.
+    Status s = db != nullptr ? db->Write(options, batch) : OfflineStatus();
+    if (s.ok()) {
+      ++acks;
+      continue;
+    }
+    s = s.WithContext("region " + std::to_string(shard) + " replica " +
+                      std::to_string(r));
+    RecordReplicaFailure(shard, r, s);
+    if (first_failure.ok()) first_failure = s;
+  }
+  if (acks < required) return first_failure;
+  store_stats_.batch_commits.fetch_add(1, std::memory_order_relaxed);
+  store_stats_.batch_rows.fetch_add(batch->Count(),
+                                    std::memory_order_relaxed);
+  if (acks < factor) {
+    store_stats_.degraded_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
 Status RegionStore::Delete(const WriteOptions& options, const Slice& key) {
   Status s = CheckKey(key, num_regions());
   if (!s.ok()) return s;
@@ -646,6 +681,8 @@ IoStats::Snapshot RegionStore::TotalIoStats() const {
       total.range_scans += s.range_scans;
       total.checksum_verifications += s.checksum_verifications;
       total.corruptions_detected += s.corruptions_detected;
+      // batch_commits/batch_rows/degraded_writes are store-level counters
+      // (like the failover/scrub ones in store_stats_), not per-replica.
     }
   }
   return total;

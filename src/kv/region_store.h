@@ -45,10 +45,13 @@
 //
 // Thread-safety contract:
 //  * Scan / ScanWithLimit / Get are safe to call concurrently with each
-//    other and with ScrubReplicas. Put / Delete are single-writer and
-//    must not run concurrently with ScrubReplicas (a rebuild would miss
-//    the writes; ingest against a replica that is mid-rebuild fails with
-//    IoError).
+//    other, with ScrubReplicas, and with writes (Put / Delete /
+//    ApplyBatch) — the LSM substrate supports one writer with any number
+//    of concurrent readers. Writes themselves are single-writer: the
+//    caller must serialize Put / Delete / ApplyBatch against each other
+//    and against ScrubReplicas (a rebuild would miss concurrent writes;
+//    TrassStore serializes both under its ingest mutex). A write against
+//    a replica that is mid-rebuild fails with IoError for that replica.
 //  * All health counters are guarded by one internal mutex.
 //    Health()/HealthSnapshot() return a copy taken under a single lock
 //    hold, so every field of the returned value is mutually consistent;
@@ -183,6 +186,19 @@ class RegionStore {
   Status Put(const WriteOptions& options, const Slice& key,
              const Slice& value);
   Status Delete(const WriteOptions& options, const Slice& key);
+
+  /// Applies one group-commit batch to region `shard`. Every key in the
+  /// batch must carry that shard byte (the caller groups rows by shard).
+  /// The batch is written to each replica as a single WAL record (one
+  /// fsync per replica when syncing), which is where group commit beats
+  /// per-row Put. `min_acks` replicas must accept the write for success:
+  /// 0 (the default) means all replicas, i.e. the strict Put semantics;
+  /// 1..factor tolerates that many failures — failed replicas are
+  /// recorded against replica health (feeding demotion) and the batch is
+  /// counted as a degraded write, to be healed by the next
+  /// ScrubReplicas. Single-writer like Put (see the contract above).
+  Status ApplyBatch(const WriteOptions& options, int shard, WriteBatch* batch,
+                    int min_acks = 0);
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value);
 

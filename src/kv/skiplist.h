@@ -1,11 +1,21 @@
 // Skiplist keyed by arena-owned byte strings; the memtable's core
-// structure. Single-writer (the DB mutex serializes inserts); readers may
-// iterate concurrently with each other but not with writers — the embedded
-// use here always holds the DB mutex around memtable access.
+// structure. Concurrency model (the LevelDB design): one writer at a
+// time (the DB mutex serializes inserts) with any number of lock-free
+// concurrent readers. New nodes are wired bottom-up with relaxed stores
+// and published with a release store into their predecessor, so a reader
+// that acquires the pointer observes a fully initialized node; readers
+// never see a partially linked level because higher levels are only
+// reachable through the same release-published pointers.
+//
+// Readers may therefore iterate while an insert is in progress; they see
+// either the pre-insert or post-insert list, never a torn state. Nodes
+// are never removed or moved (arena-backed), so iterators stay valid for
+// the lifetime of the list.
 
 #ifndef TRASS_KV_SKIPLIST_H_
 #define TRASS_KV_SKIPLIST_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -33,19 +43,26 @@ class SkipList {
   SkipList& operator=(const SkipList&) = delete;
 
   /// Inserts an entry. `entry` must outlive the list (arena-allocated) and
-  /// must not compare equal to any existing entry.
+  /// must not compare equal to any existing entry. Single writer only;
+  /// safe against concurrent readers.
   void Insert(const char* entry) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(entry, prev);
     assert(x == nullptr || compare_(entry, x->entry) != 0);
     const int height = RandomHeight();
-    if (height > max_height_) {
-      for (int i = max_height_; i < height; ++i) prev[i] = head_;
-      max_height_ = height;
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; ++i) prev[i] = head_;
+      // Relaxed is sufficient: a reader that sees the new height before
+      // the new node's levels are linked just falls through head_'s null
+      // next pointers down to the populated levels.
+      max_height_.store(height, std::memory_order_relaxed);
     }
     x = NewNode(entry, height);
     for (int i = 0; i < height; ++i) {
-      x->SetNext(i, prev[i]->Next(i));
+      // The new node is not yet reachable, so its own pointer can be set
+      // without a barrier; the store into prev publishes the node (and
+      // its entry bytes) with release ordering.
+      x->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
       prev[i]->SetNext(i, x);
     }
   }
@@ -83,18 +100,36 @@ class SkipList {
   static constexpr int kBranching = 4;
 
   struct Node {
+    explicit Node(const char* e) : entry(e) {}
+
     const char* entry;
-    Node* Next(int level) const { return next[level]; }
-    void SetNext(int level, Node* n) { next[level] = n; }
-    Node* next[1];  // over-allocated to `height` pointers
+
+    Node* Next(int level) const {
+      return next_[level].load(std::memory_order_acquire);
+    }
+    void SetNext(int level, Node* n) {
+      next_[level].store(n, std::memory_order_release);
+    }
+    Node* NoBarrierNext(int level) const {
+      return next_[level].load(std::memory_order_relaxed);
+    }
+    void NoBarrierSetNext(int level, Node* n) {
+      next_[level].store(n, std::memory_order_relaxed);
+    }
+
+   private:
+    // Over-allocated to `height` pointers by NewNode.
+    std::atomic<Node*> next_[1];
   };
 
   Node* NewNode(const char* entry, int height) {
-    char* mem = arena_->AllocateAligned(sizeof(Node) +
-                                        sizeof(Node*) * (height - 1));
-    Node* node = reinterpret_cast<Node*>(mem);
-    node->entry = entry;
-    return node;
+    char* mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+    return new (mem) Node(entry);
+  }
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
   }
 
   int RandomHeight() {
@@ -109,7 +144,7 @@ class SkipList {
   /// First node >= entry; fills prev[] at every level when non-null.
   Node* FindGreaterOrEqual(const char* entry, Node** prev) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     for (;;) {
       Node* next = x->Next(level);
       if (next != nullptr && compare_(next->entry, entry) < 0) {
@@ -125,7 +160,7 @@ class SkipList {
   Comparator const compare_;
   Arena* const arena_;
   Node* const head_;
-  int max_height_;
+  std::atomic<int> max_height_;
   Random rnd_;
 };
 

@@ -23,6 +23,9 @@ struct IoStats {
   std::atomic<uint64_t> replica_failovers{0};  // reads moved to another replica
   std::atomic<uint64_t> scrub_rounds{0};       // anti-entropy passes started
   std::atomic<uint64_t> replicas_rebuilt{0};   // replicas restored from a peer
+  std::atomic<uint64_t> batch_commits{0};      // group-commit batches applied
+  std::atomic<uint64_t> batch_rows{0};         // rows inside those batches
+  std::atomic<uint64_t> degraded_writes{0};    // batches acked by < all replicas
 
   void Reset() {
     blocks_read = 0;
@@ -37,6 +40,9 @@ struct IoStats {
     replica_failovers = 0;
     scrub_rounds = 0;
     replicas_rebuilt = 0;
+    batch_commits = 0;
+    batch_rows = 0;
+    degraded_writes = 0;
   }
 
   struct Snapshot {
@@ -52,6 +58,9 @@ struct IoStats {
     uint64_t replica_failovers;
     uint64_t scrub_rounds;
     uint64_t replicas_rebuilt;
+    uint64_t batch_commits;
+    uint64_t batch_rows;
+    uint64_t degraded_writes;
   };
 
   Snapshot Read() const {
@@ -66,7 +75,10 @@ struct IoStats {
                     corruptions_detected.load(),
                     replica_failovers.load(),
                     scrub_rounds.load(),
-                    replicas_rebuilt.load()};
+                    replicas_rebuilt.load(),
+                    batch_commits.load(),
+                    batch_rows.load(),
+                    degraded_writes.load()};
   }
 };
 

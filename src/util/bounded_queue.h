@@ -1,0 +1,132 @@
+// Bounded multi-producer queue feeding the ingest group-commit batcher.
+//
+// Producers Push from any thread; acceptance assigns a monotonically
+// increasing ticket (the ingest sequence number) inside the queue lock,
+// so ticket order == queue order — the single consumer that drains the
+// queue sees items in exactly ticket order and can account for sequence
+// numbers with a plain counter. Backpressure is explicit: a full queue
+// makes Push wait up to the caller's budget and then shed with
+// Status::Busy (the AdmissionController convention), never block
+// unboundedly.
+//
+// PopBatch implements the group-commit gather: it blocks for the first
+// item, then lingers briefly (or until `max_items`) so concurrent
+// producers coalesce into one batch.
+
+#ifndef TRASS_UTIL_BOUNDED_QUEUE_H_
+#define TRASS_UTIL_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace trass {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, waiting up to `max_wait_ms` for space (0 = shed
+  /// immediately when full). On success *ticket (if non-null) receives
+  /// this item's 1-based acceptance sequence number. Returns Busy when
+  /// the queue stayed full for the whole wait, Cancelled after Close().
+  Status Push(T item, uint64_t max_wait_ms, uint64_t* ticket = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && max_wait_ms > 0 && !closed_) {
+      not_full_.wait_for(lock, std::chrono::milliseconds(max_wait_ms), [&] {
+        return items_.size() < capacity_ || closed_;
+      });
+    }
+    if (closed_) return Status::Cancelled("ingest queue closed");
+    if (items_.size() >= capacity_) {
+      return Status::Busy("ingest queue full");
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    if (ticket != nullptr) *ticket = ++accepted_;
+    else ++accepted_;
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Pops up to `max_items` into *out (appended), blocking until at
+  /// least one item is available or the queue is closed and empty. Once
+  /// the first item arrives, lingers up to `linger_ms` for more (group
+  /// commit), returning early at `max_items`. Returns the number popped;
+  /// 0 means closed-and-drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_items, double linger_ms) {
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return 0;  // closed and drained
+    if (items_.size() < max_items && linger_ms > 0 && !closed_) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(linger_ms));
+      not_empty_.wait_until(lock, deadline, [&] {
+        return items_.size() >= max_items || closed_;
+      });
+    }
+    size_t popped = 0;
+    while (popped < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    not_full_.notify_all();
+    return popped;
+  }
+
+  /// Rejects future pushes and wakes all waiters; items already queued
+  /// can still be drained by PopBatch. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Deepest the queue has ever been (backpressure telemetry).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  /// Total items ever accepted == the last ticket handed out.
+  uint64_t accepted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accepted_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  uint64_t accepted_ = 0;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_BOUNDED_QUEUE_H_

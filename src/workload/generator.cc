@@ -230,6 +230,37 @@ std::vector<core::Trajectory> Scale(const std::vector<core::Trajectory>& base,
   return result;
 }
 
+std::vector<TimedTrajectory> MakeStream(std::vector<core::Trajectory> data,
+                                        const StreamOptions& options,
+                                        uint64_t seed) {
+  Random rnd(seed);
+  // Shuffle so burst membership is independent of generation order.
+  for (size_t i = data.size(); i > 1; --i) {
+    std::swap(data[i - 1], data[rnd.Uniform(i)]);
+  }
+  std::vector<TimedTrajectory> stream;
+  stream.reserve(data.size());
+  const double rate = std::max(options.rate_per_sec, 1e-6);
+  const double burst_rate = rate * std::max(options.burst_multiplier, 1.0);
+  double clock_ms = 0.0;
+  size_t i = 0;
+  while (i < data.size()) {
+    const bool in_burst = options.burst_fraction > 0.0 &&
+                          rnd.Bernoulli(options.burst_fraction);
+    // Bursts cover a run of arrivals, not a single one: a reconnect
+    // storm delivers a batch of backlogged trajectories at once.
+    const size_t run = in_burst ? 1 + rnd.Uniform(64) : 1;
+    const double r = in_burst ? burst_rate : rate;
+    for (size_t j = 0; j < run && i < data.size(); ++j, ++i) {
+      // Exponential inter-arrival gap: -ln(U) / rate, in milliseconds.
+      const double u = std::max(rnd.NextDouble(), 1e-12);
+      clock_ms += -std::log(u) / r * 1000.0;
+      stream.push_back(TimedTrajectory{std::move(data[i]), clock_ms});
+    }
+  }
+  return stream;
+}
+
 std::vector<size_t> SampleIndices(size_t n, size_t count, uint64_t seed) {
   Random rnd(seed);
   count = std::min(count, n);

@@ -69,6 +69,35 @@ std::vector<core::Trajectory> Scale(const std::vector<core::Trajectory>& base,
 /// `count` distinct indices into a dataset of size `n` (query sampling).
 std::vector<size_t> SampleIndices(size_t n, size_t count, uint64_t seed);
 
+/// A trajectory paired with its arrival time in a streaming workload —
+/// the shape an online ingest pipeline (TrassStore::SubmitAsync)
+/// consumes: trajectories show up over time, not as a bulk load.
+struct TimedTrajectory {
+  core::Trajectory traj;
+  double arrival_ms = 0.0;  // offset from stream start
+};
+
+struct StreamOptions {
+  /// Mean steady-state arrival rate (Poisson process).
+  double rate_per_sec = 1000.0;
+  /// Fraction of the stream arriving inside bursts. Bursts model fleet
+  /// synchronization (shift changes, reconnect storms) — the moments
+  /// that exercise ingest backpressure.
+  double burst_fraction = 0.0;
+  /// Rate multiplier inside a burst (>= 1).
+  double burst_multiplier = 10.0;
+};
+
+/// Orders `data` into an arrival stream: exponential (Poisson)
+/// inter-arrival gaps at `rate_per_sec`, with `burst_fraction` of the
+/// trajectories compressed into bursts arriving `burst_multiplier`
+/// times faster. Arrival times are non-decreasing; trajectory order is
+/// shuffled so bursts are not spatially correlated with generation
+/// order. Ids are preserved.
+std::vector<TimedTrajectory> MakeStream(std::vector<core::Trajectory> data,
+                                        const StreamOptions& options,
+                                        uint64_t seed);
+
 }  // namespace workload
 }  // namespace trass
 

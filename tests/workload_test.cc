@@ -102,6 +102,62 @@ TEST(WorkloadTest, SampleMoreThanAvailableClamps) {
   EXPECT_EQ(SampleIndices(10, 100, 15).size(), 10u);
 }
 
+TEST(WorkloadTest, StreamArrivalsMonotoneAndComplete) {
+  auto data = TDriveLike(300, 16);
+  StreamOptions options;
+  options.rate_per_sec = 500.0;
+  const auto stream = MakeStream(std::move(data), options, 17);
+  ASSERT_EQ(stream.size(), 300u);
+  std::vector<bool> seen(301, false);
+  double prev = 0.0;
+  for (const auto& item : stream) {
+    ASSERT_GE(item.arrival_ms, prev);
+    prev = item.arrival_ms;
+    ASSERT_GE(item.traj.id, 1u);
+    ASSERT_LE(item.traj.id, 300u);
+    ASSERT_FALSE(seen[item.traj.id]);  // every trajectory exactly once
+    seen[item.traj.id] = true;
+  }
+  // Mean gap should be near 1000/rate = 2 ms (Poisson, loose bounds).
+  const double mean_gap = prev / 300.0;
+  EXPECT_GT(mean_gap, 0.5);
+  EXPECT_LT(mean_gap, 8.0);
+}
+
+TEST(WorkloadTest, StreamBurstsCompressArrivals) {
+  auto smooth_data = TDriveLike(2000, 18);
+  auto bursty_data = smooth_data;
+  StreamOptions smooth;
+  smooth.rate_per_sec = 1000.0;
+  StreamOptions bursty = smooth;
+  bursty.burst_fraction = 0.5;
+  bursty.burst_multiplier = 20.0;
+  const auto a = MakeStream(std::move(smooth_data), smooth, 19);
+  const auto b = MakeStream(std::move(bursty_data), bursty, 19);
+  // Same trajectory count in less wall-clock: bursts raise the peak rate.
+  EXPECT_LT(b.back().arrival_ms, a.back().arrival_ms);
+  // Bursts create short gaps far more often than the smooth stream's
+  // exponential tail would.
+  auto short_gaps = [](const std::vector<TimedTrajectory>& s) {
+    size_t n = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+      if (s[i].arrival_ms - s[i - 1].arrival_ms < 0.1) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(short_gaps(b), short_gaps(a));
+}
+
+TEST(WorkloadTest, StreamDeterministic) {
+  const auto a = MakeStream(TDriveLike(100, 20), StreamOptions{}, 21);
+  const auto b = MakeStream(TDriveLike(100, 20), StreamOptions{}, 21);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].traj.id, b[i].traj.id);
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);
+  }
+}
+
 }  // namespace
 }  // namespace workload
 }  // namespace trass
