@@ -3,6 +3,8 @@
 
 #include "bench_common.h"
 
+#include <cstring>
+
 #include "core/metrics.h"
 #include "util/stopwatch.h"
 
@@ -51,14 +53,94 @@ void RunDataset(const Dataset& dataset, const std::string& dir) {
   }
 }
 
+// Refine-scaling pass: top-k at refine_threads 1/2/4/8 on one store.
+// Top-k refinement shares a monotonically tightening k-th-distance bound
+// across workers with a sequential-equivalence guarantee, so every
+// thread count must return the single-thread answers exactly (non-zero
+// exit otherwise).
+int RefineScalingPass(const Dataset& dataset, const std::string& dir,
+                      int k) {
+  std::printf("\n=== Figure 10 (supplement) — top-k refine scaling — %s "
+              "(k=%d) ===\n",
+              dataset.name.c_str(), k);
+  {
+    baselines::TrassSearcher builder(core::TrassOptions(),
+                                     dir + "/trass_scale");
+    Status s = builder.Build(dataset.data);
+    if (!s.ok()) {
+      std::printf("build failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }  // closed here so the per-thread-count reopens below get the lock
+
+  std::vector<std::vector<core::SearchResult>> reference;
+  int rc = 0;
+  std::printf("  %-8s %14s %14s %14s\n", "threads", "time-ms(p50)",
+              "refine-ms(p50)", "lb-reject(p50)");
+  for (size_t threads : {1, 2, 4, 8}) {
+    core::TrassOptions options;
+    options.refine_threads = threads;
+    std::unique_ptr<core::TrassStore> store;
+    Status s = core::TrassStore::Open(options, dir + "/trass_scale", &store);
+    if (!s.ok()) {
+      std::printf("  %-8zu open failed: %s\n", threads, s.ToString().c_str());
+      return 1;
+    }
+    std::vector<double> times, refine, rejected;
+    bool identical = true;
+    for (size_t q = 0; q < dataset.num_queries(); ++q) {
+      std::vector<core::SearchResult> found;
+      core::QueryMetrics metrics;
+      s = store->TopKSearch(dataset.Query(q), k, core::Measure::kFrechet,
+                            &found, &metrics);
+      if (!s.ok()) break;
+      times.push_back(metrics.total_ms);
+      refine.push_back(metrics.refine_ms);
+      rejected.push_back(static_cast<double>(metrics.lb_rejected));
+      if (threads == 1) {
+        reference.push_back(found);
+      } else if (found.size() != reference[q].size()) {
+        identical = false;
+      } else {
+        for (size_t i = 0; i < found.size(); ++i) {
+          if (found[i].id != reference[q][i].id ||
+              found[i].distance != reference[q][i].distance) {
+            identical = false;
+          }
+        }
+      }
+    }
+    if (!s.ok()) {
+      std::printf("  %-8zu failed: %s\n", threads, s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-8zu %14.2f %14.2f %14.0f%s\n", threads, Median(times),
+                Median(refine), Median(rejected),
+                identical ? "" : "  RESULTS DIVERGED");
+    if (!identical) rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("  results identical across thread counts\n");
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace trass
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trass::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   const std::string dir = ScratchDir("fig10");
-  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  if (smoke) {
+    return RefineScalingPass(MakeTDrive(400, 4), dir, 25);
+  }
+  const Dataset tdrive = MakeTDrive(DefaultN(), DefaultQueries());
+  RunDataset(tdrive, dir);
   RunDataset(MakeLorry(DefaultN(), DefaultQueries()), dir);
-  return 0;
+  return RefineScalingPass(tdrive, dir, 100);
 }

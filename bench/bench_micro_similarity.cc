@@ -1,21 +1,63 @@
 // Micro-benchmarks of the similarity kernels and the local filter: the
 // point of Lemmas 12-14 is that the filter is orders of magnitude cheaper
 // than the exact O(n*m) computations it avoids.
+//
+// The BM_*Flat passes measure the structure-of-arrays kernels the
+// refinement engine (core/refiner.h) serves queries with, against the
+// scalar vector-of-Point reference right above them — the before/after
+// pair behind the engine's kernel speedup claim. BM_LowerBoundCascade
+// measures the per-pair cost of the cascade that lets refinement skip
+// the O(n*m) DP entirely.
+//
+// `--smoke` runs a randomized flat-vs-scalar parity self-check instead
+// of timing anything (non-zero exit on any mismatch); ci.sh runs it in
+// the release configuration.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "core/local_filter.h"
+#include "core/refiner.h"
 #include "core/similarity.h"
 #include "util/random.h"
 #include "workload/generator.h"
 
 namespace {
 
+using trass::core::DpScratch;
+using trass::core::FlatView;
 using trass::core::Measure;
 
 const std::vector<trass::core::Trajectory>& SharedData() {
   static const auto data = trass::workload::TDriveLike(500, 78);
   return data;
+}
+
+/// SharedData() flattened once into SoA buffers (plus MBRs for the
+/// lower-bound passes), mirroring what the engine's scratch arena holds.
+struct FlatTrajectory {
+  std::vector<double> x, y;
+  trass::geo::Mbr mbr;
+  FlatView view() const { return FlatView{x.data(), y.data(), x.size()}; }
+};
+
+const std::vector<FlatTrajectory>& SharedFlatData() {
+  static const auto flat = [] {
+    std::vector<FlatTrajectory> out;
+    for (const auto& t : SharedData()) {
+      FlatTrajectory f;
+      for (const auto& p : t.points) {
+        f.x.push_back(p.x);
+        f.y.push_back(p.y);
+        f.mbr.Extend(p);
+      }
+      out.push_back(std::move(f));
+    }
+    return out;
+  }();
+  return flat;
 }
 
 void BM_DiscreteFrechet(benchmark::State& state) {
@@ -30,6 +72,20 @@ void BM_DiscreteFrechet(benchmark::State& state) {
 }
 BENCHMARK(BM_DiscreteFrechet);
 
+void BM_DiscreteFrechetFlat(benchmark::State& state) {
+  const auto& flat = SharedFlatData();
+  DpScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = flat[i % flat.size()];
+    const auto& b = flat[(i + 1) % flat.size()];
+    benchmark::DoNotOptimize(
+        trass::core::DiscreteFrechetFlat(a.view(), b.view(), &scratch));
+    ++i;
+  }
+}
+BENCHMARK(BM_DiscreteFrechetFlat);
+
 void BM_FrechetWithinEarlyAbandon(benchmark::State& state) {
   const auto& data = SharedData();
   const double eps = static_cast<double>(state.range(0)) / 1000.0;
@@ -43,6 +99,22 @@ void BM_FrechetWithinEarlyAbandon(benchmark::State& state) {
 }
 BENCHMARK(BM_FrechetWithinEarlyAbandon)->Arg(1)->Arg(100);
 
+void BM_FrechetWithinDistanceFlat(benchmark::State& state) {
+  const auto& flat = SharedFlatData();
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  DpScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = flat[i % flat.size()];
+    const auto& b = flat[(i + 1) % flat.size()];
+    double d = 0.0;
+    benchmark::DoNotOptimize(trass::core::FrechetWithinDistanceFlat(
+        a.view(), b.view(), eps, &d, &scratch));
+    ++i;
+  }
+}
+BENCHMARK(BM_FrechetWithinDistanceFlat)->Arg(1)->Arg(100);
+
 void BM_Hausdorff(benchmark::State& state) {
   const auto& data = SharedData();
   size_t i = 0;
@@ -55,6 +127,18 @@ void BM_Hausdorff(benchmark::State& state) {
 }
 BENCHMARK(BM_Hausdorff);
 
+void BM_HausdorffFlat(benchmark::State& state) {
+  const auto& flat = SharedFlatData();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = flat[i % flat.size()];
+    const auto& b = flat[(i + 1) % flat.size()];
+    benchmark::DoNotOptimize(trass::core::HausdorffFlat(a.view(), b.view()));
+    ++i;
+  }
+}
+BENCHMARK(BM_HausdorffFlat);
+
 void BM_Dtw(benchmark::State& state) {
   const auto& data = SharedData();
   size_t i = 0;
@@ -66,6 +150,41 @@ void BM_Dtw(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dtw);
+
+void BM_DtwFlat(benchmark::State& state) {
+  const auto& flat = SharedFlatData();
+  DpScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = flat[i % flat.size()];
+    const auto& b = flat[(i + 1) % flat.size()];
+    benchmark::DoNotOptimize(
+        trass::core::DtwFlat(a.view(), b.view(), &scratch));
+    ++i;
+  }
+}
+BENCHMARK(BM_DtwFlat);
+
+// The engine's per-pair cascade: arg is eps in milli-units. At tight
+// bounds nearly every pair is disposed of here instead of in the DP.
+void BM_LowerBoundCascade(benchmark::State& state) {
+  const auto& data = SharedData();
+  const auto& flat = SharedFlatData();
+  const double eps = static_cast<double>(state.range(0)) / 1000.0;
+  const auto query = trass::core::RefineQuery::Make(data[0].points);
+  size_t i = 0;
+  size_t rejected = 0;
+  for (auto _ : state) {
+    const auto& t = flat[i % flat.size()];
+    rejected += trass::core::LowerBoundExceeds(Measure::kFrechet, query,
+                                               t.view(), t.mbr, eps);
+    ++i;
+  }
+  benchmark::DoNotOptimize(rejected);
+  state.counters["reject_rate"] =
+      i == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(i);
+}
+BENCHMARK(BM_LowerBoundCascade)->Arg(1)->Arg(100);
 
 void BM_DpFeatureComputation(benchmark::State& state) {
   const auto& data = SharedData();
@@ -98,6 +217,74 @@ void BM_LocalFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalFilter);
 
+/// Randomized flat-vs-scalar parity sweep. Returns the number of
+/// mismatches (0 = parity holds).
+int RunSmoke() {
+  trass::Random rnd(20260806);
+  int mismatches = 0;
+  DpScratch scratch;
+  const Measure measures[] = {Measure::kFrechet, Measure::kHausdorff,
+                              Measure::kDtw};
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t na = 1 + rnd.Uniform(120);
+    const size_t nb = 1 + rnd.Uniform(120);
+    std::vector<trass::geo::Point> a, b;
+    FlatTrajectory fa, fb;
+    for (size_t i = 0; i < na; ++i) {
+      const trass::geo::Point p{rnd.UniformDouble(0.0, 1.0),
+                                rnd.UniformDouble(0.0, 1.0)};
+      a.push_back(p);
+      fa.x.push_back(p.x);
+      fa.y.push_back(p.y);
+      fa.mbr.Extend(p);
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      const trass::geo::Point p{rnd.UniformDouble(0.0, 1.0),
+                                rnd.UniformDouble(0.0, 1.0)};
+      b.push_back(p);
+      fb.x.push_back(p.x);
+      fb.y.push_back(p.y);
+      fb.mbr.Extend(p);
+    }
+    for (Measure m : measures) {
+      const double scalar = trass::core::Similarity(m, a, b);
+      const double flat =
+          trass::core::SimilarityFlat(m, fa.view(), fb.view(), &scratch);
+      if (scalar != flat) {
+        std::fprintf(stderr,
+                     "smoke: %s mismatch iter=%d scalar=%.17g flat=%.17g\n",
+                     trass::core::MeasureName(m), iter, scalar, flat);
+        ++mismatches;
+      }
+      // The cascade must never reject a pair the within-DP accepts.
+      const auto query = trass::core::RefineQuery::Make(a);
+      const double bound = scalar * rnd.UniformDouble(0.5, 1.5);
+      if (trass::core::LowerBoundExceeds(m, query, fb.view(), fb.mbr,
+                                         bound) &&
+          trass::core::SimilarityWithin(m, a, b, bound)) {
+        std::fprintf(stderr, "smoke: %s unsound lower bound iter=%d\n",
+                     trass::core::MeasureName(m), iter);
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches == 0) {
+    std::printf("bench_micro_similarity --smoke: kernel parity OK\n");
+  }
+  return mismatches;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return RunSmoke() == 0 ? 0 : 1;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

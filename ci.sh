@@ -37,6 +37,11 @@ for config in "${configs[@]}"; do
   case "$config" in
     release)
       run_config release
+      echo "=== [release] bench smoke ==="
+      build-ci/release/bench/bench_micro_similarity --smoke
+      build-ci/release/bench/bench_fig09_threshold --smoke
+      build-ci/release/bench/bench_fig10_topk --smoke
+      echo "=== [release] bench smoke OK ==="
       ;;
     asan)
       run_config asan \

@@ -60,4 +60,21 @@ for b in "${benches[@]}"; do
     exit "$rc"
   fi
 done
+
+# Machine-readable kernel baseline: the micro similarity bench carries
+# both the scalar reference kernels and the flat SoA kernels the
+# refinement engine serves with, so one JSON snapshot records the
+# before/after pair. Committed snapshots (BENCH_micro_similarity.json)
+# are the regression baseline to diff against.
+if [ -x build/bench/bench_micro_similarity ]; then
+  timeout 1200 build/bench/bench_micro_similarity \
+    --benchmark_out=BENCH_micro_similarity.json \
+    --benchmark_out_format=json >> bench_output.txt 2>&1
+  rc=$?
+  echo "[exit $rc] BENCH_micro_similarity.json" >> bench_status.txt
+  if [ "$rc" -ne 0 ]; then
+    echo "run_benches.sh: kernel baseline JSON failed with $rc" >&2
+    exit "$rc"
+  fi
+fi
 echo ALL_BENCHES_DONE >> bench_status.txt

@@ -20,8 +20,21 @@ struct QueryMetrics {
   uint64_t index_values = 0;    // candidate index values after pruning
   uint64_t retrieved = 0;       // rows scanned in the store (I/O)
   uint64_t candidates = 0;      // rows surviving local filtering
-  uint64_t refined = 0;         // exact similarity computations executed
+  uint64_t refined = 0;         // candidates entering exact refinement
   uint64_t results = 0;         // final answers
+
+  /// Refinement-engine breakdown (see core/refiner.h). `refined` above
+  /// counts candidates the engine decoded; of those, `lb_rejected` were
+  /// disposed of by the lower-bound cascade without running the O(n*m)
+  /// DP and `refine_dp_runs` ran it. The *_ms fields are summed across
+  /// refine workers (CPU time; with refine_threads > 1 they can exceed
+  /// the wall-clock refine_ms).
+  uint64_t lb_rejected = 0;        // cascade proved dist > bound, DP skipped
+  uint64_t refine_dp_runs = 0;     // exact DP kernels executed
+  uint64_t refine_threads = 0;     // engine parallelism for this query
+  double refine_decode_ms = 0.0;   // row decode + SoA flatten
+  double refine_lb_ms = 0.0;       // lower-bound cascade
+  double refine_dp_ms = 0.0;       // exact DP kernels
 
   /// Degraded-mode availability (see RegionStore::RegionOptions). When
   /// `partial` is set, one or more store regions were skipped after

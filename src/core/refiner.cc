@@ -1,0 +1,252 @@
+#include "core/refiner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/slice.h"
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace core {
+
+namespace {
+
+// Chunks handed to the pool per worker thread: enough slack that one
+// chunk of expensive candidates does not serialize the tail.
+constexpr size_t kChunksPerThread = 4;
+
+inline double DistanceSq(double ax, double ay, double bx, double by) {
+  const double dx = ax - bx;
+  const double dy = ay - by;
+  return dx * dx + dy * dy;
+}
+
+// max over the flat points of the squared distance to `box` (0 for points
+// inside). SoA layout keeps this a branch-light vectorizable scan.
+double MaxPointToBoxDistanceSq(const FlatView& pts, const geo::Mbr& box) {
+  const double min_x = box.min_x(), max_x = box.max_x();
+  const double min_y = box.min_y(), max_y = box.max_y();
+  double worst = 0.0;
+  for (size_t i = 0; i < pts.n; ++i) {
+    const double x = pts.x[i];
+    const double y = pts.y[i];
+    const double dx = std::max(std::max(min_x - x, x - max_x), 0.0);
+    const double dy = std::max(std::max(min_y - y, y - max_y), 0.0);
+    const double d = dx * dx + dy * dy;
+    worst = d > worst ? d : worst;
+  }
+  return worst;
+}
+
+inline double EndpointBoundSq(const RefineQuery& q, const FlatView& t) {
+  const size_t n = q.x.size();
+  const double start = DistanceSq(q.x[0], q.y[0], t.x[0], t.y[0]);
+  const double end =
+      DistanceSq(q.x[n - 1], q.y[n - 1], t.x[t.n - 1], t.y[t.n - 1]);
+  return start > end ? start : end;
+}
+
+}  // namespace
+
+RefineQuery RefineQuery::Make(const std::vector<geo::Point>& points) {
+  RefineQuery q;
+  q.x.reserve(points.size());
+  q.y.reserve(points.size());
+  for (const geo::Point& p : points) {
+    q.x.push_back(p.x);
+    q.y.push_back(p.y);
+    q.mbr.Extend(p);
+  }
+  return q;
+}
+
+double RefineLowerBound(Measure measure, const RefineQuery& query,
+                        const FlatView& t, const geo::Mbr& t_mbr) {
+  double lb = query.mbr.Distance(t_mbr);
+  if (measure != Measure::kHausdorff) {
+    lb = std::max(lb, std::sqrt(EndpointBoundSq(query, t)));
+  }
+  lb = std::max(lb, std::sqrt(MaxPointToBoxDistanceSq(query.view(), t_mbr)));
+  lb = std::max(lb, std::sqrt(MaxPointToBoxDistanceSq(t, query.mbr)));
+  return lb;
+}
+
+bool LowerBoundExceeds(Measure measure, const RefineQuery& query,
+                       const FlatView& t, const geo::Mbr& t_mbr,
+                       double bound) {
+  if (!std::isfinite(bound)) return false;  // nothing can exceed +inf
+  if (query.mbr.Distance(t_mbr) > bound) return true;
+  const double bound_sq = bound * bound;
+  if (measure != Measure::kHausdorff &&
+      EndpointBoundSq(query, t) > bound_sq) {
+    return true;
+  }
+  if (MaxPointToBoxDistanceSq(query.view(), t_mbr) > bound_sq) return true;
+  return MaxPointToBoxDistanceSq(t, query.mbr) > bound_sq;
+}
+
+Status Refiner::ProcessRows(const std::vector<kv::Row>& rows,
+                            const QueryContext* control,
+                            const CandidateFn& fn,
+                            RefineStats* stats) const {
+  const size_t n = rows.size();
+  if (n == 0) return control->Check();
+  const size_t workers = std::min(threads_, n);
+  const size_t chunks =
+      workers <= 1 ? 1 : std::min(n, workers * kChunksPerThread);
+  std::vector<Scratch> scratch(chunks);
+
+  auto run_chunk = [&](size_t c) {
+    Scratch* s = &scratch[c];
+    const size_t lo = c * n / chunks;
+    const size_t hi = (c + 1) * n / chunks;
+    Stopwatch watch;
+    for (size_t i = lo; i < hi; ++i) {
+      if (control->ShouldStop()) return;  // poll every candidate
+      watch.Reset();
+      Status st =
+          DecodeRow(Slice(rows[i].key), Slice(rows[i].value), &s->decoded);
+      if (!st.ok()) {
+        if (s->error.ok()) s->error = st;
+        return;
+      }
+      const size_t m = s->decoded.points.size();
+      if (s->tx.size() < m) {
+        s->tx.resize(m);
+        s->ty.resize(m);
+      }
+      geo::Mbr mbr;
+      for (size_t j = 0; j < m; ++j) {
+        const geo::Point& p = s->decoded.points[j];
+        s->tx[j] = p.x;
+        s->ty[j] = p.y;
+        mbr.Extend(p);
+      }
+      s->stats.decode_ms += watch.ElapsedMillis();
+      ++s->stats.refined;
+      fn(i, s->decoded, FlatView{s->tx.data(), s->ty.data(), m}, mbr, s);
+    }
+  };
+
+  if (chunks == 1) {
+    run_chunk(0);
+  } else {
+    pool_->ParallelFor(chunks, run_chunk,
+                       [control] { return control->ShouldStop(); });
+  }
+
+  Status first_error;
+  for (const Scratch& s : scratch) {
+    stats->Fold(s.stats);
+    if (first_error.ok() && !s.error.ok()) first_error = s.error;
+  }
+  if (!first_error.ok()) return first_error;
+  return control->Check();
+}
+
+Status Refiner::RefineThreshold(const RefineQuery& query, double eps,
+                                Measure measure,
+                                const std::vector<kv::Row>& rows,
+                                const QueryContext* control,
+                                std::vector<SearchResult>* out,
+                                RefineStats* stats) const {
+  const size_t n = rows.size();
+  // Hit slots indexed by row: workers never contend, and compacting in
+  // row order afterwards makes the output independent of thread count.
+  std::vector<uint64_t> ids(n, 0);
+  std::vector<double> dist(n, 0.0);
+  std::vector<char> hit(n, 0);
+  const FlatView qv = query.view();
+
+  Status s = ProcessRows(
+      rows, control,
+      [&](size_t i, const StoredTrajectory& t, const FlatView& tv,
+          const geo::Mbr& mbr, Scratch* sc) {
+        Stopwatch watch;
+        if (LowerBoundExceeds(measure, query, tv, mbr, eps)) {
+          ++sc->stats.lb_rejected;
+          sc->stats.lb_ms += watch.ElapsedMillis();
+          return;
+        }
+        sc->stats.lb_ms += watch.ElapsedMillis();
+        watch.Reset();
+        ++sc->stats.dp_runs;
+        double d = 0.0;
+        if (SimilarityWithinDistanceFlat(measure, qv, tv, eps, &d,
+                                         &sc->dp)) {
+          ids[i] = t.id;
+          dist[i] = d;
+          hit[i] = 1;
+        }
+        sc->stats.dp_ms += watch.ElapsedMillis();
+      },
+      stats);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (hit[i]) out->push_back(SearchResult{ids[i], dist[i]});
+  }
+  return s;
+}
+
+Status TopKRefiner::RefineBatch(const std::vector<kv::Row>& rows,
+                                const QueryContext* control,
+                                RefineStats* stats) {
+  const FlatView qv = query_->view();
+  return engine_->ProcessRows(
+      rows, control,
+      [&](size_t, const StoredTrajectory& t, const FlatView& tv,
+          const geo::Mbr& mbr, Refiner::Scratch* sc) {
+        // A stale (larger) bound only admits extra candidates that the
+        // heap then rejects; it can never drop one that belongs.
+        const double bound = bound_.load(std::memory_order_relaxed);
+        Stopwatch watch;
+        if (LowerBoundExceeds(measure_, *query_, tv, mbr, bound)) {
+          ++sc->stats.lb_rejected;
+          sc->stats.lb_ms += watch.ElapsedMillis();
+          return;
+        }
+        sc->stats.lb_ms += watch.ElapsedMillis();
+        watch.Reset();
+        ++sc->stats.dp_runs;
+        double d = 0.0;
+        const bool within =
+            SimilarityWithinDistanceFlat(measure_, qv, tv, bound, &d,
+                                         &sc->dp);
+        sc->stats.dp_ms += watch.ElapsedMillis();
+        if (within) Offer(SearchResult{t.id, d});
+      },
+      stats);
+}
+
+void TopKRefiner::Offer(const SearchResult& r) {
+  if (k_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.size() < k_) {
+    heap_.push(r);
+    if (heap_.size() == k_) {
+      bound_.store(heap_.top().distance, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Ties at the k-th distance resolve by id — the (distance, id) total
+  // order is what makes parallel refinement sequentially equivalent.
+  if (r < heap_.top()) {
+    heap_.pop();
+    heap_.push(r);
+    bound_.store(heap_.top().distance, std::memory_order_relaxed);
+  }
+}
+
+void TopKRefiner::Drain(std::vector<SearchResult>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->reserve(out->size() + heap_.size());
+  const size_t first = out->size();
+  while (!heap_.empty()) {
+    out->push_back(heap_.top());
+    heap_.pop();
+  }
+  std::reverse(out->begin() + first, out->end());
+}
+
+}  // namespace core
+}  // namespace trass

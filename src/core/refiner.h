@@ -1,0 +1,197 @@
+// Refinement engine: the exact-similarity stage both query paths run on
+// the candidates that survive global pruning and local filtering.
+//
+// What it does beyond the hand-rolled loops it replaced:
+//   - decodes candidate rows into structure-of-arrays buffers (flat
+//     x[]/y[] arrays, reused via a per-worker scratch arena) so the DP
+//     distance passes in core/similarity.cc auto-vectorize;
+//   - runs a cheap lower-bound cascade per pair (query-MBR-to-candidate-
+//     MBR, endpoints, directed point-to-MBR) that proves dist > bound
+//     without touching the O(n*m) DP for most losers;
+//   - fans candidates out over a cancellation-aware
+//     ThreadPool::ParallelFor in contiguous chunks, polling the
+//     QueryContext before every candidate;
+//   - for top-k, shares one monotonically tightening k-th-distance bound
+//     (an atomic) across all workers and batches, so one worker's
+//     improvement shrinks every other worker's early-abandon threshold.
+//
+// Determinism contract: for a fixed row set the results are identical to
+// serial execution regardless of thread count. Threshold refinement
+// writes each hit into its candidate's slot and compacts in row order;
+// top-k keeps the k smallest results under the total order
+// (distance, id), which no interleaving can change (a candidate is only
+// ever abandoned against a bound that its distance provably exceeds, and
+// the bound never rises). Under a cooperative stop the results collected
+// so far remain a verified subset of the full answer.
+
+#ifndef TRASS_CORE_REFINER_H_
+#define TRASS_CORE_REFINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "core/measure.h"
+#include "core/row_codec.h"
+#include "core/similarity.h"
+#include "core/trajectory.h"
+#include "geo/mbr.h"
+#include "kv/scan.h"
+#include "util/query_context.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace trass {
+namespace core {
+
+/// Refine-stage counters, folded into QueryMetrics by the query paths.
+/// The *_ms fields are summed across workers (CPU time, not wall time).
+struct RefineStats {
+  uint64_t refined = 0;      // candidates decoded and considered
+  uint64_t lb_rejected = 0;  // lower-bound cascade skipped the DP
+  uint64_t dp_runs = 0;      // exact DP kernels executed
+  double decode_ms = 0.0;    // row decode + SoA flatten
+  double lb_ms = 0.0;        // lower-bound cascade
+  double dp_ms = 0.0;        // exact DP kernels
+
+  void Fold(const RefineStats& other) {
+    refined += other.refined;
+    lb_rejected += other.lb_rejected;
+    dp_runs += other.dp_runs;
+    decode_ms += other.decode_ms;
+    lb_ms += other.lb_ms;
+    dp_ms += other.dp_ms;
+  }
+};
+
+/// Query-side state flattened once per query and shared (read-only) by
+/// every refine worker.
+struct RefineQuery {
+  std::vector<double> x, y;
+  geo::Mbr mbr;
+
+  FlatView view() const { return FlatView{x.data(), y.data(), x.size()}; }
+
+  static RefineQuery Make(const std::vector<geo::Point>& points);
+};
+
+/// The full cascade's lower bound on measure(query, candidate) — every
+/// level evaluated, the max returned. Exposed for tests and benches; the
+/// engine itself runs the short-circuiting LowerBoundExceeds.
+double RefineLowerBound(Measure measure, const RefineQuery& query,
+                        const FlatView& t, const geo::Mbr& t_mbr);
+
+/// True when some cascade level proves measure(query, candidate) > bound,
+/// cheapest level first: (1) query-MBR to candidate-MBR distance, O(1),
+/// sound for all measures; (2) endpoint distances (Lemma 12), O(1),
+/// Fréchet and DTW; (3) directed max point-to-MBR distance both ways,
+/// O(n + m), sound for all measures (every point is matched by each
+/// measure at least once, at distance >= its distance to the other
+/// trajectory's MBR).
+bool LowerBoundExceeds(Measure measure, const RefineQuery& query,
+                       const FlatView& t, const geo::Mbr& t_mbr,
+                       double bound);
+
+class Refiner {
+ public:
+  /// Refines on `pool` with up to `threads` chunks in flight; a null pool
+  /// or threads <= 1 refines serially on the calling thread. The pool
+  /// (shared with other concurrent queries) must outlive the refiner.
+  Refiner(ThreadPool* pool, size_t threads)
+      : pool_(pool), threads_(pool == nullptr ? 1 : (threads < 1 ? 1 : threads)) {}
+
+  Refiner(const Refiner&) = delete;
+  Refiner& operator=(const Refiner&) = delete;
+
+  size_t threads() const { return threads_; }
+
+  /// Threshold refinement: appends every candidate with
+  /// measure(query, candidate) <= eps to `out` as (id, exact distance),
+  /// in row order. Returns the first decode error, else the control's
+  /// stop status, else OK; on a stop `out` holds the verified subset.
+  Status RefineThreshold(const RefineQuery& query, double eps,
+                         Measure measure, const std::vector<kv::Row>& rows,
+                         const QueryContext* control,
+                         std::vector<SearchResult>* out,
+                         RefineStats* stats) const;
+
+ private:
+  friend class TopKRefiner;
+
+  /// Per-chunk scratch arena: decode buffers, SoA arrays, and DP rows are
+  /// reused across every candidate the chunk refines.
+  struct Scratch {
+    StoredTrajectory decoded;
+    std::vector<double> tx, ty;
+    DpScratch dp;
+    RefineStats stats;
+    Status error;
+  };
+
+  using CandidateFn =
+      std::function<void(size_t index, const StoredTrajectory& t,
+                         const FlatView& tv, const geo::Mbr& mbr,
+                         Scratch* scratch)>;
+
+  /// Decodes and flattens rows in contiguous chunks (serial or via the
+  /// pool), invoking `fn` per surviving candidate. Polls `control` before
+  /// every candidate. Folds per-chunk stats into `stats`.
+  Status ProcessRows(const std::vector<kv::Row>& rows,
+                     const QueryContext* control, const CandidateFn& fn,
+                     RefineStats* stats) const;
+
+  ThreadPool* pool_;
+  size_t threads_;
+};
+
+/// One top-k refinement session: feeds batches of candidate rows through
+/// the engine against a shared, monotonically tightening k-th-distance
+/// bound. The final contents are exactly the k smallest (distance, id)
+/// results among all offered candidates — identical to serial execution.
+class TopKRefiner {
+ public:
+  TopKRefiner(const Refiner* engine, const RefineQuery* query, size_t k,
+              Measure measure)
+      : engine_(engine), query_(query), k_(k), measure_(measure) {}
+
+  TopKRefiner(const TopKRefiner&) = delete;
+  TopKRefiner& operator=(const TopKRefiner&) = delete;
+
+  /// Refines one batch of rows; same status contract as RefineThreshold.
+  Status RefineBatch(const std::vector<kv::Row>& rows,
+                     const QueryContext* control, RefineStats* stats);
+
+  /// The current k-th distance (+inf until k results exist). Never rises;
+  /// safe to read concurrently with a running batch.
+  double CurrentBound() const {
+    return bound_.load(std::memory_order_relaxed);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return heap_.size();
+  }
+
+  /// Moves the results out, ascending by (distance, id).
+  void Drain(std::vector<SearchResult>* out);
+
+ private:
+  void Offer(const SearchResult& r);
+
+  const Refiner* engine_;
+  const RefineQuery* query_;
+  const size_t k_;
+  const Measure measure_;
+  mutable std::mutex mu_;
+  std::priority_queue<SearchResult> heap_;  // worst of the best k on top
+  std::atomic<double> bound_{std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace core
+}  // namespace trass
+
+#endif  // TRASS_CORE_REFINER_H_

@@ -1,10 +1,22 @@
 // Exact similarity computations (discrete Fréchet, Hausdorff, DTW) plus
 // threshold decision variants with early abandoning — the expensive
 // "refine" step that global pruning and local filtering exist to avoid.
+//
+// Two kernel families:
+//   - vector-of-Point APIs: the reference scalar implementations, kept
+//     unchanged as the correctness baseline;
+//   - flat structure-of-arrays (FlatView) kernels: the serving-path
+//     implementations the refinement engine (core/refiner.h) runs. The
+//     Fréchet/DTW DPs sweep by anti-diagonals (cells of one anti-diagonal
+//     are mutually independent, so the recurrence itself vectorizes over
+//     contiguous x[]/y[] arrays); Hausdorff runs blocked nearest-point
+//     scans with early exits. Both families compute identical values
+//     (the kernel-parity test enforces it).
 
 #ifndef TRASS_CORE_SIMILARITY_H_
 #define TRASS_CORE_SIMILARITY_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "core/measure.h"
@@ -12,6 +24,50 @@
 
 namespace trass {
 namespace core {
+
+/// Structure-of-arrays view of a trajectory: n points at (x[i], y[i]).
+/// Non-owning; the arrays must outlive the call.
+struct FlatView {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  size_t n = 0;
+};
+
+/// Reusable buffers for the flat DP kernels. The row-based within
+/// kernels use two rolling DP rows plus one distance row; the exact
+/// Fréchet/DTW kernels run an anti-diagonal wavefront (cells along an
+/// anti-diagonal are mutually independent, so the min/max recurrence
+/// itself vectorizes) and use three rolling diagonals plus a reversed
+/// copy of the candidate. The refinement engine keeps one DpScratch per
+/// worker so refining a stream of candidates allocates nothing after
+/// warm-up.
+struct DpScratch {
+  std::vector<double> prev, curr, dist;        // row kernels (size m)
+  std::vector<double> diag0, diag1, diag2;     // wavefront (size n)
+  std::vector<double> rev_x, rev_y;            // reversed candidate (size m)
+
+  /// Grows the rows to hold at least `m` columns (never shrinks).
+  void Reserve(size_t m) {
+    if (prev.size() < m) {
+      prev.resize(m);
+      curr.resize(m);
+      dist.resize(m);
+    }
+  }
+
+  /// Grows the wavefront buffers for an n-by-m DP (never shrinks).
+  void ReserveDiag(size_t n, size_t m) {
+    if (diag0.size() < n) {
+      diag0.resize(n);
+      diag1.resize(n);
+      diag2.resize(n);
+    }
+    if (rev_x.size() < m) {
+      rev_x.resize(m);
+      rev_y.resize(m);
+    }
+  }
+};
 
 /// Discrete Fréchet distance (Definition 2). O(n*m) time, O(m) space.
 double DiscreteFrechet(const std::vector<geo::Point>& q,
@@ -35,11 +91,53 @@ bool HausdorffWithin(const std::vector<geo::Point>& q,
 bool DtwWithin(const std::vector<geo::Point>& q,
                const std::vector<geo::Point>& t, double eps);
 
+/// Decision + exact distance in one DP: true iff measure(q, t) <= eps, in
+/// which case *distance receives the exact distance (untouched otherwise).
+/// One pass where the query paths previously ran Within followed by the
+/// full exact computation on every hit.
+bool FrechetWithinDistance(const std::vector<geo::Point>& q,
+                           const std::vector<geo::Point>& t, double eps,
+                           double* distance);
+bool HausdorffWithinDistance(const std::vector<geo::Point>& q,
+                             const std::vector<geo::Point>& t, double eps,
+                             double* distance);
+bool DtwWithinDistance(const std::vector<geo::Point>& q,
+                       const std::vector<geo::Point>& t, double eps,
+                       double* distance);
+
 /// Dispatch helpers.
 double Similarity(Measure m, const std::vector<geo::Point>& q,
                   const std::vector<geo::Point>& t);
 bool SimilarityWithin(Measure m, const std::vector<geo::Point>& q,
                       const std::vector<geo::Point>& t, double eps);
+bool SimilarityWithinDistance(Measure m, const std::vector<geo::Point>& q,
+                              const std::vector<geo::Point>& t, double eps,
+                              double* distance);
+
+// ---- flat (structure-of-arrays) kernels ----
+//
+// Same results as the vector APIs; `scratch` may be shared across calls
+// from one thread but never across threads. An infinite `eps` makes the
+// within-distance kernels unconditional exact computations.
+
+double DiscreteFrechetFlat(const FlatView& q, const FlatView& t,
+                           DpScratch* scratch);
+double HausdorffFlat(const FlatView& q, const FlatView& t);
+double DtwFlat(const FlatView& q, const FlatView& t, DpScratch* scratch);
+
+bool FrechetWithinDistanceFlat(const FlatView& q, const FlatView& t,
+                               double eps, double* distance,
+                               DpScratch* scratch);
+bool HausdorffWithinDistanceFlat(const FlatView& q, const FlatView& t,
+                                 double eps, double* distance);
+bool DtwWithinDistanceFlat(const FlatView& q, const FlatView& t, double eps,
+                           double* distance, DpScratch* scratch);
+
+double SimilarityFlat(Measure m, const FlatView& q, const FlatView& t,
+                      DpScratch* scratch);
+bool SimilarityWithinDistanceFlat(Measure m, const FlatView& q,
+                                  const FlatView& t, double eps,
+                                  double* distance, DpScratch* scratch);
 
 }  // namespace core
 }  // namespace trass

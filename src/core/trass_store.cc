@@ -40,6 +40,18 @@ std::vector<kv::ScanRange> ToScanRanges(
   return ranges;
 }
 
+// Folds one refinement-engine run's counters into the query metrics.
+void FoldRefineStats(const RefineStats& stats, size_t threads,
+                     QueryMetrics* m) {
+  m->refined += stats.refined;
+  m->lb_rejected += stats.lb_rejected;
+  m->refine_dp_runs += stats.dp_runs;
+  m->refine_decode_ms += stats.decode_ms;
+  m->refine_lb_ms += stats.lb_ms;
+  m->refine_dp_ms += stats.dp_ms;
+  m->refine_threads = threads;
+}
+
 // Arms a QueryContext from the caller's per-query options.
 void ArmControl(const QueryOptions& query_options, QueryContext* control) {
   control->SetDeadlineAfterMillis(query_options.deadline_ms);
@@ -127,6 +139,11 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   region_options.replica_probe_interval = options.replica_probe_interval;
   Status s = kv::RegionStore::Open(region_options, path, &impl->store_);
   if (!s.ok()) return s;
+  if (options.refine_threads > 1) {
+    impl->refine_pool_ = std::make_unique<ThreadPool>(options.refine_threads);
+  }
+  impl->refiner_ = std::make_unique<Refiner>(impl->refine_pool_.get(),
+                                             options.refine_threads);
   s = impl->RebuildIngestState();
   if (!s.ok()) return s;
   ingest::IngestOptions ingest_options;
@@ -448,30 +465,24 @@ Status TrassStore::ThresholdSearchInternal(
   }
   if (!s.ok()) return s;
 
-  // Refine: exact similarity on the survivors, stopping cooperatively —
-  // everything verified so far is a sound (if partial) answer.
+  // Refine: the engine decodes the survivors into SoA buffers and runs
+  // the exact kernels in parallel (lower-bound cascade first, one
+  // within-distance DP per survivor instead of the old Within + exact
+  // pair), stopping cooperatively — everything verified so far is a
+  // sound (if partial) answer.
   phase.Reset();
-  Status stopped;
-  for (const kv::Row& row : rows) {
-    if (Status stop = control->Check(); !stop.ok()) {
-      stopped = stop;
-      break;
-    }
-    StoredTrajectory t;
-    s = DecodeRow(Slice(row.key), Slice(row.value), &t);
-    if (!s.ok()) return s;
-    ++m->refined;
-    if (SimilarityWithin(measure, query, t.points, eps)) {
-      results->push_back(
-          SearchResult{t.id, Similarity(measure, query, t.points)});
-    }
-  }
+  const RefineQuery refine_query = RefineQuery::Make(query);
+  RefineStats refine_stats;
+  Status stopped = refiner_->RefineThreshold(refine_query, eps, measure,
+                                             rows, control, results,
+                                             &refine_stats);
+  FoldRefineStats(refine_stats, refiner_->threads(), m);
   m->refine_ms = phase.ElapsedMillis();
   std::sort(results->begin(), results->end());
   m->results = results->size();
   m->total_ms = total.ElapsedMillis();
-  if (!stopped.ok()) return ResolveStop(stopped, allow_partial, m);
-  return Status::OK();
+  if (stopped.IsQueryStop()) return ResolveStop(stopped, allow_partial, m);
+  return stopped;
 }
 
 Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
@@ -533,13 +544,14 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
                       std::greater<SpaceEntry>>
       space_queue;  // the paper's IQ
 
-  // Result heap: max-heap by distance so the worst of the best k is on top.
-  std::priority_queue<SearchResult> best;
-  auto current_eps = [&]() {
-    return static_cast<size_t>(k) == best.size()
-               ? best.top().distance
-               : std::numeric_limits<double>::infinity();
-  };
+  // Shared top-k refinement session: the monotonically tightening k-th
+  // distance bound it maintains doubles as the best-first exploration's
+  // pruning eps, so a refine worker's improvement immediately shrinks
+  // both the other workers' early-abandon threshold and the frontier.
+  const RefineQuery refine_query = RefineQuery::Make(query);
+  TopKRefiner topk(refiner_.get(), &refine_query, static_cast<size_t>(k),
+                   measure);
+  auto current_eps = [&]() { return topk.CurrentBound(); };
 
   // An element is only worth expanding when some stored trajectory lives
   // in its subtree of index values (value-directory check); this bounds
@@ -590,6 +602,7 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
       // round-trip is equivalent to popping them one by one (minus the
       // per-scan overhead that otherwise dominates the tail latency).
       constexpr size_t kBatch = 16;
+      size_t drained = 0;  // index spaces drained (pre-merge)
       std::vector<std::pair<int64_t, int64_t>> batch_values;
       while (!space_queue.empty() && batch_values.size() < kBatch &&
              space_queue.top().bound <= best_element &&
@@ -597,6 +610,7 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
         const int64_t value = space_queue.top().value;
         batch_values.emplace_back(value, value);
         space_queue.pop();
+        ++drained;
       }
       index::MergeRanges(&batch_values);
       pruning_ms += phase.ElapsedMillis();
@@ -609,7 +623,7 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
       FoldScanReport(report, m);
       m->retrieved += filter.scanned();
       m->candidates += filter.kept();
-      m->index_values += batch_values.size();
+      m->index_values += drained;
       m->scan_ms += phase.ElapsedMillis();
       phase.Reset();
       if (s.IsQueryStop()) {
@@ -617,33 +631,16 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
         break;
       }
       if (!s.ok()) return s;
-      for (const kv::Row& row : rows) {
-        if (Status stop = control->Check(); !stop.ok()) {
-          stopped = stop;
-          break;
-        }
-        StoredTrajectory t;
-        s = DecodeRow(Slice(row.key), Slice(row.value), &t);
-        if (!s.ok()) return s;
-        ++m->refined;
-        // Early-abandon gate: once k results exist, a candidate that is
-        // not within the current k-th distance cannot improve the heap.
-        if (best.size() == static_cast<size_t>(k) &&
-            !SimilarityWithin(measure, query, t.points,
-                              best.top().distance)) {
-          continue;
-        }
-        const double d = Similarity(measure, query, t.points);
-        if (best.size() < static_cast<size_t>(k)) {
-          best.push(SearchResult{t.id, d});
-        } else if (d < best.top().distance) {
-          best.pop();
-          best.push(SearchResult{t.id, d});
-        }
-      }
+      RefineStats refine_stats;
+      Status rs = topk.RefineBatch(rows, control, &refine_stats);
+      FoldRefineStats(refine_stats, refiner_->threads(), m);
       m->refine_ms += phase.ElapsedMillis();
       phase.Reset();
-      if (!stopped.ok()) break;
+      if (rs.IsQueryStop()) {
+        stopped = rs;
+        break;
+      }
+      if (!rs.ok()) return rs;
     } else {
       // Expand the nearest element: emit its index spaces, push children.
       const ElementEntry entry = element_queue.top();
@@ -687,12 +684,7 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
   pruning_ms += phase.ElapsedMillis();
   m->pruning_ms = pruning_ms;
 
-  results->reserve(best.size());
-  while (!best.empty()) {
-    results->push_back(best.top());
-    best.pop();
-  }
-  std::sort(results->begin(), results->end());
+  topk.Drain(results);  // ascending (distance, id), thread-count agnostic
   m->results = results->size();
   m->total_ms = total.ElapsedMillis();
   if (!stopped.ok()) return ResolveStop(stopped, allow_partial, m);
@@ -753,9 +745,15 @@ Status TrassStore::SimilarityJoin(
     m->retrieved += probe.retrieved;
     m->candidates += probe.candidates;
     m->refined += probe.refined;
+    m->lb_rejected += probe.lb_rejected;
+    m->refine_dp_runs += probe.refine_dp_runs;
+    m->refine_threads = probe.refine_threads;
     m->pruning_ms += probe.pruning_ms;
     m->scan_ms += probe.scan_ms;
     m->refine_ms += probe.refine_ms;
+    m->refine_decode_ms += probe.refine_decode_ms;
+    m->refine_lb_ms += probe.refine_lb_ms;
+    m->refine_dp_ms += probe.refine_dp_ms;
     if (s.IsQueryStop()) {
       // Pairs from completed probes are exact; the stopped probe's
       // partial matches are discarded (they could miss pairs).

@@ -17,6 +17,7 @@
 #include "core/measure.h"
 #include "core/metrics.h"
 #include "core/pruning.h"
+#include "core/refiner.h"
 #include "core/row_codec.h"
 #include "core/trajectory.h"
 #include "geo/units.h"
@@ -43,6 +44,13 @@ struct TrassOptions {
 
   /// Threads used for parallel region scans.
   size_t scan_threads = 4;
+
+  /// Threads used by the refinement engine (core/refiner.h) to fan exact
+  /// similarity computations out across candidates. 1 (or 0) refines
+  /// serially on the query thread; results are identical either way (the
+  /// engine's determinism contract). The pool is shared by all
+  /// concurrently admitted queries.
+  size_t refine_threads = 4;
 
   /// TraSS-S mode: string-encoded row keys (Figure 13c storage
   /// comparison). Stores only; queries are unsupported in this mode.
@@ -315,6 +323,12 @@ class TrassStore {
   index::XzStar xz_;
   std::unique_ptr<kv::RegionStore> store_;
   AdmissionController admission_{AdmissionController::Options{}};
+
+  // Refinement engine (declared pool-first: the refiner holds a raw pool
+  // pointer and is destroyed before it). The pool is null — and the
+  // engine serial — when refine_threads <= 1.
+  std::unique_ptr<ThreadPool> refine_pool_;
+  std::unique_ptr<Refiner> refiner_;
 
   // Serializes writers: Put/PutBatch callers, the pipeline's commit
   // thread, and ScrubReplicas (a rebuild would miss concurrent writes).
