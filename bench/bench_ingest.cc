@@ -12,6 +12,12 @@
 //   table 3 — backpressure: a bursty arrival stream offered faster than
 //             the pipeline drains against a small queue; sheds are
 //             explicit (Status::Busy), never unbounded blocking.
+//   table 4 — low disk space (DESIGN.md "Resource-exhaustion failure
+//             model"): writes against a shrinking byte budget cross the
+//             soft watermark (per-write stalls, measured as a latency
+//             distribution), then the hard watermark (clean sheds), and
+//             finally the disk "is replaced" — time-to-resume is the
+//             wall clock from freeing space to the first accepted write.
 
 #include "bench_common.h"
 
@@ -20,6 +26,7 @@
 
 #include "core/metrics.h"
 #include "core/trass_store.h"
+#include "kv/fault_injection_env.h"
 #include "util/stopwatch.h"
 
 namespace trass {
@@ -214,6 +221,95 @@ void RunBackpressureTable(const Dataset& dataset, const std::string& dir) {
               options.ingest_queue_capacity);
 }
 
+void RunLowSpaceTable(const Dataset& dataset, const std::string& dir) {
+  std::printf("\n=== Low disk space — stall, shed, resume — %s ===\n",
+              dataset.name.c_str());
+  kv::FaultInjectionEnv env(kv::Env::Default());
+  core::TrassOptions options;
+  options.db_options.env = &env;
+  // Budget a quarter of the payload so the stream outgrows the disk;
+  // stall once free space halves, shed when only an eighth remains.
+  const uint64_t payload =
+      static_cast<uint64_t>(PayloadMegabytes(dataset.data) * 1024.0 * 1024.0);
+  const uint64_t budget = std::max<uint64_t>(payload / 4, 2ull << 20);
+  options.soft_space_watermark_bytes = budget / 2;
+  options.hard_space_watermark_bytes = budget / 8;
+  options.db_options.write_stall_ms = 1;
+  const std::string path = dir + "/lowspace";
+  kv::Env::Default()->RemoveDirRecursively(path);
+  std::unique_ptr<core::TrassStore> store;
+  if (!core::TrassStore::Open(options, path, &store).ok()) return;
+  env.SetDiskSpaceBudget(budget);
+
+  // Phase 1 — synchronous writes ride through the soft watermark; the
+  // per-write stall shows up directly in the Put latency distribution.
+  Histogram put_latency;  // microseconds
+  size_t accepted = 0;
+  size_t next_row = 0;
+  while (next_row < dataset.data.size()) {
+    Stopwatch one;
+    const Status s = store->Put(dataset.data[next_row]);
+    put_latency.Add(one.ElapsedMillis() * 1000.0);
+    if (s.IsNoSpace()) break;  // hard watermark (or the budget itself)
+    if (!s.ok()) return;
+    ++accepted;
+    ++next_row;
+  }
+  const auto stalled = store->region_store()->TotalIoStats();
+  std::printf("disk %llu KB (soft %llu KB free, hard %llu KB free): "
+              "accepted %zu rows before ENOSPC\n",
+              static_cast<unsigned long long>(budget >> 10),
+              static_cast<unsigned long long>(
+                  options.soft_space_watermark_bytes >> 10),
+              static_cast<unsigned long long>(
+                  options.hard_space_watermark_bytes >> 10),
+              accepted);
+  std::printf("write stalls %llu  total stall %llu ms;  put latency us: "
+              "p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+              static_cast<unsigned long long>(stalled.write_stalls),
+              static_cast<unsigned long long>(stalled.stall_ms),
+              put_latency.Percentile(50), put_latency.Percentile(95),
+              put_latency.Percentile(99), put_latency.Max());
+
+  // Phase 2 — past the hard watermark the async path keeps the failure
+  // explicit: tickets shed with Busy (store wedged) or resolve as
+  // commit failures (clean shed), never silent loss or a hang.
+  uint64_t shed_busy = 0;
+  const size_t offered = std::min<size_t>(500, dataset.data.size() - next_row);
+  for (size_t i = 0; i < offered; ++i) {
+    if (store->SubmitAsync(dataset.data[next_row + i], 0).IsBusy()) {
+      ++shed_busy;
+    }
+  }
+  if (!store->DrainIngest(600000).ok()) return;
+  const auto istats = store->ingest_stats();
+  const auto health = store->Health();
+  std::printf("full disk: offered %zu async rows — %llu shed (Busy), %llu "
+              "commit failures, %llu read-only replicas\n",
+              offered, static_cast<unsigned long long>(shed_busy),
+              static_cast<unsigned long long>(istats.commit_failures),
+              static_cast<unsigned long long>(health.read_only_replicas));
+
+  // Phase 3 — "replace the disk": lift the budget and measure the wall
+  // clock until the store accepts a write again.
+  env.SetDiskSpaceBudget(kv::FaultInjectionEnv::kUnlimitedBudget);
+  Stopwatch resume_timer;
+  Status resumed = store->Resume();
+  Status first_write;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    first_write = store->Put(dataset.data[next_row]);
+    if (first_write.ok() || !store->Resume().ok()) break;
+  }
+  const double resume_ms = resume_timer.ElapsedMillis();
+  const auto final_stats = store->region_store()->TotalIoStats();
+  std::printf("space freed: Resume %s, first write %s after %.1f ms "
+              "(%llu resume attempts)\n",
+              resumed.ok() ? "ok" : resumed.ToString().c_str(),
+              first_write.ok() ? "accepted" : first_write.ToString().c_str(),
+              resume_ms,
+              static_cast<unsigned long long>(final_stats.resume_attempts));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace trass
@@ -229,5 +325,6 @@ int main() {
   RunWritePathTable(tdrive, dir, /*durable=*/false);
   RunConcurrentQueryTable(tdrive, dir);
   RunBackpressureTable(tdrive, dir);
+  RunLowSpaceTable(tdrive, dir);
   return 0;
 }

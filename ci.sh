@@ -5,7 +5,12 @@
 #   asan      ASan + UBSan, tests only
 #   tsan      TSan, tests only (failover/scrub/scan concurrency races)
 #
-# Usage: ci.sh [release|asan|tsan ...]   (default: all three, in order)
+# Plus one opt-in stage (never part of the default set):
+#   chaos     ASan build of the resource-exhaustion fault matrix, run
+#             once per seed in a fixed schedule. A failing run prints
+#             the seed; rerun just it with TRASS_CHAOS_SEED=<seed>.
+#
+# Usage: ci.sh [release|asan|tsan|chaos ...]   (default: release asan tsan)
 #
 # Each configuration gets its own build tree under build-ci/ so a local
 # developer build/ is never clobbered. Fails fast on the first broken
@@ -53,8 +58,30 @@ for config in "${configs[@]}"; do
         -DTRASS_SANITIZE=thread \
         -DTRASS_BUILD_BENCHMARKS=OFF -DTRASS_BUILD_EXAMPLES=OFF
       ;;
+    chaos)
+      dir="build-ci/chaos"
+      echo "=== [chaos] configure ==="
+      cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DTRASS_SANITIZE=address,undefined \
+        -DTRASS_BUILD_BENCHMARKS=OFF -DTRASS_BUILD_EXAMPLES=OFF
+      echo "=== [chaos] build ==="
+      cmake --build "$dir" -j "$jobs" --target resource_exhaustion_test
+      # Fixed seed schedule so CI runs are comparable across commits;
+      # each seed drives one randomized fault/budget/crash trial.
+      seeds=(20240808 1 7 42 1337 99991 2718281 31415926)
+      for seed in "${seeds[@]}"; do
+        echo "=== [chaos] seed $seed ==="
+        if ! TRASS_CHAOS_SEED="$seed" "$dir/tests/resource_exhaustion_test" \
+            --gtest_filter='ResourceExhaustionChaos.*'; then
+          echo "ci.sh: chaos schedule failed at seed $seed" >&2
+          echo "ci.sh: reproduce with: TRASS_CHAOS_SEED=$seed $dir/tests/resource_exhaustion_test --gtest_filter='ResourceExhaustionChaos.*'" >&2
+          exit 1
+        fi
+      done
+      echo "=== [chaos] OK ==="
+      ;;
     *)
-      echo "ci.sh: unknown configuration: $config (want release|asan|tsan)" >&2
+      echo "ci.sh: unknown configuration: $config (want release|asan|tsan|chaos)" >&2
       exit 1
       ;;
   esac

@@ -65,6 +65,12 @@ struct QueryMetrics {
   /// may not be observed (see TrassStore::SubmitAsync).
   uint64_t ingest_watermark = 0;
 
+  /// Replicas wedged read-only by a background error (disk full, write
+  /// fault) when the query started. Non-zero does not make the answer
+  /// partial — read-only replicas still serve reads — but it flags that
+  /// writes are degraded and the answer may predate unresumed ingest.
+  uint64_t read_only_replicas = 0;
+
   double precision() const {
     return candidates == 0
                ? 1.0

@@ -1,6 +1,7 @@
 #include "core/trass_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <queue>
@@ -129,6 +130,12 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   std::unique_ptr<TrassStore> impl(new TrassStore(options));
   kv::RegionStore::RegionOptions region_options;
   region_options.db_options = options.db_options;
+  // Space watermarks are store-level knobs threaded into every replica
+  // database (each polls free space on its own write path).
+  region_options.db_options.soft_space_watermark_bytes =
+      options.soft_space_watermark_bytes;
+  region_options.db_options.hard_space_watermark_bytes =
+      options.hard_space_watermark_bytes;
   region_options.num_regions = options.shards;
   region_options.scan_threads = options.scan_threads;
   region_options.degraded_scans = options.degraded_scans;
@@ -163,8 +170,48 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
       [raw](std::vector<ingest::EncodedRow>* rows) {
         return raw->CommitEncoded(rows);
       });
+  if (options.auto_resume_interval_ms > 0) {
+    impl->resumer_ = std::thread([raw] { raw->AutoResumeLoop(); });
+  }
   *store = std::move(impl);
   return Status::OK();
+}
+
+TrassStore::~TrassStore() {
+  if (resumer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(resume_mu_);
+      stop_resumer_ = true;
+    }
+    resume_cv_.notify_all();
+    resumer_.join();
+  }
+  // Bounded teardown: if the store is wedged read-only, every queued
+  // ingest ticket is doomed — arm the pipeline's fail-fast drain so its
+  // destructor (which runs next, pipeline_ being the last member)
+  // resolves the backlog with the sticky error instead of pushing
+  // stall-throttled writes at a broken disk.
+  if (pipeline_ != nullptr && store_ != nullptr &&
+      store_->WritesDegraded(options_.ingest_min_ack_replicas)) {
+    Status wedged = store_->FirstBackgroundError();
+    if (wedged.ok()) wedged = Status::Busy("store degraded at shutdown");
+    pipeline_->FailPending(wedged.WithContext("shutdown drain"));
+  }
+}
+
+void TrassStore::AutoResumeLoop() {
+  std::unique_lock<std::mutex> lock(resume_mu_);
+  for (;;) {
+    resume_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.auto_resume_interval_ms),
+        [&] { return stop_resumer_; });
+    if (stop_resumer_) return;
+    lock.unlock();
+    // Probe only when something is actually wedged; Resume() itself is
+    // serialized against the write paths.
+    if (store_->ReadOnlyReplicas() > 0) (void)Resume();
+    lock.lock();
+  }
 }
 
 Status TrassStore::RebuildIngestState() {
@@ -295,6 +342,16 @@ Status TrassStore::PutBatch(const std::vector<Trajectory>& trajectories) {
 
 Status TrassStore::SubmitAsync(Trajectory trajectory, uint64_t max_wait_ms,
                                uint64_t* ticket) {
+  // Degraded-write backpressure: a ticket accepted now would only
+  // resolve as a commit failure (some region cannot reach its required
+  // acks), so shed it where the caller can see — and retry after
+  // Resume() — instead of laundering it through the queue.
+  if (store_->WritesDegraded(options_.ingest_min_ack_replicas)) {
+    Status wedged = store_->FirstBackgroundError();
+    return Status::Busy("ingest shed: writes degraded" +
+                        (wedged.ok() ? std::string()
+                                     : " (" + wedged.ToString() + ")"));
+  }
   return pipeline_->Submit(std::move(trajectory), max_wait_ms, ticket);
 }
 
@@ -381,6 +438,25 @@ Status TrassStore::ScrubReplicas(kv::ScrubReport* report) {
   return store_->ScrubReplicas(report);
 }
 
+Status TrassStore::Resume() {
+  // Resume writes (fresh WAL, flush, manifest rewrite) into the wedged
+  // replicas, so it is a writer like CommitEncoded and ScrubReplicas.
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return store_->Resume();
+}
+
+HealthReport TrassStore::Health() const {
+  HealthReport report;
+  report.regions = store_->HealthSnapshot();
+  report.read_only_replicas = store_->ReadOnlyReplicas();
+  report.writes_degraded =
+      store_->WritesDegraded(options_.ingest_min_ack_replicas);
+  Status wedged = store_->FirstBackgroundError();
+  if (!wedged.ok()) report.first_background_error = wedged.ToString();
+  report.ingest_watermark = ingest_watermark();
+  return report;
+}
+
 Status TrassStore::ResolveStop(const Status& stop, bool allow_partial,
                                QueryMetrics* m) {
   if (stop.IsTimedOut()) {
@@ -409,6 +485,7 @@ Status TrassStore::ThresholdSearch(const std::vector<geo::Point>& query,
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
   m->ingest_watermark = ingest_watermark();
+  m->read_only_replicas = store_->ReadOnlyReplicas();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -500,6 +577,7 @@ Status TrassStore::TopKSearch(const std::vector<geo::Point>& query, int k,
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
   m->ingest_watermark = ingest_watermark();
+  m->read_only_replicas = store_->ReadOnlyReplicas();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -703,6 +781,7 @@ Status TrassStore::SimilarityJoin(
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
   m->ingest_watermark = ingest_watermark();
+  m->read_only_replicas = store_->ReadOnlyReplicas();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;
@@ -788,6 +867,7 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
   *m = QueryMetrics();
   m->ingest_watermark = ingest_watermark();
+  m->read_only_replicas = store_->ReadOnlyReplicas();
   double waited_ms = 0.0;
   AdmissionSlot slot(&admission_, &waited_ms);
   m->admission_wait_ms = waited_ms;

@@ -8,9 +8,11 @@
 #define TRASS_CORE_TRASS_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/admission.h"
@@ -102,6 +104,21 @@ struct TrassOptions {
   /// read-your-writes matters more than ingest availability.
   int ingest_min_ack_replicas = 0;
 
+  /// Disk-space watermarks, copied into every replica database (see
+  /// kv::Options). Below `soft` free bytes, writes are throttled and
+  /// compactions deferred; below `hard`, writes are shed with
+  /// Status::NoSpace before touching the WAL, so the store degrades
+  /// cleanly instead of hitting a raw ENOSPC mid-record. 0 disables.
+  uint64_t soft_space_watermark_bytes = 0;
+  uint64_t hard_space_watermark_bytes = 0;
+
+  /// When > 0, a background prober wakes at this cadence and, if any
+  /// replica is wedged read-only by a background error (disk full, write
+  /// fault), attempts Resume() — so write availability returns on its
+  /// own once the operator frees space. 0 (default) leaves resumption
+  /// manual via TrassStore::Resume().
+  uint64_t auto_resume_interval_ms = 0;
+
   /// Underlying LSM engine tuning.
   kv::Options db_options;
 };
@@ -133,10 +150,34 @@ struct QueryOptions {
   bool allow_partial = false;
 };
 
+/// Store-wide availability snapshot (see TrassStore::Health): the
+/// per-region/per-replica counters plus the degraded-write rollup.
+struct HealthReport {
+  /// Per-region availability, including each replica's live
+  /// read_only/background_error state (kv::ReplicaHealth).
+  std::vector<kv::RegionHealth> regions;
+  /// Replicas currently wedged read-only by a background error.
+  uint64_t read_only_replicas = 0;
+  /// True when some region has fewer writable replicas than
+  /// ingest_min_ack_replicas requires — SubmitAsync is shedding and
+  /// synchronous writes will fail until Resume() succeeds.
+  bool writes_degraded = false;
+  /// First replica's sticky background error ("" when none).
+  std::string first_background_error;
+  uint64_t ingest_watermark = 0;
+};
+
 class TrassStore {
  public:
   static Status Open(const TrassOptions& options, const std::string& path,
                      std::unique_ptr<TrassStore>* store);
+
+  /// Stops the auto-resume prober and, when the store below is wedged
+  /// read-only, arms the ingest pipeline's fail-fast drain so teardown
+  /// resolves the queued backlog immediately (tickets fail with the
+  /// sticky error; the watermark still advances) instead of hanging on
+  /// doomed writes.
+  ~TrassStore();
 
   /// Indexes and stores one trajectory (id must be unique; points
   /// normalized to [0,1]^2). Precomputes the DP features (Section IV-D).
@@ -159,7 +200,12 @@ class TrassStore {
   /// receives a sequence number for WaitForWatermark. Backpressure is
   /// explicit: a full queue makes the call wait up to `max_wait_ms` and
   /// then shed with Status::Busy (the admission-control convention).
-  /// Callable from any thread, concurrently with everything else.
+  /// Also sheds with Busy — without queueing — while writes are
+  /// degraded (a region below its required acks is wedged read-only):
+  /// accepting a ticket whose commit is known-doomed would only turn
+  /// into a recorded failure, so the shed happens up front where the
+  /// caller can retry after Resume(). Callable from any thread,
+  /// concurrently with everything else.
   Status SubmitAsync(Trajectory trajectory, uint64_t max_wait_ms = 0,
                      uint64_t* ticket = nullptr);
 
@@ -194,6 +240,21 @@ class TrassStore {
   /// (backpressure may shed SubmitAsync calls while it runs). No-op at
   /// replication_factor 1 beyond integrity verification bookkeeping.
   Status ScrubReplicas(kv::ScrubReport* report = nullptr);
+
+  /// Attempts to restore write availability after a resource-exhaustion
+  /// failure: calls DB::Resume on every replica wedged read-only (fresh
+  /// WAL, memtable flushed, manifest re-verified). Serialized against
+  /// the write paths like ScrubReplicas. Returns the first replica that
+  /// stayed wedged; OK when the store is fully writable again. Rows a
+  /// replica missed while read-only are healed by ScrubReplicas, not
+  /// here. Also runs automatically when auto_resume_interval_ms > 0.
+  Status Resume();
+
+  /// Availability snapshot: per-region/per-replica health (including
+  /// live read-only state), the wedged-replica count, and whether
+  /// ingest-facing writes are degraded. Safe to call concurrently with
+  /// everything.
+  HealthReport Health() const;
 
   /// Threshold similarity search (Definition 3 / Algorithm 3).
   Status ThresholdSearch(const std::vector<geo::Point>& query, double eps,
@@ -297,6 +358,9 @@ class TrassStore {
 
   TrassStore(const TrassOptions& options);
 
+  /// Body of the auto-resume prober thread (auto_resume_interval_ms).
+  void AutoResumeLoop();
+
   /// Reconstructs the value directory and ingest statistics from stored
   /// row keys when opening an existing store. Also the crash-recovery
   /// path: after a crash mid-batch, whatever rows the WAL replay kept
@@ -347,6 +411,13 @@ class TrassStore {
   mutable std::vector<int64_t> seen_values_;  // sorted-unique lazily
   mutable bool values_dirty_ = false;
   mutable std::shared_ptr<const std::vector<int64_t>> directory_;
+
+  // Auto-resume prober (joined by the destructor before any member
+  // dies, so declaration order does not matter for it).
+  mutable std::mutex resume_mu_;
+  std::condition_variable resume_cv_;
+  bool stop_resumer_ = false;  // guarded by resume_mu_
+  std::thread resumer_;
 
   // Declared after store_: destroyed first, so the pipeline drains its
   // queue through CommitEncoded while the region store is still alive.

@@ -69,6 +69,11 @@ Status IngestPipeline::last_error() const {
   return last_error_;
 }
 
+void IngestPipeline::FailPending(const Status& sticky) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  fail_pending_ = sticky;
+}
+
 void IngestPipeline::SetCommitHoldForTesting(bool hold) {
   std::lock_guard<std::mutex> lock(hold_mu_);
   hold_ = hold;
@@ -113,6 +118,25 @@ void IngestPipeline::CommitLoop() {
     // covers exactly (next_seq, next_seq + n].
     const uint64_t base = next_seq + 1;
     next_seq += n;
+
+    // Fail-fast drain (FailPending armed): resolve the batch as failed
+    // without paying encode or commit — the watermark must still advance
+    // or the shutdown drain would hang behind the wedged store.
+    Status fail;
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      fail = fail_pending_;
+    }
+    if (!fail.ok()) {
+      commit_failures_.fetch_add(n, std::memory_order_relaxed);
+      RecordError(fail);
+      {
+        std::lock_guard<std::mutex> lock(watermark_mu_);
+        watermark_.store(next_seq, std::memory_order_release);
+      }
+      watermark_cv_.notify_all();
+      continue;
+    }
 
     // Encode off the commit path: XZ* indexing + DP features dominate
     // per-row cost, so they run on the worker pool while commits of the

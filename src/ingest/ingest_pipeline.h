@@ -141,6 +141,15 @@ class IngestPipeline {
   /// next failure overwrites it.
   Status last_error() const;
 
+  /// Arms fail-fast draining: every batch popped after this call is
+  /// resolved as a commit failure with `sticky` — the watermark still
+  /// advances past its tickets — without being encoded or committed.
+  /// TrassStore arms this before tearing the pipeline down while the
+  /// store below is wedged read-only, so the shutdown drain resolves
+  /// the backlog immediately instead of pushing doomed (and possibly
+  /// stall-throttled) writes at a broken disk. Pass OK to disarm.
+  void FailPending(const Status& sticky);
+
   /// Test hook: while held, the commit thread stalls after gathering a
   /// batch and before encoding/committing it, so tests can build a
   /// backlog (backpressure) or freeze the watermark (visibility).
@@ -171,6 +180,7 @@ class IngestPipeline {
 
   mutable std::mutex error_mu_;
   Status last_error_;
+  Status fail_pending_;  // non-OK: resolve batches without committing
 
   std::mutex hold_mu_;
   std::condition_variable hold_cv_;

@@ -1,7 +1,9 @@
 #include "kv/db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
 
 #include "kv/filename.h"
 #include "kv/log_reader.h"
@@ -140,8 +142,10 @@ DB::DB(const Options& options, std::string name)
 
 DB::~DB() {
   // Best-effort final flush so short-lived DBs persist their tail writes.
+  // Skipped while wedged: flushing through a background error would just
+  // fail again, and the WAL already holds whatever was acked.
   std::lock_guard<std::mutex> lock(mu_);
-  if (!mem_->empty()) {
+  if (bg_error_.ok() && !mem_->empty()) {
     FlushMemTableLocked();
   }
 }
@@ -250,8 +254,67 @@ Status DB::Delete(const WriteOptions& options, const Slice& key) {
   return Write(options, &batch);
 }
 
-Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
+void DB::SetBackgroundErrorLocked(const Status& s) {
+  if (s.ok() || !bg_error_.ok()) return;  // first error sticks
+  bg_error_ = s;
+  stats_.background_errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status DB::background_error() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return bg_error_;
+}
+
+bool DB::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !bg_error_.ok();
+}
+
+bool DB::BelowSoftWatermark() const {
+  if (options_.soft_space_watermark_bytes == 0) return false;
+  uint64_t free_bytes = 0;
+  if (!env_->GetFreeDiskSpace(dbname_, &free_bytes).ok()) return false;
+  return free_bytes <= options_.soft_space_watermark_bytes;
+}
+
+Status DB::MaybeStallForSpace() {
+  if (options_.soft_space_watermark_bytes == 0 &&
+      options_.hard_space_watermark_bytes == 0) {
+    return Status::OK();
+  }
+  uint64_t free_bytes = 0;
+  if (!env_->GetFreeDiskSpace(dbname_, &free_bytes).ok()) {
+    return Status::OK();  // unknown space: don't block the write path
+  }
+  if (options_.hard_space_watermark_bytes > 0 &&
+      free_bytes <= options_.hard_space_watermark_bytes) {
+    // Shed before the WAL is touched: no torn record, no sticky error —
+    // writes come back by themselves once space is freed.
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    return Status::NoSpace(dbname_ + ": free space " +
+                           std::to_string(free_bytes) +
+                           " below hard watermark " +
+                           std::to_string(options_.hard_space_watermark_bytes));
+  }
+  if (options_.soft_space_watermark_bytes > 0 &&
+      free_bytes <= options_.soft_space_watermark_bytes &&
+      options_.write_stall_ms > 0) {
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    stats_.stall_ms.fetch_add(options_.write_stall_ms,
+                              std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.write_stall_ms));
+  }
+  return Status::OK();
+}
+
+Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
+  Status stall = MaybeStallForSpace();
+  if (!stall.ok()) return stall;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) {
+    return bg_error_.WithContext("read-only (background error)");
+  }
   if (mem_->ApproximateMemoryUsage() >= options_.write_buffer_size) {
     Status s = FlushMemTableLocked();
     if (!s.ok()) return s;
@@ -260,10 +323,20 @@ Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
   batch->set_sequence(seq);
   versions_->set_last_sequence(seq + batch->Count() - 1);
   Status s = log_->AddRecord(batch->Contents());
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The WAL may hold a torn record and the log writer's block state no
+    // longer matches the file: wedge until Resume() switches logs. The
+    // record was never inserted into the memtable, so nothing unacked
+    // becomes visible.
+    SetBackgroundErrorLocked(s);
+    return s;
+  }
   if (options.sync || options_.sync_wal) {
     s = logfile_->Sync();
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      SetBackgroundErrorLocked(s);
+      return s;
+    }
   }
   return WriteBatch::InsertInto(*batch, mem_.get());
 }
@@ -364,18 +437,30 @@ Iterator* DB::NewIterator(const ReadOptions& options_in) {
 
 Status DB::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) {
+    return bg_error_.WithContext("read-only (background error)");
+  }
   return FlushMemTableLocked();
 }
 
 Status DB::FlushMemTableLocked() {
   if (mem_->empty()) return MaybeCompactLocked();
   Status s = WriteLevel0TableLocked(mem_.get());
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    SetBackgroundErrorLocked(s);
+    return s;
+  }
   mem_ = std::make_shared<MemTable>();
   s = SwitchToNewLog();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    SetBackgroundErrorLocked(s);
+    return s;
+  }
   s = versions_->WriteSnapshot();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    SetBackgroundErrorLocked(s);
+    return s;
+  }
   RemoveObsoleteFilesLocked();
   return MaybeCompactLocked();
 }
@@ -398,27 +483,42 @@ Status DB::WriteLevel0TableLocked(MemTable* mem) {
     builder.Add(iter->key(), iter->value());
   }
   s = builder.Finish();
-  if (!s.ok()) return s;
-  s = file->Sync();
+  if (s.ok()) s = file->Sync();
   if (s.ok()) s = file->Close();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // Reclaim the partial output: it is unreferenced, and under disk
+    // exhaustion leaving it would eat the headroom Resume() needs.
+    file.reset();
+    env_->RemoveFile(fname);
+    return s;
+  }
   meta.file_size = builder.FileSize();
   versions_->mutable_current()->files[0].push_back(std::move(meta));
   return Status::OK();
 }
 
 Status DB::MaybeCompactLocked() {
+  // Compactions temporarily double the bytes they rewrite; deferring
+  // them below the soft watermark keeps the last headroom for WAL
+  // appends and memtable flushes. Resume() retries deferred work.
+  if (BelowSoftWatermark()) return Status::OK();
   for (;;) {
     const int level = versions_->PickCompactionLevel(
         options_.l0_compaction_trigger, options_.max_bytes_for_level_base);
     if (level < 0) return Status::OK();
     Status s = CompactLevelLocked(level);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      SetBackgroundErrorLocked(s);
+      return s;
+    }
   }
 }
 
 Status DB::CompactRange() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) {
+    return bg_error_.WithContext("read-only (background error)");
+  }
   Status s = Status::OK();
   if (!mem_->empty()) {
     s = FlushMemTableLocked();
@@ -427,10 +527,48 @@ Status DB::CompactRange() {
   for (int level = 0; level < kNumLevels - 1; ++level) {
     while (versions_->current().NumFiles(level) > 0) {
       s = CompactLevelLocked(level);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        SetBackgroundErrorLocked(s);
+        return s;
+      }
     }
   }
   return s;
+}
+
+Status DB::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.resume_attempts.fetch_add(1, std::memory_order_relaxed);
+  if (bg_error_.ok()) return Status::OK();
+
+  // Order matters for not losing acked rows. (1) A fresh WAL first: the
+  // current one may carry a torn record from the failed append and the
+  // log writer's block offsets no longer match the file. The on-disk
+  // manifest still points at the old log until (3), so a crash anywhere
+  // in between replays the old WAL and loses nothing. (2) Flush the
+  // memtable: acked rows must not depend on the WAL being abandoned.
+  // (3) Persist + re-verify the manifest; only then clear the error.
+  Status s = SwitchToNewLog();
+  if (!s.ok()) return s.WithContext("resume: new WAL");
+  if (!mem_->empty()) {
+    s = WriteLevel0TableLocked(mem_.get());
+    if (!s.ok()) return s.WithContext("resume: flush");
+    mem_ = std::make_shared<MemTable>();
+  }
+  s = versions_->WriteSnapshot();
+  if (!s.ok()) return s.WithContext("resume: manifest");
+  RemoveObsoleteFilesLocked();
+  VersionSet check(dbname_, env_);
+  bool found_manifest = false;
+  s = check.Recover(&found_manifest);
+  if (!s.ok()) return s.WithContext("resume: manifest verify");
+
+  bg_error_ = Status::OK();
+  // Catch up on work deferred or failed while wedged; a failure here
+  // re-wedges via the usual path.
+  s = MaybeCompactLocked();
+  if (!s.ok()) return s.WithContext("resume: compaction");
+  return Status::OK();
 }
 
 Status DB::CompactLevelLocked(int level) {
@@ -505,6 +643,21 @@ Status DB::CompactLevelLocked(int level) {
   std::unique_ptr<TableBuilder> builder;
   FileMetaData out_meta;
 
+  // On failure every output is discarded — inputs stay installed, so the
+  // partial work is only wasted bytes, and reclaiming them matters when
+  // the failure *is* disk exhaustion.
+  auto discard_outputs = [&]() {
+    const bool partial_open = builder != nullptr;
+    builder.reset();
+    out_file.reset();
+    if (partial_open) {
+      env_->RemoveFile(TableFileName(dbname_, out_meta.number));
+    }
+    for (const FileMetaData& f : outputs) {
+      env_->RemoveFile(TableFileName(dbname_, f.number));
+    }
+  };
+
   auto open_output = [&]() -> Status {
     out_meta = FileMetaData{};
     out_meta.number = versions_->NewFileNumber();
@@ -549,7 +702,10 @@ Status DB::CompactLevelLocked(int level) {
     }
     if (!builder) {
       s = open_output();
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        discard_outputs();
+        return s;
+      }
     }
     if (out_meta.smallest.empty()) {
       out_meta.smallest = ikey.ToString();
@@ -558,12 +714,21 @@ Status DB::CompactLevelLocked(int level) {
     builder->Add(ikey, merged->value());
     if (builder->FileSize() >= options_.target_file_size) {
       s = finish_output();
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        discard_outputs();
+        return s;
+      }
     }
   }
-  if (!merged->status().ok()) return merged->status();
+  if (!merged->status().ok()) {
+    discard_outputs();
+    return merged->status();
+  }
   s = finish_output();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    discard_outputs();
+    return s;
+  }
 
   // Install: drop inputs, add outputs to level+1, keep level+1 sorted.
   auto remove_files = [](std::vector<FileMetaData>* files,

@@ -5,6 +5,17 @@
 // a write-ahead log, and I/O accounting. Flushes and compactions run
 // synchronously on the writing thread, which keeps benchmark numbers
 // deterministic on a single machine.
+//
+// Failure semantics (RocksDB-style background-error model): any failed
+// WAL append/sync, flush, or compaction sets a sticky background error
+// and the DB degrades to read-only — Get/iterators/VerifyIntegrity keep
+// working off the installed version, every write is rejected with the
+// sticky status. Resume() re-establishes writability: it opens a fresh
+// WAL (the old one may carry a torn record), persists the memtable so no
+// acked row depends on the abandoned log, rewrites and re-verifies the
+// manifest, and only then clears the error. Low-space watermarks
+// (Options::soft/hard_space_watermark_bytes) stall and then shed writes
+// *before* an actual ENOSPC can wedge the store.
 
 #ifndef TRASS_KV_DB_H_
 #define TRASS_KV_DB_H_
@@ -73,6 +84,21 @@ class DB {
   /// first corruption found, with the offending file in the message.
   Status VerifyIntegrity();
 
+  /// The sticky background error (OK when healthy). Set by any failed
+  /// WAL append/sync, flush, or compaction; while set, the DB is
+  /// read-only and every write fails fast with this status.
+  Status background_error() const;
+  /// True while a background error holds the DB in read-only mode.
+  bool read_only() const;
+  /// Attempts to restore writability after a background error: opens a
+  /// fresh WAL, flushes the memtable (acked rows must not depend on the
+  /// abandoned, possibly-torn log), rewrites and re-verifies the
+  /// manifest, then clears the error and catches up on deferred
+  /// compactions. Returns the blocking failure and stays read-only if
+  /// any step fails (e.g. the disk is still full). Idempotent; cheap
+  /// when already healthy.
+  Status Resume();
+
   const IoStats& io_stats() const { return stats_; }
   IoStats* mutable_io_stats() { return &stats_; }
 
@@ -89,6 +115,14 @@ class DB {
   Status CompactLevelLocked(int level);    // requires mu_
   Status WriteLevel0TableLocked(MemTable* mem);
   void RemoveObsoleteFilesLocked();
+  // First failure sticks and flips the DB read-only; requires mu_.
+  void SetBackgroundErrorLocked(const Status& s);
+  // Space-watermark gate, run before taking mu_ (the soft-watermark
+  // throttle sleeps and must not block readers). Hard watermark: shed
+  // with NoSpace before the WAL is touched. No-op when disabled.
+  Status MaybeStallForSpace();
+  // True when compactions should be deferred for lack of headroom.
+  bool BelowSoftWatermark() const;
 
   Options options_;
   std::string dbname_;
@@ -103,6 +137,8 @@ class DB {
   std::unique_ptr<WritableFile> logfile_;
   uint64_t logfile_number_ = 0;
   std::unique_ptr<VersionSet> versions_;
+  // Sticky first write-path failure; OK when healthy. Guarded by mu_.
+  Status bg_error_;
 
   BlockCache block_cache_;
   IoStats stats_;

@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/statvfs.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -255,6 +256,16 @@ class PosixEnv final : public Env {
 };
 
 }  // namespace
+
+Status Env::GetFreeDiskSpace(const std::string& path, uint64_t* bytes) {
+  struct statvfs vfs;
+  if (::statvfs(path.c_str(), &vfs) != 0) return PosixError(path, errno);
+  // f_bavail: blocks available to unprivileged callers — what a write
+  // can actually use, unlike f_bfree which includes the root reserve.
+  *bytes = static_cast<uint64_t>(vfs.f_bavail) *
+           static_cast<uint64_t>(vfs.f_frsize);
+  return Status::OK();
+}
 
 Env* Env::Default() {
   static PosixEnv env;

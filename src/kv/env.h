@@ -66,6 +66,10 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  /// Free bytes available on the filesystem holding `path`. Wrapper envs
+  /// that model a disk-space budget (FaultInjectionEnv) report their
+  /// remaining budget instead; the DB's space watermarks read this.
+  virtual Status GetFreeDiskSpace(const std::string& path, uint64_t* bytes);
   virtual Status ReadFileToString(const std::string& fname,
                                   std::string* data) = 0;
   virtual Status WriteStringToFile(const Slice& data,

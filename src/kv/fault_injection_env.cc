@@ -1,5 +1,7 @@
 #include "kv/fault_injection_env.h"
 
+#include <algorithm>
+
 namespace trass {
 namespace kv {
 
@@ -39,10 +41,19 @@ class FaultInjectionWritableFile final : public WritableFile {
 
   Status Append(const Slice& data) override {
     if (!env_->writes_allowed()) return InactiveError(fname_);
-    Status s = env_->CheckFault(FaultOp::kAppend, fname_);
-    if (!s.ok()) return s;
-    s = target_->Append(data);
-    if (s.ok()) env_->OnAppend(fname_, data.size());
+    size_t accept = data.size();
+    Status s = env_->PreAppend(fname_, data.size(), &accept);
+    if (s.ok()) {
+      s = target_->Append(data);
+      if (s.ok()) env_->OnAppend(fname_, data.size());
+      return s;
+    }
+    // Failed append: land the prefix the "disk" still took (short write
+    // / budget exhaustion), so the file carries the realistic torn tail
+    // an ENOSPC leaves behind for recovery to deal with.
+    if (accept > 0 && target_->Append(Slice(data.data(), accept)).ok()) {
+      env_->OnAppend(fname_, accept);
+    }
     return s;
   }
 
@@ -143,6 +154,11 @@ bool FaultInjectionEnv::writes_allowed() const {
 
 Status FaultInjectionEnv::CheckFault(FaultOp op, const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
+  return CheckFaultLocked(op, path);
+}
+
+Status FaultInjectionEnv::CheckFaultLocked(FaultOp op,
+                                           const std::string& path) {
   for (size_t i = 0; i < faults_.size(); ++i) {
     FaultPoint& fault = faults_[i];
     if (fault.op != op) continue;
@@ -157,17 +173,85 @@ Status FaultInjectionEnv::CheckFault(FaultOp op, const std::string& path) {
       return Status::OK();
     }
     ++faults_fired_;
+    const FaultKind kind = fault.kind;
     const std::string msg = path + ": injected " +
                             std::string(FaultOpName(op)) + " fault";
     if (!fault.permanent) faults_.erase(faults_.begin() + i);
-    return Status::IoError(msg);
+    if (kind == FaultKind::kIoError) return Status::IoError(msg);
+    return Status::NoSpace(msg);
   }
   return Status::OK();
+}
+
+Status FaultInjectionEnv::PreAppend(const std::string& path,
+                                    size_t data_size, size_t* accept) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *accept = data_size;
+  // Armed faults first: they model the device failing, independent of
+  // how much budget the accountant thinks is left.
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    FaultPoint& fault = faults_[i];
+    if (fault.op != FaultOp::kAppend) continue;
+    if (!fault.path_substring.empty() &&
+        path.find(fault.path_substring) == std::string::npos) {
+      continue;
+    }
+    if (fault.probability > 0.0) {
+      if (!rng_.Bernoulli(fault.probability)) break;
+    } else if (fault.countdown > 0) {
+      --fault.countdown;
+      break;
+    }
+    ++faults_fired_;
+    const FaultKind kind = fault.kind;
+    if (!fault.permanent) faults_.erase(faults_.begin() + i);
+    const std::string msg = path + ": injected append fault";
+    switch (kind) {
+      case FaultKind::kIoError:
+        *accept = 0;
+        return Status::IoError(msg);
+      case FaultKind::kNoSpace:
+        *accept = 0;
+        return Status::NoSpace(msg);
+      case FaultKind::kShortWrite:
+        *accept = data_size / 2;
+        return Status::NoSpace(msg + " (short write)");
+    }
+  }
+  if (space_budget_ != kUnlimitedBudget) {
+    const uint64_t remaining =
+        space_budget_ > space_used_ ? space_budget_ - space_used_ : 0;
+    if (data_size > remaining) {
+      *accept = static_cast<size_t>(remaining);
+      return Status::NoSpace(path + ": disk budget exhausted (" +
+                             std::to_string(remaining) + " of " +
+                             std::to_string(data_size) + " bytes fit)");
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::SetDiskSpaceBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  space_budget_ = bytes;
+}
+
+uint64_t FaultInjectionEnv::disk_space_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return space_used_;
+}
+
+void FaultInjectionEnv::ForgetFileLocked(const std::string& fname) {
+  auto it = files_.find(fname);
+  if (it == files_.end()) return;
+  space_used_ -= std::min(space_used_, it->second.pos);
+  files_.erase(it);
 }
 
 void FaultInjectionEnv::OnAppend(const std::string& fname, uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   files_[fname].pos += bytes;
+  space_used_ += bytes;
 }
 
 void FaultInjectionEnv::OnSync(const std::string& fname) {
@@ -186,6 +270,7 @@ uint64_t FaultInjectionEnv::SyncedBytes(const std::string& fname) const {
 void FaultInjectionEnv::ResetState() {
   std::lock_guard<std::mutex> lock(mu_);
   files_.clear();
+  space_used_ = 0;
 }
 
 Status FaultInjectionEnv::DropUnsyncedData() {
@@ -201,7 +286,7 @@ Status FaultInjectionEnv::DropUnsyncedData() {
       Status s = target_->RemoveFile(fname);
       if (!s.ok()) return s;
       std::lock_guard<std::mutex> lock(mu_);
-      files_.erase(fname);
+      ForgetFileLocked(fname);
       continue;
     }
     if (state.synced_pos >= state.pos) continue;  // fully durable
@@ -214,7 +299,11 @@ Status FaultInjectionEnv::DropUnsyncedData() {
     s = target_->WriteStringToFile(Slice(contents), fname, /*sync=*/true);
     if (!s.ok()) return s;
     std::lock_guard<std::mutex> lock(mu_);
-    files_[fname].pos = state.synced_pos;
+    FileState& tracked = files_[fname];
+    if (tracked.pos > state.synced_pos) {
+      space_used_ -= std::min(space_used_, tracked.pos - state.synced_pos);
+    }
+    tracked.pos = state.synced_pos;
   }
   return Status::OK();
 }
@@ -228,8 +317,10 @@ Status FaultInjectionEnv::NewWritableFile(
   s = target_->NewWritableFile(fname, &file);
   if (!s.ok()) return s;
   {
-    // Creation truncates, so tracking restarts from zero.
+    // Creation truncates, so tracking (and charged bytes) restart from
+    // zero.
     std::lock_guard<std::mutex> lock(mu_);
+    ForgetFileLocked(fname);
     files_[fname] = FileState{};
   }
   *result = std::make_unique<FaultInjectionWritableFile>(this, fname,
@@ -275,7 +366,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
   Status s = target_->RemoveFile(fname);
   if (s.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
-    files_.erase(fname);
+    ForgetFileLocked(fname);
   }
   return s;
 }
@@ -293,6 +384,7 @@ Status FaultInjectionEnv::RemoveDirRecursively(const std::string& dirname) {
     const std::string prefix = dirname + "/";
     for (auto it = files_.begin(); it != files_.end();) {
       if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        space_used_ -= std::min(space_used_, it->second.pos);
         it = files_.erase(it);
       } else {
         ++it;
@@ -312,8 +404,13 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = files_.find(src);
     if (it != files_.end()) {
-      files_[target] = it->second;
+      const FileState moved = it->second;
       files_.erase(it);
+      // An overwritten rename target gives its bytes back to the disk.
+      ForgetFileLocked(target);
+      files_[target] = moved;
+    } else {
+      ForgetFileLocked(target);
     }
   }
   return s;
@@ -340,6 +437,18 @@ Status FaultInjectionEnv::ReadFileToString(const std::string& fname,
     data->append(fragment.data(), fragment.size());
   }
   return Status::OK();
+}
+
+Status FaultInjectionEnv::GetFreeDiskSpace(const std::string& path,
+                                           uint64_t* bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (space_budget_ != kUnlimitedBudget) {
+      *bytes = space_budget_ > space_used_ ? space_budget_ - space_used_ : 0;
+      return Status::OK();
+    }
+  }
+  return target_->GetFreeDiskSpace(path, bytes);
 }
 
 Status FaultInjectionEnv::WriteStringToFile(const Slice& data,

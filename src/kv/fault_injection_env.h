@@ -14,7 +14,17 @@
 //  * I/O errors. InjectFault() arms a fault point matched by operation
 //    kind and (optionally) a path substring; a fault fires after an
 //    operation countdown or with a given probability, once (transient)
-//    or on every subsequent match (permanent).
+//    or on every subsequent match (permanent). A fault point's FaultKind
+//    selects the failure shape: a plain IoError, a clean ENOSPC
+//    rejection, or a short write that lands a prefix of the data before
+//    failing (the realistic ENOSPC shape — it leaves a torn WAL tail).
+//
+//  * Disk exhaustion. SetDiskSpaceBudget() arms a byte-budget space
+//    accountant: every append through this env consumes budget, and
+//    removing tracked files credits it back (so compactions reclaim
+//    space). An append that does not fit writes the prefix that does and
+//    fails with Status::NoSpace. GetFreeDiskSpace() reports the
+//    remaining budget, which the DB's soft/hard space watermarks read.
 //
 // The model is: synced bytes survive a crash, renames survive a crash,
 // unsynced bytes and never-synced files do not. Directory-entry fsync is
@@ -47,14 +57,23 @@ enum class FaultOp {
   kRename,      // RenameFile
 };
 
+/// Failure shape of a fault point.
+enum class FaultKind {
+  kIoError,     // generic I/O error (default)
+  kNoSpace,     // clean ENOSPC: the operation fails, nothing is written
+  kShortWrite,  // ENOSPC mid-append: a prefix lands on disk, then failure
+};
+
 /// One armed fault. Matches operations of kind `op` whose path contains
 /// `path_substring` (empty matches everything). When `probability` is 0
 /// the fault fires on the first match after skipping `countdown` matches;
 /// otherwise each match fires independently with the given probability.
 /// Transient faults disarm after firing once; permanent faults keep
-/// firing.
+/// firing. `kind` selects the failure shape (kShortWrite only changes
+/// behavior for kAppend; elsewhere it degenerates to kNoSpace).
 struct FaultPoint {
   FaultOp op;
+  FaultKind kind = FaultKind::kIoError;
   int countdown = 0;
   double probability = 0.0;
   bool permanent = false;
@@ -72,6 +91,19 @@ class FaultInjectionEnv final : public Env {
   void ClearFaults();
   /// Number of operations failed by armed fault points so far.
   uint64_t faults_fired() const;
+
+  // ---- disk-space accountant ----
+
+  /// Arms (or resizes) the byte-budget space accountant. Appends through
+  /// this env consume budget; removing tracked files credits their bytes
+  /// back. An append that exceeds the remaining budget writes the prefix
+  /// that fits and fails with Status::NoSpace. Pass kUnlimitedBudget to
+  /// disarm. Raising the budget mid-run models freeing disk space.
+  static constexpr uint64_t kUnlimitedBudget = UINT64_MAX;
+  void SetDiskSpaceBudget(uint64_t bytes);
+  /// Bytes currently charged against the budget (sum of tracked appends
+  /// minus reclaimed files). Meaningful only while a budget is armed.
+  uint64_t disk_space_used() const;
 
   /// When inactive, every mutating operation fails with IoError without
   /// touching the target filesystem (the post-crash "process is dead"
@@ -96,6 +128,13 @@ class FaultInjectionEnv final : public Env {
   /// Returns a non-OK status when an armed fault matches (op, path).
   /// Public so the file wrappers (and tests) can consult it.
   Status CheckFault(FaultOp op, const std::string& path);
+  /// Append-specific gate: applies armed kAppend faults and the disk
+  /// budget. On failure, *accept holds the prefix length the "disk"
+  /// still took (short writes / budget exhaustion) — the file wrapper
+  /// lands that prefix before reporting the error, so a failed WAL
+  /// append leaves the realistic torn tail.
+  Status PreAppend(const std::string& path, size_t data_size,
+                   size_t* accept);
   bool writes_allowed() const;
 
   // ---- Env interface ----
@@ -120,6 +159,8 @@ class FaultInjectionEnv final : public Env {
                           std::string* data) override;
   Status WriteStringToFile(const Slice& data, const std::string& fname,
                            bool sync) override;
+  Status GetFreeDiskSpace(const std::string& path,
+                          uint64_t* bytes) override;
 
  private:
   friend class FaultInjectionWritableFile;
@@ -134,6 +175,11 @@ class FaultInjectionEnv final : public Env {
   void OnAppend(const std::string& fname, uint64_t bytes);
   void OnSync(const std::string& fname);
 
+  // Fault matching for one operation; requires mu_.
+  Status CheckFaultLocked(FaultOp op, const std::string& path);
+  // Credits a tracked file's bytes back to the budget; requires mu_.
+  void ForgetFileLocked(const std::string& fname);
+
   Env* const target_;
 
   mutable std::mutex mu_;
@@ -141,6 +187,8 @@ class FaultInjectionEnv final : public Env {
   std::vector<FaultPoint> faults_;
   uint64_t faults_fired_ = 0;
   bool active_ = true;
+  uint64_t space_budget_ = kUnlimitedBudget;
+  uint64_t space_used_ = 0;
   Random rng_;
 };
 

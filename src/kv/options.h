@@ -53,6 +53,19 @@ struct Options {
   /// the lenient mode matches the availability posture of the paper's
   /// HBase substrate, where a torn WAL tail is expected after a crash.
   bool paranoid_checks = false;
+
+  /// Low-space write stalls (0 disables). When the free space reported
+  /// by Env::GetFreeDiskSpace drops below the soft watermark, each write
+  /// is throttled by `write_stall_ms` and compaction scheduling pauses
+  /// (compactions need headroom for their outputs). Below the hard
+  /// watermark writes are rejected with Status::NoSpace *before* the WAL
+  /// is touched — a clean shed, not a background error — so writes
+  /// recover by themselves once space is freed.
+  uint64_t soft_space_watermark_bytes = 0;
+  uint64_t hard_space_watermark_bytes = 0;
+
+  /// Per-write throttle applied between the soft and hard watermarks.
+  uint64_t write_stall_ms = 2;
 };
 
 struct ReadOptions {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cmath>
 #include <thread>
 
 #include "util/coding.h"
@@ -13,7 +12,11 @@ namespace trass {
 namespace kv {
 
 RegionStore::RegionStore(const RegionOptions& options, std::string path)
-    : options_(options), path_(std::move(path)) {
+    : options_(options),
+      path_(std::move(path)),
+      retry_policy_(RetryPolicy::Options{
+          options.max_scan_retries, options.retry_backoff_ms,
+          options.max_retry_backoff_ms, /*jitter=*/0.0}) {
   env_ = options_.db_options.env != nullptr ? options_.db_options.env
                                             : Env::Default();
 }
@@ -283,21 +286,10 @@ Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
         // the deadline is pointless, so the backoff is clamped to it.
         if (control != nullptr && control->ShouldStop()) break;
         retries.fetch_add(1, std::memory_order_relaxed);
-        uint64_t backoff_ms = options_.retry_backoff_ms
-                              << std::min(attempt - 1, 20);
-        backoff_ms = std::min(backoff_ms, options_.max_retry_backoff_ms);
-        if (control != nullptr) {
-          const double remaining = control->RemainingMillis();
-          if (remaining < static_cast<double>(backoff_ms)) {
-            // Round up: waking a fraction of a millisecond *before* the
-            // deadline would only buy one more doomed attempt.
-            backoff_ms =
-                static_cast<uint64_t>(std::ceil(std::max(remaining, 0.0)));
-          }
-        }
-        if (backoff_ms > 0) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        }
+        retry_policy_.SleepBeforeRetry(
+            attempt, control != nullptr
+                         ? std::max(control->RemainingMillis(), 0.0)
+                         : -1.0);
       }
       const std::vector<int> order = ReplicaScanOrder(region);
       bool pass_complete = true;
@@ -479,14 +471,109 @@ void RegionStore::SetReplicaOffline(size_t region, int replica,
   }
 }
 
+void RegionStore::FillLiveReplicaState(size_t region,
+                                       RegionHealth* health) const {
+  for (int r = 0; r < options_.replication_factor &&
+                  r < static_cast<int>(health->replicas.size());
+       ++r) {
+    std::shared_ptr<DB> db = Replica(region, r);
+    if (db == nullptr) continue;  // offline: read-only state is moot
+    ReplicaHealth& rh = health->replicas[r];
+    rh.read_only = db->read_only();
+    if (rh.read_only) rh.background_error = db->background_error().ToString();
+  }
+}
+
 RegionHealth RegionStore::Health(int region) const {
-  std::lock_guard<std::mutex> lock(health_mu_);
-  return health_.at(region);
+  RegionHealth copy;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    copy = health_.at(region);
+  }
+  // Live replica state is read after the counter copy, one lock at a
+  // time (health_mu_ and replicas_mu_ are never held together).
+  FillLiveReplicaState(static_cast<size_t>(region), &copy);
+  return copy;
 }
 
 std::vector<RegionHealth> RegionStore::HealthSnapshot() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
-  return health_;
+  std::vector<RegionHealth> copy;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    copy = health_;
+  }
+  for (size_t region = 0; region < copy.size(); ++region) {
+    FillLiveReplicaState(region, &copy[region]);
+  }
+  return copy;
+}
+
+Status RegionStore::Resume() {
+  Status first_failure;
+  for (size_t region = 0; region < replicas_.size(); ++region) {
+    for (int r = 0; r < options_.replication_factor; ++r) {
+      std::shared_ptr<DB> db = Replica(region, r);
+      if (db == nullptr || !db->read_only()) continue;
+      // Probe under the shared retry policy: a resume that fails because
+      // the disk is *still* full is retryable, one that fails on a
+      // structural error is not.
+      Status s = retry_policy_.Run([&db] { return db->Resume(); });
+      if (s.ok()) {
+        // Writable again: clear the write-failure demotion so the
+        // replica returns to the preferred scan order. Divergence
+        // accumulated while read-only is ScrubReplicas' job.
+        std::lock_guard<std::mutex> lock(health_mu_);
+        ReplicaHealth& rh = health_[region].replicas[r];
+        rh.demoted = false;
+        rh.consecutive_failures = 0;
+      } else if (first_failure.ok()) {
+        first_failure =
+            s.WithContext("region " + std::to_string(region) + " replica " +
+                          std::to_string(r));
+      }
+    }
+  }
+  return first_failure;
+}
+
+bool RegionStore::WritesDegraded(int min_acks) const {
+  const int factor = options_.replication_factor;
+  const int required = min_acks <= 0 ? factor : std::min(min_acks, factor);
+  for (size_t region = 0; region < replicas_.size(); ++region) {
+    int writable = 0;
+    for (int r = 0; r < factor; ++r) {
+      std::shared_ptr<DB> db = Replica(region, r);
+      if (db != nullptr && !db->read_only()) ++writable;
+    }
+    if (writable < required) return true;
+  }
+  return false;
+}
+
+uint64_t RegionStore::ReadOnlyReplicas() const {
+  uint64_t wedged = 0;
+  for (size_t region = 0; region < replicas_.size(); ++region) {
+    for (int r = 0; r < options_.replication_factor; ++r) {
+      std::shared_ptr<DB> db = Replica(region, r);
+      if (db != nullptr && db->read_only()) ++wedged;
+    }
+  }
+  return wedged;
+}
+
+Status RegionStore::FirstBackgroundError() const {
+  for (size_t region = 0; region < replicas_.size(); ++region) {
+    for (int r = 0; r < options_.replication_factor; ++r) {
+      std::shared_ptr<DB> db = Replica(region, r);
+      if (db == nullptr) continue;
+      Status s = db->background_error();
+      if (!s.ok()) {
+        return s.WithContext("region " + std::to_string(region) +
+                             " replica " + std::to_string(r));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status RegionStore::Flush() {
@@ -681,6 +768,11 @@ IoStats::Snapshot RegionStore::TotalIoStats() const {
       total.range_scans += s.range_scans;
       total.checksum_verifications += s.checksum_verifications;
       total.corruptions_detected += s.corruptions_detected;
+      total.background_errors += s.background_errors;
+      total.write_stalls += s.write_stalls;
+      total.stall_ms += s.stall_ms;
+      total.resume_attempts += s.resume_attempts;
+      if (db->read_only()) ++total.read_only_replicas;
       // batch_commits/batch_rows/degraded_writes are store-level counters
       // (like the failover/scrub ones in store_stats_), not per-replica.
     }

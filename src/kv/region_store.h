@@ -73,6 +73,7 @@
 #include "kv/db.h"
 #include "kv/scan.h"
 #include "util/query_context.h"
+#include "util/retry_policy.h"
 #include "util/thread_pool.h"
 
 namespace trass {
@@ -110,6 +111,13 @@ struct ReplicaHealth {
   bool offline = false;   // detached while the scrub rebuilds it
   uint64_t rebuilds = 0;  // anti-entropy rebuilds of this replica
   std::string last_error;
+  /// Live (not counter) state, read off the replica database at snapshot
+  /// time: a read-only replica is wedged by a sticky background error
+  /// (disk full, write fault). It rejects writes — so it demotes like any
+  /// failing writer and drags ApplyBatch into degraded acks — but it
+  /// still serves Get/scan failover; Resume() un-wedges it.
+  bool read_only = false;
+  std::string background_error;  // empty when healthy
 };
 
 /// Cumulative availability counters for one region. Returned only by
@@ -151,6 +159,8 @@ class RegionStore {
     /// replication, one "attempt" is a full pass over all replicas.
     int max_scan_retries = 2;
     /// Backoff before the first retry; doubles per retry up to the cap.
+    /// These three knobs configure the store's shared RetryPolicy, which
+    /// also paces Resume() probing.
     uint64_t retry_backoff_ms = 2;
     uint64_t max_retry_backoff_ms = 100;
     /// Consecutive replica failures that demote the replica to the back
@@ -254,8 +264,32 @@ class RegionStore {
   /// still scrubbing the remaining regions.
   Status ScrubReplicas(ScrubReport* report = nullptr);
 
+  /// Attempts DB::Resume on every replica wedged read-only by a
+  /// background error, each under the shared retry policy. A resumed
+  /// replica has its write-failure demotion cleared so it returns to the
+  /// preferred scan order. Returns the first replica that stayed wedged
+  /// (with region/replica context), OK when none were wedged or all
+  /// resumed. Resume restores *writability* only — rows the replica
+  /// missed while read-only are healed by the next ScrubReplicas.
+  /// Single-writer like Put (see the thread-safety contract).
+  Status Resume();
+
+  /// True when some region has fewer writable (non-read-only,
+  /// non-offline) replicas than `min_acks` requires (<= 0 means all
+  /// replicas, mirroring ApplyBatch). This is the backpressure signal
+  /// ingest uses to shed new work instead of queueing doomed writes.
+  bool WritesDegraded(int min_acks = 0) const;
+
+  /// Replicas currently wedged read-only (live gauge).
+  uint64_t ReadOnlyReplicas() const;
+
+  /// First replica's sticky background error (with region/replica
+  /// context); OK when every replica is writable.
+  Status FirstBackgroundError() const;
+
   /// Sums I/O counters across all replicas of all regions, plus the
-  /// store-level failover/scrub/rebuild counters.
+  /// store-level failover/scrub/rebuild counters. The
+  /// `read_only_replicas` field is filled live (it is a gauge).
   IoStats::Snapshot TotalIoStats() const;
   void ResetIoStats();
 
@@ -265,6 +299,11 @@ class RegionStore {
   RegionStore(const RegionOptions& options, std::string path);
 
   std::string ReplicaPath(size_t region, int replica) const;
+
+  /// Fills the live read_only/background_error fields of a health copy
+  /// taken under health_mu_ (called with no locks held — the replica
+  /// databases are queried one at a time via Replica()).
+  void FillLiveReplicaState(size_t region, RegionHealth* health) const;
 
   /// Snapshot of one replica's database (null while it is offline for a
   /// rebuild). Workers keep the shared_ptr for the duration of their
@@ -324,6 +363,9 @@ class RegionStore {
   std::vector<std::vector<std::shared_ptr<DB>>> replicas_;  // [region][r]
 
   std::unique_ptr<ThreadPool> pool_;
+
+  // Shared backoff schedule for scan retries and Resume probing.
+  RetryPolicy retry_policy_;
 
   // Guards health_ and scans_started_ (see thread-safety contract).
   mutable std::mutex health_mu_;

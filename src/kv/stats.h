@@ -26,6 +26,10 @@ struct IoStats {
   std::atomic<uint64_t> batch_commits{0};      // group-commit batches applied
   std::atomic<uint64_t> batch_rows{0};         // rows inside those batches
   std::atomic<uint64_t> degraded_writes{0};    // batches acked by < all replicas
+  std::atomic<uint64_t> background_errors{0};  // sticky write-path failures
+  std::atomic<uint64_t> write_stalls{0};       // writes throttled or shed
+  std::atomic<uint64_t> stall_ms{0};           // total time writes spent stalled
+  std::atomic<uint64_t> resume_attempts{0};    // Resume() calls (incl. probes)
 
   void Reset() {
     blocks_read = 0;
@@ -43,6 +47,10 @@ struct IoStats {
     batch_commits = 0;
     batch_rows = 0;
     degraded_writes = 0;
+    background_errors = 0;
+    write_stalls = 0;
+    stall_ms = 0;
+    resume_attempts = 0;
   }
 
   struct Snapshot {
@@ -61,6 +69,13 @@ struct IoStats {
     uint64_t batch_commits;
     uint64_t batch_rows;
     uint64_t degraded_writes;
+    uint64_t background_errors;
+    uint64_t write_stalls;
+    uint64_t stall_ms;
+    uint64_t resume_attempts;
+    // Gauge, not a counter: replicas currently wedged read-only. Always
+    // 0 at the DB level; RegionStore::TotalIoStats fills it live.
+    uint64_t read_only_replicas = 0;
   };
 
   Snapshot Read() const {
@@ -78,7 +93,11 @@ struct IoStats {
                     replicas_rebuilt.load(),
                     batch_commits.load(),
                     batch_rows.load(),
-                    degraded_writes.load()};
+                    degraded_writes.load(),
+                    background_errors.load(),
+                    write_stalls.load(),
+                    stall_ms.load(),
+                    resume_attempts.load()};
   }
 };
 

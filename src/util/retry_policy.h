@@ -1,0 +1,65 @@
+// RetryPolicy: shared capped-exponential-backoff schedule with optional
+// jitter, used wherever the store retries a fallible operation — region
+// scan retries, Resume() probing after a background error. Extracted
+// from the ad-hoc backoff arithmetic in RegionStore so every retry loop
+// in the codebase sleeps the same way.
+//
+// Deadline-aware: BackoffMs clamps (rounding up) to the caller's
+// remaining time, because sleeping a fraction of a millisecond *before*
+// a deadline would only buy one more doomed attempt.
+//
+// Thread-safe: one policy may be shared by concurrent workers; the
+// jitter source is a lock-free xorshift state.
+
+#ifndef TRASS_UTIL_RETRY_POLICY_H_
+#define TRASS_UTIL_RETRY_POLICY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace trass {
+
+class RetryPolicy {
+ public:
+  struct Options {
+    /// Retries after the first attempt (0 disables retrying).
+    int max_retries = 2;
+    /// Backoff before the first retry; doubles per retry up to the cap.
+    uint64_t base_backoff_ms = 2;
+    uint64_t max_backoff_ms = 100;
+    /// Jitter fraction in [0, 1): each backoff is scaled by a uniform
+    /// factor in [1 - jitter, 1 + jitter], then re-capped. Zero keeps
+    /// the schedule deterministic (what the scan tests rely on).
+    double jitter = 0.0;
+  };
+
+  RetryPolicy() : RetryPolicy(Options{}) {}
+  explicit RetryPolicy(const Options& options, uint64_t seed = 0x5e7a11);
+
+  int max_retries() const { return options_.max_retries; }
+
+  /// Backoff before retry `attempt` (1-based: the sleep preceding the
+  /// first retry is attempt 1). Capped exponential, jittered, and — when
+  /// `remaining_ms` is non-negative — clamped to it, rounded up.
+  uint64_t BackoffMs(int attempt, double remaining_ms = -1.0) const;
+
+  /// BackoffMs + sleep; returns the milliseconds slept.
+  uint64_t SleepBeforeRetry(int attempt, double remaining_ms = -1.0) const;
+
+  /// Runs `op` up to 1 + max_retries times with backoff sleeps in
+  /// between, until it returns OK or a status retrying cannot fix
+  /// (query stops, InvalidArgument, NotSupported). Returns the last
+  /// status.
+  Status Run(const std::function<Status()>& op) const;
+
+ private:
+  Options options_;
+  mutable std::atomic<uint64_t> rng_state_;
+};
+
+}  // namespace trass
+
+#endif  // TRASS_UTIL_RETRY_POLICY_H_

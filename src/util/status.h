@@ -55,6 +55,9 @@ class Status {
   static Status Busy(std::string_view msg) {
     return Status(Code::kBusy, msg);
   }
+  static Status NoSpace(std::string_view msg) {
+    return Status(Code::kNoSpace, msg);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -65,6 +68,7 @@ class Status {
   bool IsTimedOut() const { return code() == Code::kTimedOut; }
   bool IsCancelled() const { return code() == Code::kCancelled; }
   bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsNoSpace() const { return code() == Code::kNoSpace; }
 
   /// True for the statuses a cooperative query control emits when a query
   /// must stop (deadline, cancellation, budget, admission). These are
@@ -94,6 +98,11 @@ class Status {
     kTimedOut,
     kCancelled,
     kBusy,
+    // Disk-space exhaustion (ENOSPC or a space-watermark rejection).
+    // A storage fault like kIoError — NOT a query stop — but kept
+    // distinct so callers can tell "out of space, retry after freeing"
+    // from "the device is broken".
+    kNoSpace,
   };
 
   struct Rep {

@@ -466,6 +466,9 @@ TEST(IngestPipelineTest, PartialPutBatchStaysConsistentAndRebuilds) {
   // Reopen: RebuildIngestState must re-derive the identical view from
   // the surviving rows alone.
   env.ClearFaults();
+  // The failed WAL appends wedged region 1 read-only (sticky background
+  // error); Resume restores writability now that the fault is gone.
+  ASSERT_TRUE(store->Resume().ok());
   const uint64_t before_count = store->num_trajectories();
   const uint64_t before_distinct = store->distinct_index_values();
   ASSERT_TRUE(store->Flush().ok());

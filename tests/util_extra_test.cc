@@ -13,6 +13,7 @@
 #include "kv/merging_iterator.h"
 #include "kv/memtable.h"
 #include "util/random.h"
+#include "util/retry_policy.h"
 #include "util/slice.h"
 
 namespace trass {
@@ -208,6 +209,99 @@ TEST(EmptyIteratorTest, CarriesStatus) {
       kv::NewEmptyIterator(Status::Corruption("boom")));
   EXPECT_FALSE(bad->Valid());
   EXPECT_TRUE(bad->status().IsCorruption());
+}
+
+TEST(RetryPolicyTest, DeterministicCappedExponentialSchedule) {
+  RetryPolicy::Options options;
+  options.base_backoff_ms = 2;
+  options.max_backoff_ms = 100;
+  options.jitter = 0.0;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffMs(1), 2u);
+  EXPECT_EQ(policy.BackoffMs(2), 4u);
+  EXPECT_EQ(policy.BackoffMs(3), 8u);
+  EXPECT_EQ(policy.BackoffMs(6), 64u);
+  EXPECT_EQ(policy.BackoffMs(7), 100u);   // capped
+  EXPECT_EQ(policy.BackoffMs(40), 100u);  // shift bounded, still capped
+  EXPECT_EQ(policy.BackoffMs(0), 2u);     // clamped to attempt 1
+}
+
+TEST(RetryPolicyTest, DeadlineClampRoundsUpAndFloorsAtZero) {
+  RetryPolicy::Options options;
+  options.base_backoff_ms = 64;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffMs(1, 10.3), 11u);  // ceil of the remainder
+  EXPECT_EQ(policy.BackoffMs(1, 0.0), 0u);
+  EXPECT_EQ(policy.BackoffMs(1, 500.0), 64u);  // plenty left: unclamped
+  EXPECT_EQ(policy.BackoffMs(1, -1.0), 64u);   // negative: no deadline
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFractionAndUnderCap) {
+  RetryPolicy::Options options;
+  options.base_backoff_ms = 40;
+  options.max_backoff_ms = 100;
+  options.jitter = 0.25;
+  RetryPolicy policy(options);
+  bool varied = false;
+  uint64_t first = policy.BackoffMs(1);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t ms = policy.BackoffMs(1);
+    EXPECT_GE(ms, 30u);  // 40 * (1 - 0.25)
+    EXPECT_LE(ms, 50u);  // 40 * (1 + 0.25)
+    if (ms != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+  // The cap applies after jitter too.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(policy.BackoffMs(3), 100u);  // 160 jittered, then capped
+  }
+}
+
+TEST(RetryPolicyTest, RunRetriesTransientFailuresUntilSuccess) {
+  RetryPolicy::Options options;
+  options.max_retries = 3;
+  options.base_backoff_ms = 0;  // no sleeping in tests
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return calls < 3 ? Status::IoError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, RunReturnsLastErrorWhenRetriesExhaust) {
+  RetryPolicy::Options options;
+  options.max_retries = 2;
+  options.base_backoff_ms = 0;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::NoSpace("still full");
+  });
+  EXPECT_TRUE(s.IsNoSpace());
+  EXPECT_EQ(calls, 3);  // 1 + max_retries
+}
+
+TEST(RetryPolicyTest, RunDoesNotRetryNonRetryableStatuses) {
+  RetryPolicy::Options options;
+  options.max_retries = 5;
+  options.base_backoff_ms = 0;
+  RetryPolicy policy(options);
+  for (Status terminal :
+       {Status::InvalidArgument("bad"), Status::TimedOut("deadline"),
+        Status::Cancelled("stop"), Status::Busy("shed"),
+        Status::NotSupported("no")}) {
+    int calls = 0;
+    Status s = policy.Run([&] {
+      ++calls;
+      return terminal;
+    });
+    EXPECT_EQ(s.ToString(), terminal.ToString());
+    EXPECT_EQ(calls, 1) << terminal.ToString();
+  }
 }
 
 }  // namespace
