@@ -3,7 +3,10 @@
 // (c) top-k query time. TraSS's query time should grow slowly because the
 // pruning work is independent of dataset size (fixed spatial partitions).
 
+#include <cstring>
+
 #include "bench_common.h"
+#include "bench_serve_common.h"
 
 #include "core/metrics.h"
 #include "core/trass_store.h"
@@ -63,11 +66,52 @@ void Run() {
   }
 }
 
+/// Coordinator mode (--shards N): the same scaling sweep served by an
+/// N-shard scatter-gather tier — query time should stay flat as t grows
+/// because each shard holds 1/N of the replicated dataset.
+void RunCoordinator(size_t num_shards) {
+  const size_t base_n = EnvSize("TRASS_BENCH_N", 20000) / 2;
+  const size_t queries = DefaultQueries();
+  const auto base = workload::LorryLike(base_n, 20260708);
+  const std::string dir = ScratchDir("fig17_coord");
+
+  std::printf("=== Figure 17 (coordinator mode) — %zu-shard scatter-gather "
+              "over synthetic x-t datasets (base = %zu lorry-like "
+              "trajectories) ===\n",
+              num_shards, base_n);
+  std::printf("%-4s %10s %14s ", "t", "size", "ingest-s");
+  PrintCoordinatorHeader();
+  for (int t = 1; t <= 3; ++t) {
+    const auto data = workload::Scale(base, t, 0.0005, 33 + t);
+    Stopwatch ingest;
+    CoordinatorTier tier = OpenCoordinatorTier(
+        data, num_shards, dir + "/x" + std::to_string(t));
+    if (tier.coordinator == nullptr) continue;
+    const double ingest_s = ingest.ElapsedSeconds();
+    const auto query_indices =
+        workload::SampleIndices(data.size(), queries, 3);
+    const CoordinatorPassResult r = RunCoordinatorQueries(
+        tier, data, query_indices, EpsNorm(0.01), 50);
+    std::printf("%-4d %10zu %14.2f ", t, data.size(), ingest_s);
+    PrintCoordinatorRow(num_shards, r);
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace trass
 
-int main() {
-  trass::bench::Run();
+int main(int argc, char** argv) {
+  size_t coordinator_shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      coordinator_shards = static_cast<size_t>(std::atoll(argv[++i]));
+    }
+  }
+  if (coordinator_shards > 0) {
+    trass::bench::RunCoordinator(coordinator_shards);
+  } else {
+    trass::bench::Run();
+  }
   return 0;
 }

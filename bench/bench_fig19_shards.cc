@@ -3,7 +3,10 @@
 // each scan across every region (coordination cost). The paper lands on
 // shards = 8 for a five-node cluster.
 
+#include <cstring>
+
 #include "bench_common.h"
+#include "bench_serve_common.h"
 
 #include "core/metrics.h"
 #include "core/trass_store.h"
@@ -54,13 +57,45 @@ void RunDataset(const Dataset& dataset, const std::string& dir) {
   }
 }
 
+/// Coordinator mode (--shards N): the same dataset served by an N-shard
+/// scatter-gather tier instead of one store, with the serving-tier
+/// health rates next to the latency medians.
+void RunCoordinator(const Dataset& dataset, const std::string& dir,
+                    size_t num_shards) {
+  std::printf("\n=== Figure 19 (coordinator mode) — %zu-shard scatter-gather "
+              "— %s (%zu trajectories, %zu queries) ===\n",
+              num_shards, dataset.name.c_str(), dataset.data.size(),
+              dataset.num_queries());
+  PrintCoordinatorHeader();
+  CoordinatorTier tier =
+      OpenCoordinatorTier(dataset.data, num_shards, dir + "/coord");
+  if (tier.coordinator == nullptr) {
+    std::printf("(coordinator tier failed to open)\n");
+    return;
+  }
+  const CoordinatorPassResult r = RunCoordinatorQueries(
+      tier, dataset.data, dataset.query_indices, EpsNorm(0.01), 50);
+  PrintCoordinatorRow(num_shards, r);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace trass
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trass::bench;
+  size_t coordinator_shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      coordinator_shards = static_cast<size_t>(std::atoll(argv[++i]));
+    }
+  }
   const std::string dir = ScratchDir("fig19");
-  RunDataset(MakeTDrive(DefaultN(), DefaultQueries()), dir);
+  const Dataset dataset = MakeTDrive(DefaultN(), DefaultQueries());
+  if (coordinator_shards > 0) {
+    RunCoordinator(dataset, dir, coordinator_shards);
+  } else {
+    RunDataset(dataset, dir);
+  }
   return 0;
 }

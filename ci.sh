@@ -6,9 +6,10 @@
 #   tsan      TSan, tests only (failover/scrub/scan concurrency races)
 #
 # Plus one opt-in stage (never part of the default set):
-#   chaos     ASan build of the resource-exhaustion fault matrix, run
-#             once per seed in a fixed schedule. A failing run prints
-#             the seed; rerun just it with TRASS_CHAOS_SEED=<seed>.
+#   chaos     ASan build of the resource-exhaustion fault matrix plus
+#             the coordinator transport-fault matrix, run once per seed
+#             in a fixed schedule. A failing run prints the seed; rerun
+#             just it with TRASS_CHAOS_SEED=<seed>.
 #
 # Usage: ci.sh [release|asan|tsan|chaos ...]   (default: release asan tsan)
 #
@@ -65,18 +66,27 @@ for config in "${configs[@]}"; do
         -DTRASS_SANITIZE=address,undefined \
         -DTRASS_BUILD_BENCHMARKS=OFF -DTRASS_BUILD_EXAMPLES=OFF
       echo "=== [chaos] build ==="
-      cmake --build "$dir" -j "$jobs" --target resource_exhaustion_test
+      cmake --build "$dir" -j "$jobs" \
+        --target resource_exhaustion_test coordinator_test
       # Fixed seed schedule so CI runs are comparable across commits;
-      # each seed drives one randomized fault/budget/crash trial.
+      # each seed drives one randomized fault/budget/crash trial of the
+      # store matrix and one randomized drop/delay/duplicate/error/wedge
+      # schedule of the coordinator transport matrix.
       seeds=(20240808 1 7 42 1337 99991 2718281 31415926)
       for seed in "${seeds[@]}"; do
-        echo "=== [chaos] seed $seed ==="
-        if ! TRASS_CHAOS_SEED="$seed" "$dir/tests/resource_exhaustion_test" \
-            --gtest_filter='ResourceExhaustionChaos.*'; then
-          echo "ci.sh: chaos schedule failed at seed $seed" >&2
-          echo "ci.sh: reproduce with: TRASS_CHAOS_SEED=$seed $dir/tests/resource_exhaustion_test --gtest_filter='ResourceExhaustionChaos.*'" >&2
-          exit 1
-        fi
+        for matrix in \
+            "resource_exhaustion_test ResourceExhaustionChaos.*" \
+            "coordinator_test CoordinatorChaos.*"; do
+          binary="${matrix%% *}"
+          filter="${matrix#* }"
+          echo "=== [chaos] $binary seed $seed ==="
+          if ! TRASS_CHAOS_SEED="$seed" "$dir/tests/$binary" \
+              --gtest_filter="$filter"; then
+            echo "ci.sh: chaos schedule failed at seed $seed ($binary)" >&2
+            echo "ci.sh: reproduce with: TRASS_CHAOS_SEED=$seed $dir/tests/$binary --gtest_filter='$filter'" >&2
+            exit 1
+          fi
+        done
       done
       echo "=== [chaos] OK ==="
       ;;

@@ -1,15 +1,28 @@
-// Contact tracing (the paper's motivating example): given the trajectory
-// of an infected person, find every trajectory that stayed within a
-// contact distance of it — a threshold similarity search.
+// Contact tracing (the paper's motivating example), served the way a
+// health authority would actually run it: a 4-shard scatter-gather tier
+// behind a ShardCoordinator. Given the trajectory of an infected
+// person, find every trajectory that stayed within a contact distance
+// of it — a threshold similarity search fanned out across the shards.
+//
+// The second act is the point of the serving tier: one shard wedges
+// (hangs, never answering), and the same query degrades to a
+// *verified partial* — every contact it returns is a true contact, the
+// gap is reported via QueryMetrics::shards_skipped, and the per-shard
+// circuit breaker opens so follow-up queries skip the dead shard in
+// microseconds instead of burning their deadline on it.
 //
 //   ./build/examples/contact_tracing [directory]
 
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/trass_store.h"
 #include "kv/env.h"
+#include "serve/coordinator.h"
+#include "serve/direct_transport.h"
+#include "serve/fault_injection_transport.h"
 #include "util/stopwatch.h"
 #include "workload/generator.h"
 
@@ -17,6 +30,27 @@ namespace {
 
 // ~50 meters expressed in normalized coordinates (earth -> [0,1]^2).
 constexpr double kContactEps = 0.05 * trass::workload::kKm;
+constexpr size_t kShards = 4;
+constexpr size_t kWedgedShard = 2;
+
+const char* BreakerStateName(trass::serve::CircuitBreaker::State state) {
+  switch (state) {
+    case trass::serve::CircuitBreaker::State::kClosed: return "closed";
+    case trass::serve::CircuitBreaker::State::kOpen: return "open";
+    case trass::serve::CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void PrintContacts(const std::vector<trass::core::SearchResult>& contacts,
+                   uint64_t patient_id) {
+  for (const auto& r : contacts) {
+    if (r.id == patient_id) continue;
+    std::printf("  contact id=%llu  max-separation=%.1fm\n",
+                static_cast<unsigned long long>(r.id),
+                r.distance / trass::workload::kKm * 1000.0);
+  }
+}
 
 }  // namespace
 
@@ -24,15 +58,41 @@ int main(int argc, char** argv) {
   using namespace trass;
   const std::string path = argc > 1 ? argv[1] : "/tmp/trass_contact_tracing";
   kv::Env::Default()->RemoveDirRecursively(path);
+  kv::Env::Default()->CreateDir(path);
 
+  // --- stand up the tier: 4 shard stores behind fault-injectable
+  // transports, a coordinator routing by trajectory hash -------------
   core::TrassOptions options;
-  options.shards = 4;
-  std::unique_ptr<core::TrassStore> store;
-  Status s = core::TrassStore::Open(options, path, &store);
-  if (!s.ok()) {
-    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
-    return 1;
+  options.shards = 4;  // row-key sharding *within* each store
+  std::vector<std::unique_ptr<core::TrassStore>> stores;
+  std::vector<std::shared_ptr<serve::FaultInjectionTransport>> transports;
+  std::vector<std::shared_ptr<serve::ShardTransport>> shard_transports;
+  for (size_t i = 0; i < kShards; ++i) {
+    std::unique_ptr<core::TrassStore> store;
+    Status s = core::TrassStore::Open(
+        options, path + "/shard" + std::to_string(i), &store);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open shard %zu failed: %s\n", i,
+                   s.ToString().c_str());
+      return 1;
+    }
+    // Wrap every shard in a fault-injection transport (benign until we
+    // flip one to wedged below).
+    auto transport = std::make_shared<serve::FaultInjectionTransport>(
+        std::make_shared<serve::DirectShardTransport>(store.get()),
+        serve::FaultInjectionTransport::Options{});
+    transports.push_back(transport);
+    shard_transports.push_back(transport);
+    stores.push_back(std::move(store));
   }
+
+  serve::CoordinatorOptions coordinator_options;
+  coordinator_options.max_resolution = options.max_resolution;
+  coordinator_options.breaker_failure_threshold = 2;
+  coordinator_options.breaker_cooldown_ms = 5000.0;
+  coordinator_options.max_shard_retries = 0;  // a wedge is not transient
+  serve::ShardCoordinator coordinator(coordinator_options,
+                                      std::move(shard_transports));
 
   // A city's day of movement: 5000 trips, some of which shadow others.
   auto population = workload::TDriveLike(5000, /*seed=*/2026);
@@ -52,43 +112,99 @@ int main(int argc, char** argv) {
   }
 
   Stopwatch ingest;
-  for (const auto& trajectory : population) {
-    s = store->Put(trajectory);
-    if (!s.ok()) {
-      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
-      return 1;
-    }
+  Status s = coordinator.PutBatch(population);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+    return 1;
   }
-  store->Flush();
-  std::printf("ingested %zu trajectories in %.1f ms\n", population.size(),
-              ingest.ElapsedMillis());
-
+  for (auto& store : stores) store->Flush();
+  std::printf("ingested %zu trajectories across %zu shards in %.1f ms\n",
+              population.size(), kShards, ingest.ElapsedMillis());
   std::printf("patient trajectory: id=%llu, %zu points\n",
               static_cast<unsigned long long>(patient.id),
               patient.points.size());
 
+  // --- act 1: healthy tier ------------------------------------------
   std::vector<core::SearchResult> contacts;
   core::QueryMetrics metrics;
-  s = store->ThresholdSearch(patient.points, kContactEps,
-                             core::Measure::kFrechet, &contacts, &metrics);
+  serve::CoordinatorQueryOptions query_options;
+  query_options.query.allow_partial = true;
+  query_options.query.deadline_ms = 2000.0;
+  s = coordinator.ThresholdSearch(patient.points, kContactEps,
+                                  core::Measure::kFrechet, &contacts,
+                                  &metrics, query_options);
   if (!s.ok()) {
     std::fprintf(stderr, "search failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  std::printf("\n[healthy tier] close contacts within ~50m (Frechet): %zu "
+              "found in %.2f ms (%llu/%zu shards answered)\n",
+              contacts.size(), metrics.total_ms,
+              static_cast<unsigned long long>(metrics.shards_contacted -
+                                              metrics.shards_skipped),
+              kShards);
+  PrintContacts(contacts, patient.id);
 
-  std::printf("\nclose contacts within ~50m (Frechet): %zu found in %.2f ms\n",
-              contacts.size(), metrics.total_ms);
-  std::printf("  store rows touched: %llu of %zu (global pruning kept "
-              "%.2f%%)\n",
-              static_cast<unsigned long long>(metrics.retrieved),
-              population.size(),
-              100.0 * static_cast<double>(metrics.retrieved) /
-                  static_cast<double>(population.size()));
-  for (const auto& r : contacts) {
-    if (r.id == patient.id) continue;
-    std::printf("  contact id=%llu  max-separation=%.1fm\n",
-                static_cast<unsigned long long>(r.id),
-                r.distance / workload::kKm * 1000.0);
+  // --- act 2: shard 2 wedges — hangs without answering --------------
+  std::printf("\n*** wedging shard %zu (hangs, never answers) ***\n",
+              kWedgedShard);
+  transports[kWedgedShard]->SetWedged(true);
+
+  for (int round = 1; round <= 3; ++round) {
+    s = coordinator.ThresholdSearch(patient.points, kContactEps,
+                                    core::Measure::kFrechet, &contacts,
+                                    &metrics, query_options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "degraded search failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n[degraded, query %d] %zu verified contacts in %.2f ms — "
+                "%s, shards skipped: %llu, breaker rejections: %llu\n",
+                round, contacts.size(), metrics.total_ms,
+                metrics.partial ? "PARTIAL (gap reported)" : "complete",
+                static_cast<unsigned long long>(metrics.shards_skipped),
+                static_cast<unsigned long long>(metrics.breaker_open));
+    PrintContacts(contacts, patient.id);
+    // Every result in a partial answer is still a true contact — the
+    // tier returns a verified subset, never a wrong merge.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+
+  std::printf("\nper-shard serving stats:\n");
+  const auto stats = coordinator.Stats();
+  for (size_t i = 0; i < stats.size(); ++i) {
+    std::printf("  shard %zu [%s]: breaker=%s trips=%llu rejected=%llu "
+                "attempts=%llu failures=%llu hedges=%llu p95=%.2fms\n",
+                i, stats[i].endpoint.c_str(),
+                BreakerStateName(stats[i].breaker_state),
+                static_cast<unsigned long long>(stats[i].breaker_trips),
+                static_cast<unsigned long long>(stats[i].breaker_rejected),
+                static_cast<unsigned long long>(stats[i].attempts),
+                static_cast<unsigned long long>(stats[i].failures),
+                static_cast<unsigned long long>(stats[i].hedges_sent),
+                stats[i].p95_latency_ms);
+  }
+
+  // --- act 3: the shard recovers; the breaker's half-open probe
+  // reinstates it and answers are complete again ---------------------
+  transports[kWedgedShard]->SetWedged(false);
+  std::printf("\n*** shard %zu recovers; waiting out the breaker cooldown "
+              "***\n", kWedgedShard);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5100));
+  s = coordinator.ThresholdSearch(patient.points, kContactEps,
+                                  core::Measure::kFrechet, &contacts,
+                                  &metrics, query_options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "recovered search failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n[recovered] %zu contacts in %.2f ms — %s, shards skipped: "
+              "%llu\n",
+              contacts.size(), metrics.total_ms,
+              metrics.partial ? "PARTIAL" : "complete",
+              static_cast<unsigned long long>(metrics.shards_skipped));
+  PrintContacts(contacts, patient.id);
   return 0;
 }

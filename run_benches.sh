@@ -61,6 +61,23 @@ for b in "${benches[@]}"; do
   fi
 done
 
+# Coordinator-mode passes: the same fig17/fig19 workloads served by a
+# 4-shard scatter-gather tier, so the snapshot records the serving-tier
+# latency medians plus its hedge/partial/shed rates next to the
+# single-store numbers above.
+for b in build/bench/bench_fig17_scalability build/bench/bench_fig19_shards; do
+  if [ -x "$b" ]; then
+    echo "##### $b --shards 4" >> bench_output.txt
+    timeout 1200 "$b" --shards 4 >> bench_output.txt 2>&1
+    rc=$?
+    echo "[exit $rc] $b --shards 4" >> bench_status.txt
+    if [ "$rc" -ne 0 ]; then
+      echo "run_benches.sh: $b --shards 4 exited with $rc (see bench_output.txt)" >&2
+      exit "$rc"
+    fi
+  fi
+done
+
 # Machine-readable kernel baseline: the micro similarity bench carries
 # both the scalar reference kernels and the flat SoA kernels the
 # refinement engine serves with, so one JSON snapshot records the

@@ -59,6 +59,22 @@ struct QueryMetrics {
   bool budget_exhausted = false;   // stopped at QueryOptions::max_candidates
   double admission_wait_ms = 0.0;  // time queued in admission control
 
+  /// Scatter-gather serving tier (serve/coordinator.h). Zero on
+  /// single-store queries. `shards_contacted` counts shards the
+  /// coordinator fanned the query out to; `shards_skipped` counts
+  /// shards whose answer is missing from the merge (breaker-open,
+  /// failed after retries, or unresolved at the deadline) — non-zero
+  /// only with allow_partial, and always accompanied by `partial` so
+  /// degradation is observable, never silent. `hedges_sent`/`hedge_wins`
+  /// count straggler hedge requests and how many beat their primary;
+  /// `breaker_open` counts fan-outs rejected by an open circuit
+  /// breaker during this query.
+  uint64_t shards_contacted = 0;
+  uint64_t shards_skipped = 0;
+  uint64_t hedges_sent = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t breaker_open = 0;
+
   /// Ingest watermark snapshot taken when the query started: every
   /// trajectory with ticket <= this value was fully visible (row +
   /// features + value-directory entry) to the query; later ingest may or

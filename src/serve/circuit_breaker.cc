@@ -1,0 +1,78 @@
+#include "serve/circuit_breaker.h"
+
+namespace trass {
+namespace serve {
+
+CircuitBreaker::Decision CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Decision::kProceed;
+    case State::kOpen:
+      if (Clock::now() >= open_until_) {
+        state_ = State::kHalfOpen;
+        probe_outstanding_ = true;
+        ++counters_.probes;
+        return Decision::kProbe;
+      }
+      ++counters_.rejected;
+      return Decision::kReject;
+    case State::kHalfOpen:
+      if (!probe_outstanding_) {
+        probe_outstanding_ = true;
+        ++counters_.probes;
+        return Decision::kProbe;
+      }
+      ++counters_.rejected;
+      return Decision::kReject;
+  }
+  ++counters_.rejected;
+  return Decision::kReject;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  probe_outstanding_ = false;
+  if (state_ != State::kClosed) {
+    ++counters_.reinstatements;
+    state_ = State::kClosed;
+    last_error_ = Status::OK();
+  }
+}
+
+void CircuitBreaker::RecordFailure(const Status& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error.ok()) last_error_ = error;
+  ++consecutive_failures_;
+  probe_outstanding_ = false;
+  const bool trip = state_ == State::kHalfOpen ||
+                    (state_ == State::kClosed &&
+                     consecutive_failures_ >= options_.failure_threshold);
+  if (trip || state_ == State::kOpen) {
+    if (state_ != State::kOpen) ++counters_.trips;
+    state_ = State::kOpen;
+    open_until_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options_.cooldown_ms));
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+Status CircuitBreaker::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+}  // namespace serve
+}  // namespace trass

@@ -1,0 +1,109 @@
+// CircuitBreaker: per-shard routing gate for the coordinator, mirroring
+// the replica demotion/probe-reinstatement machinery one tier up.
+//
+// State machine:
+//
+//   closed ──(failure_threshold consecutive failures)──▶ open
+//   open ──(cooldown elapsed; one caller claims the probe)──▶ half-open
+//   half-open probe succeeds ──▶ closed        (reinstatement)
+//   half-open probe fails    ──▶ open          (fresh cooldown)
+//
+// The point is deadline hygiene: a dead shard must cost the coordinator
+// one breaker check — not a full per-shard deadline budget plus retries
+// — per query. While open, requests are rejected instantly; callers
+// with allow_partial skip the shard (counted in
+// QueryMetrics::shards_skipped), callers without fail fast with the
+// shard's last recorded error instead of discovering it the slow way.
+//
+// Thread-safe: hedges, retries, and stragglers from already-merged
+// queries all record outcomes concurrently. A late success from a
+// straggler closes the breaker — a genuine liveness signal, exactly
+// like scan-piggybacked replica probes.
+
+#ifndef TRASS_SERVE_CIRCUIT_BREAKER_H_
+#define TRASS_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace trass {
+namespace serve {
+
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures that trip closed -> open.
+    int failure_threshold = 3;
+    /// Time the breaker stays open before offering a half-open probe.
+    double cooldown_ms = 500.0;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// What a caller holding a request should do.
+  enum class Decision {
+    kProceed,  // closed: send normally
+    kProbe,    // half-open: this caller claimed the single probe slot
+    kReject,   // open (or probe already claimed): do not send
+  };
+
+  struct Counters {
+    uint64_t trips = 0;           // closed/half-open -> open transitions
+    uint64_t reinstatements = 0;  // open/half-open -> closed transitions
+    uint64_t rejected = 0;        // requests turned away while open
+    uint64_t probes = 0;          // half-open probe slots handed out
+  };
+
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  /// Routing decision for one request. kProbe claims the single
+  /// half-open slot; the claimant MUST later call RecordSuccess or
+  /// RecordFailure (the coordinator does this for every attempt
+  /// outcome anyway).
+  Decision Admit();
+
+  /// A request to the shard completed successfully.
+  void RecordSuccess();
+
+  /// A request failed with a shard-attributed fault. `error`, when
+  /// non-OK, is remembered as last_error() for fail-fast reporting.
+  void RecordFailure(const Status& error = Status::OK());
+
+  State state() const;
+  Counters counters() const;
+  /// Most recent shard-attributed failure (OK if none recorded).
+  Status last_error() const;
+
+  static const char* StateName(State s) {
+    switch (s) {
+      case State::kClosed:
+        return "closed";
+      case State::kOpen:
+        return "open";
+      case State::kHalfOpen:
+        return "half-open";
+    }
+    return "?";
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_outstanding_ = false;
+  Clock::time_point open_until_{};
+  Counters counters_;
+  Status last_error_;
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,735 @@
+#include "serve/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace trass {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration MillisDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+std::string ShardLabel(size_t shard, const ShardTransport& transport) {
+  return "shard " + std::to_string(shard) + " (" + transport.Describe() + ")";
+}
+
+/// Mirrors TrassStore::ResolveStop so coordinator queries report stops
+/// the same way single-store queries do.
+Status ResolveStop(const Status& stop, bool allow_partial,
+                   core::QueryMetrics* m) {
+  if (stop.IsTimedOut()) {
+    m->deadline_expired = true;
+  } else if (stop.IsCancelled()) {
+    m->cancelled = true;
+  } else if (stop.IsBusy()) {
+    m->budget_exhausted = true;
+  }
+  if (!allow_partial) return stop;
+  m->partial = true;
+  return Status::OK();
+}
+
+/// Folds one shard's QueryMetrics into the coordinator-level rollup:
+/// counters and CPU times sum, degradation flags OR (a partial shard
+/// answer makes the merged answer partial — never an unreported gap).
+void FoldShardMetrics(const core::QueryMetrics& from, core::QueryMetrics* to) {
+  to->pruning_ms += from.pruning_ms;
+  to->scan_ms += from.scan_ms;
+  to->refine_ms += from.refine_ms;
+  to->scan_ranges += from.scan_ranges;
+  to->index_values += from.index_values;
+  to->retrieved += from.retrieved;
+  to->candidates += from.candidates;
+  to->refined += from.refined;
+  to->lb_rejected += from.lb_rejected;
+  to->refine_dp_runs += from.refine_dp_runs;
+  to->refine_threads = std::max(to->refine_threads, from.refine_threads);
+  to->refine_decode_ms += from.refine_decode_ms;
+  to->refine_lb_ms += from.refine_lb_ms;
+  to->refine_dp_ms += from.refine_dp_ms;
+  to->partial = to->partial || from.partial;
+  to->skipped_regions += from.skipped_regions;
+  to->scan_retries += from.scan_retries;
+  to->replica_failovers += from.replica_failovers;
+  to->deadline_expired = to->deadline_expired || from.deadline_expired;
+  to->cancelled = to->cancelled || from.cancelled;
+  to->budget_exhausted = to->budget_exhausted || from.budget_exhausted;
+  to->admission_wait_ms += from.admission_wait_ms;
+  to->ingest_watermark = std::max(to->ingest_watermark, from.ingest_watermark);
+  to->read_only_replicas += from.read_only_replicas;
+}
+
+void ArmControl(const core::QueryOptions& options, QueryContext* control) {
+  control->SetDeadlineAfterMillis(options.deadline_ms);
+  if (options.cancel != nullptr) control->SetCancelFlag(options.cancel);
+  // The candidate budget is enforced shard-side: it rides in
+  // ShardRequest::max_candidates, not in this (routing-only) context.
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyTracker
+
+void ShardCoordinator::LatencyTracker::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < window_) {
+    ring_.push_back(ms);
+  } else {
+    ring_[next_] = ms;
+  }
+  next_ = (next_ + 1) % window_;
+}
+
+double ShardCoordinator::LatencyTracker::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return 0.0;
+  std::vector<double> sorted = ring_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const size_t index = rank <= 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// QueryState
+
+struct ShardCoordinator::QueryState {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  ShardRequest base;                    // per-attempt request template
+  const QueryContext* control = nullptr;  // valid only until `done`
+
+  bool done = false;      // FanOut resolved; late attempts are stragglers
+  size_t unresolved = 0;  // slots not yet Done/Failed/Skipped
+  uint64_t next_epoch = 0;
+  uint64_t hedges_sent = 0;
+  uint64_t hedge_wins = 0;
+
+  struct Slot {
+    enum class S { kUnlaunched, kInFlight, kDone, kFailed, kSkipped };
+    S state = S::kUnlaunched;
+    bool launched = false;   // got at least one attempt (contacted)
+    ShardResponse response;  // the winning attempt's answer (kDone)
+    Status last_error;       // most recent shard-attributed failure
+    int retries_used = 0;
+    bool hedged = false;       // at most one hedge per shard per query
+    int active_attempts = 0;   // attempts currently on the wire
+    bool retry_scheduled = false;
+    Clock::time_point retry_due{};
+    Clock::time_point launch_time{};  // primary launch (hedge timing)
+    // Kill switches of in-flight attempts, keyed by attempt epoch; set
+    // when a sibling wins or the fan-out tears down.
+    std::vector<std::pair<uint64_t, std::shared_ptr<std::atomic<bool>>>> live;
+  };
+  std::vector<Slot> slots;
+
+  /// Current merged k-th distance across resolved shards — the monotone
+  /// upper bound follow-up waves carry (infinity until k results have
+  /// merged). Caller holds mu.
+  double CurrentTopKBound() const {
+    if (base.op != ShardOp::kTopK || base.k <= 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    std::vector<double> distances;
+    for (const Slot& slot : slots) {
+      if (slot.state != Slot::S::kDone) continue;
+      for (const core::SearchResult& r : slot.response.results) {
+        distances.push_back(r.distance);
+      }
+    }
+    const size_t k = static_cast<size_t>(base.k);
+    if (distances.size() < k) return std::numeric_limits<double>::infinity();
+    std::nth_element(distances.begin(), distances.begin() + (k - 1),
+                     distances.end());
+    return distances[k - 1];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+
+ShardCoordinator::ShardCoordinator(
+    const CoordinatorOptions& options,
+    std::vector<std::shared_ptr<ShardTransport>> shards)
+    : options_(options),
+      transports_(std::move(shards)),
+      partitioner_(transports_.size(), options.max_resolution),
+      quota_(TenantQuota::Options{options.tenant_tokens_per_sec,
+                                  options.tenant_burst}),
+      retry_policy_(RetryPolicy::Options{
+          options.max_shard_retries, options.retry_base_backoff_ms,
+          options.retry_max_backoff_ms, options.retry_jitter}) {
+  for (size_t i = 0; i < transports_.size(); ++i) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(
+        CircuitBreaker::Options{options_.breaker_failure_threshold,
+                                options_.breaker_cooldown_ms}));
+    auto per_shard = std::make_unique<PerShard>();
+    per_shard->latency =
+        std::make_unique<LatencyTracker>(options_.hedge_latency_window);
+    per_shard_.push_back(std::move(per_shard));
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      options_.pool_threads == 0 ? 1 : options_.pool_threads);
+}
+
+// Members destroy in reverse order: the pool first, joining in-flight
+// attempt tasks while the transports they use are still alive.
+ShardCoordinator::~ShardCoordinator() = default;
+
+// ---------------------------------------------------------------------------
+// Fan-out machinery
+
+double ShardCoordinator::ShardBudgetMs(const QueryContext* control) const {
+  const double remaining = control->RemainingMillis();
+  if (!std::isfinite(remaining)) return 0.0;  // undeadlined
+  return std::max(options_.min_shard_budget_ms,
+                  remaining * (1.0 - options_.merge_reserve_fraction));
+}
+
+double ShardCoordinator::HedgeDelayMs(size_t shard) const {
+  return std::max(options_.hedge_min_delay_ms,
+                  per_shard_[shard]->latency->Percentile(95.0));
+}
+
+void ShardCoordinator::LaunchAttempt(const std::shared_ptr<QueryState>& state,
+                                     size_t shard, bool is_hedge,
+                                     const QueryContext* control) {
+  QueryState::Slot& slot = state->slots[shard];
+  const uint64_t epoch = ++state->next_epoch;
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  slot.live.emplace_back(epoch, cancel);
+  slot.active_attempts++;
+  if (slot.state == QueryState::Slot::S::kUnlaunched) {
+    slot.state = QueryState::Slot::S::kInFlight;
+  }
+  slot.launched = true;
+  if (is_hedge) {
+    slot.hedged = true;
+    state->hedges_sent++;
+    per_shard_[shard]->hedges_sent.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot.launch_time = Clock::now();
+  }
+  per_shard_[shard]->attempts.fetch_add(1, std::memory_order_relaxed);
+
+  ShardRequest request = state->base;
+  request.deadline_ms = ShardBudgetMs(control);
+  if (request.op == ShardOp::kTopK) {
+    request.bound = std::min(request.bound, state->CurrentTopKBound());
+  }
+
+  std::shared_ptr<ShardTransport> transport = transports_[shard];
+  pool_->Submit([this, state, shard, is_hedge, epoch, cancel,
+                 transport = std::move(transport),
+                 request = std::move(request)]() mutable {
+    Stopwatch watch;
+    ShardResponse response;
+    Status status = transport->Execute(request, cancel.get(), &response);
+    OnAttemptComplete(state, shard, is_hedge, epoch, watch.ElapsedMillis(),
+                      std::move(status), std::move(response));
+  });
+}
+
+void ShardCoordinator::OnAttemptComplete(
+    const std::shared_ptr<QueryState>& state, size_t shard, bool is_hedge,
+    uint64_t epoch, double elapsed_ms, Status status,
+    ShardResponse&& response) {
+  // Shard-health bookkeeping first (the breaker has its own lock).
+  // Cancelled is the coordinator reclaiming its own attempt — a hedge
+  // loser or a post-merge straggler — never a shard-attributed fault.
+  if (status.ok()) {
+    breakers_[shard]->RecordSuccess();
+    per_shard_[shard]->latency->Record(elapsed_ms);
+  } else if (!status.IsCancelled()) {
+    per_shard_[shard]->failures.fetch_add(1, std::memory_order_relaxed);
+    breakers_[shard]->RecordFailure(status);
+  }
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  QueryState::Slot& slot = state->slots[shard];
+  slot.active_attempts--;
+  slot.live.erase(
+      std::remove_if(slot.live.begin(), slot.live.end(),
+                     [epoch](const auto& entry) { return entry.first == epoch; }),
+      slot.live.end());
+
+  if (status.ok()) {
+    if (slot.state == QueryState::Slot::S::kInFlight) {
+      // First response wins; the slot merges exactly once.
+      slot.state = QueryState::Slot::S::kDone;
+      slot.response = std::move(response);
+      slot.retry_scheduled = false;
+      state->unresolved--;
+      if (is_hedge) {
+        state->hedge_wins++;
+        per_shard_[shard]->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (auto& [live_epoch, live_cancel] : slot.live) {
+        live_cancel->store(true);  // losers return promptly, answers dropped
+      }
+    }
+    // Else: a straggler finishing after the merge — result dropped (its
+    // breaker RecordSuccess above still counts as a liveness signal).
+  } else if (!state->done &&
+             slot.state == QueryState::Slot::S::kInFlight) {
+    if (!status.IsCancelled()) slot.last_error = status;
+    if (slot.active_attempts == 0) {
+      // Last in-flight attempt for this shard failed; retry or give up.
+      // Query stops (TimedOut/Busy) from the *shard's* budget are
+      // retryable here — the coordinator may still have budget — while
+      // Cancelled/InvalidArgument/NotSupported never are.
+      const bool retryable =
+          !(status.IsCancelled() || status.IsInvalidArgument() ||
+            status.IsNotSupported());
+      bool scheduled = false;
+      if (retryable && slot.retries_used < options_.max_shard_retries) {
+        const double backoff_ms =
+            static_cast<double>(retry_policy_.BackoffMs(slot.retries_used + 1));
+        // Fail fast when the backoff would overshoot the remaining
+        // deadline: sleeping a budget's tail buys one doomed attempt.
+        if (backoff_ms <= state->control->RemainingMillis()) {
+          slot.retries_used++;
+          slot.retry_scheduled = true;
+          slot.retry_due = Clock::now() + MillisDuration(backoff_ms);
+          scheduled = true;
+        }
+      }
+      if (!scheduled) {
+        slot.state = QueryState::Slot::S::kFailed;
+        if (slot.last_error.ok()) slot.last_error = status;
+        state->unresolved--;
+      }
+    }
+  }
+  state->cv.notify_all();
+}
+
+Status ShardCoordinator::FanOut(const ShardRequest& base,
+                                const CoordinatorQueryOptions& options,
+                                const QueryContext* control,
+                                std::shared_ptr<QueryState>* state_out,
+                                core::QueryMetrics* m) {
+  (void)options;
+  auto state = std::make_shared<QueryState>();
+  state->base = base;
+  state->control = control;
+  const size_t n = transports_.size();
+  state->slots.resize(n);
+  state->unresolved = n;
+  *state_out = state;
+
+  Status fail;
+  std::unique_lock<std::mutex> lock(state->mu);
+
+  // Breaker gating + primary launches.
+  for (size_t i = 0; i < n && fail.ok(); ++i) {
+    const CircuitBreaker::Decision decision = breakers_[i]->Admit();
+    if (decision == CircuitBreaker::Decision::kReject) {
+      m->breaker_open++;
+      QueryState::Slot& slot = state->slots[i];
+      slot.state = QueryState::Slot::S::kSkipped;
+      const Status last = breakers_[i]->last_error();
+      slot.last_error = last.ok() ? Status::Busy("circuit breaker open") : last;
+      state->unresolved--;
+      if (!base.allow_partial) {
+        fail = slot.last_error.WithContext(ShardLabel(i, *transports_[i]) +
+                                           " circuit breaker open");
+      }
+    } else {
+      // kProceed or kProbe: either way the attempt outcome is recorded,
+      // which is all the probe contract requires.
+      LaunchAttempt(state, i, /*is_hedge=*/false, control);
+    }
+  }
+
+  // Wait loop: launch due retries and hedges, wake on attempt
+  // completions, poll the caller's control every tick.
+  while (fail.ok() && state->unresolved > 0) {
+    if (control->ShouldStop()) break;
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next_wake = now + MillisDuration(10.0);
+    for (size_t i = 0; i < n; ++i) {
+      QueryState::Slot& slot = state->slots[i];
+      if (slot.retry_scheduled) {
+        if (now >= slot.retry_due) {
+          slot.retry_scheduled = false;
+          LaunchAttempt(state, i, /*is_hedge=*/false, control);
+        } else {
+          next_wake = std::min(next_wake, slot.retry_due);
+        }
+      } else if (options_.enable_hedging &&
+                 slot.state == QueryState::Slot::S::kInFlight &&
+                 slot.active_attempts == 1 && !slot.hedged) {
+        const Clock::time_point hedge_at =
+            slot.launch_time + MillisDuration(HedgeDelayMs(i));
+        if (now >= hedge_at) {
+          LaunchAttempt(state, i, /*is_hedge=*/true, control);
+        } else {
+          next_wake = std::min(next_wake, hedge_at);
+        }
+      }
+      if (slot.state == QueryState::Slot::S::kFailed && !base.allow_partial) {
+        fail = slot.last_error.WithContext(ShardLabel(i, *transports_[i]));
+        break;
+      }
+    }
+    if (!fail.ok() || state->unresolved == 0) break;
+    state->cv.wait_until(lock, next_wake);
+  }
+
+  // Teardown: freeze the merge set. Every still-open slot becomes
+  // terminal so a straggler's late answer can never mutate results the
+  // caller is already reading, and every live attempt is cancelled so
+  // transports release their threads promptly.
+  state->done = true;
+  uint64_t contacted = 0;
+  uint64_t skipped = 0;
+  for (QueryState::Slot& slot : state->slots) {
+    for (auto& [live_epoch, live_cancel] : slot.live) {
+      live_cancel->store(true);
+    }
+    if (slot.state == QueryState::Slot::S::kInFlight ||
+        slot.state == QueryState::Slot::S::kUnlaunched) {
+      slot.state = QueryState::Slot::S::kSkipped;
+      slot.retry_scheduled = false;
+    }
+    if (slot.launched) contacted++;
+    if (slot.state != QueryState::Slot::S::kDone) skipped++;
+  }
+  m->shards_contacted += contacted;
+  m->hedges_sent += state->hedges_sent;
+  m->hedge_wins += state->hedge_wins;
+
+  if (!fail.ok()) return fail;
+  if (skipped == 0) return Status::OK();
+
+  if (!base.allow_partial) {
+    for (size_t i = 0; i < n; ++i) {
+      if (state->slots[i].state == QueryState::Slot::S::kFailed) {
+        return state->slots[i].last_error.WithContext(
+            ShardLabel(i, *transports_[i]));
+      }
+    }
+    const Status stop = control->Check();
+    if (!stop.ok()) return ResolveStop(stop, /*allow_partial=*/false, m);
+    return Status::IoError("shards unresolved");  // defensive; unreachable
+  }
+
+  // Verified-partial degradation: the merge is a sound subset and the
+  // gap is reported, never silent.
+  m->partial = true;
+  m->shards_skipped += skipped;
+  const Status stop = control->Check();
+  if (!stop.ok()) ResolveStop(stop, /*allow_partial=*/true, m);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Ingest
+
+Status ShardCoordinator::Put(const core::Trajectory& trajectory) {
+  return PutBatch({trajectory});
+}
+
+Status ShardCoordinator::PutBatch(
+    const std::vector<core::Trajectory>& trajectories) {
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shards");
+  }
+  for (const core::Trajectory& t : trajectories) {
+    if (t.points.empty()) {
+      return Status::InvalidArgument("empty trajectory " + std::to_string(t.id));
+    }
+  }
+  std::vector<std::vector<core::Trajectory>> groups(transports_.size());
+  for (const core::Trajectory& t : trajectories) {
+    groups[partitioner_.ShardOf(t)].push_back(t);
+  }
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].empty()) continue;
+    ShardRequest request;
+    request.op = ShardOp::kPut;
+    request.trajectories = std::move(groups[i]);
+    const Status s = retry_policy_.Run([&] {
+      ShardResponse response;
+      return transports_[i]->Execute(request, nullptr, &response);
+    });
+    if (s.ok()) {
+      breakers_[i]->RecordSuccess();
+    } else {
+      per_shard_[i]->failures.fetch_add(1, std::memory_order_relaxed);
+      breakers_[i]->RecordFailure(s);
+      return s.WithContext(ShardLabel(i, *transports_[i]));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+Status ShardCoordinator::ThresholdSearch(const std::vector<geo::Point>& query,
+                                         double eps, core::Measure measure,
+                                         std::vector<core::SearchResult>* results,
+                                         core::QueryMetrics* metrics,
+                                         const CoordinatorQueryOptions& options) {
+  results->clear();
+  core::QueryMetrics local_metrics;
+  core::QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = core::QueryMetrics();
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shards");
+  }
+  Stopwatch total;
+  if (Status admit = quota_.Acquire(options.tenant); !admit.ok()) return admit;
+  QueryContext control;
+  ArmControl(options.query, &control);
+
+  ShardRequest base;
+  base.op = ShardOp::kThreshold;
+  base.query = query;
+  base.eps = eps;
+  base.measure = measure;
+  base.max_candidates = options.query.max_candidates;
+  base.allow_partial = options.query.allow_partial;
+
+  std::shared_ptr<QueryState> state;
+  const Status s = FanOut(base, options, &control, &state, m);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (QueryState::Slot& slot : state->slots) {
+      if (slot.state != QueryState::Slot::S::kDone) continue;
+      FoldShardMetrics(slot.response.metrics, m);
+      results->insert(results->end(), slot.response.results.begin(),
+                      slot.response.results.end());
+    }
+    // Shards are disjoint by trajectory, so concat + the SearchResult
+    // (distance, id) order reproduces the single-store answer exactly.
+    std::sort(results->begin(), results->end());
+    m->results = results->size();
+  }
+  m->total_ms = total.ElapsedMillis();
+  return s;
+}
+
+Status ShardCoordinator::TopKSearch(const std::vector<geo::Point>& query, int k,
+                                    core::Measure measure,
+                                    std::vector<core::SearchResult>* results,
+                                    core::QueryMetrics* metrics,
+                                    const CoordinatorQueryOptions& options) {
+  results->clear();
+  core::QueryMetrics local_metrics;
+  core::QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = core::QueryMetrics();
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (k <= 0) return Status::OK();
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shards");
+  }
+  Stopwatch total;
+  if (Status admit = quota_.Acquire(options.tenant); !admit.ok()) return admit;
+  QueryContext control;
+  ArmControl(options.query, &control);
+
+  ShardRequest base;
+  base.op = ShardOp::kTopK;
+  base.query = query;
+  base.k = k;
+  base.measure = measure;
+  base.max_candidates = options.query.max_candidates;
+  base.allow_partial = options.query.allow_partial;
+
+  std::shared_ptr<QueryState> state;
+  const Status s = FanOut(base, options, &control, &state, m);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (QueryState::Slot& slot : state->slots) {
+      if (slot.state != QueryState::Slot::S::kDone) continue;
+      FoldShardMetrics(slot.response.metrics, m);
+      results->insert(results->end(), slot.response.results.begin(),
+                      slot.response.results.end());
+    }
+    // Each shard's answer is a superset of its contribution to the
+    // global top-k (a local top-k, or everything under the propagated
+    // bound), so sort + truncate is the exact global answer.
+    std::sort(results->begin(), results->end());
+    if (results->size() > static_cast<size_t>(k)) {
+      results->resize(static_cast<size_t>(k));
+    }
+    m->results = results->size();
+  }
+  m->total_ms = total.ElapsedMillis();
+  return s;
+}
+
+Status ShardCoordinator::RangeQuery(const geo::Mbr& window,
+                                    std::vector<uint64_t>* ids,
+                                    core::QueryMetrics* metrics,
+                                    const CoordinatorQueryOptions& options) {
+  ids->clear();
+  core::QueryMetrics local_metrics;
+  core::QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = core::QueryMetrics();
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shards");
+  }
+  Stopwatch total;
+  if (Status admit = quota_.Acquire(options.tenant); !admit.ok()) return admit;
+  QueryContext control;
+  ArmControl(options.query, &control);
+
+  ShardRequest base;
+  base.op = ShardOp::kRange;
+  base.window = window;
+  base.max_candidates = options.query.max_candidates;
+  base.allow_partial = options.query.allow_partial;
+
+  std::shared_ptr<QueryState> state;
+  const Status s = FanOut(base, options, &control, &state, m);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (QueryState::Slot& slot : state->slots) {
+      if (slot.state != QueryState::Slot::S::kDone) continue;
+      FoldShardMetrics(slot.response.metrics, m);
+      ids->insert(ids->end(), slot.response.ids.begin(),
+                  slot.response.ids.end());
+    }
+    std::sort(ids->begin(), ids->end());
+    m->results = ids->size();
+  }
+  m->total_ms = total.ElapsedMillis();
+  return s;
+}
+
+Status ShardCoordinator::SimilarityJoin(
+    double eps, core::Measure measure,
+    std::vector<std::pair<uint64_t, uint64_t>>* pairs,
+    core::QueryMetrics* metrics, const CoordinatorQueryOptions& options) {
+  pairs->clear();
+  core::QueryMetrics local_metrics;
+  core::QueryMetrics* m = metrics != nullptr ? metrics : &local_metrics;
+  *m = core::QueryMetrics();
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shards");
+  }
+  Stopwatch total;
+  // One quota token covers the whole join (the single-store join holds
+  // one admission slot the same way); the probes below skip the quota.
+  if (Status admit = quota_.Acquire(options.tenant); !admit.ok()) return admit;
+  QueryContext control;
+  ArmControl(options.query, &control);
+  const bool allow_partial = options.query.allow_partial;
+
+  // Phase 1: export every shard's stored trajectories.
+  ShardRequest export_request;
+  export_request.op = ShardOp::kExport;
+  export_request.allow_partial = allow_partial;
+  std::shared_ptr<QueryState> export_state;
+  Status s = FanOut(export_request, options, &control, &export_state, m);
+  if (!s.ok()) {
+    m->total_ms = total.ElapsedMillis();
+    return s;
+  }
+  std::vector<core::Trajectory> all;
+  {
+    std::lock_guard<std::mutex> lock(export_state->mu);
+    for (QueryState::Slot& slot : export_state->slots) {
+      if (slot.state != QueryState::Slot::S::kDone) continue;
+      FoldShardMetrics(slot.response.metrics, m);
+      std::move(slot.response.trajectories.begin(),
+                slot.response.trajectories.end(), std::back_inserter(all));
+      slot.response.trajectories.clear();
+    }
+  }
+  // Probe order is irrelevant (pairs are sorted at the end) but a
+  // deterministic order keeps runs reproducible.
+  std::sort(all.begin(), all.end(),
+            [](const core::Trajectory& a, const core::Trajectory& b) {
+              return a.id < b.id;
+            });
+
+  // Phase 2: probe the whole tier with each trajectory — the exact
+  // probe-per-row algorithm TrassStore::SimilarityJoin runs locally.
+  Status stopped;
+  for (const core::Trajectory& t : all) {
+    if (Status stop = control.Check(); !stop.ok()) {
+      stopped = stop;
+      break;
+    }
+    ShardRequest probe;
+    probe.op = ShardOp::kThreshold;
+    probe.query = t.points;
+    probe.eps = eps;
+    probe.measure = measure;
+    probe.max_candidates = options.query.max_candidates;
+    probe.allow_partial = allow_partial;
+    std::shared_ptr<QueryState> probe_state;
+    s = FanOut(probe, options, &control, &probe_state, m);
+    if (s.IsQueryStop()) {
+      // Pairs from completed probes are exact; the stopped probe's
+      // partial matches are discarded (they could miss pairs).
+      stopped = s;
+      break;
+    }
+    if (!s.ok()) {
+      m->total_ms = total.ElapsedMillis();
+      return s;
+    }
+    std::lock_guard<std::mutex> lock(probe_state->mu);
+    for (QueryState::Slot& slot : probe_state->slots) {
+      if (slot.state != QueryState::Slot::S::kDone) continue;
+      FoldShardMetrics(slot.response.metrics, m);
+      for (const core::SearchResult& match : slot.response.results) {
+        if (match.id > t.id) pairs->emplace_back(t.id, match.id);
+      }
+    }
+  }
+  std::sort(pairs->begin(), pairs->end());
+  m->results = pairs->size();
+  m->total_ms = total.ElapsedMillis();
+  if (!stopped.ok()) return ResolveStop(stopped, allow_partial, m);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+std::vector<ShardStats> ShardCoordinator::Stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(transports_.size());
+  for (size_t i = 0; i < transports_.size(); ++i) {
+    ShardStats stats;
+    stats.endpoint = transports_[i]->Describe();
+    stats.breaker_state = breakers_[i]->state();
+    const CircuitBreaker::Counters counters = breakers_[i]->counters();
+    stats.breaker_trips = counters.trips;
+    stats.breaker_rejected = counters.rejected;
+    stats.hedges_sent =
+        per_shard_[i]->hedges_sent.load(std::memory_order_relaxed);
+    stats.hedge_wins =
+        per_shard_[i]->hedge_wins.load(std::memory_order_relaxed);
+    stats.attempts = per_shard_[i]->attempts.load(std::memory_order_relaxed);
+    stats.failures = per_shard_[i]->failures.load(std::memory_order_relaxed);
+    stats.p95_latency_ms = per_shard_[i]->latency->Percentile(95.0);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace trass

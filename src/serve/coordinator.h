@@ -1,0 +1,247 @@
+// ShardCoordinator: the fault-tolerant scatter-gather serving tier.
+//
+// N TrassStore shards sit behind ShardTransports (in-process, socket,
+// or fault-injected); the coordinator partitions ingest across them
+// (serve/partitioner.h) and fans threshold / top-k / within / join
+// queries out, merging partial results into answers that are
+// byte-identical to a single store over the union dataset when every
+// shard answers. The headline is the fault behavior:
+//
+//   * Deadline budgeting — each shard attempt gets a budget carved
+//     from the caller's remaining deadline (minus a merge reserve), so
+//     a shard self-terminates rather than relying on abandonment.
+//   * Hedged requests — a shard quiet past its p95-tracked latency
+//     (floored at hedge_min_delay_ms) gets one duplicate request;
+//     first response wins, the loser is cancelled. Safe because shard
+//     queries are idempotent and each shard's slot merges exactly once.
+//   * Retries — failed attempts reuse util/retry_policy's capped
+//     exponential schedule; a backoff that would overshoot the
+//     remaining deadline fails fast with the last error.
+//   * Circuit breakers — consecutive shard failures open a per-shard
+//     breaker (closed -> open -> half-open probe, mirroring replica
+//     demotion/reinstatement) so dead shards cost one check, not a
+//     deadline budget, per query.
+//   * Verified-partial merges — with allow_partial, missing shards
+//     degrade the answer to a verified subset, flagged via
+//     QueryMetrics::{partial, shards_skipped}; without it, the first
+//     unabsorbable fault fails the query with the shard attributed.
+//   * Per-tenant token buckets — over-quota tenants shed as one fast
+//     Status::Busy at the router, composing with each shard's
+//     AdmissionController underneath.
+//
+// Top-k merges maintain a shared monotonically tightening k-th-distance
+// bound: follow-up waves (retries and hedges launched after the first
+// k results merged) carry the current bound, which the shard serves as
+// a threshold search — strictly more pruning, same answer.
+//
+// Thread-safe: queries may run concurrently; hedges/retries of one
+// query share its internal state under one mutex. Transports and the
+// stores behind them must outlive the coordinator.
+
+#ifndef TRASS_SERVE_COORDINATOR_H_
+#define TRASS_SERVE_COORDINATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/measure.h"
+#include "core/metrics.h"
+#include "core/trajectory.h"
+#include "core/trass_store.h"  // core::QueryOptions
+#include "geo/mbr.h"
+#include "serve/circuit_breaker.h"
+#include "serve/partitioner.h"
+#include "serve/shard_transport.h"
+#include "serve/tenant_quota.h"
+#include "util/query_context.h"
+#include "util/retry_policy.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace trass {
+namespace serve {
+
+struct CoordinatorOptions {
+  /// XZ* max resolution used for ingest routing; MUST match the shard
+  /// stores' TrassOptions::max_resolution.
+  int max_resolution = 16;
+
+  /// Fan-out worker pool size (attempts in flight across all queries).
+  size_t pool_threads = 8;
+
+  /// Hedging. A shard quiet past max(hedge_min_delay_ms, its p95 over
+  /// the last hedge_latency_window successful attempts) gets one
+  /// hedged duplicate. Off: stragglers ride out their deadline budget.
+  bool enable_hedging = true;
+  double hedge_min_delay_ms = 10.0;
+  size_t hedge_latency_window = 128;
+
+  /// Per-shard retry schedule (see util/retry_policy). A retry whose
+  /// backoff overshoots the remaining deadline fails fast instead.
+  int max_shard_retries = 2;
+  uint64_t retry_base_backoff_ms = 2;
+  uint64_t retry_max_backoff_ms = 100;
+  double retry_jitter = 0.2;
+
+  /// Circuit breaker per shard.
+  int breaker_failure_threshold = 3;
+  double breaker_cooldown_ms = 500.0;
+
+  /// Fraction of the remaining deadline withheld from shard budgets
+  /// for coordinator-side merging, clamped to at least
+  /// min_shard_budget_ms for the shard.
+  double merge_reserve_fraction = 0.05;
+  double min_shard_budget_ms = 1.0;
+
+  /// Per-tenant router quota (see serve/tenant_quota.h); <= 0 disables.
+  double tenant_tokens_per_sec = 0.0;
+  double tenant_burst = 0.0;
+};
+
+/// Coordinator-level per-query controls: the store's QueryOptions plus
+/// the tenant the query bills against.
+struct CoordinatorQueryOptions {
+  core::QueryOptions query;
+  std::string tenant = "default";
+};
+
+/// Point-in-time per-shard observability snapshot.
+struct ShardStats {
+  std::string endpoint;
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_rejected = 0;
+  uint64_t hedges_sent = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t attempts = 0;
+  uint64_t failures = 0;
+  double p95_latency_ms = 0.0;
+};
+
+class ShardCoordinator {
+ public:
+  ShardCoordinator(const CoordinatorOptions& options,
+                   std::vector<std::shared_ptr<ShardTransport>> shards);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  size_t num_shards() const { return transports_.size(); }
+
+  // ---- ingest (partitioned, synchronous) ----
+
+  Status Put(const core::Trajectory& trajectory);
+  /// Routes the batch through the partitioner and applies one kPut per
+  /// owning shard (each shard's group-commit machinery takes over from
+  /// there). Fails with the first shard error; no hedging on writes
+  /// (duplicated ingest is not idempotent the way queries are).
+  Status PutBatch(const std::vector<core::Trajectory>& trajectories);
+
+  // ---- queries (scatter-gather) ----
+
+  Status ThresholdSearch(const std::vector<geo::Point>& query, double eps,
+                         core::Measure measure,
+                         std::vector<core::SearchResult>* results,
+                         core::QueryMetrics* metrics = nullptr,
+                         const CoordinatorQueryOptions& options = {});
+
+  Status TopKSearch(const std::vector<geo::Point>& query, int k,
+                    core::Measure measure,
+                    std::vector<core::SearchResult>* results,
+                    core::QueryMetrics* metrics = nullptr,
+                    const CoordinatorQueryOptions& options = {});
+
+  Status RangeQuery(const geo::Mbr& window, std::vector<uint64_t>* ids,
+                    core::QueryMetrics* metrics = nullptr,
+                    const CoordinatorQueryOptions& options = {});
+
+  /// Distributed similarity self-join: exports every shard's
+  /// trajectories and probes each against the whole tier (the exact
+  /// algorithm TrassStore::SimilarityJoin runs against itself), so the
+  /// sorted pair list matches the single-store answer.
+  Status SimilarityJoin(double eps, core::Measure measure,
+                        std::vector<std::pair<uint64_t, uint64_t>>* pairs,
+                        core::QueryMetrics* metrics = nullptr,
+                        const CoordinatorQueryOptions& options = {});
+
+  // ---- observability / test hooks ----
+
+  std::vector<ShardStats> Stats() const;
+  CircuitBreaker* breaker(size_t shard) { return breakers_[shard].get(); }
+  const Partitioner& partitioner() const { return partitioner_; }
+  TenantQuota* quota() { return &quota_; }
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct QueryState;  // per-fan-out shared state (coordinator.cc)
+
+  /// Tracks recent successful-attempt latencies for one shard; the
+  /// p95 feeds the hedge delay.
+  class LatencyTracker {
+   public:
+    explicit LatencyTracker(size_t window) : window_(window ? window : 1) {}
+    void Record(double ms);
+    double Percentile(double p) const;
+
+   private:
+    mutable std::mutex mu_;
+    size_t window_;
+    std::vector<double> ring_;
+    size_t next_ = 0;
+  };
+
+  /// Per-shard counters and latency history (breaker and transport live
+  /// in breakers_/transports_, indexed identically).
+  struct PerShard {
+    std::unique_ptr<LatencyTracker> latency;
+    std::atomic<uint64_t> attempts{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> hedges_sent{0};
+    std::atomic<uint64_t> hedge_wins{0};
+  };
+
+  /// One scatter-gather wave over every shard: breaker gating, primary
+  /// launch, hedge/retry scheduling, first-response-wins merge slots.
+  /// On return every slot is Done, Failed, or Skipped (post-deadline
+  /// stragglers are cancelled and counted skipped). Populates
+  /// `state_out` for the caller to merge.
+  Status FanOut(const ShardRequest& base,
+                const CoordinatorQueryOptions& options,
+                const QueryContext* control,
+                std::shared_ptr<QueryState>* state_out,
+                core::QueryMetrics* m);
+
+  /// Launches one attempt (primary, retry, or hedge) for `shard`.
+  /// Caller holds the state mutex.
+  void LaunchAttempt(const std::shared_ptr<QueryState>& state, size_t shard,
+                     bool is_hedge, const QueryContext* control);
+
+  /// Attempt completion handler (runs on pool threads).
+  void OnAttemptComplete(const std::shared_ptr<QueryState>& state,
+                         size_t shard, bool is_hedge, uint64_t epoch,
+                         double elapsed_ms, Status status,
+                         ShardResponse&& response);
+
+  double ShardBudgetMs(const QueryContext* control) const;
+  double HedgeDelayMs(size_t shard) const;
+
+  CoordinatorOptions options_;
+  std::vector<std::shared_ptr<ShardTransport>> transports_;
+  Partitioner partitioner_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::vector<std::unique_ptr<PerShard>> per_shard_;
+  TenantQuota quota_;
+  RetryPolicy retry_policy_;
+
+  // Declared last: destroyed first, joining in-flight attempt tasks
+  // while the transports and trackers they reference are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_COORDINATOR_H_

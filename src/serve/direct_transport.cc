@@ -1,0 +1,93 @@
+#include "serve/direct_transport.h"
+
+#include <cmath>
+
+#include "core/row_codec.h"
+#include "kv/region_store.h"
+#include "kv/scan.h"
+#include "util/query_context.h"
+
+namespace trass {
+namespace serve {
+
+namespace {
+
+core::QueryOptions MakeQueryOptions(const ShardRequest& request,
+                                    const std::atomic<bool>* cancel) {
+  core::QueryOptions qo;
+  qo.deadline_ms = request.deadline_ms;
+  qo.cancel = cancel;
+  qo.max_candidates = request.max_candidates;
+  qo.allow_partial = request.allow_partial;
+  return qo;
+}
+
+Status ExportTrajectories(core::TrassStore* store,
+                          const ShardRequest& request,
+                          const std::atomic<bool>* cancel,
+                          ShardResponse* response) {
+  QueryContext control;
+  control.SetDeadlineAfterMillis(request.deadline_ms);
+  control.SetCancelFlag(cancel);
+  std::vector<kv::Row> rows;
+  kv::ScanReport report;
+  Status s = store->region_store()->Scan({kv::ScanRange{"", ""}}, nullptr,
+                                         &rows, &report, &control);
+  if (!s.ok()) return s;
+  response->trajectories.reserve(rows.size());
+  for (const kv::Row& row : rows) {
+    core::StoredTrajectory t;
+    s = core::DecodeRow(Slice(row.key), Slice(row.value), &t);
+    if (!s.ok()) return s;
+    core::Trajectory out;
+    out.id = t.id;
+    out.points = std::move(t.points);
+    response->trajectories.push_back(std::move(out));
+  }
+  response->metrics.retrieved = rows.size();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExecuteOnStore(core::TrassStore* store, const ShardRequest& request,
+                      const std::atomic<bool>* cancel,
+                      ShardResponse* response) {
+  *response = ShardResponse();
+  switch (request.op) {
+    case ShardOp::kPing:
+      return Status::OK();
+    case ShardOp::kThreshold:
+      return store->ThresholdSearch(request.query, request.eps,
+                                    request.measure, &response->results,
+                                    &response->metrics,
+                                    MakeQueryOptions(request, cancel));
+    case ShardOp::kTopK:
+      if (std::isfinite(request.bound)) {
+        // Follow-up wave: the coordinator already holds k merged
+        // results at distance <= bound, so everything this shard can
+        // still contribute lies within it — a threshold search at the
+        // bound returns a superset of the shard's contribution with
+        // strictly more pruning than a blind local top-k.
+        return store->ThresholdSearch(request.query, request.bound,
+                                      request.measure, &response->results,
+                                      &response->metrics,
+                                      MakeQueryOptions(request, cancel));
+      }
+      return store->TopKSearch(request.query, request.k, request.measure,
+                               &response->results, &response->metrics,
+                               MakeQueryOptions(request, cancel));
+    case ShardOp::kRange:
+      return store->RangeQuery(request.window, &response->ids,
+                               &response->metrics,
+                               MakeQueryOptions(request, cancel));
+    case ShardOp::kExport:
+      return ExportTrajectories(store, request, cancel, response);
+    case ShardOp::kPut:
+      return store->PutBatch(request.trajectories);
+  }
+  return Status::InvalidArgument("unknown shard op");
+}
+
+}  // namespace serve
+}  // namespace trass

@@ -1,0 +1,135 @@
+#include "serve/fault_injection_transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace trass {
+namespace serve {
+
+FaultInjectionTransport::FaultInjectionTransport(
+    std::shared_ptr<ShardTransport> inner, const Options& options)
+    : inner_(std::move(inner)),
+      options_(options),
+      rng_state_(options.seed ? options.seed : 1) {}
+
+void FaultInjectionTransport::SetOptions(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t keep_rng = rng_state_;
+  options_ = options;
+  rng_state_ = keep_rng;
+}
+
+FaultInjectionTransport::Counters FaultInjectionTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+double FaultInjectionTransport::Draw() {
+  // xorshift64; caller holds mu_.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjectionTransport::CancellableSleep(
+    double ms, const std::atomic<bool>* cancel) const {
+  using Clock = std::chrono::steady_clock;
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (Clock::now() < until) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+Status FaultInjectionTransport::Execute(const ShardRequest& request,
+                                        const std::atomic<bool>* cancel,
+                                        ShardResponse* response) {
+  double max_block_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_block_ms = options_.max_block_ms;
+  }
+  if (wedged_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.wedged_calls;
+    }
+    // Alive-but-stuck: hold the attempt until the caller reclaims it.
+    CancellableSleep(max_block_ms, cancel);
+    return Status::IoError("injected fault: shard wedged");
+  }
+
+  enum class Kind { kNone, kError, kDrop, kDelay, kDuplicate };
+  Kind kind = Kind::kNone;
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double r = Draw();
+    double band = options_.error_probability;
+    if (r < band) {
+      kind = Kind::kError;
+      ++counters_.errors;
+    } else if (r < (band += options_.drop_probability)) {
+      kind = Kind::kDrop;
+      ++counters_.drops;
+    } else if (r < (band += options_.delay_probability)) {
+      kind = Kind::kDelay;
+      ++counters_.delays;
+      delay_ms = options_.delay_ms;
+    } else if (r < (band += options_.duplicate_probability)) {
+      kind = Kind::kDuplicate;
+      ++counters_.duplicates;
+    }
+  }
+
+  switch (kind) {
+    case Kind::kError:
+      return Status::IoError("injected fault: transport error");
+    case Kind::kDrop: {
+      // The request never arrives: nothing to show for the attempt's
+      // whole budget. Respect cancellation so hedges reclaim us.
+      const double block_ms = request.deadline_ms > 0.0
+                                  ? request.deadline_ms + 50.0
+                                  : max_block_ms;
+      CancellableSleep(std::min(block_ms, max_block_ms), cancel);
+      return Status::TimedOut("injected fault: request dropped");
+    }
+    case Kind::kDelay:
+      if (CancellableSleep(delay_ms, cancel)) {
+        return Status::Cancelled("attempt cancelled during injected delay");
+      }
+      break;
+    case Kind::kDuplicate: {
+      // Duplicated delivery: the shard executes the request twice; the
+      // first answer is the one "the network" returns. Queries are
+      // idempotent, so the merge must not notice.
+      ShardResponse first;
+      Status s = inner_->Execute(request, cancel, &first);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_.forwarded += 2;
+      }
+      ShardResponse second;
+      inner_->Execute(request, cancel, &second);
+      *response = std::move(first);
+      return s;
+    }
+    case Kind::kNone:
+      break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.forwarded;
+  }
+  return inner_->Execute(request, cancel, response);
+}
+
+}  // namespace serve
+}  // namespace trass

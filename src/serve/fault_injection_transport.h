@@ -1,0 +1,108 @@
+// FaultInjectionTransport: the chaos layer of the serving tier. Wraps
+// any ShardTransport and perturbs requests the way a real network and a
+// real wedged process would — the transport-level sibling of
+// kv::FaultInjectionEnv, seeded the same way (TRASS_CHAOS_SEED drives
+// the ci.sh chaos schedules).
+//
+// Fault kinds:
+//   error      fail immediately with an injected IoError
+//   drop       the request vanishes: block until the attempt's budget
+//              (deadline + slack) elapses or the caller cancels, then
+//              report TimedOut — exactly what a lost frame looks like
+//   delay      sleep delay_ms (cancellable), then forward
+//   duplicate  forward the request twice back-to-back, answering with
+//              the first result — duplicated delivery must be harmless
+//              because shard queries are idempotent
+//   wedge      the shard is alive-but-stuck: block until cancelled
+//              (ignores the request's own deadline, like a process
+//              that stopped scheduling its event loop)
+//
+// Probabilistic faults draw from a seeded xorshift under a mutex, so a
+// chaos schedule is reproducible from its seed. `SetWedged` is a level,
+// not an event: every call while wedged blocks. Counters let tests
+// assert the schedule actually fired.
+
+#ifndef TRASS_SERVE_FAULT_INJECTION_TRANSPORT_H_
+#define TRASS_SERVE_FAULT_INJECTION_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/shard_transport.h"
+
+namespace trass {
+namespace serve {
+
+class FaultInjectionTransport : public ShardTransport {
+ public:
+  struct Options {
+    double error_probability = 0.0;
+    double drop_probability = 0.0;
+    double delay_probability = 0.0;
+    double duplicate_probability = 0.0;
+    double delay_ms = 20.0;
+    /// Upper bound on any injected block (drop without a request
+    /// deadline, wedge without a cancel flag) so a misconfigured test
+    /// can never hang forever.
+    double max_block_ms = 30000.0;
+    uint64_t seed = 0x5eed;
+  };
+
+  struct Counters {
+    uint64_t forwarded = 0;   // requests that reached the inner transport
+    uint64_t errors = 0;
+    uint64_t drops = 0;
+    uint64_t delays = 0;
+    uint64_t duplicates = 0;
+    uint64_t wedged_calls = 0;
+    uint64_t faults() const {
+      return errors + drops + delays + duplicates + wedged_calls;
+    }
+  };
+
+  FaultInjectionTransport(std::shared_ptr<ShardTransport> inner,
+                          const Options& options);
+
+  /// Flips the wedge level. While true, every Execute blocks until its
+  /// cancel flag fires (or max_block_ms), then fails with IoError — the
+  /// caller's hedges, breaker, and deadline machinery must absorb it.
+  void SetWedged(bool wedged) { wedged_.store(wedged); }
+  bool wedged() const { return wedged_.load(); }
+
+  /// Replaces the probabilistic schedule (chaos trials reconfigure
+  /// between phases). The RNG state is NOT reset.
+  void SetOptions(const Options& options);
+
+  Counters counters() const;
+
+  Status Execute(const ShardRequest& request, const std::atomic<bool>* cancel,
+                 ShardResponse* response) override;
+
+  std::string Describe() const override {
+    return "fault(" + inner_->Describe() + ")";
+  }
+
+  ShardTransport* inner() { return inner_.get(); }
+
+ private:
+  /// Uniform draw in [0, 1) from the seeded generator.
+  double Draw();
+
+  /// Sleeps up to `ms`, polling `cancel`; true if cancelled first.
+  bool CancellableSleep(double ms, const std::atomic<bool>* cancel) const;
+
+  std::shared_ptr<ShardTransport> inner_;
+  mutable std::mutex mu_;  // guards options_, rng_state_, counters_
+  Options options_;
+  uint64_t rng_state_;
+  Counters counters_;
+  std::atomic<bool> wedged_{false};
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_FAULT_INJECTION_TRANSPORT_H_

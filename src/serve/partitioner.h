@@ -1,0 +1,61 @@
+// Partitioner: data placement for the scatter-gather tier. The XZ* key
+// space is hash-partitioned across N shards: a trajectory routes by the
+// hash of its encoded XZ* index value, so every trajectory of one index
+// space co-locates (narrow workloads stay cache-warm on few shards)
+// while the hash spreads the space's skew — the same trade the paper's
+// `shards` row-key component makes inside one store, lifted to the
+// shard topology. Queries still fan out to every shard: global pruning
+// runs shard-side against each shard's own value directory, and a
+// shard holding nothing in the query's ranges answers from metadata
+// without touching its LSM.
+//
+// Routing is deterministic: the same trajectory always lands on the
+// same shard for a fixed (max_resolution, num_shards), which is what
+// the merge-equivalence tests rely on.
+
+#ifndef TRASS_SERVE_PARTITIONER_H_
+#define TRASS_SERVE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "core/trajectory.h"
+#include "index/xzstar.h"
+
+namespace trass {
+namespace serve {
+
+class Partitioner {
+ public:
+  Partitioner(size_t num_shards, int max_resolution)
+      : num_shards_(num_shards == 0 ? 1 : num_shards), xz_(max_resolution) {}
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard owning `trajectory` (requires at least one point).
+  size_t ShardOf(const core::Trajectory& trajectory) const {
+    return ShardOfValue(xz_.Encode(xz_.Index(trajectory.points)));
+  }
+
+  /// Shard owning XZ* index value `value`.
+  size_t ShardOfValue(int64_t value) const {
+    // FNV-1a over the 8 value bytes: cheap, stable, and mixes the
+    // depth-first-order locality of adjacent values away so one busy
+    // subtree does not pile onto one shard.
+    uint64_t h = 1469598103934665603ull;
+    uint64_t v = static_cast<uint64_t>(value);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h % num_shards_);
+  }
+
+ private:
+  size_t num_shards_;
+  index::XzStar xz_;
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_PARTITIONER_H_

@@ -1,0 +1,191 @@
+#include "serve/shard_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/direct_transport.h"
+#include "serve/wire.h"
+#include "util/coding.h"
+
+namespace trass {
+namespace serve {
+
+namespace {
+
+/// Blocking-with-poll read of exactly `len` bytes; false on EOF/error
+/// or when `stopping` turns true.
+bool ReadExact(int fd, size_t len, std::string* out,
+               const std::atomic<bool>* stopping) {
+  out->clear();
+  out->reserve(len);
+  char buf[4096];
+  while (out->size() < len) {
+    if (stopping->load(std::memory_order_relaxed)) return false;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) continue;
+    const size_t want = std::min(sizeof(buf), len - out->size());
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const std::string& data,
+              const std::atomic<bool>* stopping) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    if (stopping->load(std::memory_order_relaxed)) return false;
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardServer::ShardServer(core::TrassStore* store, std::string socket_path)
+    : store_(store), socket_path_(std::move(socket_path)) {}
+
+ShardServer::~ShardServer() { Stop(); }
+
+Status ShardServer::Start() {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("server already started");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const Status s =
+        Status::IoError("bind/listen " + socket_path_ + ": " +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ShardServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    // Unblocks the accept poll; the loop sees `stopping_` and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+  }
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;  // listen socket shut down
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void ShardServer::ServeConnection(int fd) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::string header;
+    if (!ReadExact(fd, 4, &header, &stopping_)) break;
+    const uint32_t payload_len = DecodeBigEndian32(header.data());
+    if (payload_len > kMaxWireFrameBytes) break;
+    std::string body;
+    if (!ReadExact(fd, payload_len, &body, &stopping_)) break;
+
+    ShardRequest request;
+    ShardResponse response;
+    Status exec_status = DecodeShardRequest(Slice(body), &request);
+    if (exec_status.ok()) {
+      // The server's kill switch doubles as the query's cancel flag so
+      // Stop() unwedges in-flight queries instead of waiting them out.
+      exec_status = ExecuteOnStore(store_, request, &stopping_, &response);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::string payload, frame;
+    EncodeShardResponse(response, exec_status, &payload);
+    FrameMessage(payload, &frame);
+    if (!WriteAll(fd, frame, &stopping_)) break;
+  }
+  {
+    // Deregister before closing so Stop() never shutdown()s a file
+    // descriptor number the kernel has already recycled.
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+}  // namespace serve
+}  // namespace trass

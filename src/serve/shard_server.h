@@ -1,0 +1,67 @@
+// ShardServer: serves one TrassStore over a local (AF_UNIX) stream
+// socket — the other half of the multi-process harness behind
+// SocketShardTransport. One accept thread plus one thread per
+// connection; each connection handles framed requests sequentially
+// through the same ExecuteOnStore dispatch the in-process transport
+// uses, so wire and direct shards are semantically identical.
+//
+// Shard-side protection is the request's own deadline (threaded into
+// QueryOptions by ExecuteOnStore) plus the store's AdmissionController;
+// the server itself never queues more than the kernel's accept backlog.
+
+#ifndef TRASS_SERVE_SHARD_SERVER_H_
+#define TRASS_SERVE_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trass_store.h"
+#include "util/status.h"
+
+namespace trass {
+namespace serve {
+
+class ShardServer {
+ public:
+  /// `store` is borrowed and must outlive the server.
+  ShardServer(core::TrassStore* store, std::string socket_path);
+  ~ShardServer();  // calls Stop()
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Binds the socket (unlinking any stale file) and starts accepting.
+  Status Start();
+
+  /// Stops accepting, shuts active connections, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  core::TrassStore* store_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards conn_threads_ and conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_SHARD_SERVER_H_

@@ -1,0 +1,183 @@
+#include "serve/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/wire.h"
+#include "util/coding.h"
+
+namespace trass {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+bool Expired(Clock::time_point giveup) { return Clock::now() >= giveup; }
+
+bool CancelSet(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+/// Writes all of `data`, polling for writability so a stalled peer
+/// cannot hold the attempt past its budget.
+Status WriteAll(int fd, const std::string& data,
+                const std::atomic<bool>* cancel, Clock::time_point giveup,
+                int poll_interval_ms) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    if (CancelSet(cancel)) return Status::Cancelled("attempt cancelled");
+    if (Expired(giveup)) return Status::TimedOut("shard request write timeout");
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes with the same cancel/deadline polling.
+Status ReadExact(int fd, size_t len, std::string* out,
+                 const std::atomic<bool>* cancel, Clock::time_point giveup,
+                 int poll_interval_ms) {
+  out->clear();
+  out->reserve(len);
+  char buf[4096];
+  while (out->size() < len) {
+    if (CancelSet(cancel)) return Status::Cancelled("attempt cancelled");
+    if (Expired(giveup)) {
+      return Status::TimedOut("shard response timed out");
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) continue;
+    const size_t want = std::min(sizeof(buf), len - out->size());
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::IoError("shard connection closed mid-response");
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SocketShardTransport::SocketShardTransport(std::string socket_path,
+                                           const Options& options)
+    : socket_path_(std::move(socket_path)), options_(options) {}
+
+Status SocketShardTransport::Execute(const ShardRequest& request,
+                                     const std::atomic<bool>* cancel,
+                                     ShardResponse* response) {
+  *response = ShardResponse();
+  if (CancelSet(cancel)) return Status::Cancelled("attempt cancelled");
+
+  const double wait_ms = request.deadline_ms > 0.0
+                             ? request.deadline_ms + options_.deadline_slack_ms
+                             : options_.io_timeout_ms;
+  const Clock::time_point giveup =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(wait_ms));
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Errno("socket");
+  FdCloser closer{fd};
+
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return Errno("connect " + socket_path_);
+    }
+    // Non-blocking connect: wait for completion under the same budget.
+    while (true) {
+      if (CancelSet(cancel)) return Status::Cancelled("attempt cancelled");
+      if (Expired(giveup)) return Status::TimedOut("shard connect timeout");
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      if (ready == 0) continue;
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+        return Errno("getsockopt");
+      }
+      if (err != 0) {
+        errno = err;
+        return Errno("connect " + socket_path_);
+      }
+      break;
+    }
+  }
+
+  std::string payload, frame;
+  EncodeShardRequest(request, &payload);
+  FrameMessage(payload, &frame);
+  Status s = WriteAll(fd, frame, cancel, giveup, options_.poll_interval_ms);
+  if (!s.ok()) return s;
+
+  std::string header;
+  s = ReadExact(fd, 4, &header, cancel, giveup, options_.poll_interval_ms);
+  if (!s.ok()) return s;
+  const uint32_t payload_len = DecodeBigEndian32(header.data());
+  if (payload_len > kMaxWireFrameBytes) {
+    return Status::Corruption("wire: oversized response frame");
+  }
+  std::string body;
+  s = ReadExact(fd, payload_len, &body, cancel, giveup,
+                options_.poll_interval_ms);
+  if (!s.ok()) return s;
+
+  Status exec_status;
+  s = DecodeShardResponse(Slice(body), response, &exec_status);
+  if (!s.ok()) return s;
+  return exec_status;
+}
+
+}  // namespace serve
+}  // namespace trass

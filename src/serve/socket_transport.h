@@ -1,0 +1,51 @@
+// SocketShardTransport: ShardTransport over a local (AF_UNIX) stream
+// socket to a ShardServer — the multi-process-on-one-host harness. Each
+// Execute opens its own connection (unix connects are cheap), writes
+// one framed request, and polls for the framed response so the
+// attempt's cancel flag and budget stay enforceable even while the
+// remote end is wedged: a blocking read would make a dead shard
+// un-cancellable, which is exactly the failure mode the coordinator
+// exists to absorb.
+
+#ifndef TRASS_SERVE_SOCKET_TRANSPORT_H_
+#define TRASS_SERVE_SOCKET_TRANSPORT_H_
+
+#include <string>
+
+#include "serve/shard_transport.h"
+
+namespace trass {
+namespace serve {
+
+class SocketShardTransport : public ShardTransport {
+ public:
+  struct Options {
+    /// Cancel-flag poll granularity while waiting on the socket.
+    int poll_interval_ms = 5;
+    /// Hard cap on one request's total socket wait when the request
+    /// carries no deadline (a deadline-bearing request waits
+    /// deadline_ms + slack instead).
+    double io_timeout_ms = 30000.0;
+    /// Extra wait past the request's own deadline before the transport
+    /// gives up on the response (covers serialization + scheduling).
+    double deadline_slack_ms = 250.0;
+  };
+
+  explicit SocketShardTransport(std::string socket_path)
+      : SocketShardTransport(std::move(socket_path), Options()) {}
+  SocketShardTransport(std::string socket_path, const Options& options);
+
+  Status Execute(const ShardRequest& request, const std::atomic<bool>* cancel,
+                 ShardResponse* response) override;
+
+  std::string Describe() const override { return "unix:" + socket_path_; }
+
+ private:
+  std::string socket_path_;
+  Options options_;
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_SOCKET_TRANSPORT_H_

@@ -1,0 +1,55 @@
+#include "serve/tenant_quota.h"
+
+#include <algorithm>
+
+namespace trass {
+namespace serve {
+
+TenantQuota::TenantQuota(const Options& options) : options_(options) {
+  burst_ = options_.burst > 0.0
+               ? options_.burst
+               : std::max(1.0, options_.tokens_per_sec);
+}
+
+double TenantQuota::Refill(Bucket* bucket) const {
+  const Clock::time_point now = Clock::now();
+  if (bucket->last_refill.time_since_epoch().count() == 0) {
+    // First sighting: a fresh tenant starts with a full bucket.
+    bucket->tokens = burst_;
+  } else {
+    const double elapsed_s =
+        std::chrono::duration<double>(now - bucket->last_refill).count();
+    bucket->tokens = std::min(
+        burst_, bucket->tokens + elapsed_s * options_.tokens_per_sec);
+  }
+  bucket->last_refill = now;
+  return bucket->tokens;
+}
+
+Status TenantQuota::Acquire(const std::string& tenant) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[tenant];
+  if (Refill(&bucket) < 1.0) {
+    ++counters_.shed;
+    return Status::Busy("tenant quota exceeded: " + tenant);
+  }
+  bucket.tokens -= 1.0;
+  ++counters_.admitted;
+  return Status::OK();
+}
+
+double TenantQuota::TokensAvailable(const std::string& tenant) const {
+  if (!enabled()) return burst_;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[tenant];
+  return Refill(&bucket);
+}
+
+TenantQuota::Counters TenantQuota::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace serve
+}  // namespace trass

@@ -1,0 +1,76 @@
+// TenantQuota: per-tenant token buckets at the coordinator, the router
+// half of the two-level overload design. The shard half is each
+// TrassStore's AdmissionController; this gate runs *before* fan-out so
+// an over-quota tenant is shed with one fast Status::Busy at the router
+// instead of occupying N shard admission queues (or, worse, queueing
+// into a wedged shard and burning its retry/hedge budget).
+//
+// Buckets refill continuously at tokens_per_sec up to `burst`; one
+// query costs one token. Unknown tenants get a fresh full bucket on
+// first use. Thread-safe.
+
+#ifndef TRASS_SERVE_TENANT_QUOTA_H_
+#define TRASS_SERVE_TENANT_QUOTA_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace trass {
+namespace serve {
+
+class TenantQuota {
+ public:
+  struct Options {
+    /// Sustained queries/second per tenant; <= 0 disables quotas
+    /// entirely (every Acquire succeeds).
+    double tokens_per_sec = 0.0;
+    /// Bucket capacity (burst allowance). <= 0 defaults to
+    /// max(1, tokens_per_sec).
+    double burst = 0.0;
+  };
+
+  struct Counters {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;  // queries rejected with Busy
+  };
+
+  explicit TenantQuota(const Options& options);
+
+  /// Charges one query against `tenant`'s bucket. OK, or Busy when the
+  /// bucket is empty (the caller should surface the shed immediately —
+  /// the admission-control convention).
+  Status Acquire(const std::string& tenant);
+
+  /// Tokens currently in `tenant`'s bucket (after refill); tenants not
+  /// seen yet report the full burst.
+  double TokensAvailable(const std::string& tenant) const;
+
+  Counters counters() const;
+  bool enabled() const { return options_.tokens_per_sec > 0.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point last_refill{};
+  };
+
+  double Refill(Bucket* bucket) const;  // returns tokens after refill
+
+  Options options_;
+  double burst_ = 0.0;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, Bucket> buckets_;
+  Counters counters_;
+};
+
+}  // namespace serve
+}  // namespace trass
+
+#endif  // TRASS_SERVE_TENANT_QUOTA_H_

@@ -1,0 +1,306 @@
+#include "serve/wire.h"
+
+#include "util/coding.h"
+
+namespace trass {
+namespace serve {
+namespace {
+
+constexpr uint8_t kWireVersion = 1;
+
+// Status codes on the wire. Keep in sync with the factories in
+// util/status.h; unknown codes decode as IoError so a skewed peer
+// degrades into a retryable transport fault, not silent corruption.
+enum WireStatusCode : uint8_t {
+  kWireOk = 0,
+  kWireNotFound = 1,
+  kWireCorruption = 2,
+  kWireInvalidArgument = 3,
+  kWireIoError = 4,
+  kWireNotSupported = 5,
+  kWireTimedOut = 6,
+  kWireCancelled = 7,
+  kWireBusy = 8,
+  kWireNoSpace = 9,
+};
+
+uint8_t StatusToWire(const Status& s) {
+  if (s.ok()) return kWireOk;
+  if (s.IsNotFound()) return kWireNotFound;
+  if (s.IsCorruption()) return kWireCorruption;
+  if (s.IsInvalidArgument()) return kWireInvalidArgument;
+  if (s.IsNotSupported()) return kWireNotSupported;
+  if (s.IsTimedOut()) return kWireTimedOut;
+  if (s.IsCancelled()) return kWireCancelled;
+  if (s.IsBusy()) return kWireBusy;
+  if (s.IsNoSpace()) return kWireNoSpace;
+  return kWireIoError;
+}
+
+Status StatusFromWire(uint8_t code, std::string_view msg) {
+  switch (code) {
+    case kWireOk:
+      return Status::OK();
+    case kWireNotFound:
+      return Status::NotFound(msg);
+    case kWireCorruption:
+      return Status::Corruption(msg);
+    case kWireInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case kWireNotSupported:
+      return Status::NotSupported(msg);
+    case kWireTimedOut:
+      return Status::TimedOut(msg);
+    case kWireCancelled:
+      return Status::Cancelled(msg);
+    case kWireBusy:
+      return Status::Busy(msg);
+    case kWireNoSpace:
+      return Status::NoSpace(msg);
+    default:
+      return Status::IoError(msg);
+  }
+}
+
+void PutStatus(const Status& s, std::string* dst) {
+  dst->push_back(static_cast<char>(StatusToWire(s)));
+  // ToString carries the "<Code>: " prefix; strip it so the message
+  // round-trips without stacking prefixes on every hop.
+  std::string text = s.ok() ? std::string() : s.ToString();
+  const size_t colon = text.find(": ");
+  if (colon != std::string::npos) text = text.substr(colon + 2);
+  PutLengthPrefixedSlice(dst, Slice(text));
+}
+
+bool GetStatus(Slice* input, Status* out) {
+  if (input->size() < 1) return false;
+  const uint8_t code = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  Slice msg;
+  if (!GetLengthPrefixedSlice(input, &msg)) return false;
+  *out = StatusFromWire(code, std::string_view(msg.data(), msg.size()));
+  return true;
+}
+
+void PutPoints(const std::vector<geo::Point>& points, std::string* dst) {
+  PutVarint64(dst, points.size());
+  for (const geo::Point& p : points) {
+    PutDouble(dst, p.x);
+    PutDouble(dst, p.y);
+  }
+}
+
+bool GetPoints(Slice* input, std::vector<geo::Point>* points) {
+  uint64_t n = 0;
+  if (!GetVarint64(input, &n)) return false;
+  if (n > kMaxWireFrameBytes / 16) return false;  // 16 bytes per point
+  points->clear();
+  points->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    geo::Point p;
+    if (!GetDouble(input, &p.x) || !GetDouble(input, &p.y)) return false;
+    points->push_back(p);
+  }
+  return true;
+}
+
+void PutTrajectories(const std::vector<core::Trajectory>& trajectories,
+                     std::string* dst) {
+  PutVarint64(dst, trajectories.size());
+  for (const core::Trajectory& t : trajectories) {
+    PutVarint64(dst, t.id);
+    PutPoints(t.points, dst);
+  }
+}
+
+bool GetTrajectories(Slice* input,
+                     std::vector<core::Trajectory>* trajectories) {
+  uint64_t n = 0;
+  if (!GetVarint64(input, &n)) return false;
+  if (n > kMaxWireFrameBytes / 8) return false;
+  trajectories->clear();
+  trajectories->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    core::Trajectory t;
+    if (!GetVarint64(input, &t.id)) return false;
+    if (!GetPoints(input, &t.points)) return false;
+    trajectories->push_back(std::move(t));
+  }
+  return true;
+}
+
+// The QueryMetrics fields the coordinator folds across shards. Encoded
+// as a fixed field list behind the frame version.
+void PutMetrics(const core::QueryMetrics& m, std::string* dst) {
+  PutDouble(dst, m.pruning_ms);
+  PutDouble(dst, m.scan_ms);
+  PutDouble(dst, m.refine_ms);
+  PutDouble(dst, m.total_ms);
+  PutVarint64(dst, m.scan_ranges);
+  PutVarint64(dst, m.index_values);
+  PutVarint64(dst, m.retrieved);
+  PutVarint64(dst, m.candidates);
+  PutVarint64(dst, m.refined);
+  PutVarint64(dst, m.results);
+  PutVarint64(dst, m.lb_rejected);
+  PutVarint64(dst, m.refine_dp_runs);
+  PutVarint64(dst, m.skipped_regions);
+  PutVarint64(dst, m.scan_retries);
+  PutVarint64(dst, m.replica_failovers);
+  PutVarint64(dst, m.ingest_watermark);
+  PutVarint64(dst, m.read_only_replicas);
+  const uint8_t flags = static_cast<uint8_t>(
+      (m.partial ? 1 : 0) | (m.deadline_expired ? 2 : 0) |
+      (m.cancelled ? 4 : 0) | (m.budget_exhausted ? 8 : 0));
+  dst->push_back(static_cast<char>(flags));
+}
+
+bool GetMetrics(Slice* input, core::QueryMetrics* m) {
+  if (!GetDouble(input, &m->pruning_ms) || !GetDouble(input, &m->scan_ms) ||
+      !GetDouble(input, &m->refine_ms) || !GetDouble(input, &m->total_ms)) {
+    return false;
+  }
+  if (!GetVarint64(input, &m->scan_ranges) ||
+      !GetVarint64(input, &m->index_values) ||
+      !GetVarint64(input, &m->retrieved) ||
+      !GetVarint64(input, &m->candidates) ||
+      !GetVarint64(input, &m->refined) || !GetVarint64(input, &m->results) ||
+      !GetVarint64(input, &m->lb_rejected) ||
+      !GetVarint64(input, &m->refine_dp_runs) ||
+      !GetVarint64(input, &m->skipped_regions) ||
+      !GetVarint64(input, &m->scan_retries) ||
+      !GetVarint64(input, &m->replica_failovers) ||
+      !GetVarint64(input, &m->ingest_watermark) ||
+      !GetVarint64(input, &m->read_only_replicas)) {
+    return false;
+  }
+  if (input->size() < 1) return false;
+  const uint8_t flags = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  m->partial = (flags & 1) != 0;
+  m->deadline_expired = (flags & 2) != 0;
+  m->cancelled = (flags & 4) != 0;
+  m->budget_exhausted = (flags & 8) != 0;
+  return true;
+}
+
+Status Malformed(const char* what) {
+  return Status::Corruption(std::string("wire: malformed ") + what);
+}
+
+}  // namespace
+
+void FrameMessage(const std::string& payload, std::string* out) {
+  PutBigEndian32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+void EncodeShardRequest(const ShardRequest& request, std::string* payload) {
+  payload->clear();
+  payload->push_back(static_cast<char>(kWireVersion));
+  payload->push_back(static_cast<char>(request.op));
+  PutPoints(request.query, payload);
+  PutDouble(payload, request.eps);
+  PutVarint32(payload, static_cast<uint32_t>(request.k));
+  payload->push_back(static_cast<char>(request.measure));
+  PutDouble(payload, request.window.min_x());
+  PutDouble(payload, request.window.min_y());
+  PutDouble(payload, request.window.max_x());
+  PutDouble(payload, request.window.max_y());
+  PutDouble(payload, request.bound);
+  PutDouble(payload, request.deadline_ms);
+  PutVarint64(payload, request.max_candidates);
+  payload->push_back(request.allow_partial ? 1 : 0);
+  PutTrajectories(request.trajectories, payload);
+}
+
+Status DecodeShardRequest(Slice payload, ShardRequest* request) {
+  *request = ShardRequest();
+  if (payload.size() < 2) return Malformed("request header");
+  if (static_cast<uint8_t>(payload[0]) != kWireVersion) {
+    return Status::Corruption("wire: unknown request version");
+  }
+  request->op = static_cast<ShardOp>(payload[1]);
+  payload.remove_prefix(2);
+  if (!GetPoints(&payload, &request->query)) return Malformed("query points");
+  uint32_t k = 0;
+  if (!GetDouble(&payload, &request->eps) || !GetVarint32(&payload, &k)) {
+    return Malformed("eps/k");
+  }
+  request->k = static_cast<int>(k);
+  if (payload.size() < 1) return Malformed("measure");
+  request->measure = static_cast<core::Measure>(payload[0]);
+  payload.remove_prefix(1);
+  double min_x, min_y, max_x, max_y;
+  if (!GetDouble(&payload, &min_x) || !GetDouble(&payload, &min_y) ||
+      !GetDouble(&payload, &max_x) || !GetDouble(&payload, &max_y)) {
+    return Malformed("window");
+  }
+  request->window = geo::Mbr(min_x, min_y, max_x, max_y);
+  if (!GetDouble(&payload, &request->bound) ||
+      !GetDouble(&payload, &request->deadline_ms) ||
+      !GetVarint64(&payload, &request->max_candidates)) {
+    return Malformed("budgets");
+  }
+  if (payload.size() < 1) return Malformed("allow_partial");
+  request->allow_partial = payload[0] != 0;
+  payload.remove_prefix(1);
+  if (!GetTrajectories(&payload, &request->trajectories)) {
+    return Malformed("trajectories");
+  }
+  return Status::OK();
+}
+
+void EncodeShardResponse(const ShardResponse& response,
+                         const Status& exec_status, std::string* payload) {
+  payload->clear();
+  payload->push_back(static_cast<char>(kWireVersion));
+  PutStatus(exec_status, payload);
+  PutVarint64(payload, response.results.size());
+  for (const core::SearchResult& r : response.results) {
+    PutVarint64(payload, r.id);
+    PutDouble(payload, r.distance);
+  }
+  PutVarint64(payload, response.ids.size());
+  for (uint64_t id : response.ids) PutVarint64(payload, id);
+  PutTrajectories(response.trajectories, payload);
+  PutMetrics(response.metrics, payload);
+}
+
+Status DecodeShardResponse(Slice payload, ShardResponse* response,
+                           Status* exec_status) {
+  *response = ShardResponse();
+  if (payload.size() < 1) return Malformed("response header");
+  if (static_cast<uint8_t>(payload[0]) != kWireVersion) {
+    return Status::Corruption("wire: unknown response version");
+  }
+  payload.remove_prefix(1);
+  if (!GetStatus(&payload, exec_status)) return Malformed("status");
+  uint64_t n = 0;
+  if (!GetVarint64(&payload, &n)) return Malformed("result count");
+  if (n > kMaxWireFrameBytes / 9) return Malformed("result count");
+  response->results.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    core::SearchResult r;
+    if (!GetVarint64(&payload, &r.id) || !GetDouble(&payload, &r.distance)) {
+      return Malformed("result");
+    }
+    response->results.push_back(r);
+  }
+  if (!GetVarint64(&payload, &n)) return Malformed("id count");
+  if (n > kMaxWireFrameBytes / 1) return Malformed("id count");
+  response->ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!GetVarint64(&payload, &id)) return Malformed("id");
+    response->ids.push_back(id);
+  }
+  if (!GetTrajectories(&payload, &response->trajectories)) {
+    return Malformed("trajectories");
+  }
+  if (!GetMetrics(&payload, &response->metrics)) return Malformed("metrics");
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace trass

@@ -68,4 +68,37 @@ Status RetryPolicy::Run(const std::function<Status()>& op) const {
   return s;
 }
 
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        const QueryContext* control) const {
+  if (control == nullptr) return Run(op);
+  Status s;
+  const int attempts = 1 + std::max(0, options_.max_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // The *unclamped* backoff against the remaining budget: when the
+      // schedule says sleep longer than the deadline has left, the
+      // retry cannot complete in time — fail fast with the error in
+      // hand instead of sleeping the caller past its own budget (the
+      // old clamped sleep woke exactly at the deadline and bought one
+      // doomed attempt).
+      const uint64_t backoff_ms = BackoffMs(attempt);
+      if (static_cast<double>(backoff_ms) > control->RemainingMillis()) {
+        return s;
+      }
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+    }
+    if (Status stop = control->Check(); !stop.ok()) {
+      return s.ok() ? stop : s;
+    }
+    s = op();
+    if (s.ok()) return s;
+    if (s.IsQueryStop() || s.IsInvalidArgument() || s.IsNotSupported()) {
+      return s;
+    }
+  }
+  return s;
+}
+
 }  // namespace trass

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/query_context.h"
 #include "util/status.h"
 
 namespace trass {
@@ -54,6 +55,17 @@ class RetryPolicy {
   /// (query stops, InvalidArgument, NotSupported). Returns the last
   /// status.
   Status Run(const std::function<Status()>& op) const;
+
+  /// Deadline-aware Run: backoffs are charged against `control`'s
+  /// remaining budget. A retry whose backoff would overshoot the
+  /// remaining deadline fails fast with the last error instead of
+  /// sleeping past the budget (the clamped-sleep alternative wakes at
+  /// the deadline and buys exactly one doomed attempt). A stop that
+  /// fires between attempts also ends the loop: with a failure already
+  /// recorded the caller gets that error, otherwise the stop status.
+  /// Null `control` behaves like the overload above.
+  Status Run(const std::function<Status()>& op,
+             const QueryContext* control) const;
 
  private:
   Options options_;

@@ -1,0 +1,502 @@
+// Serving-tier building blocks: wire codec round-trips, circuit-breaker
+// state machine, tenant token buckets, fault-injection behaviors, and
+// the two transports (in-process direct, local-socket multi-process)
+// answering identically.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/trass_store.h"
+#include "serve/circuit_breaker.h"
+#include "serve/direct_transport.h"
+#include "serve/fault_injection_transport.h"
+#include "serve/shard_server.h"
+#include "serve/shard_transport.h"
+#include "serve/socket_transport.h"
+#include "serve/tenant_quota.h"
+#include "serve/wire.h"
+#include "test_util.h"
+
+namespace trass {
+namespace serve {
+namespace {
+
+using core::Measure;
+using core::SearchResult;
+using core::Trajectory;
+using core::TrassOptions;
+using core::TrassStore;
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+TEST(WireTest, RequestRoundTripsEveryField) {
+  ShardRequest request;
+  request.op = ShardOp::kTopK;
+  request.query = {{0.25, 0.5}, {0.26, 0.52}, {0.3, 0.55}};
+  request.eps = 0.125;
+  request.k = 7;
+  request.measure = Measure::kDtw;
+  request.window = geo::Mbr(0.1, 0.2, 0.3, 0.4);
+  request.bound = 0.0625;
+  request.deadline_ms = 1234.5;
+  request.max_candidates = 99;
+  request.allow_partial = true;
+  Trajectory t;
+  t.id = 42;
+  t.points = {{0.7, 0.7}, {0.71, 0.72}};
+  request.trajectories.push_back(t);
+
+  std::string payload;
+  EncodeShardRequest(request, &payload);
+  ShardRequest decoded;
+  ASSERT_TRUE(DecodeShardRequest(Slice(payload), &decoded).ok());
+
+  EXPECT_EQ(decoded.op, request.op);
+  ASSERT_EQ(decoded.query.size(), request.query.size());
+  for (size_t i = 0; i < request.query.size(); ++i) {
+    EXPECT_DOUBLE_EQ(decoded.query[i].x, request.query[i].x);
+    EXPECT_DOUBLE_EQ(decoded.query[i].y, request.query[i].y);
+  }
+  EXPECT_DOUBLE_EQ(decoded.eps, request.eps);
+  EXPECT_EQ(decoded.k, request.k);
+  EXPECT_EQ(decoded.measure, request.measure);
+  EXPECT_DOUBLE_EQ(decoded.window.min_x(), request.window.min_x());
+  EXPECT_DOUBLE_EQ(decoded.window.max_y(), request.window.max_y());
+  EXPECT_DOUBLE_EQ(decoded.bound, request.bound);
+  EXPECT_DOUBLE_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.max_candidates, request.max_candidates);
+  EXPECT_EQ(decoded.allow_partial, request.allow_partial);
+  ASSERT_EQ(decoded.trajectories.size(), 1u);
+  EXPECT_EQ(decoded.trajectories[0].id, 42u);
+  ASSERT_EQ(decoded.trajectories[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded.trajectories[0].points[1].y, 0.72);
+}
+
+TEST(WireTest, InfiniteBoundSurvivesTheWire) {
+  ShardRequest request;
+  request.op = ShardOp::kTopK;
+  request.query = {{0.5, 0.5}};
+  request.k = 3;
+  std::string payload;
+  EncodeShardRequest(request, &payload);
+  ShardRequest decoded;
+  ASSERT_TRUE(DecodeShardRequest(Slice(payload), &decoded).ok());
+  EXPECT_TRUE(std::isinf(decoded.bound));
+}
+
+TEST(WireTest, ResponseRoundTripsPayloadAndStatus) {
+  ShardResponse response;
+  response.results = {{11, 0.25}, {13, 0.5}};
+  response.ids = {3, 5, 8};
+  Trajectory t;
+  t.id = 9;
+  t.points = {{0.4, 0.4}};
+  response.trajectories.push_back(t);
+  response.metrics.retrieved = 100;
+  response.metrics.candidates = 40;
+  response.metrics.results = 2;
+  response.metrics.partial = true;
+  response.metrics.deadline_expired = true;
+  response.metrics.scan_ms = 1.5;
+  response.metrics.ingest_watermark = 77;
+
+  std::string payload;
+  EncodeShardResponse(response, Status::NoSpace("disk full"), &payload);
+  ShardResponse decoded;
+  Status exec;
+  ASSERT_TRUE(DecodeShardResponse(Slice(payload), &decoded, &exec).ok());
+
+  EXPECT_TRUE(exec.IsNoSpace()) << exec.ToString();
+  ASSERT_EQ(decoded.results.size(), 2u);
+  EXPECT_EQ(decoded.results[0].id, 11u);
+  EXPECT_DOUBLE_EQ(decoded.results[1].distance, 0.5);
+  EXPECT_EQ(decoded.ids, response.ids);
+  ASSERT_EQ(decoded.trajectories.size(), 1u);
+  EXPECT_EQ(decoded.trajectories[0].id, 9u);
+  EXPECT_EQ(decoded.metrics.retrieved, 100u);
+  EXPECT_EQ(decoded.metrics.candidates, 40u);
+  EXPECT_TRUE(decoded.metrics.partial);
+  EXPECT_TRUE(decoded.metrics.deadline_expired);
+  EXPECT_FALSE(decoded.metrics.cancelled);
+  EXPECT_DOUBLE_EQ(decoded.metrics.scan_ms, 1.5);
+  EXPECT_EQ(decoded.metrics.ingest_watermark, 77u);
+}
+
+TEST(WireTest, RejectsWrongVersionAndTruncation) {
+  ShardRequest request;
+  request.op = ShardOp::kPing;
+  std::string payload;
+  EncodeShardRequest(request, &payload);
+
+  std::string wrong_version = payload;
+  wrong_version[0] = static_cast<char>(0x7f);
+  ShardRequest decoded;
+  EXPECT_TRUE(DecodeShardRequest(Slice(wrong_version), &decoded).IsCorruption());
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeShardRequest(Slice(payload.data(), cut), &decoded).ok())
+        << "accepted a " << cut << "-byte prefix";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndRejects) {
+  CircuitBreaker breaker(CircuitBreaker::Options{3, 60000.0});
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(Status::IoError("a"));
+  breaker.RecordFailure(Status::IoError("b"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(Status::IoError("c"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kReject);
+  EXPECT_TRUE(breaker.last_error().IsIoError());
+  const auto counters = breaker.counters();
+  EXPECT_EQ(counters.trips, 1u);
+  EXPECT_EQ(counters.rejected, 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker breaker(CircuitBreaker::Options{2, 60000.0});
+  breaker.RecordFailure(Status::IoError("x"));
+  breaker.RecordSuccess();
+  breaker.RecordFailure(Status::IoError("y"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeReinstatesOnSuccess) {
+  CircuitBreaker breaker(CircuitBreaker::Options{1, 30.0});
+  breaker.RecordFailure(Status::IoError("dead"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  // Only one probe slot while the first is outstanding.
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kReject);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProceed);
+  EXPECT_TRUE(breaker.last_error().ok());
+  EXPECT_EQ(breaker.counters().reinstatements, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreaker breaker(CircuitBreaker::Options{1, 30.0});
+  breaker.RecordFailure(Status::IoError("dead"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  breaker.RecordFailure(Status::IoError("still dead"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kReject);
+  EXPECT_EQ(breaker.counters().trips, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant quota
+
+TEST(TenantQuotaTest, DisabledQuotaAdmitsEverything) {
+  TenantQuota quota(TenantQuota::Options{0.0, 0.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(quota.Acquire("anyone").ok());
+  }
+  EXPECT_EQ(quota.counters().shed, 0u);
+}
+
+TEST(TenantQuotaTest, BurstThenShedPerTenant) {
+  TenantQuota quota(TenantQuota::Options{1.0, 3.0});  // 1 qps, burst 3
+  EXPECT_TRUE(quota.Acquire("alice").ok());
+  EXPECT_TRUE(quota.Acquire("alice").ok());
+  EXPECT_TRUE(quota.Acquire("alice").ok());
+  const Status shed = quota.Acquire("alice");
+  EXPECT_TRUE(shed.IsBusy()) << shed.ToString();
+  // Buckets are per tenant: bob still has his full burst.
+  EXPECT_TRUE(quota.Acquire("bob").ok());
+  const auto counters = quota.counters();
+  EXPECT_EQ(counters.admitted, 4u);
+  EXPECT_EQ(counters.shed, 1u);
+}
+
+TEST(TenantQuotaTest, BucketRefillsOverTime) {
+  TenantQuota quota(TenantQuota::Options{50.0, 1.0});  // refill 1 token/20ms
+  EXPECT_TRUE(quota.Acquire("carol").ok());
+  EXPECT_TRUE(quota.Acquire("carol").IsBusy());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(quota.Acquire("carol").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+/// Inner transport that answers instantly and counts calls.
+class CountingTransport : public ShardTransport {
+ public:
+  Status Execute(const ShardRequest& request, const std::atomic<bool>* cancel,
+                 ShardResponse* response) override {
+    (void)request;
+    (void)cancel;
+    response->metrics.results = 1;
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::string Describe() const override { return "counting"; }
+  std::atomic<int> calls{0};
+};
+
+TEST(FaultInjectionTest, ErrorFaultFailsWithoutForwarding) {
+  auto inner = std::make_shared<CountingTransport>();
+  FaultInjectionTransport::Options options;
+  options.error_probability = 1.0;
+  FaultInjectionTransport transport(inner, options);
+  ShardRequest request;
+  ShardResponse response;
+  EXPECT_TRUE(transport.Execute(request, nullptr, &response).IsIoError());
+  EXPECT_EQ(inner->calls.load(), 0);
+  EXPECT_EQ(transport.counters().errors, 1u);
+}
+
+TEST(FaultInjectionTest, DropBurnsTheAttemptBudgetThenTimesOut) {
+  auto inner = std::make_shared<CountingTransport>();
+  FaultInjectionTransport::Options options;
+  options.drop_probability = 1.0;
+  FaultInjectionTransport transport(inner, options);
+  ShardRequest request;
+  request.deadline_ms = 50.0;
+  ShardResponse response;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = transport.Execute(request, nullptr, &response);
+  const double elapsed = ElapsedMs(start);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_GE(elapsed, 45.0);     // held for the budget...
+  EXPECT_LT(elapsed, 5000.0);   // ...but not forever
+  EXPECT_EQ(inner->calls.load(), 0);
+}
+
+TEST(FaultInjectionTest, WedgeBlocksUntilCancelled) {
+  auto inner = std::make_shared<CountingTransport>();
+  FaultInjectionTransport transport(inner, FaultInjectionTransport::Options{});
+  transport.SetWedged(true);
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.store(true);
+  });
+  ShardRequest request;
+  ShardResponse response;
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = transport.Execute(request, &cancel, &response);
+  const double elapsed = ElapsedMs(start);
+  canceller.join();
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+  EXPECT_GE(elapsed, 40.0);
+  EXPECT_LT(elapsed, 5000.0) << "cancel did not unblock the wedge";
+  EXPECT_EQ(transport.counters().wedged_calls, 1u);
+  transport.SetWedged(false);
+  EXPECT_TRUE(transport.Execute(request, &cancel, &response).ok());
+}
+
+TEST(FaultInjectionTest, DuplicateDeliversTwiceAnswersOnce) {
+  auto inner = std::make_shared<CountingTransport>();
+  FaultInjectionTransport::Options options;
+  options.duplicate_probability = 1.0;
+  FaultInjectionTransport transport(inner, options);
+  ShardRequest request;
+  ShardResponse response;
+  EXPECT_TRUE(transport.Execute(request, nullptr, &response).ok());
+  EXPECT_EQ(inner->calls.load(), 2);
+  EXPECT_EQ(response.metrics.results, 1u);  // one answer, not a merge of two
+  EXPECT_EQ(transport.counters().duplicates, 1u);
+}
+
+TEST(FaultInjectionTest, SameSeedSameSchedule) {
+  auto run_schedule = [](uint64_t seed) {
+    auto inner = std::make_shared<CountingTransport>();
+    FaultInjectionTransport::Options options;
+    options.error_probability = 0.3;
+    options.delay_probability = 0.2;
+    options.delay_ms = 0.0;
+    options.seed = seed;
+    FaultInjectionTransport transport(inner, options);
+    std::vector<bool> ok;
+    for (int i = 0; i < 64; ++i) {
+      ShardRequest request;
+      ShardResponse response;
+      ok.push_back(transport.Execute(request, nullptr, &response).ok());
+    }
+    return ok;
+  };
+  EXPECT_EQ(run_schedule(1234), run_schedule(1234));
+  EXPECT_NE(run_schedule(1234), run_schedule(99991));
+}
+
+// ---------------------------------------------------------------------------
+// Direct transport + socket harness against a real store
+
+class ServeTransportTest : public ::testing::Test {
+ protected:
+  ServeTransportTest() : dir_("serve_transport") {}
+
+  void OpenStore() {
+    TrassOptions options;
+    options.shards = 2;
+    options.max_resolution = 12;
+    options.scan_threads = 2;
+    options.db_options.write_buffer_size = 256 * 1024;
+    ASSERT_TRUE(TrassStore::Open(options, dir_.path() + "/store", &store_).ok());
+  }
+
+  trass::testing::ScratchDir dir_;
+  std::unique_ptr<TrassStore> store_;
+};
+
+TEST_F(ServeTransportTest, DirectTransportMatchesTheStore) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(7, 80);
+  DirectShardTransport transport(store_.get());
+
+  ShardRequest put;
+  put.op = ShardOp::kPut;
+  put.trajectories = data;
+  ShardResponse ignored;
+  ASSERT_TRUE(transport.Execute(put, nullptr, &ignored).ok());
+  ASSERT_TRUE(store_->Flush().ok());
+
+  ShardRequest ping;
+  ping.op = ShardOp::kPing;
+  EXPECT_TRUE(transport.Execute(ping, nullptr, &ignored).ok());
+
+  ShardRequest threshold;
+  threshold.op = ShardOp::kThreshold;
+  threshold.query = data[3].points;
+  threshold.eps = 0.05;
+  threshold.measure = Measure::kFrechet;
+  ShardResponse via_transport;
+  ASSERT_TRUE(transport.Execute(threshold, nullptr, &via_transport).ok());
+
+  std::vector<SearchResult> direct;
+  ASSERT_TRUE(store_
+                  ->ThresholdSearch(data[3].points, 0.05, Measure::kFrechet,
+                                    &direct)
+                  .ok());
+  ASSERT_EQ(via_transport.results.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_transport.results[i].id, direct[i].id);
+    EXPECT_DOUBLE_EQ(via_transport.results[i].distance, direct[i].distance);
+  }
+
+  // kTopK with a finite bound answers as a threshold search at that
+  // bound (the follow-up-wave contract).
+  ShardRequest bounded;
+  bounded.op = ShardOp::kTopK;
+  bounded.query = data[3].points;
+  bounded.k = 5;
+  bounded.measure = Measure::kFrechet;
+  bounded.bound = 0.05;
+  ShardResponse via_bound;
+  ASSERT_TRUE(transport.Execute(bounded, nullptr, &via_bound).ok());
+  ASSERT_EQ(via_bound.results.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_bound.results[i].id, direct[i].id);
+  }
+
+  // kExport streams every stored trajectory back out.
+  ShardRequest export_request;
+  export_request.op = ShardOp::kExport;
+  ShardResponse exported;
+  ASSERT_TRUE(transport.Execute(export_request, nullptr, &exported).ok());
+  EXPECT_EQ(exported.trajectories.size(), data.size());
+}
+
+TEST_F(ServeTransportTest, SocketHarnessMatchesDirectDispatch) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(11, 60);
+  ShardServer server(store_.get(), dir_.path() + "/shard.sock");
+  ASSERT_TRUE(server.Start().ok());
+  SocketShardTransport socket(dir_.path() + "/shard.sock");
+  DirectShardTransport direct(store_.get());
+
+  ShardRequest put;
+  put.op = ShardOp::kPut;
+  put.trajectories = data;
+  ShardResponse ignored;
+  ASSERT_TRUE(socket.Execute(put, nullptr, &ignored).ok());
+  ASSERT_TRUE(store_->Flush().ok());
+
+  ShardRequest threshold;
+  threshold.op = ShardOp::kThreshold;
+  threshold.query = data[5].points;
+  threshold.eps = 0.05;
+  threshold.measure = Measure::kHausdorff;
+  ShardResponse via_socket, via_direct;
+  ASSERT_TRUE(socket.Execute(threshold, nullptr, &via_socket).ok());
+  ASSERT_TRUE(direct.Execute(threshold, nullptr, &via_direct).ok());
+  ASSERT_EQ(via_socket.results.size(), via_direct.results.size());
+  for (size_t i = 0; i < via_direct.results.size(); ++i) {
+    EXPECT_EQ(via_socket.results[i].id, via_direct.results[i].id);
+    EXPECT_DOUBLE_EQ(via_socket.results[i].distance,
+                     via_direct.results[i].distance);
+  }
+  // Shard-side metrics cross the wire intact enough to fold.
+  EXPECT_EQ(via_socket.metrics.retrieved, via_direct.metrics.retrieved);
+  EXPECT_EQ(via_socket.metrics.results, via_direct.metrics.results);
+  EXPECT_GT(server.requests_served(), 0u);
+
+  // A shard-side error status crosses the wire as a status, not a
+  // transport failure.
+  ShardRequest bad;
+  bad.op = ShardOp::kThreshold;  // empty query
+  ShardResponse bad_response;
+  EXPECT_TRUE(
+      socket.Execute(bad, nullptr, &bad_response).IsInvalidArgument());
+
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST_F(ServeTransportTest, SocketTransportFailsCleanlyWithNoServer) {
+  SocketShardTransport socket(dir_.path() + "/nobody-home.sock");
+  ShardRequest ping;
+  ping.op = ShardOp::kPing;
+  ShardResponse response;
+  const Status s = socket.Execute(ping, nullptr, &response);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsQueryStop()) << "connect failure must look like a shard "
+                                   "fault, got "
+                                << s.ToString();
+}
+
+TEST_F(ServeTransportTest, ServerStopUnwedgesInFlightRequests) {
+  OpenStore();
+  ShardServer server(store_.get(), dir_.path() + "/shard2.sock");
+  ASSERT_TRUE(server.Start().ok());
+  // A request with a long deadline sits server-side only as long as the
+  // query runs; stopping the server mid-connection must not hang Stop().
+  std::thread client([&] {
+    SocketShardTransport socket(dir_.path() + "/shard2.sock");
+    ShardRequest ping;
+    ping.op = ShardOp::kPing;
+    ShardResponse response;
+    socket.Execute(ping, nullptr, &response);  // outcome irrelevant
+  });
+  client.join();
+  const auto start = std::chrono::steady_clock::now();
+  server.Stop();
+  EXPECT_LT(ElapsedMs(start), 5000.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace trass
