@@ -59,6 +59,11 @@ void CircuitBreaker::RecordFailure(const Status& error) {
   }
 }
 
+void CircuitBreaker::ReleaseProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) probe_outstanding_ = false;
+}
+
 CircuitBreaker::State CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;

@@ -73,6 +73,15 @@ class CircuitBreaker {
   /// non-OK, is remembered as last_error() for fail-fast reporting.
   void RecordFailure(const Status& error = Status::OK());
 
+  /// The probe claimant's attempt ended with no shard-attributed
+  /// outcome — the coordinator cancelled it (fan-out teardown, hedge
+  /// loser) before the shard answered. Returns the half-open probe
+  /// slot without recording success or failure, so a later request
+  /// can re-probe; without this a cancelled probe would leave the
+  /// shard permanently unprobed and excluded. No-op outside half-open
+  /// (a concurrent Record* already settled the slot).
+  void ReleaseProbe();
+
   State state() const;
   Counters counters() const;
   /// Most recent shard-attributed failure (OK if none recorded).

@@ -207,7 +207,8 @@ double ShardCoordinator::HedgeDelayMs(size_t shard) const {
 
 void ShardCoordinator::LaunchAttempt(const std::shared_ptr<QueryState>& state,
                                      size_t shard, bool is_hedge,
-                                     const QueryContext* control) {
+                                     const QueryContext* control,
+                                     bool is_probe) {
   QueryState::Slot& slot = state->slots[shard];
   const uint64_t epoch = ++state->next_epoch;
   auto cancel = std::make_shared<std::atomic<bool>>(false);
@@ -233,20 +234,21 @@ void ShardCoordinator::LaunchAttempt(const std::shared_ptr<QueryState>& state,
   }
 
   std::shared_ptr<ShardTransport> transport = transports_[shard];
-  pool_->Submit([this, state, shard, is_hedge, epoch, cancel,
+  pool_->Submit([this, state, shard, is_hedge, is_probe, epoch, cancel,
                  transport = std::move(transport),
                  request = std::move(request)]() mutable {
     Stopwatch watch;
     ShardResponse response;
     Status status = transport->Execute(request, cancel.get(), &response);
-    OnAttemptComplete(state, shard, is_hedge, epoch, watch.ElapsedMillis(),
-                      std::move(status), std::move(response));
+    OnAttemptComplete(state, shard, is_hedge, is_probe, epoch,
+                      watch.ElapsedMillis(), std::move(status),
+                      std::move(response));
   });
 }
 
 void ShardCoordinator::OnAttemptComplete(
     const std::shared_ptr<QueryState>& state, size_t shard, bool is_hedge,
-    uint64_t epoch, double elapsed_ms, Status status,
+    bool is_probe, uint64_t epoch, double elapsed_ms, Status status,
     ShardResponse&& response) {
   // Shard-health bookkeeping first (the breaker has its own lock).
   // Cancelled is the coordinator reclaiming its own attempt — a hedge
@@ -254,7 +256,13 @@ void ShardCoordinator::OnAttemptComplete(
   if (status.ok()) {
     breakers_[shard]->RecordSuccess();
     per_shard_[shard]->latency->Record(elapsed_ms);
-  } else if (!status.IsCancelled()) {
+  } else if (status.IsCancelled()) {
+    // A cancelled attempt settles nothing about shard health, but a
+    // cancelled half-open probe must still return its claimed slot —
+    // otherwise the breaker waits forever on an outcome that is never
+    // coming and the shard stays excluded past recovery.
+    if (is_probe) breakers_[shard]->ReleaseProbe();
+  } else {
     per_shard_[shard]->failures.fetch_add(1, std::memory_order_relaxed);
     breakers_[shard]->RecordFailure(status);
   }
@@ -350,9 +358,11 @@ Status ShardCoordinator::FanOut(const ShardRequest& base,
                                            " circuit breaker open");
       }
     } else {
-      // kProceed or kProbe: either way the attempt outcome is recorded,
-      // which is all the probe contract requires.
-      LaunchAttempt(state, i, /*is_hedge=*/false, control);
+      // kProceed or kProbe: success/failure outcomes settle the probe
+      // via Record*; a cancelled probe releases its slot explicitly in
+      // OnAttemptComplete, so the claim is always returned.
+      LaunchAttempt(state, i, /*is_hedge=*/false, control,
+                    decision == CircuitBreaker::Decision::kProbe);
     }
   }
 

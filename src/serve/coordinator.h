@@ -215,14 +215,18 @@ class ShardCoordinator {
                 core::QueryMetrics* m);
 
   /// Launches one attempt (primary, retry, or hedge) for `shard`.
-  /// Caller holds the state mutex.
+  /// `is_probe` marks the attempt holding the breaker's half-open
+  /// probe slot (the primary launched after Admit() == kProbe); its
+  /// completion must settle the slot even when cancelled. Caller
+  /// holds the state mutex.
   void LaunchAttempt(const std::shared_ptr<QueryState>& state, size_t shard,
-                     bool is_hedge, const QueryContext* control);
+                     bool is_hedge, const QueryContext* control,
+                     bool is_probe = false);
 
   /// Attempt completion handler (runs on pool threads).
   void OnAttemptComplete(const std::shared_ptr<QueryState>& state,
-                         size_t shard, bool is_hedge, uint64_t epoch,
-                         double elapsed_ms, Status status,
+                         size_t shard, bool is_hedge, bool is_probe,
+                         uint64_t epoch, double elapsed_ms, Status status,
                          ShardResponse&& response);
 
   double ShardBudgetMs(const QueryContext* control) const;

@@ -118,7 +118,12 @@ void ShardServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    threads.swap(conn_threads_);
+    for (auto& [fd, thread] : conn_threads_) threads.push_back(std::move(thread));
+    conn_threads_.clear();
+    for (std::thread& thread : finished_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    finished_threads_.clear();
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
@@ -130,8 +135,18 @@ void ShardServer::Stop() {
   }
 }
 
+void ShardServer::ReapFinishedConnections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(finished_threads_);
+  }
+  for (std::thread& t : finished) t.join();
+}
+
 void ShardServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
+    ReapFinishedConnections();
     struct pollfd pfd = {listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 50);
     if (ready < 0) {
@@ -150,7 +165,11 @@ void ShardServer::AcceptLoop() {
       break;
     }
     conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    // Keyed by fd: safe because the entry is removed (under mu_) before
+    // the fd is closed, so the kernel can't recycle the number into a
+    // colliding key. The new thread can't reach its own teardown until
+    // this insert releases mu_.
+    conn_threads_.emplace(fd, std::thread([this, fd] { ServeConnection(fd); }));
   }
 }
 
@@ -179,10 +198,17 @@ void ShardServer::ServeConnection(int fd) {
   }
   {
     // Deregister before closing so Stop() never shutdown()s a file
-    // descriptor number the kernel has already recycled.
+    // descriptor number the kernel has already recycled, and hand this
+    // thread's own handle to the reap list (a thread can't join
+    // itself; the accept loop or Stop() joins it).
     std::lock_guard<std::mutex> lock(mu_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
                     conn_fds_.end());
+    const auto it = conn_threads_.find(fd);
+    if (it != conn_threads_.end()) {  // absent: Stop() already claimed it
+      finished_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
   }
   ::close(fd);
 }

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/trass_store.h"
@@ -45,10 +46,22 @@ class ShardServer {
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Connection threads currently tracked (live plus awaiting reap).
+  /// Stays O(open connections), not O(connections ever served): the
+  /// accept loop joins finished threads each tick. Test hook.
+  size_t tracked_connection_threads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return conn_threads_.size() + finished_threads_.size();
+  }
 
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  /// Joins connection threads that have already finished serving.
+  /// Called from the accept loop each tick so a long-lived server
+  /// reclaims one thread handle + stack per closed connection instead
+  /// of accumulating them until Stop().
+  void ReapFinishedConnections();
 
   core::TrassStore* store_;
   std::string socket_path_;
@@ -56,8 +69,9 @@ class ShardServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::mutex mu_;  // guards conn_threads_ and conn_fds_
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex mu_;  // guards conn_threads_, finished_threads_, conn_fds_
+  std::unordered_map<int, std::thread> conn_threads_;  // live, keyed by fd
+  std::vector<std::thread> finished_threads_;          // awaiting join
   std::vector<int> conn_fds_;
 };
 

@@ -90,10 +90,15 @@ void PutPoints(const std::vector<geo::Point>& points, std::string* dst) {
   }
 }
 
+// Decoded element counts are bounded by the bytes actually remaining
+// in the payload divided by the minimum encoded element size, so a few
+// corrupt bytes in an otherwise tiny frame can't claim a huge count
+// and trigger a multi-GB reserve() before parsing fails.
+
 bool GetPoints(Slice* input, std::vector<geo::Point>* points) {
   uint64_t n = 0;
   if (!GetVarint64(input, &n)) return false;
-  if (n > kMaxWireFrameBytes / 16) return false;  // 16 bytes per point
+  if (n > input->size() / 16) return false;  // 16 bytes per point
   points->clear();
   points->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -117,7 +122,8 @@ bool GetTrajectories(Slice* input,
                      std::vector<core::Trajectory>* trajectories) {
   uint64_t n = 0;
   if (!GetVarint64(input, &n)) return false;
-  if (n > kMaxWireFrameBytes / 8) return false;
+  // >= 2 bytes each: id varint + point-count varint.
+  if (n > input->size() / 2) return false;
   trajectories->clear();
   trajectories->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -278,7 +284,10 @@ Status DecodeShardResponse(Slice payload, ShardResponse* response,
   if (!GetStatus(&payload, exec_status)) return Malformed("status");
   uint64_t n = 0;
   if (!GetVarint64(&payload, &n)) return Malformed("result count");
-  if (n > kMaxWireFrameBytes / 9) return Malformed("result count");
+  // >= 9 bytes each: id varint + 8-byte distance. Bounding by the
+  // remaining payload (not the max frame size) keeps a corrupt count
+  // in a small frame from provoking a giant reserve().
+  if (n > payload.size() / 9) return Malformed("result count");
   response->results.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     core::SearchResult r;
@@ -288,7 +297,7 @@ Status DecodeShardResponse(Slice payload, ShardResponse* response,
     response->results.push_back(r);
   }
   if (!GetVarint64(&payload, &n)) return Malformed("id count");
-  if (n > kMaxWireFrameBytes / 1) return Malformed("id count");
+  if (n > payload.size()) return Malformed("id count");  // >= 1 byte per id
   response->ids.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t id = 0;

@@ -463,6 +463,85 @@ TEST(CoordinatorFaults, WedgedShardDegradesToVerifiedPartialAndTripsBreaker) {
   tier.Reset();
 }
 
+TEST(CoordinatorFaults, ShardRecoversAfterACancelledHalfOpenProbe) {
+  // Regression: a half-open probe attempt cancelled at fan-out teardown
+  // (deadline expiry) must release the probe slot. Leaking it left the
+  // shard permanently excluded — every later Admit() rejected — even
+  // after the shard recovered.
+  Tier tier("coord_probe_cancel", 3, 1);
+  CoordinatorOptions options = FastCoordinatorOptions();
+  options.enable_hedging = false;
+  options.max_shard_retries = 0;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_ms = 50.0;
+  std::shared_ptr<FaultInjectionTransport> faulty;
+  tier.BuildCoordinator(
+      options, [&](size_t shard, std::shared_ptr<ShardTransport> t)
+                   -> std::shared_ptr<ShardTransport> {
+        if (shard == 1) {
+          faulty = std::make_shared<FaultInjectionTransport>(
+              std::move(t), FaultInjectionTransport::Options{});
+          return faulty;
+        }
+        return t;
+      });
+  const auto data = trass::testing::RandomDataset(59, 60);
+  tier.Load(data);
+
+  CoordinatorQueryOptions degraded;
+  degraded.query.deadline_ms = 100.0;
+  degraded.query.allow_partial = true;
+
+  // Trip the breaker: the wedged attempt reports IoError once reclaimed.
+  faulty->SetWedged(true);
+  std::vector<SearchResult> results;
+  QueryMetrics m;
+  ASSERT_TRUE(tier.coordinator()
+                  ->ThresholdSearch(data[5].points, 0.05, Measure::kFrechet,
+                                    &results, &m, degraded)
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(tier.coordinator()->breaker(1)->state(),
+            CircuitBreaker::State::kOpen);
+
+  // Cooldown elapsed: the next query claims the half-open probe, but a
+  // long injected delay gets it cancelled at the deadline — the exact
+  // no-recorded-outcome path that used to leak the slot.
+  faulty->SetWedged(false);
+  FaultInjectionTransport::Options slow;
+  slow.delay_probability = 1.0;
+  slow.delay_ms = 5000.0;
+  faulty->SetOptions(slow);
+  ASSERT_TRUE(tier.coordinator()
+                  ->ThresholdSearch(data[5].points, 0.05, Measure::kFrechet,
+                                    &results, &m, degraded)
+                  .ok());
+  EXPECT_TRUE(m.partial);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(tier.coordinator()->breaker(1)->state(),
+            CircuitBreaker::State::kHalfOpen);
+
+  // Shard healthy again: a strict query must be able to re-probe,
+  // succeed on every shard, and reinstate the breaker.
+  faulty->SetOptions(FaultInjectionTransport::Options{});
+  CoordinatorQueryOptions strict;
+  const Status s = tier.coordinator()->ThresholdSearch(
+      data[5].points, 0.05, Measure::kFrechet, &results, &m, strict);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(m.partial);
+  EXPECT_EQ(m.shards_skipped, 0u);
+  EXPECT_EQ(m.shards_contacted, 3u);
+  EXPECT_EQ(tier.coordinator()->breaker(1)->state(),
+            CircuitBreaker::State::kClosed);
+  std::vector<SearchResult> reference;
+  ASSERT_TRUE(tier.reference()
+                  ->ThresholdSearch(data[5].points, 0.05, Measure::kFrechet,
+                                    &reference)
+                  .ok());
+  ExpectSameResults(reference, results, "post-recovery strict query");
+  tier.Reset();
+}
+
 TEST(CoordinatorFaults, StrictModeFailsFastWithShardAttribution) {
   Tier tier("coord_strict", 3, 1);
   CoordinatorOptions options = FastCoordinatorOptions();

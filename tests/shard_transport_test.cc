@@ -153,6 +153,32 @@ TEST(WireTest, RejectsWrongVersionAndTruncation) {
   }
 }
 
+TEST(WireTest, RejectsCountsLargerThanThePayload) {
+  // Element counts must be bounded by the bytes actually present, not
+  // by the max frame size: a few corrupt bytes in a tiny frame must
+  // fail the parse outright instead of provoking a multi-GB reserve().
+  ShardResponse empty;
+  std::string payload;
+  EncodeShardResponse(empty, Status::OK(), &payload);
+  // Empty-response layout: version, status code, status-msg len,
+  // result count, id count — one byte each.
+  ASSERT_GE(payload.size(), 5u);
+  ShardResponse decoded;
+  Status exec;
+
+  // Result count claims ~268M entries with nothing behind it.
+  std::string evil_results = payload.substr(0, 3);
+  evil_results += "\xff\xff\xff\x7f";
+  EXPECT_TRUE(DecodeShardResponse(Slice(evil_results), &decoded, &exec)
+                  .IsCorruption());
+
+  // Id count likewise.
+  std::string evil_ids = payload.substr(0, 4);
+  evil_ids += "\xff\xff\xff\x7f";
+  EXPECT_TRUE(
+      DecodeShardResponse(Slice(evil_ids), &decoded, &exec).IsCorruption());
+}
+
 // ---------------------------------------------------------------------------
 // Circuit breaker
 
@@ -192,6 +218,24 @@ TEST(CircuitBreakerTest, HalfOpenProbeReinstatesOnSuccess) {
   EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProceed);
   EXPECT_TRUE(breaker.last_error().ok());
   EXPECT_EQ(breaker.counters().reinstatements, 1u);
+}
+
+TEST(CircuitBreakerTest, CancelledProbeReleasesTheSlot) {
+  CircuitBreaker breaker(CircuitBreaker::Options{1, 30.0});
+  breaker.RecordFailure(Status::IoError("dead"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  // The coordinator cancelled the probe attempt (fan-out teardown or
+  // hedge loser): no outcome was recorded, but the slot must come back
+  // or the shard is never probed again.
+  breaker.ReleaseProbe();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProbe);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // Outside half-open the release is a no-op.
+  breaker.ReleaseProbe();
+  EXPECT_EQ(breaker.Admit(), CircuitBreaker::Decision::kProceed);
 }
 
 TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
@@ -476,6 +520,31 @@ TEST_F(ServeTransportTest, SocketTransportFailsCleanlyWithNoServer) {
   EXPECT_FALSE(s.IsQueryStop()) << "connect failure must look like a shard "
                                    "fault, got "
                                 << s.ToString();
+}
+
+TEST_F(ServeTransportTest, ServerReapsFinishedConnectionThreads) {
+  OpenStore();
+  ShardServer server(store_.get(), dir_.path() + "/reap.sock");
+  ASSERT_TRUE(server.Start().ok());
+  SocketShardTransport socket(dir_.path() + "/reap.sock");
+  ShardRequest ping;
+  ping.op = ShardOp::kPing;
+  ShardResponse ignored;
+  // Each Execute opens (and closes) its own connection; a long-lived
+  // server must reap the finished per-connection threads as it goes
+  // instead of accumulating one joinable handle + stack per request
+  // until Stop().
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(socket.Execute(ping, nullptr, &ignored).ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.tracked_connection_threads() > 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(server.tracked_connection_threads(), 2u);
+  server.Stop();
 }
 
 TEST_F(ServeTransportTest, ServerStopUnwedgesInFlightRequests) {
