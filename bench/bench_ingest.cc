@@ -19,14 +19,25 @@
 //             finally the disk "is replaced" — time-to-resume is the
 //             wall clock from freeing space to the first accepted write.
 
+//   coordinator mode (--shards N) — quorum-write throughput through
+//             the serving tier at R=1 / R=2 W=1 / R=2 W=2, then a
+//             kill-one-shard run: hinted ingest stays up while a
+//             replica is dead, and the hint-replay catch-up wall time
+//             is measured from the moment the shard heals.
+
 #include "bench_common.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "core/metrics.h"
 #include "core/trass_store.h"
 #include "kv/fault_injection_env.h"
+#include "serve/coordinator.h"
+#include "serve/direct_transport.h"
+#include "serve/fault_injection_transport.h"
 #include "util/stopwatch.h"
 
 namespace trass {
@@ -310,17 +321,204 @@ void RunLowSpaceTable(const Dataset& dataset, const std::string& dir) {
               static_cast<unsigned long long>(final_stats.resume_attempts));
 }
 
+// ---- coordinator mode (--shards N) ----
+
+/// One stood-up replicated tier with a fault-injection layer between
+/// the coordinator and every shard, so a "killed" shard is one
+/// SetOptions call. Stores must outlive the coordinator.
+struct ReplicatedTier {
+  std::vector<std::unique_ptr<core::TrassStore>> stores;
+  std::vector<std::shared_ptr<serve::FaultInjectionTransport>> faults;
+  std::unique_ptr<serve::ShardCoordinator> coordinator;
+};
+
+ReplicatedTier OpenReplicatedTier(const std::string& dir,
+                                  const std::string& name, size_t num_shards,
+                                  serve::CoordinatorOptions options) {
+  ReplicatedTier tier;
+  const std::string base = dir + "/" + name;
+  kv::Env::Default()->RemoveDirRecursively(base);
+  kv::Env::Default()->CreateDir(base);
+  core::TrassOptions store_options;
+  options.max_resolution = store_options.max_resolution;
+  std::vector<std::shared_ptr<serve::ShardTransport>> transports;
+  for (size_t i = 0; i < num_shards; ++i) {
+    std::unique_ptr<core::TrassStore> store;
+    if (!core::TrassStore::Open(store_options,
+                                base + "/shard" + std::to_string(i), &store)
+             .ok()) {
+      return ReplicatedTier{};
+    }
+    auto fault = std::make_shared<serve::FaultInjectionTransport>(
+        std::make_shared<serve::DirectShardTransport>(store.get()),
+        serve::FaultInjectionTransport::Options{});
+    transports.push_back(fault);
+    tier.faults.push_back(std::move(fault));
+    tier.stores.push_back(std::move(store));
+  }
+  if (!options.hint_journal_dir.empty()) {
+    kv::Env::Default()->CreateDir(options.hint_journal_dir);
+  }
+  tier.coordinator = std::make_unique<serve::ShardCoordinator>(
+      options, std::move(transports));
+  return tier;
+}
+
+void RunQuorumWriteTable(const Dataset& dataset, const std::string& dir,
+                         size_t num_shards) {
+  std::printf("\n=== Coordinator quorum writes — %zu shards — %s "
+              "(%zu trajectories, batch 32) ===\n",
+              num_shards, dataset.name.c_str(), dataset.data.size());
+  std::printf("%-12s %12s %12s %10s %12s %12s\n", "config", "time-ms",
+              "rows/s", "vs R=1", "acked", "under-repl");
+  PrintRule(76);
+
+  struct Config {
+    int replication;
+    int quorum;
+  };
+  std::vector<Config> configs = {{1, 1}, {2, 1}, {2, 2}};
+  if (num_shards >= 3) configs.push_back({3, 2});
+
+  double r1_ms = 0.0;
+  for (const Config& config : configs) {
+    serve::CoordinatorOptions options;
+    options.replication_factor = config.replication;
+    options.write_quorum = config.quorum;
+    ReplicatedTier tier = OpenReplicatedTier(dir, "quorum", num_shards,
+                                             options);
+    if (!tier.coordinator) return;
+    serve::WriteReport report;
+    uint64_t acked = 0, under = 0;
+    Stopwatch timer;
+    for (size_t i = 0; i < dataset.data.size(); i += 32) {
+      const size_t end = std::min(i + 32, dataset.data.size());
+      std::vector<core::Trajectory> chunk(dataset.data.begin() + i,
+                                          dataset.data.begin() + end);
+      if (!tier.coordinator->PutBatch(chunk, &report).ok()) return;
+      acked += report.acked;
+      under += report.under_replicated;
+    }
+    const double ms = timer.ElapsedMillis();
+    if (config.replication == 1) r1_ms = ms;
+    char label[32];
+    std::snprintf(label, sizeof(label), "R=%d W=%d", config.replication,
+                  config.quorum);
+    std::printf("%-12s %12.1f %12.0f %9.2fx %12llu %12llu\n", label, ms,
+                dataset.data.size() / ms * 1000.0,
+                r1_ms > 0.0 ? r1_ms / ms : 1.0,
+                static_cast<unsigned long long>(acked),
+                static_cast<unsigned long long>(under));
+  }
+}
+
+void RunHintedHandoffTable(const Dataset& dataset, const std::string& dir,
+                           size_t num_shards) {
+  std::printf("\n=== Coordinator hinted handoff — kill one of %zu shards "
+              "mid-ingest (R=2 W=1) — %s ===\n",
+              num_shards, dataset.name.c_str());
+  serve::CoordinatorOptions options;
+  options.replication_factor = 2;
+  options.write_quorum = 1;
+  options.write_deadline_ms = 200.0;
+  options.max_shard_retries = 0;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_ms = 100.0;
+  options.hint_journal_dir = dir + "/handoff_hints";
+  kv::Env::Default()->RemoveDirRecursively(options.hint_journal_dir);
+  ReplicatedTier tier = OpenReplicatedTier(dir, "handoff", num_shards,
+                                           options);
+  if (!tier.coordinator) return;
+
+  const size_t half = dataset.data.size() / 2;
+  auto ingest = [&](size_t begin, size_t end, uint64_t* hinted) -> double {
+    serve::WriteReport report;
+    Stopwatch timer;
+    for (size_t i = begin; i < end; i += 32) {
+      const size_t stop = std::min(i + 32, end);
+      std::vector<core::Trajectory> chunk(dataset.data.begin() + i,
+                                          dataset.data.begin() + stop);
+      if (!tier.coordinator->PutBatch(chunk, &report).ok()) return -1.0;
+      if (hinted) *hinted += report.hinted_rows;
+    }
+    return timer.ElapsedMillis();
+  };
+
+  const double healthy_ms = ingest(0, half, nullptr);
+  if (healthy_ms < 0.0) return;
+  std::printf("healthy ingest: %zu rows in %.1f ms (%.0f rows/s)\n", half,
+              healthy_ms, half / healthy_ms * 1000.0);
+
+  // Kill shard 0: every request errors until the fault is lifted. The
+  // first failed write trips its breaker, so later batches fast-reject
+  // the dead replica and divert its rows straight to the hint journal.
+  serve::FaultInjectionTransport::Options dead;
+  dead.error_probability = 1.0;
+  tier.faults[0]->SetOptions(dead);
+  uint64_t hinted = 0;
+  const double degraded_ms = ingest(half, dataset.data.size(), &hinted);
+  if (degraded_ms < 0.0) return;
+  const size_t rest = dataset.data.size() - half;
+  std::printf("shard 0 dead:   %zu rows in %.1f ms (%.0f rows/s), all "
+              "acked at quorum 1, %llu rows hinted\n",
+              rest, degraded_ms, rest / degraded_ms * 1000.0,
+              static_cast<unsigned long long>(hinted));
+
+  // Heal the shard and measure catch-up: wall clock from lifting the
+  // fault to an empty hint journal (replay is breaker-gated, so the
+  // first pass rides the half-open probe once the cooldown expires).
+  tier.faults[0]->SetOptions(serve::FaultInjectionTransport::Options{});
+  serve::HintJournal* journal = tier.coordinator->hint_journal();
+  if (journal == nullptr) return;
+  const uint64_t backlog_rows = journal->stats().pending_rows;
+  uint64_t replayed_rows = 0;
+  Stopwatch catchup;
+  while (journal->pending_records() > 0 &&
+         catchup.ElapsedMillis() < 60000.0) {
+    serve::HintReplayReport replay;
+    if (!tier.coordinator->ReplayHints(&replay).ok()) return;
+    replayed_rows += replay.replayed_rows;
+    if (journal->pending_records() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  const double catchup_ms = catchup.ElapsedMillis();
+  serve::ShardScrubReport scrub;
+  if (!tier.coordinator->ScrubShards(&scrub).ok()) return;
+  std::printf("shard 0 healed: %llu backlog rows replayed in %.1f ms "
+              "(%.0f rows/s); scrub found %llu divergent groups\n",
+              static_cast<unsigned long long>(backlog_rows), catchup_ms,
+              catchup_ms > 0.0 ? replayed_rows / catchup_ms * 1000.0 : 0.0,
+              static_cast<unsigned long long>(scrub.groups_divergent));
+}
+
+void RunCoordinatorMode(const Dataset& dataset, const std::string& dir,
+                        size_t num_shards) {
+  RunQuorumWriteTable(dataset, dir, num_shards);
+  RunHintedHandoffTable(dataset, dir, num_shards);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace trass
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trass::bench;
+  size_t coordinator_shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      coordinator_shards = static_cast<size_t>(std::atoll(argv[++i]));
+    }
+  }
   const std::string dir = ScratchDir("ingest");
   // The write-path comparison dominates runtime; a reduced N keeps the
   // default bench sweep snappy while staying far above batch sizes.
   const size_t n = std::min<size_t>(DefaultN(), 8000);
   Dataset tdrive = MakeTDrive(n, DefaultQueries());
+  if (coordinator_shards > 0) {
+    RunCoordinatorMode(tdrive, dir, coordinator_shards);
+    return 0;
+  }
   RunWritePathTable(tdrive, dir, /*durable=*/true);
   RunWritePathTable(tdrive, dir, /*durable=*/false);
   RunConcurrentQueryTable(tdrive, dir);

@@ -70,13 +70,17 @@ for config in "${configs[@]}"; do
         --target resource_exhaustion_test coordinator_test
       # Fixed seed schedule so CI runs are comparable across commits;
       # each seed drives one randomized fault/budget/crash trial of the
-      # store matrix and one randomized drop/delay/duplicate/error/wedge
-      # schedule of the coordinator transport matrix.
+      # store matrix, one randomized drop/delay/duplicate/error/wedge
+      # schedule of the coordinator read matrix, and one randomized
+      # kill/wedge-a-replica schedule of the coordinator write matrix
+      # (quorum acks + hinted handoff + replay: no acked write may be
+      # lost, no strict query may go partial).
       seeds=(20240808 1 7 42 1337 99991 2718281 31415926)
       for seed in "${seeds[@]}"; do
         for matrix in \
             "resource_exhaustion_test ResourceExhaustionChaos.*" \
-            "coordinator_test CoordinatorChaos.*"; do
+            "coordinator_test CoordinatorChaos.*" \
+            "coordinator_test CoordinatorWriteChaos.*"; do
           binary="${matrix%% *}"
           filter="${matrix#* }"
           echo "=== [chaos] $binary seed $seed ==="

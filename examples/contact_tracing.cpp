@@ -4,12 +4,19 @@
 // person, find every trajectory that stayed within a contact distance
 // of it — a threshold similarity search fanned out across the shards.
 //
-// The second act is the point of the serving tier: one shard wedges
-// (hangs, never answering), and the same query degrades to a
-// *verified partial* — every contact it returns is a true contact, the
-// gap is reported via QueryMetrics::shards_skipped, and the per-shard
-// circuit breaker opens so follow-up queries skip the dead shard in
-// microseconds instead of burning their deadline on it.
+// The second act is the point of the serving tier: the tier keeps two
+// replicas of every trajectory (R=2), so when one shard dies outright —
+// process killed, every request erroring — the same *strict* query
+// (allow_partial=false) stays complete: reads fail over to the
+// surviving replica of each key range and the loss is absorbed as
+// QueryMetrics::shard_failovers, not a partial answer. Ingest keeps
+// running too: evening trips ack at write quorum 1 while the dead
+// replica's copies are captured in the coordinator's hinted-handoff
+// journal.
+//
+// The third act closes the loop: the shard comes back, the breaker's
+// half-open probe reinstates it, ReplayHints drains the journal onto
+// the recovered shard, and a final query confirms nothing was lost.
 //
 //   ./build/examples/contact_tracing [directory]
 
@@ -31,7 +38,7 @@ namespace {
 // ~50 meters expressed in normalized coordinates (earth -> [0,1]^2).
 constexpr double kContactEps = 0.05 * trass::workload::kKm;
 constexpr size_t kShards = 4;
-constexpr size_t kWedgedShard = 2;
+constexpr size_t kKilledShard = 2;
 
 const char* BreakerStateName(trass::serve::CircuitBreaker::State state) {
   switch (state) {
@@ -89,10 +96,22 @@ int main(int argc, char** argv) {
   serve::CoordinatorOptions coordinator_options;
   coordinator_options.max_resolution = options.max_resolution;
   coordinator_options.breaker_failure_threshold = 2;
-  coordinator_options.breaker_cooldown_ms = 5000.0;
-  coordinator_options.max_shard_retries = 0;  // a wedge is not transient
+  coordinator_options.breaker_cooldown_ms = 1000.0;
+  coordinator_options.max_shard_retries = 0;  // a dead shard is not transient
+  // Two copies of every trajectory on distinct shards: any single shard
+  // can die without losing a key range. Writes ack at one durable copy;
+  // the other is hinted if its shard is down.
+  coordinator_options.replication_factor = 2;
+  coordinator_options.write_quorum = 1;
+  coordinator_options.write_deadline_ms = 500.0;
+  coordinator_options.hint_journal_dir = path + "/hints";
   serve::ShardCoordinator coordinator(coordinator_options,
                                       std::move(shard_transports));
+  if (!coordinator.hint_journal_status().ok()) {
+    std::fprintf(stderr, "hint journal failed to open: %s\n",
+                 coordinator.hint_journal_status().ToString().c_str());
+    return 1;
+  }
 
   // A city's day of movement: 5000 trips, some of which shadow others.
   auto population = workload::TDriveLike(5000, /*seed=*/2026);
@@ -112,23 +131,29 @@ int main(int argc, char** argv) {
   }
 
   Stopwatch ingest;
-  Status s = coordinator.PutBatch(population);
+  serve::WriteReport report;
+  Status s = coordinator.PutBatch(population, &report);
   if (!s.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
     return 1;
   }
   for (auto& store : stores) store->Flush();
-  std::printf("ingested %zu trajectories across %zu shards in %.1f ms\n",
-              population.size(), kShards, ingest.ElapsedMillis());
+  std::printf("ingested %zu trajectories x%d replicas across %zu shards "
+              "in %.1f ms (%llu acked at quorum)\n",
+              population.size(), coordinator_options.replication_factor,
+              kShards, ingest.ElapsedMillis(),
+              static_cast<unsigned long long>(report.acked));
   std::printf("patient trajectory: id=%llu, %zu points\n",
               static_cast<unsigned long long>(patient.id),
               patient.points.size());
 
   // --- act 1: healthy tier ------------------------------------------
+  // Strict queries: with R=2 the tier never needs to settle for a
+  // partial answer through a single shard loss, so don't allow one.
   std::vector<core::SearchResult> contacts;
   core::QueryMetrics metrics;
   serve::CoordinatorQueryOptions query_options;
-  query_options.query.allow_partial = true;
+  query_options.query.allow_partial = false;
   query_options.query.deadline_ms = 2000.0;
   s = coordinator.ThresholdSearch(patient.points, kContactEps,
                                   core::Measure::kFrechet, &contacts,
@@ -145,31 +170,54 @@ int main(int argc, char** argv) {
               kShards);
   PrintContacts(contacts, patient.id);
 
-  // --- act 2: shard 2 wedges — hangs without answering --------------
-  std::printf("\n*** wedging shard %zu (hangs, never answers) ***\n",
-              kWedgedShard);
-  transports[kWedgedShard]->SetWedged(true);
+  // --- act 2: shard 2 dies — process killed, every request errors ---
+  std::printf("\n*** killing shard %zu (process down, every request "
+              "errors) ***\n", kKilledShard);
+  serve::FaultInjectionTransport::Options dead;
+  dead.error_probability = 1.0;
+  transports[kKilledShard]->SetOptions(dead);
 
   for (int round = 1; round <= 3; ++round) {
     s = coordinator.ThresholdSearch(patient.points, kContactEps,
                                     core::Measure::kFrechet, &contacts,
                                     &metrics, query_options);
     if (!s.ok()) {
-      std::fprintf(stderr, "degraded search failed: %s\n",
+      std::fprintf(stderr, "search during outage failed: %s\n",
                    s.ToString().c_str());
       return 1;
     }
-    std::printf("\n[degraded, query %d] %zu verified contacts in %.2f ms — "
-                "%s, shards skipped: %llu, breaker rejections: %llu\n",
+    // Strict and still complete: every key range the dead shard held
+    // has a live replica, and the merge dedups by trajectory id.
+    std::printf("\n[shard down, query %d] %zu contacts in %.2f ms — %s, "
+                "replica failovers: %llu, breaker rejections: %llu\n",
                 round, contacts.size(), metrics.total_ms,
-                metrics.partial ? "PARTIAL (gap reported)" : "complete",
-                static_cast<unsigned long long>(metrics.shards_skipped),
+                metrics.partial ? "PARTIAL" : "complete (strict)",
+                static_cast<unsigned long long>(metrics.shard_failovers),
                 static_cast<unsigned long long>(metrics.breaker_open));
     PrintContacts(contacts, patient.id);
-    // Every result in a partial answer is still a true contact — the
-    // tier returns a verified subset, never a wrong merge.
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+
+  // Ingest doesn't stop for the outage either: the evening's trips ack
+  // at quorum 1 on the surviving replicas while the dead shard's
+  // copies are captured durably in the hinted-handoff journal.
+  auto evening = workload::TDriveLike(500, /*seed=*/2027);
+  for (auto& t : evening) t.id = next_id++;
+  s = coordinator.PutBatch(evening, &report);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ingest during outage failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  const auto journal_stats = coordinator.hint_journal()->stats();
+  std::printf("\n[shard down] ingested %zu evening trips: %llu acked at "
+              "quorum, %llu under-replicated, %llu rows hinted "
+              "(journal holds %llu rows)\n",
+              evening.size(),
+              static_cast<unsigned long long>(report.acked),
+              static_cast<unsigned long long>(report.under_replicated),
+              static_cast<unsigned long long>(report.hinted_rows),
+              static_cast<unsigned long long>(journal_stats.pending_rows));
 
   std::printf("\nper-shard serving stats:\n");
   const auto stats = coordinator.Stats();
@@ -186,12 +234,37 @@ int main(int argc, char** argv) {
                 stats[i].p95_latency_ms);
   }
 
-  // --- act 3: the shard recovers; the breaker's half-open probe
-  // reinstates it and answers are complete again ---------------------
-  transports[kWedgedShard]->SetWedged(false);
-  std::printf("\n*** shard %zu recovers; waiting out the breaker cooldown "
-              "***\n", kWedgedShard);
-  std::this_thread::sleep_for(std::chrono::milliseconds(5100));
+  // --- act 3: the shard comes back; the half-open probe reinstates
+  // it and hint replay delivers everything it missed -----------------
+  transports[kKilledShard]->SetOptions(
+      serve::FaultInjectionTransport::Options{});
+  std::printf("\n*** shard %zu restarts; waiting out the breaker cooldown, "
+              "then replaying hints ***\n", kKilledShard);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  serve::HintReplayReport replay_total;
+  Stopwatch catchup;
+  while (coordinator.hint_journal()->pending_records() > 0 &&
+         catchup.ElapsedMillis() < 30000.0) {
+    serve::HintReplayReport replay;
+    s = coordinator.ReplayHints(&replay);
+    if (!s.ok()) {
+      std::fprintf(stderr, "hint replay failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    replay_total.replayed += replay.replayed;
+    replay_total.replayed_rows += replay.replayed_rows;
+    if (coordinator.hint_journal()->pending_records() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  std::printf("replayed %llu hints (%llu rows) onto shard %zu in %.1f ms; "
+              "journal now holds %llu pending rows\n",
+              static_cast<unsigned long long>(replay_total.replayed),
+              static_cast<unsigned long long>(replay_total.replayed_rows),
+              kKilledShard, catchup.ElapsedMillis(),
+              static_cast<unsigned long long>(
+                  coordinator.hint_journal()->stats().pending_rows));
+
   s = coordinator.ThresholdSearch(patient.points, kContactEps,
                                   core::Measure::kFrechet, &contacts,
                                   &metrics, query_options);
@@ -200,11 +273,11 @@ int main(int argc, char** argv) {
                  s.ToString().c_str());
     return 1;
   }
-  std::printf("\n[recovered] %zu contacts in %.2f ms — %s, shards skipped: "
-              "%llu\n",
+  std::printf("\n[recovered] %zu contacts in %.2f ms — %s, replica "
+              "failovers: %llu\n",
               contacts.size(), metrics.total_ms,
-              metrics.partial ? "PARTIAL" : "complete",
-              static_cast<unsigned long long>(metrics.shards_skipped));
+              metrics.partial ? "PARTIAL" : "complete (strict)",
+              static_cast<unsigned long long>(metrics.shard_failovers));
   PrintContacts(contacts, patient.id);
   return 0;
 }

@@ -75,6 +75,14 @@ struct QueryMetrics {
   uint64_t hedge_wins = 0;
   uint64_t breaker_open = 0;
 
+  /// Coordinator-level replica failovers (the shard-topology analog of
+  /// `replica_failovers`): shards whose answer is missing from the
+  /// merge but whose key space was fully covered by replica shards, so
+  /// the merged answer is still complete — `partial` stays false and
+  /// strict queries still succeed. Non-zero only with
+  /// CoordinatorOptions::replication_factor > 1.
+  uint64_t shard_failovers = 0;
+
   /// Ingest watermark snapshot taken when the query started: every
   /// trajectory with ticket <= this value was fully visible (row +
   /// features + value-directory entry) to the query; later ingest may or

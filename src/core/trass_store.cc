@@ -226,15 +226,22 @@ Status TrassStore::RebuildIngestState() {
   uint64_t key_bytes = 0;
   std::lock_guard<std::mutex> lock(values_mu_);
   for (const std::string& key : collector.TakeKeys()) {
-    ++count;
-    key_bytes += key.size();
-    if (options_.string_keys) continue;  // stats only in integer mode
+    if (options_.string_keys) {  // stats only in integer mode
+      ++count;
+      key_bytes += key.size();
+      continue;
+    }
     uint8_t shard;
     int64_t value;
     uint64_t tid;
     s = DecodeRowKey(Slice(key), &shard, &value, &tid);
     if (!s.ok()) return s;
     seen_values_.push_back(value);
+    // Distinct row keys normally mean distinct ids; the guard mirrors
+    // CommitEncoded so a recovered store counts ids, not rows.
+    if (!seen_ids_.insert(tid).second) continue;
+    ++count;
+    key_bytes += key.size();
     const index::XzStar::IndexSpace space = xz_.Decode(value);
     resolution_histogram_[space.seq.length()] += 1;
     position_histogram_[space.pos] += 1;
@@ -310,6 +317,16 @@ Status TrassStore::CommitEncoded(std::vector<ingest::EncodedRow>* rows) {
     std::lock_guard<std::mutex> lock(values_mu_);
     for (const ingest::EncodedRow& row : *rows) {
       if (!applied[row.shard]) continue;
+      // Re-delivery of a stored id (hint replay, duplicated transport
+      // delivery) overwrote the identical row above; the directory
+      // entry is refreshed but the counters and histograms must not
+      // double-count — idempotency is what lets replay be
+      // at-least-once.
+      if (!seen_ids_.insert(row.tid).second) {
+        seen_values_.push_back(row.index_value);
+        values_dirty_ = true;
+        continue;
+      }
       ++count;
       key_bytes += row.key.size();
       resolution_histogram_[row.resolution] += 1;

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/admission.h"
@@ -185,6 +186,13 @@ class TrassStore {
   /// concurrently with queries — a query started before the Put returns
   /// sees either none of the trajectory or all of it (row, features,
   /// value-directory entry), never a torn state.
+  ///
+  /// Idempotent on re-delivery: re-putting an id already stored (same
+  /// points) overwrites the identical row and leaves statistics, the
+  /// value directory, and query results unchanged — the property the
+  /// serving tier's hint replay and duplicate-delivery tolerance rely
+  /// on. (Re-putting an id with *different* points is a contract
+  /// violation, as ever.)
   Status Put(const Trajectory& trajectory);
 
   /// Group commit: indexes and stores a batch of trajectories in one
@@ -408,6 +416,11 @@ class TrassStore {
   mutable std::mutex values_mu_;
   std::vector<uint64_t> resolution_histogram_;
   std::vector<uint64_t> position_histogram_;
+  // Ids already counted into the statistics above. Re-applied rows
+  // (hint replay, duplicated delivery) overwrite their identical LSM
+  // row but must not double-count num_trajectories_/histograms — this
+  // is what makes Put idempotent end to end.
+  std::unordered_set<uint64_t> seen_ids_;
   mutable std::vector<int64_t> seen_values_;  // sorted-unique lazily
   mutable bool values_dirty_ = false;
   mutable std::shared_ptr<const std::vector<int64_t>> directory_;

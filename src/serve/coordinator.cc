@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <future>
 #include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "util/stopwatch.h"
@@ -78,6 +82,20 @@ void ArmControl(const core::QueryOptions& options, QueryContext* control) {
   // ShardRequest::max_candidates, not in this (routing-only) context.
 }
 
+/// In-place first-occurrence dedup by trajectory id. With replication a
+/// trajectory answers from up to R shards; the copies are byte-identical
+/// (same rows, same deterministic measure), so keeping the first sorted
+/// occurrence reproduces the single-store answer exactly.
+void DedupResultsById(std::vector<core::SearchResult>* results) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(results->size());
+  auto end = std::remove_if(results->begin(), results->end(),
+                            [&seen](const core::SearchResult& r) {
+                              return !seen.insert(r.id).second;
+                            });
+  results->erase(end, results->end());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -119,10 +137,13 @@ struct ShardCoordinator::QueryState {
   uint64_t hedges_sent = 0;
   uint64_t hedge_wins = 0;
 
+  size_t num_replicas = 1;  // ring-placement group width (partitioner)
+
   struct Slot {
     enum class S { kUnlaunched, kInFlight, kDone, kFailed, kSkipped };
     S state = S::kUnlaunched;
     bool launched = false;   // got at least one attempt (contacted)
+    bool breaker_skipped = false;  // gated out by an open breaker
     ShardResponse response;  // the winning attempt's answer (kDone)
     Status last_error;       // most recent shard-attributed failure
     int retries_used = 0;
@@ -137,22 +158,64 @@ struct ShardCoordinator::QueryState {
   };
   std::vector<Slot> slots;
 
+  // ---- replica-group coverage (caller holds mu) ----
+  //
+  // Primary partition g lives on the ring group {g, g+1, ...} mod N, R
+  // members wide. The merge over any set of slots is complete iff every
+  // group has at least one member with a complete (non-partial) answer
+  // — that member holds every trajectory whose primary is g.
+
+  bool SlotCovers(const Slot& slot) const {
+    return slot.state == Slot::S::kDone && !slot.response.metrics.partial;
+  }
+  /// Terminal with no answer: can never cover its groups.
+  bool SlotDoomed(const Slot& slot) const {
+    return slot.state == Slot::S::kFailed || slot.state == Slot::S::kSkipped;
+  }
+  bool GroupCovered(size_t group) const {
+    for (size_t r = 0; r < num_replicas; ++r) {
+      if (SlotCovers(slots[(group + r) % slots.size()])) return true;
+    }
+    return false;
+  }
+  /// Every member terminal-without-answer: the group's key range is
+  /// unreachable this query and strict mode must fail now.
+  bool GroupDoomed(size_t group) const {
+    for (size_t r = 0; r < num_replicas; ++r) {
+      const Slot& slot = slots[(group + r) % slots.size()];
+      if (!SlotDoomed(slot)) return false;
+    }
+    return true;
+  }
+  bool AllGroupsCovered() const {
+    for (size_t g = 0; g < slots.size(); ++g) {
+      if (!GroupCovered(g)) return false;
+    }
+    return true;
+  }
   /// Current merged k-th distance across resolved shards — the monotone
   /// upper bound follow-up waves carry (infinity until k results have
-  /// merged). Caller holds mu.
+  /// merged). Dedups by id first: with replication a trajectory can
+  /// answer from two replicas, and counting it twice would tighten the
+  /// bound past the true k-th distance and prune real answers. Caller
+  /// holds mu.
   double CurrentTopKBound() const {
     if (base.op != ShardOp::kTopK || base.k <= 0) {
       return std::numeric_limits<double>::infinity();
     }
-    std::vector<double> distances;
+    std::unordered_map<uint64_t, double> best;
     for (const Slot& slot : slots) {
       if (slot.state != Slot::S::kDone) continue;
       for (const core::SearchResult& r : slot.response.results) {
-        distances.push_back(r.distance);
+        auto [it, inserted] = best.emplace(r.id, r.distance);
+        if (!inserted && r.distance < it->second) it->second = r.distance;
       }
     }
     const size_t k = static_cast<size_t>(base.k);
-    if (distances.size() < k) return std::numeric_limits<double>::infinity();
+    if (best.size() < k) return std::numeric_limits<double>::infinity();
+    std::vector<double> distances;
+    distances.reserve(best.size());
+    for (const auto& [id, distance] : best) distances.push_back(distance);
     std::nth_element(distances.begin(), distances.begin() + (k - 1),
                      distances.end());
     return distances[k - 1];
@@ -167,7 +230,10 @@ ShardCoordinator::ShardCoordinator(
     std::vector<std::shared_ptr<ShardTransport>> shards)
     : options_(options),
       transports_(std::move(shards)),
-      partitioner_(transports_.size(), options.max_resolution),
+      partitioner_(transports_.size(), options.max_resolution,
+                   options.replication_factor < 1
+                       ? 1
+                       : static_cast<size_t>(options.replication_factor)),
       quota_(TenantQuota::Options{options.tenant_tokens_per_sec,
                                   options.tenant_burst}),
       retry_policy_(RetryPolicy::Options{
@@ -182,13 +248,49 @@ ShardCoordinator::ShardCoordinator(
         std::make_unique<LatencyTracker>(options_.hedge_latency_window);
     per_shard_.push_back(std::move(per_shard));
   }
+  if (!options_.hint_journal_dir.empty()) {
+    HintJournal::Options journal_options;
+    journal_options.env = options_.hint_env;
+    journal_options.dir = options_.hint_journal_dir;
+    journal_options.sync = options_.hint_sync;
+    journal_status_ = HintJournal::Open(journal_options, &journal_);
+    // A journal that failed to open degrades hints to
+    // WriteReport::under_replicated (scrub-healed); the error stays
+    // visible via hint_journal_status().
+  }
   pool_ = std::make_unique<ThreadPool>(
       options_.pool_threads == 0 ? 1 : options_.pool_threads);
+  if (journal_ != nullptr && options_.hint_replay_interval_ms > 0) {
+    replayer_ = std::thread([this] { ReplayLoop(); });
+  }
 }
 
-// Members destroy in reverse order: the pool first, joining in-flight
+// The replayer joins first (it uses transports and the journal), then
+// members destroy in reverse order: the pool next, joining in-flight
 // attempt tasks while the transports they use are still alive.
-ShardCoordinator::~ShardCoordinator() = default;
+ShardCoordinator::~ShardCoordinator() {
+  if (replayer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(replay_mu_);
+      stop_replayer_ = true;
+    }
+    replay_cv_.notify_all();
+    replayer_.join();
+  }
+}
+
+void ShardCoordinator::ReplayLoop() {
+  std::unique_lock<std::mutex> lock(replay_mu_);
+  for (;;) {
+    replay_cv_.wait_for(lock,
+                        MillisDuration(options_.hint_replay_interval_ms),
+                        [&] { return stop_replayer_; });
+    if (stop_replayer_) return;
+    lock.unlock();
+    if (journal_->pending_records() > 0) (void)ReplayHints();
+    lock.lock();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Fan-out machinery
@@ -335,28 +437,50 @@ Status ShardCoordinator::FanOut(const ShardRequest& base,
   auto state = std::make_shared<QueryState>();
   state->base = base;
   state->control = control;
+  state->num_replicas = partitioner_.num_replicas();
   const size_t n = transports_.size();
   state->slots.resize(n);
   state->unresolved = n;
   *state_out = state;
 
+  // Strict-mode doom check: scans for a replica group whose coverage is
+  // unrecoverable (all members terminal without an answer) and returns
+  // the first member's shard-attributed error. OK when no group is
+  // doomed — or when the only doomed slots carry no error (deadline
+  // teardown cancellations; the caller's control stop explains those).
+  // Caller holds state->mu.
+  auto attribute_doom = [&]() -> Status {
+    for (size_t g = 0; g < n; ++g) {
+      if (state->GroupCovered(g) || !state->GroupDoomed(g)) continue;
+      for (size_t r = 0; r < state->num_replicas; ++r) {
+        const size_t member = (g + r) % n;
+        const QueryState::Slot& slot = state->slots[member];
+        if (slot.last_error.ok()) continue;
+        std::string label = ShardLabel(member, *transports_[member]);
+        if (slot.breaker_skipped) label += " circuit breaker open";
+        return slot.last_error.WithContext(label);
+      }
+    }
+    return Status::OK();
+  };
+
   Status fail;
   std::unique_lock<std::mutex> lock(state->mu);
 
-  // Breaker gating + primary launches.
-  for (size_t i = 0; i < n && fail.ok(); ++i) {
+  // Breaker gating + primary launches. A breaker-open shard is skipped,
+  // not fatal: with replication its groups may still be covered by the
+  // other members, and strict mode only fails once a whole group is
+  // doomed (checked after gating and in the wait loop).
+  for (size_t i = 0; i < n; ++i) {
     const CircuitBreaker::Decision decision = breakers_[i]->Admit();
     if (decision == CircuitBreaker::Decision::kReject) {
       m->breaker_open++;
       QueryState::Slot& slot = state->slots[i];
       slot.state = QueryState::Slot::S::kSkipped;
+      slot.breaker_skipped = true;
       const Status last = breakers_[i]->last_error();
       slot.last_error = last.ok() ? Status::Busy("circuit breaker open") : last;
       state->unresolved--;
-      if (!base.allow_partial) {
-        fail = slot.last_error.WithContext(ShardLabel(i, *transports_[i]) +
-                                           " circuit breaker open");
-      }
     } else {
       // kProceed or kProbe: success/failure outcomes settle the probe
       // via Record*; a cancelled probe releases its slot explicitly in
@@ -365,10 +489,14 @@ Status ShardCoordinator::FanOut(const ShardRequest& base,
                     decision == CircuitBreaker::Decision::kProbe);
     }
   }
+  if (!base.allow_partial) fail = attribute_doom();
 
   // Wait loop: launch due retries and hedges, wake on attempt
-  // completions, poll the caller's control every tick.
-  while (fail.ok() && state->unresolved > 0) {
+  // completions, poll the caller's control every tick. Exits early once
+  // every replica group is covered — remaining stragglers can only
+  // duplicate answers already merged, so they are cancelled and the
+  // absorbed losses counted as failovers below.
+  while (fail.ok() && state->unresolved > 0 && !state->AllGroupsCovered()) {
     if (control->ShouldStop()) break;
     const Clock::time_point now = Clock::now();
     Clock::time_point next_wake = now + MillisDuration(10.0);
@@ -392,12 +520,11 @@ Status ShardCoordinator::FanOut(const ShardRequest& base,
           next_wake = std::min(next_wake, hedge_at);
         }
       }
-      if (slot.state == QueryState::Slot::S::kFailed && !base.allow_partial) {
-        fail = slot.last_error.WithContext(ShardLabel(i, *transports_[i]));
-        break;
-      }
     }
-    if (!fail.ok() || state->unresolved == 0) break;
+    if (!base.allow_partial) fail = attribute_doom();
+    if (!fail.ok() || state->unresolved == 0 || state->AllGroupsCovered()) {
+      break;
+    }
     state->cv.wait_until(lock, next_wake);
   }
 
@@ -427,13 +554,18 @@ Status ShardCoordinator::FanOut(const ShardRequest& base,
   if (!fail.ok()) return fail;
   if (skipped == 0) return Status::OK();
 
+  // Replica failover: every primary partition is covered by a complete
+  // answer, so the merge is exact despite the missing shards — losses
+  // were absorbed, not degraded. Strict queries succeed and the answer
+  // is NOT partial; the absorbed count stays observable.
+  if (state->AllGroupsCovered()) {
+    m->shard_failovers += skipped;
+    return Status::OK();
+  }
+
   if (!base.allow_partial) {
-    for (size_t i = 0; i < n; ++i) {
-      if (state->slots[i].state == QueryState::Slot::S::kFailed) {
-        return state->slots[i].last_error.WithContext(
-            ShardLabel(i, *transports_[i]));
-      }
-    }
+    const Status doom = attribute_doom();
+    if (!doom.ok()) return doom;
     const Status stop = control->Check();
     if (!stop.ok()) return ResolveStop(stop, /*allow_partial=*/false, m);
     return Status::IoError("shards unresolved");  // defensive; unreachable
@@ -451,12 +583,14 @@ Status ShardCoordinator::FanOut(const ShardRequest& base,
 // ---------------------------------------------------------------------------
 // Ingest
 
-Status ShardCoordinator::Put(const core::Trajectory& trajectory) {
-  return PutBatch({trajectory});
+Status ShardCoordinator::Put(const core::Trajectory& trajectory,
+                             WriteReport* report) {
+  return PutBatch({trajectory}, report);
 }
 
 Status ShardCoordinator::PutBatch(
-    const std::vector<core::Trajectory>& trajectories) {
+    const std::vector<core::Trajectory>& trajectories, WriteReport* report) {
+  if (report != nullptr) *report = WriteReport();
   if (transports_.empty()) {
     return Status::InvalidArgument("coordinator has no shards");
   }
@@ -465,28 +599,315 @@ Status ShardCoordinator::PutBatch(
       return Status::InvalidArgument("empty trajectory " + std::to_string(t.id));
     }
   }
-  std::vector<std::vector<core::Trajectory>> groups(transports_.size());
-  for (const core::Trajectory& t : trajectories) {
-    groups[partitioner_.ShardOf(t)].push_back(t);
+  if (trajectories.empty()) return Status::OK();
+
+  // Route every trajectory to its full replica group; remember the
+  // placement so quorum is counted per trajectory afterwards.
+  const size_t n = transports_.size();
+  std::vector<std::vector<size_t>> rows_of_shard(n);    // trajectory indices
+  std::vector<std::vector<size_t>> shards_of_row(trajectories.size());
+  for (size_t ti = 0; ti < trajectories.size(); ++ti) {
+    shards_of_row[ti] = partitioner_.ReplicasOf(trajectories[ti]);
+    for (size_t shard : shards_of_row[ti]) {
+      rows_of_shard[shard].push_back(ti);
+    }
   }
-  for (size_t i = 0; i < groups.size(); ++i) {
-    if (groups[i].empty()) continue;
+
+  // Write every touched shard in parallel. Breaker-open shards are
+  // rejected fast — no transport attempt, no retry budget burned — and
+  // fall through to the hint journal with the others.
+  struct ShardWrite {
+    bool touched = false;
+    bool contacted = false;
+    bool breaker_open = false;
+    bool hinted = false;
+    Status status;
+  };
+  std::vector<ShardWrite> writes(n);
+  std::vector<std::future<void>> inflight;
+  for (size_t i = 0; i < n; ++i) {
+    if (rows_of_shard[i].empty()) continue;
+    ShardWrite& write = writes[i];
+    write.touched = true;
+    const CircuitBreaker::Decision decision = breakers_[i]->Admit();
+    if (decision == CircuitBreaker::Decision::kReject) {
+      write.breaker_open = true;
+      const Status last = breakers_[i]->last_error();
+      write.status =
+          last.ok() ? Status::Busy("circuit breaker open") : last;
+      continue;
+    }
     ShardRequest request;
     request.op = ShardOp::kPut;
-    request.trajectories = std::move(groups[i]);
-    const Status s = retry_policy_.Run([&] {
+    request.deadline_ms = options_.write_deadline_ms;
+    request.trajectories.reserve(rows_of_shard[i].size());
+    for (size_t ti : rows_of_shard[i]) {
+      request.trajectories.push_back(trajectories[ti]);
+    }
+    write.contacted = true;
+    inflight.push_back(pool_->Submit(
+        [this, i, &write, request = std::move(request)]() mutable {
+          per_shard_[i]->attempts.fetch_add(1, std::memory_order_relaxed);
+          // No hedging: a write that races its own duplicate is only
+          // safe because re-puts are idempotent, and we reserve that
+          // property for hint replay, not routine ingest. The probe
+          // claimed by Admit() (if any) is settled by the Record below.
+          const Status s = retry_policy_.Run([&] {
+            ShardResponse response;
+            return transports_[i]->Execute(request, nullptr, &response);
+          });
+          if (s.ok()) {
+            breakers_[i]->RecordSuccess();
+          } else {
+            per_shard_[i]->failures.fetch_add(1, std::memory_order_relaxed);
+            breakers_[i]->RecordFailure(s);
+          }
+          write.status = s;
+        }));
+  }
+  for (std::future<void>& f : inflight) f.get();
+
+  // Hinted handoff: rows for every shard that missed the write are
+  // journaled durably before the batch acks, so a replica lost to a
+  // fault or an open breaker is healed by replay instead of staying
+  // silently behind.
+  uint64_t hinted_rows = 0;
+  if (journal_ != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!writes[i].touched || writes[i].status.ok()) continue;
+      std::vector<core::Trajectory> rows;
+      rows.reserve(rows_of_shard[i].size());
+      for (size_t ti : rows_of_shard[i]) rows.push_back(trajectories[ti]);
+      if (journal_->Append(i, rows).ok()) {
+        writes[i].hinted = true;
+        hinted_rows += rows.size();
+      }
+    }
+  }
+
+  // Per-trajectory quorum accounting.
+  const size_t quorum = std::max<size_t>(
+      1, std::min<size_t>(partitioner_.num_replicas(),
+                          options_.write_quorum < 1
+                              ? 1
+                              : static_cast<size_t>(options_.write_quorum)));
+  Status first_failure;
+  uint64_t acked = 0;
+  uint64_t failed = 0;
+  uint64_t under_replicated = 0;
+  for (size_t ti = 0; ti < trajectories.size(); ++ti) {
+    size_t committed = 0;
+    for (size_t shard : shards_of_row[ti]) {
+      if (writes[shard].status.ok()) committed++;
+    }
+    if (committed >= quorum) {
+      acked++;
+      if (committed < shards_of_row[ti].size()) under_replicated++;
+    } else {
+      failed++;
+      if (first_failure.ok()) {
+        for (size_t shard : shards_of_row[ti]) {
+          if (writes[shard].status.ok()) continue;
+          first_failure = writes[shard].status.WithContext(
+              ShardLabel(shard, *transports_[shard]));
+          break;
+        }
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    report->acked = acked;
+    report->failed = failed;
+    report->under_replicated = under_replicated;
+    report->hinted_rows = hinted_rows;
+    for (size_t i = 0; i < n; ++i) {
+      if (!writes[i].touched) continue;
+      ShardWriteOutcome outcome;
+      outcome.shard = i;
+      outcome.rows = rows_of_shard[i].size();
+      outcome.status = writes[i].status;
+      outcome.breaker_open = writes[i].breaker_open;
+      outcome.hinted = writes[i].hinted;
+      report->shards.push_back(std::move(outcome));
+    }
+  }
+  return first_failure;
+}
+
+Status ShardCoordinator::ReplayHints(HintReplayReport* report) {
+  if (report != nullptr) *report = HintReplayReport();
+  if (journal_ == nullptr) {
+    return journal_status_.ok() ? Status::OK() : journal_status_;
+  }
+  Status first_failure;
+  for (size_t shard : journal_->ShardsWithHints()) {
+    if (shard >= transports_.size()) continue;  // topology shrank: keep
+    if (breakers_[shard]->Admit() == CircuitBreaker::Decision::kReject) {
+      if (report != nullptr) report->skipped_breaker_open++;
+      continue;
+    }
+    // A kProbe admit rides this delivery as the half-open probe: the
+    // first Record below settles it, reinstating the shard on success.
+    for (const PendingHint& hint : journal_->Pending(shard)) {
+      ShardRequest request;
+      request.op = ShardOp::kPut;
+      request.deadline_ms = options_.write_deadline_ms;
+      request.trajectories = hint.rows;
       ShardResponse response;
-      return transports_[i]->Execute(request, nullptr, &response);
-    });
+      per_shard_[shard]->attempts.fetch_add(1, std::memory_order_relaxed);
+      const Status s = transports_[shard]->Execute(request, nullptr, &response);
+      if (s.ok()) {
+        breakers_[shard]->RecordSuccess();
+        // Crash between delivery and this retirement re-delivers the
+        // hint next replay — absorbed by idempotent re-puts.
+        const Status retired = journal_->MarkApplied(hint.seq);
+        if (!retired.ok() && first_failure.ok()) first_failure = retired;
+        if (report != nullptr) {
+          report->replayed++;
+          report->replayed_rows += hint.rows.size();
+        }
+      } else {
+        per_shard_[shard]->failures.fetch_add(1, std::memory_order_relaxed);
+        breakers_[shard]->RecordFailure(s);
+        if (report != nullptr) report->failed++;
+        if (first_failure.ok()) {
+          first_failure =
+              s.WithContext(ShardLabel(shard, *transports_[shard]));
+        }
+        break;  // shard still down: keep its remaining hints for later
+      }
+    }
+  }
+  return first_failure;
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy
+
+Status ShardCoordinator::ScrubShards(ShardScrubReport* report) {
+  if (report != nullptr) *report = ShardScrubReport();
+  if (transports_.empty()) {
+    return Status::InvalidArgument("coordinator has no shards");
+  }
+  const size_t n = transports_.size();
+  if (partitioner_.num_replicas() < 2) return Status::OK();  // nothing to cross-check
+
+  // Phase 1: fingerprint every reachable shard under the coordinator's
+  // topology. Breaker-open or faulting shards sit this pass out; their
+  // groups are compared among the survivors.
+  std::vector<char> reachable(n, 0);
+  std::vector<std::map<uint64_t, PartitionFingerprint>> fingerprints(n);
+  Status first_failure;
+  for (size_t i = 0; i < n; ++i) {
+    if (breakers_[i]->Admit() == CircuitBreaker::Decision::kReject) {
+      if (report != nullptr) report->shards_unreachable++;
+      continue;
+    }
+    ShardRequest request;
+    request.op = ShardOp::kFingerprint;
+    request.num_shards = n;
+    ShardResponse response;
+    const Status s = transports_[i]->Execute(request, nullptr, &response);
     if (s.ok()) {
       breakers_[i]->RecordSuccess();
+      reachable[i] = 1;
+      for (const PartitionFingerprint& fp : response.fingerprints) {
+        fingerprints[i][fp.primary] = fp;
+      }
     } else {
       per_shard_[i]->failures.fetch_add(1, std::memory_order_relaxed);
       breakers_[i]->RecordFailure(s);
-      return s.WithContext(ShardLabel(i, *transports_[i]));
+      if (report != nullptr) report->shards_unreachable++;
+      if (first_failure.ok()) {
+        first_failure = s.WithContext(ShardLabel(i, *transports_[i]));
+      }
     }
   }
-  return Status::OK();
+
+  // Phase 2: per primary partition, compare the replica group's
+  // digests; on divergence export the partition from every reachable
+  // member and copy each member the rows it is missing (idempotent
+  // re-puts, so racing ingest is safe).
+  for (size_t g = 0; g < n; ++g) {
+    std::vector<size_t> members;
+    for (size_t m : partitioner_.ReplicaGroup(g)) {
+      if (reachable[m]) members.push_back(m);
+    }
+    if (members.size() < 2) continue;  // nobody to compare against
+    if (report != nullptr) report->groups_checked++;
+    bool divergent = false;
+    // A member with no rows for the partition simply has no
+    // fingerprint entry; (0 rows, crc of nothing) is its digest.
+    PartitionFingerprint reference;
+    bool have_reference = false;
+    for (size_t m : members) {
+      PartitionFingerprint fp;
+      fp.primary = g;
+      auto it = fingerprints[m].find(g);
+      if (it != fingerprints[m].end()) fp = it->second;
+      if (!have_reference) {
+        reference = fp;
+        have_reference = true;
+      } else if (fp.rows != reference.rows || fp.crc != reference.crc) {
+        divergent = true;
+      }
+    }
+    if (!divergent) continue;
+    if (report != nullptr) report->groups_divergent++;
+
+    std::map<uint64_t, core::Trajectory> union_rows;
+    std::vector<std::unordered_set<uint64_t>> have(members.size());
+    std::vector<char> exported(members.size(), 0);
+    for (size_t idx = 0; idx < members.size(); ++idx) {
+      const size_t m = members[idx];
+      ShardRequest request;
+      request.op = ShardOp::kExport;
+      request.num_shards = n;
+      request.export_primary = static_cast<int64_t>(g);
+      ShardResponse response;
+      const Status s = transports_[m]->Execute(request, nullptr, &response);
+      if (!s.ok()) {
+        per_shard_[m]->failures.fetch_add(1, std::memory_order_relaxed);
+        breakers_[m]->RecordFailure(s);
+        if (first_failure.ok()) {
+          first_failure = s.WithContext(ShardLabel(m, *transports_[m]));
+        }
+        continue;  // neither a source nor a repair target this pass
+      }
+      breakers_[m]->RecordSuccess();
+      exported[idx] = 1;
+      for (core::Trajectory& t : response.trajectories) {
+        have[idx].insert(t.id);
+        union_rows.emplace(t.id, std::move(t));
+      }
+    }
+    for (size_t idx = 0; idx < members.size(); ++idx) {
+      if (!exported[idx]) continue;
+      const size_t m = members[idx];
+      ShardRequest request;
+      request.op = ShardOp::kPut;
+      for (const auto& [id, t] : union_rows) {
+        if (have[idx].count(id) == 0) request.trajectories.push_back(t);
+      }
+      if (request.trajectories.empty()) continue;
+      ShardResponse response;
+      const Status s = transports_[m]->Execute(request, nullptr, &response);
+      if (s.ok()) {
+        breakers_[m]->RecordSuccess();
+        if (report != nullptr) {
+          report->rows_repaired += request.trajectories.size();
+        }
+      } else {
+        per_shard_[m]->failures.fetch_add(1, std::memory_order_relaxed);
+        breakers_[m]->RecordFailure(s);
+        if (first_failure.ok()) {
+          first_failure = s.WithContext(ShardLabel(m, *transports_[m]));
+        }
+      }
+    }
+  }
+  return first_failure;
 }
 
 // ---------------------------------------------------------------------------
@@ -528,9 +949,12 @@ Status ShardCoordinator::ThresholdSearch(const std::vector<geo::Point>& query,
       results->insert(results->end(), slot.response.results.begin(),
                       slot.response.results.end());
     }
-    // Shards are disjoint by trajectory, so concat + the SearchResult
-    // (distance, id) order reproduces the single-store answer exactly.
+    // Shards are disjoint by trajectory at R=1, so concat + the
+    // SearchResult (distance, id) order reproduces the single-store
+    // answer exactly; with replication a trajectory may answer from
+    // several replicas, and the id-dedup keeps the copies out.
     std::sort(results->begin(), results->end());
+    if (partitioner_.num_replicas() > 1) DedupResultsById(results);
     m->results = results->size();
   }
   m->total_ms = total.ElapsedMillis();
@@ -576,8 +1000,11 @@ Status ShardCoordinator::TopKSearch(const std::vector<geo::Point>& query, int k,
     }
     // Each shard's answer is a superset of its contribution to the
     // global top-k (a local top-k, or everything under the propagated
-    // bound), so sort + truncate is the exact global answer.
+    // bound), so sort + dedup + truncate is the exact global answer —
+    // the dedup keeps a replicated trajectory from occupying two of
+    // the k slots.
     std::sort(results->begin(), results->end());
+    if (partitioner_.num_replicas() > 1) DedupResultsById(results);
     if (results->size() > static_cast<size_t>(k)) {
       results->resize(static_cast<size_t>(k));
     }
@@ -620,6 +1047,7 @@ Status ShardCoordinator::RangeQuery(const geo::Mbr& window,
                   slot.response.ids.end());
     }
     std::sort(ids->begin(), ids->end());
+    ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
     m->results = ids->size();
   }
   m->total_ms = total.ElapsedMillis();
@@ -658,11 +1086,15 @@ Status ShardCoordinator::SimilarityJoin(
   std::vector<core::Trajectory> all;
   {
     std::lock_guard<std::mutex> lock(export_state->mu);
+    std::unordered_set<uint64_t> seen;
     for (QueryState::Slot& slot : export_state->slots) {
       if (slot.state != QueryState::Slot::S::kDone) continue;
       FoldShardMetrics(slot.response.metrics, m);
-      std::move(slot.response.trajectories.begin(),
-                slot.response.trajectories.end(), std::back_inserter(all));
+      for (core::Trajectory& t : slot.response.trajectories) {
+        // Replicated rows export from every live replica; probe each
+        // trajectory once.
+        if (seen.insert(t.id).second) all.push_back(std::move(t));
+      }
       slot.response.trajectories.clear();
     }
   }
@@ -710,6 +1142,9 @@ Status ShardCoordinator::SimilarityJoin(
     }
   }
   std::sort(pairs->begin(), pairs->end());
+  // Replicated matches surface once per hosting shard; report each
+  // unordered pair once, like the single-store join.
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
   m->results = pairs->size();
   m->total_ms = total.ElapsedMillis();
   if (!stopped.ok()) return ResolveStop(stopped, allow_partial, m);

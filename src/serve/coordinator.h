@@ -7,6 +7,30 @@
 // byte-identical to a single store over the union dataset when every
 // shard answers. The headline is the fault behavior:
 //
+//   * Replicated placement — with replication_factor R > 1 each
+//     trajectory is written to R distinct shards (ring placement), so
+//     losing any single shard leaves every key range with a survivor.
+//   * Quorum writes — PutBatch writes all replica shards in parallel
+//     and acks once write_quorum of R copies committed; per-shard
+//     outcomes are reported via WriteReport instead of a silent
+//     partial state. Replicas that miss the write (fault or open
+//     breaker) divert to the hinted-handoff journal.
+//   * Hinted handoff — a WAL-backed journal (serve/hint_journal.h)
+//     durably captures writes for unreachable shards; ReplayHints (or
+//     the background replayer) re-delivers them when the shard's
+//     half-open probe reinstates it. Replay is at-least-once and leans
+//     on TrassStore's idempotent re-puts.
+//   * Read failover — queries always fan out to every shard; with
+//     replication the merge needs only a covering set (every primary
+//     partition answered by >= 1 replica), dedups by trajectory id,
+//     and stays byte-identical to a single store through a
+//     single-shard loss — strict (allow_partial=false) queries
+//     included, with the absorbed loss counted in
+//     QueryMetrics::shard_failovers rather than flagged partial.
+//   * Anti-entropy — ScrubShards fingerprints every shard per primary
+//     partition (wire-level kFingerprint op), detects divergent
+//     replica groups, and rebuilds stragglers from the union of their
+//     peers (ScrubReplicas one level up).
 //   * Deadline budgeting — each shard attempt gets a budget carved
 //     from the caller's remaining deadline (minus a merge reserve), so
 //     a shard self-terminates rather than relying on abandonment.
@@ -20,8 +44,10 @@
 //   * Circuit breakers — consecutive shard failures open a per-shard
 //     breaker (closed -> open -> half-open probe, mirroring replica
 //     demotion/reinstatement) so dead shards cost one check, not a
-//     deadline budget, per query.
-//   * Verified-partial merges — with allow_partial, missing shards
+//     deadline budget, per query. The write path honors breakers too:
+//     a known-open shard is never retried against, its rows go
+//     straight to the hint journal.
+//   * Verified-partial merges — with allow_partial, uncovered shards
 //     degrade the answer to a verified subset, flagged via
 //     QueryMetrics::{partial, shards_skipped}; without it, the first
 //     unabsorbable fault fails the query with the shard attributed.
@@ -32,7 +58,9 @@
 // Top-k merges maintain a shared monotonically tightening k-th-distance
 // bound: follow-up waves (retries and hedges launched after the first
 // k results merged) carry the current bound, which the shard serves as
-// a threshold search — strictly more pruning, same answer.
+// a threshold search — strictly more pruning, same answer. With
+// replication the bound dedups by id first, so a trajectory answered
+// by two replicas cannot over-tighten it.
 //
 // Thread-safe: queries may run concurrently; hedges/retries of one
 // query share its internal state under one mutex. Transports and the
@@ -41,9 +69,11 @@
 #ifndef TRASS_SERVE_COORDINATOR_H_
 #define TRASS_SERVE_COORDINATOR_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/measure.h"
@@ -51,7 +81,9 @@
 #include "core/trajectory.h"
 #include "core/trass_store.h"  // core::QueryOptions
 #include "geo/mbr.h"
+#include "kv/env.h"
 #include "serve/circuit_breaker.h"
+#include "serve/hint_journal.h"
 #include "serve/partitioner.h"
 #include "serve/shard_transport.h"
 #include "serve/tenant_quota.h"
@@ -70,6 +102,35 @@ struct CoordinatorOptions {
 
   /// Fan-out worker pool size (attempts in flight across all queries).
   size_t pool_threads = 8;
+
+  /// Copies kept per trajectory across *distinct shards* (clamped to
+  /// the shard count). 1 = seed behavior: no replication, a lost shard
+  /// loses its key range. With R >= 2 the tier survives any single
+  /// shard loss: reads fail over across the replica group and writes
+  /// ack at `write_quorum`.
+  int replication_factor = 1;
+
+  /// Healthy replicas that must commit before PutBatch acks a
+  /// trajectory (clamped to [1, replication_factor]). Replicas beyond
+  /// the quorum that miss the write are hinted (if the journal is
+  /// configured) and healed by replay or ScrubShards.
+  int write_quorum = 1;
+
+  /// Per-shard budget for one write attempt; <= 0 leaves writes
+  /// undeadlined. Carried in ShardRequest::deadline_ms so transports
+  /// (and injected faults) bound their blocking.
+  double write_deadline_ms = 0.0;
+
+  /// Hinted handoff. Empty dir disables the journal (replica misses
+  /// then surface only as WriteReport::under_replicated, healed by
+  /// ScrubShards). hint_env null uses kv::Env::Default().
+  std::string hint_journal_dir;
+  kv::Env* hint_env = nullptr;
+  bool hint_sync = true;
+  /// > 0: a background thread replays pending hints at this cadence
+  /// (delivery still gated by each shard's breaker). 0 = manual
+  /// ReplayHints only.
+  double hint_replay_interval_ms = 0.0;
 
   /// Hedging. A shard quiet past max(hedge_min_delay_ms, its p95 over
   /// the last hedge_latency_window successful attempts) gets one
@@ -107,6 +168,44 @@ struct CoordinatorQueryOptions {
   std::string tenant = "default";
 };
 
+/// Per-shard outcome of one PutBatch — the attribution a sequential
+/// fail-fast write path could never give.
+struct ShardWriteOutcome {
+  size_t shard = 0;
+  uint64_t rows = 0;          // rows routed to this shard
+  Status status;              // commit outcome (OK = durable on shard)
+  bool breaker_open = false;  // rejected fast, transport never tried
+  bool hinted = false;        // rows journaled for later replay
+};
+
+/// Quorum-write rollup. `acked` trajectories reached write_quorum
+/// durable copies; `under_replicated` counts acked trajectories with
+/// at least one missing replica (hinted or awaiting scrub); `failed`
+/// trajectories missed quorum and the batch returned their error.
+struct WriteReport {
+  std::vector<ShardWriteOutcome> shards;  // only shards the batch touched
+  uint64_t acked = 0;
+  uint64_t failed = 0;
+  uint64_t under_replicated = 0;
+  uint64_t hinted_rows = 0;
+};
+
+/// ReplayHints rollup.
+struct HintReplayReport {
+  uint64_t replayed = 0;             // hint records delivered + retired
+  uint64_t replayed_rows = 0;
+  uint64_t skipped_breaker_open = 0;  // shards skipped: breaker still open
+  uint64_t failed = 0;                // delivery attempts that failed
+};
+
+/// ScrubShards rollup (the shard-topology ScrubReport).
+struct ShardScrubReport {
+  uint64_t shards_unreachable = 0;  // no fingerprint: fault/breaker-open
+  uint64_t groups_checked = 0;      // replica groups with >= 2 reachable
+  uint64_t groups_divergent = 0;
+  uint64_t rows_repaired = 0;       // rows copied onto lagging replicas
+};
+
 /// Point-in-time per-shard observability snapshot.
 struct ShardStats {
   std::string endpoint;
@@ -131,14 +230,34 @@ class ShardCoordinator {
 
   size_t num_shards() const { return transports_.size(); }
 
-  // ---- ingest (partitioned, synchronous) ----
+  // ---- ingest (replicated quorum writes) ----
 
-  Status Put(const core::Trajectory& trajectory);
-  /// Routes the batch through the partitioner and applies one kPut per
-  /// owning shard (each shard's group-commit machinery takes over from
-  /// there). Fails with the first shard error; no hedging on writes
-  /// (duplicated ingest is not idempotent the way queries are).
-  Status PutBatch(const std::vector<core::Trajectory>& trajectories);
+  Status Put(const core::Trajectory& trajectory,
+             WriteReport* report = nullptr);
+  /// Routes each trajectory to its R replica shards and writes every
+  /// touched shard in parallel (no hedging — writes lean on idempotent
+  /// re-puts for replay, not duplication in flight). A trajectory acks
+  /// once write_quorum replicas committed; rows for shards that missed
+  /// (fault or open breaker) are hinted when the journal is
+  /// configured. Returns OK iff every trajectory acked; otherwise the
+  /// first under-quorum shard's error, with per-shard outcomes in
+  /// *report either way.
+  Status PutBatch(const std::vector<core::Trajectory>& trajectories,
+                  WriteReport* report = nullptr);
+
+  /// Re-delivers pending hints, shard by shard (oldest first), gated
+  /// by each shard's breaker: an open breaker skips the shard, a
+  /// half-open one rides the probe. Delivered hints are retired from
+  /// the journal. Safe to call concurrently with ingest and queries.
+  Status ReplayHints(HintReplayReport* report = nullptr);
+
+  /// Anti-entropy over the shard topology: fingerprints every
+  /// reachable shard per primary partition, and for each divergent
+  /// replica group re-builds lagging members from the union of their
+  /// peers (narrow kExport + idempotent kPut). Complements ReplayHints
+  /// — it heals misses that were never hinted (journal disabled, lost
+  /// coordinator, quorum-acked-but-under-replicated writes).
+  Status ScrubShards(ShardScrubReport* report = nullptr);
 
   // ---- queries (scatter-gather) ----
 
@@ -159,9 +278,10 @@ class ShardCoordinator {
                     const CoordinatorQueryOptions& options = {});
 
   /// Distributed similarity self-join: exports every shard's
-  /// trajectories and probes each against the whole tier (the exact
-  /// algorithm TrassStore::SimilarityJoin runs against itself), so the
-  /// sorted pair list matches the single-store answer.
+  /// trajectories (deduped across replicas) and probes each against
+  /// the whole tier (the exact algorithm TrassStore::SimilarityJoin
+  /// runs against itself), so the sorted pair list matches the
+  /// single-store answer.
   Status SimilarityJoin(double eps, core::Measure measure,
                         std::vector<std::pair<uint64_t, uint64_t>>* pairs,
                         core::QueryMetrics* metrics = nullptr,
@@ -174,6 +294,10 @@ class ShardCoordinator {
   const Partitioner& partitioner() const { return partitioner_; }
   TenantQuota* quota() { return &quota_; }
   const CoordinatorOptions& options() const { return options_; }
+  /// Null when hint_journal_dir is empty or the journal failed to
+  /// open (see hint_journal_status()).
+  HintJournal* hint_journal() { return journal_.get(); }
+  Status hint_journal_status() const { return journal_status_; }
 
  private:
   struct QueryState;  // per-fan-out shared state (coordinator.cc)
@@ -205,9 +329,11 @@ class ShardCoordinator {
 
   /// One scatter-gather wave over every shard: breaker gating, primary
   /// launch, hedge/retry scheduling, first-response-wins merge slots.
-  /// On return every slot is Done, Failed, or Skipped (post-deadline
-  /// stragglers are cancelled and counted skipped). Populates
-  /// `state_out` for the caller to merge.
+  /// Returns once every slot is terminal — or, with replication, as
+  /// soon as every primary partition is covered by a complete replica
+  /// answer (remaining stragglers are cancelled and the absorbed
+  /// losses counted as shard_failovers). Populates `state_out` for the
+  /// caller to merge.
   Status FanOut(const ShardRequest& base,
                 const CoordinatorQueryOptions& options,
                 const QueryContext* control,
@@ -229,6 +355,9 @@ class ShardCoordinator {
                          uint64_t epoch, double elapsed_ms, Status status,
                          ShardResponse&& response);
 
+  /// Background hint replayer body (hint_replay_interval_ms > 0).
+  void ReplayLoop();
+
   double ShardBudgetMs(const QueryContext* control) const;
   double HedgeDelayMs(size_t shard) const;
 
@@ -239,6 +368,16 @@ class ShardCoordinator {
   std::vector<std::unique_ptr<PerShard>> per_shard_;
   TenantQuota quota_;
   RetryPolicy retry_policy_;
+
+  std::unique_ptr<HintJournal> journal_;
+  Status journal_status_;
+
+  // Background replayer (joined in the destructor before any member
+  // dies, so declaration order does not matter for it).
+  mutable std::mutex replay_mu_;
+  std::condition_variable replay_cv_;
+  bool stop_replayer_ = false;  // guarded by replay_mu_
+  std::thread replayer_;
 
   // Declared last: destroyed first, joining in-flight attempt tasks
   // while the transports and trackers they reference are still alive.

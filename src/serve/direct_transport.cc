@@ -1,10 +1,16 @@
 #include "serve/direct_transport.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "core/row_codec.h"
 #include "kv/region_store.h"
 #include "kv/scan.h"
+#include "serve/partitioner.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
 #include "util/query_context.h"
 
 namespace trass {
@@ -26,6 +32,9 @@ Status ExportTrajectories(core::TrassStore* store,
                           const ShardRequest& request,
                           const std::atomic<bool>* cancel,
                           ShardResponse* response) {
+  if (request.export_primary >= 0 && request.num_shards == 0) {
+    return Status::InvalidArgument("filtered export needs num_shards");
+  }
   QueryContext control;
   control.SetDeadlineAfterMillis(request.deadline_ms);
   control.SetCancelFlag(cancel);
@@ -34,8 +43,24 @@ Status ExportTrajectories(core::TrassStore* store,
   Status s = store->region_store()->Scan({kv::ScanRange{"", ""}}, nullptr,
                                          &rows, &report, &control);
   if (!s.ok()) return s;
+  const Partitioner partitioner(request.num_shards,
+                                store->options().max_resolution);
   response->trajectories.reserve(rows.size());
   for (const kv::Row& row : rows) {
+    if (request.export_primary >= 0) {
+      // Anti-entropy repair reads one primary partition; placement is
+      // a pure function of the key's index value, so the filter never
+      // decodes points it will drop.
+      uint8_t shard = 0;
+      int64_t value = 0;
+      uint64_t tid = 0;
+      s = core::DecodeRowKey(Slice(row.key), &shard, &value, &tid);
+      if (!s.ok()) return s;
+      if (partitioner.ShardOfValue(value) !=
+          static_cast<size_t>(request.export_primary)) {
+        continue;
+      }
+    }
     core::StoredTrajectory t;
     s = core::DecodeRow(Slice(row.key), Slice(row.value), &t);
     if (!s.ok()) return s;
@@ -43,6 +68,60 @@ Status ExportTrajectories(core::TrassStore* store,
     out.id = t.id;
     out.points = std::move(t.points);
     response->trajectories.push_back(std::move(out));
+  }
+  response->metrics.retrieved = rows.size();
+  return Status::OK();
+}
+
+/// kFingerprint: digest this shard's rows per primary partition under
+/// the coordinator's topology (request.num_shards). Each partition's
+/// digest hashes (id, row crc) pairs in id order, so two replicas agree
+/// iff they hold identical row sets — regardless of the order ingest,
+/// hint replay, or repair wrote them.
+Status FingerprintPartitions(core::TrassStore* store,
+                             const ShardRequest& request,
+                             const std::atomic<bool>* cancel,
+                             ShardResponse* response) {
+  if (request.num_shards == 0) {
+    return Status::InvalidArgument("fingerprint needs num_shards");
+  }
+  if (store->options().string_keys) {
+    return Status::NotSupported("fingerprint unsupported with string keys");
+  }
+  QueryContext control;
+  control.SetDeadlineAfterMillis(request.deadline_ms);
+  control.SetCancelFlag(cancel);
+  std::vector<kv::Row> rows;
+  kv::ScanReport report;
+  Status s = store->region_store()->Scan({kv::ScanRange{"", ""}}, nullptr,
+                                         &rows, &report, &control);
+  if (!s.ok()) return s;
+  const Partitioner partitioner(request.num_shards,
+                                store->options().max_resolution);
+  std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>> partitions;
+  for (const kv::Row& row : rows) {
+    uint8_t shard = 0;
+    int64_t value = 0;
+    uint64_t tid = 0;
+    s = core::DecodeRowKey(Slice(row.key), &shard, &value, &tid);
+    if (!s.ok()) return s;
+    uint32_t row_crc = crc32c::Value(row.key.data(), row.key.size());
+    row_crc = crc32c::Extend(row_crc, row.value.data(), row.value.size());
+    partitions[partitioner.ShardOfValue(value)].emplace_back(tid, row_crc);
+  }
+  response->fingerprints.reserve(partitions.size());
+  for (auto& [primary, entries] : partitions) {
+    std::sort(entries.begin(), entries.end());
+    std::string digest;
+    for (const auto& [tid, row_crc] : entries) {
+      PutVarint64(&digest, tid);
+      PutBigEndian32(&digest, row_crc);
+    }
+    PartitionFingerprint fp;
+    fp.primary = primary;
+    fp.rows = entries.size();
+    fp.crc = crc32c::Value(digest.data(), digest.size());
+    response->fingerprints.push_back(fp);
   }
   response->metrics.retrieved = rows.size();
   return Status::OK();
@@ -85,6 +164,8 @@ Status ExecuteOnStore(core::TrassStore* store, const ShardRequest& request,
       return ExportTrajectories(store, request, cancel, response);
     case ShardOp::kPut:
       return store->PutBatch(request.trajectories);
+    case ShardOp::kFingerprint:
+      return FingerprintPartitions(store, request, cancel, response);
   }
   return Status::InvalidArgument("unknown shard op");
 }

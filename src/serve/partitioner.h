@@ -9,14 +9,22 @@
 // shard holding nothing in the query's ranges answers from metadata
 // without touching its LSM.
 //
+// Replication is ring placement: replica r of a trajectory whose
+// primary is shard p lives on shard (p + r) mod N, so the R copies sit
+// on R distinct shards and losing any single shard leaves every
+// primary's group with at least one survivor (for R >= 2). The group
+// membership is what the coordinator's read failover and anti-entropy
+// pass reason about.
+//
 // Routing is deterministic: the same trajectory always lands on the
-// same shard for a fixed (max_resolution, num_shards), which is what
-// the merge-equivalence tests rely on.
+// same shards for a fixed (max_resolution, num_shards, replication),
+// which is what the merge-equivalence tests rely on.
 
 #ifndef TRASS_SERVE_PARTITIONER_H_
 #define TRASS_SERVE_PARTITIONER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/trajectory.h"
 #include "index/xzstar.h"
@@ -26,17 +34,24 @@ namespace serve {
 
 class Partitioner {
  public:
-  Partitioner(size_t num_shards, int max_resolution)
-      : num_shards_(num_shards == 0 ? 1 : num_shards), xz_(max_resolution) {}
+  Partitioner(size_t num_shards, int max_resolution, size_t replication = 1)
+      : num_shards_(num_shards == 0 ? 1 : num_shards),
+        replication_(replication == 0 ? 1 : replication),
+        xz_(max_resolution) {
+    if (replication_ > num_shards_) replication_ = num_shards_;
+  }
 
   size_t num_shards() const { return num_shards_; }
+  /// Effective copies per trajectory (requested replication clamped to
+  /// the shard count — R distinct shards must exist to hold R copies).
+  size_t num_replicas() const { return replication_; }
 
-  /// Shard owning `trajectory` (requires at least one point).
+  /// Primary shard owning `trajectory` (requires at least one point).
   size_t ShardOf(const core::Trajectory& trajectory) const {
     return ShardOfValue(xz_.Encode(xz_.Index(trajectory.points)));
   }
 
-  /// Shard owning XZ* index value `value`.
+  /// Primary shard owning XZ* index value `value`.
   size_t ShardOfValue(int64_t value) const {
     // FNV-1a over the 8 value bytes: cheap, stable, and mixes the
     // depth-first-order locality of adjacent values away so one busy
@@ -50,8 +65,25 @@ class Partitioner {
     return static_cast<size_t>(h % num_shards_);
   }
 
+  /// All R distinct shards holding a copy of `trajectory`, primary first.
+  std::vector<size_t> ReplicasOf(const core::Trajectory& trajectory) const {
+    return ReplicaGroup(ShardOf(trajectory));
+  }
+
+  /// The ring group of shards holding copies of data whose primary is
+  /// `primary`: {primary, primary+1, ...} mod N, R members.
+  std::vector<size_t> ReplicaGroup(size_t primary) const {
+    std::vector<size_t> group;
+    group.reserve(replication_);
+    for (size_t r = 0; r < replication_; ++r) {
+      group.push_back((primary + r) % num_shards_);
+    }
+    return group;
+  }
+
  private:
   size_t num_shards_;
+  size_t replication_;
   index::XzStar xz_;
 };
 

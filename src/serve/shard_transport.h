@@ -53,12 +53,25 @@ namespace trass {
 namespace serve {
 
 enum class ShardOp : uint8_t {
-  kThreshold = 1,  // threshold similarity search
-  kTopK = 2,       // top-k similarity search
-  kRange = 3,      // spatial within-window query
-  kExport = 4,     // stream the shard's stored trajectories (join support)
-  kPut = 5,        // ingest a batch of trajectories
-  kPing = 6,       // liveness probe (breaker half-open checks, tests)
+  kThreshold = 1,    // threshold similarity search
+  kTopK = 2,         // top-k similarity search
+  kRange = 3,        // spatial within-window query
+  kExport = 4,       // stream the shard's stored trajectories (join support)
+  kPut = 5,          // ingest a batch of trajectories
+  kPing = 6,         // liveness probe (breaker half-open checks, tests)
+  kFingerprint = 7,  // per-primary-partition content digests (anti-entropy)
+};
+
+/// Content digest of the rows one shard holds for one primary
+/// partition (serve/partitioner.h ring placement). Two replicas of the
+/// same partition agree on (rows, crc) iff they store identical row
+/// sets, so the coordinator's anti-entropy pass compares these instead
+/// of shipping data (kExport narrowed to the partition repairs the
+/// divergence it finds).
+struct PartitionFingerprint {
+  uint64_t primary = 0;  // partition = primary shard index
+  uint64_t rows = 0;     // trajectories held for that partition
+  uint32_t crc = 0;      // order-independent digest of (id, row) pairs
 };
 
 /// One request to one shard. Fields beyond `op`'s needs are ignored.
@@ -85,6 +98,15 @@ struct ShardRequest {
   bool allow_partial = false;     // propagate verified-partial semantics
 
   std::vector<core::Trajectory> trajectories;  // kPut payload
+
+  /// kFingerprint / filtered kExport: the coordinator's shard-topology
+  /// size, so the shard computes primary placement with the exact
+  /// partitioner the coordinator routes by. 0 on other ops.
+  uint64_t num_shards = 0;
+  /// kExport: when >= 0, export only rows whose primary partition is
+  /// this value (anti-entropy repair reads one partition, not the
+  /// whole shard). -1 exports everything (the join path).
+  int64_t export_primary = -1;
 };
 
 /// One shard's answer. Exactly one payload vector is populated per op;
@@ -93,6 +115,7 @@ struct ShardResponse {
   std::vector<core::SearchResult> results;              // kThreshold/kTopK
   std::vector<uint64_t> ids;                            // kRange
   std::vector<core::Trajectory> trajectories;           // kExport
+  std::vector<PartitionFingerprint> fingerprints;       // kFingerprint
   core::QueryMetrics metrics;
 };
 

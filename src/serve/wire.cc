@@ -6,7 +6,10 @@ namespace trass {
 namespace serve {
 namespace {
 
-constexpr uint8_t kWireVersion = 1;
+// v2 adds replication-era fields: request {num_shards, export_primary}
+// and response fingerprints (anti-entropy). A v1 peer fails loudly with
+// Corruption instead of misparsing, per the header contract.
+constexpr uint8_t kWireVersion = 2;
 
 // Status codes on the wire. Keep in sync with the factories in
 // util/status.h; unknown codes decode as IoError so a skewed peer
@@ -218,6 +221,10 @@ void EncodeShardRequest(const ShardRequest& request, std::string* payload) {
   PutVarint64(payload, request.max_candidates);
   payload->push_back(request.allow_partial ? 1 : 0);
   PutTrajectories(request.trajectories, payload);
+  PutVarint64(payload, request.num_shards);
+  // export_primary is -1 (no filter) or a shard index; bias by one so
+  // the common -1 encodes as a single zero byte.
+  PutVarint64(payload, static_cast<uint64_t>(request.export_primary + 1));
 }
 
 Status DecodeShardRequest(Slice payload, ShardRequest* request) {
@@ -254,6 +261,12 @@ Status DecodeShardRequest(Slice payload, ShardRequest* request) {
   if (!GetTrajectories(&payload, &request->trajectories)) {
     return Malformed("trajectories");
   }
+  uint64_t export_primary_biased = 0;
+  if (!GetVarint64(&payload, &request->num_shards) ||
+      !GetVarint64(&payload, &export_primary_biased)) {
+    return Malformed("placement fields");
+  }
+  request->export_primary = static_cast<int64_t>(export_primary_biased) - 1;
   return Status::OK();
 }
 
@@ -271,6 +284,12 @@ void EncodeShardResponse(const ShardResponse& response,
   for (uint64_t id : response.ids) PutVarint64(payload, id);
   PutTrajectories(response.trajectories, payload);
   PutMetrics(response.metrics, payload);
+  PutVarint64(payload, response.fingerprints.size());
+  for (const PartitionFingerprint& fp : response.fingerprints) {
+    PutVarint64(payload, fp.primary);
+    PutVarint64(payload, fp.rows);
+    PutBigEndian32(payload, fp.crc);
+  }
 }
 
 Status DecodeShardResponse(Slice payload, ShardResponse* response,
@@ -308,6 +327,34 @@ Status DecodeShardResponse(Slice payload, ShardResponse* response,
     return Malformed("trajectories");
   }
   if (!GetMetrics(&payload, &response->metrics)) return Malformed("metrics");
+  if (!GetVarint64(&payload, &n)) return Malformed("fingerprint count");
+  // >= 6 bytes each: two varints + 4-byte crc.
+  if (n > payload.size() / 6) return Malformed("fingerprint count");
+  response->fingerprints.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PartitionFingerprint fp;
+    if (!GetVarint64(&payload, &fp.primary) ||
+        !GetVarint64(&payload, &fp.rows)) {
+      return Malformed("fingerprint");
+    }
+    if (payload.size() < 4) return Malformed("fingerprint crc");
+    fp.crc = DecodeBigEndian32(payload.data());
+    payload.remove_prefix(4);
+    response->fingerprints.push_back(fp);
+  }
+  return Status::OK();
+}
+
+void EncodeTrajectoryList(const std::vector<core::Trajectory>& trajectories,
+                          std::string* dst) {
+  PutTrajectories(trajectories, dst);
+}
+
+Status DecodeTrajectoryList(Slice payload,
+                            std::vector<core::Trajectory>* trajectories) {
+  if (!GetTrajectories(&payload, trajectories)) {
+    return Status::Corruption("wire: malformed trajectory list");
+  }
   return Status::OK();
 }
 

@@ -15,7 +15,9 @@
 #define TRASS_SERVE_WIRE_H_
 
 #include <string>
+#include <vector>
 
+#include "core/trajectory.h"
 #include "serve/shard_transport.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -39,6 +41,14 @@ void EncodeShardResponse(const ShardResponse& response,
                          const Status& exec_status, std::string* payload);
 Status DecodeShardResponse(Slice payload, ShardResponse* response,
                            Status* exec_status);
+
+/// Standalone trajectory-list codec (the kPut payload encoding), shared
+/// with the coordinator's hinted-handoff journal so a journaled write
+/// round-trips through exactly the bytes the wire would carry.
+void EncodeTrajectoryList(const std::vector<core::Trajectory>& trajectories,
+                          std::string* dst);
+Status DecodeTrajectoryList(Slice payload,
+                            std::vector<core::Trajectory>* trajectories);
 
 }  // namespace serve
 }  // namespace trass

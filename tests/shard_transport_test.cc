@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
@@ -177,6 +178,77 @@ TEST(WireTest, RejectsCountsLargerThanThePayload) {
   evil_ids += "\xff\xff\xff\x7f";
   EXPECT_TRUE(
       DecodeShardResponse(Slice(evil_ids), &decoded, &exec).IsCorruption());
+}
+
+TEST(WireTest, PlacementFieldsAndFingerprintsRoundTrip) {
+  // v2 request fields: the coordinator's topology rides kFingerprint
+  // and filtered kExport so the shard digests under the same placement.
+  ShardRequest request;
+  request.op = ShardOp::kFingerprint;
+  request.num_shards = 5;
+  request.export_primary = 3;
+  std::string payload;
+  EncodeShardRequest(request, &payload);
+  ShardRequest decoded;
+  ASSERT_TRUE(DecodeShardRequest(Slice(payload), &decoded).ok());
+  EXPECT_EQ(decoded.op, ShardOp::kFingerprint);
+  EXPECT_EQ(decoded.num_shards, 5u);
+  EXPECT_EQ(decoded.export_primary, 3);
+
+  // The no-filter default (-1) survives too.
+  ShardRequest plain;
+  plain.op = ShardOp::kExport;
+  EncodeShardRequest(plain, &payload);
+  ASSERT_TRUE(DecodeShardRequest(Slice(payload), &decoded).ok());
+  EXPECT_EQ(decoded.num_shards, 0u);
+  EXPECT_EQ(decoded.export_primary, -1);
+
+  // v2 response fingerprints.
+  ShardResponse response;
+  response.fingerprints.push_back({2, 41, 0xdeadbeef});
+  response.fingerprints.push_back({4, 0, 0});
+  EncodeShardResponse(response, Status::OK(), &payload);
+  ShardResponse decoded_response;
+  Status exec;
+  ASSERT_TRUE(
+      DecodeShardResponse(Slice(payload), &decoded_response, &exec).ok());
+  ASSERT_EQ(decoded_response.fingerprints.size(), 2u);
+  EXPECT_EQ(decoded_response.fingerprints[0].primary, 2u);
+  EXPECT_EQ(decoded_response.fingerprints[0].rows, 41u);
+  EXPECT_EQ(decoded_response.fingerprints[0].crc, 0xdeadbeefu);
+  EXPECT_EQ(decoded_response.fingerprints[1].primary, 4u);
+
+  // A corrupt fingerprint count larger than the remaining bytes fails
+  // the parse instead of provoking a giant reserve().
+  EncodeShardResponse(ShardResponse(), Status::OK(), &payload);
+  std::string evil = payload;
+  ASSERT_EQ(static_cast<uint8_t>(evil.back()), 0u);  // fingerprint count
+  evil.pop_back();
+  evil += "\xff\xff\xff\x7f";
+  EXPECT_TRUE(DecodeShardResponse(Slice(evil), &decoded_response, &exec)
+                  .IsCorruption());
+}
+
+TEST(WireTest, TrajectoryListRoundTrips) {
+  // The hint journal persists trajectory payloads with the same codec
+  // the wire uses.
+  std::vector<Trajectory> rows(2);
+  rows[0].id = 17;
+  rows[0].points = {{0.1, 0.2}, {0.3, 0.4}};
+  rows[1].id = 99;
+  rows[1].points = {{0.5, 0.5}};
+  std::string payload;
+  EncodeTrajectoryList(rows, &payload);
+  std::vector<Trajectory> decoded;
+  ASSERT_TRUE(DecodeTrajectoryList(Slice(payload), &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].id, 17u);
+  ASSERT_EQ(decoded[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded[0].points[1].x, 0.3);
+  EXPECT_EQ(decoded[1].id, 99u);
+  EXPECT_TRUE(
+      DecodeTrajectoryList(Slice(payload.data(), payload.size() - 1), &decoded)
+          .IsCorruption());
 }
 
 // ---------------------------------------------------------------------------
@@ -462,6 +534,91 @@ TEST_F(ServeTransportTest, DirectTransportMatchesTheStore) {
   ShardResponse exported;
   ASSERT_TRUE(transport.Execute(export_request, nullptr, &exported).ok());
   EXPECT_EQ(exported.trajectories.size(), data.size());
+}
+
+TEST_F(ServeTransportTest, FingerprintsAndFilteredExportAgree) {
+  OpenStore();
+  const auto data = trass::testing::RandomDataset(13, 70);
+  DirectShardTransport transport(store_.get());
+  ShardRequest put;
+  put.op = ShardOp::kPut;
+  put.trajectories = data;
+  ShardResponse ignored;
+  ASSERT_TRUE(transport.Execute(put, nullptr, &ignored).ok());
+  ASSERT_TRUE(store_->Flush().ok());
+
+  // Fingerprints digest per primary partition under the caller's
+  // topology; the rows across partitions account for every stored row.
+  constexpr uint64_t kTopologyShards = 4;
+  ShardRequest fingerprint;
+  fingerprint.op = ShardOp::kFingerprint;
+  fingerprint.num_shards = kTopologyShards;
+  ShardResponse digest, digest_again;
+  ASSERT_TRUE(transport.Execute(fingerprint, nullptr, &digest).ok());
+  ASSERT_TRUE(transport.Execute(fingerprint, nullptr, &digest_again).ok());
+  ASSERT_FALSE(digest.fingerprints.empty());
+  uint64_t fingerprinted_rows = 0;
+  for (size_t i = 0; i < digest.fingerprints.size(); ++i) {
+    const PartitionFingerprint& fp = digest.fingerprints[i];
+    EXPECT_LT(fp.primary, kTopologyShards);
+    fingerprinted_rows += fp.rows;
+    // Deterministic: same store, same topology, same digest.
+    ASSERT_LT(i, digest_again.fingerprints.size());
+    EXPECT_EQ(fp.primary, digest_again.fingerprints[i].primary);
+    EXPECT_EQ(fp.rows, digest_again.fingerprints[i].rows);
+    EXPECT_EQ(fp.crc, digest_again.fingerprints[i].crc);
+  }
+  EXPECT_EQ(fingerprinted_rows, data.size());
+
+  // Filtered exports partition the full export exactly: each primary's
+  // slice is disjoint and their union is everything.
+  std::vector<uint64_t> exported_ids;
+  for (uint64_t primary = 0; primary < kTopologyShards; ++primary) {
+    ShardRequest filtered;
+    filtered.op = ShardOp::kExport;
+    filtered.num_shards = kTopologyShards;
+    filtered.export_primary = static_cast<int64_t>(primary);
+    ShardResponse slice;
+    ASSERT_TRUE(transport.Execute(filtered, nullptr, &slice).ok());
+    for (const Trajectory& t : slice.trajectories) {
+      exported_ids.push_back(t.id);
+    }
+    // The slice size matches the partition's fingerprint rows.
+    uint64_t expected_rows = 0;
+    for (const PartitionFingerprint& fp : digest.fingerprints) {
+      if (fp.primary == primary) expected_rows = fp.rows;
+    }
+    EXPECT_EQ(slice.trajectories.size(), expected_rows)
+        << "primary " << primary;
+  }
+  std::sort(exported_ids.begin(), exported_ids.end());
+  EXPECT_EQ(std::unique(exported_ids.begin(), exported_ids.end()),
+            exported_ids.end());
+  EXPECT_EQ(exported_ids.size(), data.size());
+
+  // Topology is mandatory for a digest or a filtered export.
+  ShardRequest bad;
+  bad.op = ShardOp::kFingerprint;
+  ShardResponse unused;
+  EXPECT_TRUE(transport.Execute(bad, nullptr, &unused).IsInvalidArgument());
+  bad.op = ShardOp::kExport;
+  bad.export_primary = 1;
+  EXPECT_TRUE(transport.Execute(bad, nullptr, &unused).IsInvalidArgument());
+
+  // The digest crosses the socket byte-identically.
+  ShardServer server(store_.get(), dir_.path() + "/fp.sock");
+  ASSERT_TRUE(server.Start().ok());
+  SocketShardTransport socket(dir_.path() + "/fp.sock");
+  ShardResponse via_socket;
+  ASSERT_TRUE(socket.Execute(fingerprint, nullptr, &via_socket).ok());
+  ASSERT_EQ(via_socket.fingerprints.size(), digest.fingerprints.size());
+  for (size_t i = 0; i < digest.fingerprints.size(); ++i) {
+    EXPECT_EQ(via_socket.fingerprints[i].primary,
+              digest.fingerprints[i].primary);
+    EXPECT_EQ(via_socket.fingerprints[i].rows, digest.fingerprints[i].rows);
+    EXPECT_EQ(via_socket.fingerprints[i].crc, digest.fingerprints[i].crc);
+  }
+  server.Stop();
 }
 
 TEST_F(ServeTransportTest, SocketHarnessMatchesDirectDispatch) {
