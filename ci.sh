@@ -47,6 +47,9 @@ for config in "${configs[@]}"; do
       build-ci/release/bench/bench_micro_similarity --smoke
       build-ci/release/bench/bench_fig09_threshold --smoke
       build-ci/release/bench/bench_fig10_topk --smoke
+      # Filter-tier gate: byte-identical answers filter-on vs -off and
+      # the >= 5x sparse-region reduction (non-zero exit on either).
+      build-ci/release/bench/bench_fig11_pruning --smoke
       echo "=== [release] bench smoke OK ==="
       ;;
     asan)
@@ -67,20 +70,23 @@ for config in "${configs[@]}"; do
         -DTRASS_BUILD_BENCHMARKS=OFF -DTRASS_BUILD_EXAMPLES=OFF
       echo "=== [chaos] build ==="
       cmake --build "$dir" -j "$jobs" \
-        --target resource_exhaustion_test coordinator_test
+        --target resource_exhaustion_test coordinator_test filter_tier_test
       # Fixed seed schedule so CI runs are comparable across commits;
       # each seed drives one randomized fault/budget/crash trial of the
       # store matrix, one randomized drop/delay/duplicate/error/wedge
       # schedule of the coordinator read matrix, and one randomized
       # kill/wedge-a-replica schedule of the coordinator write matrix
       # (quorum acks + hinted handoff + replay: no acked write may be
-      # lost, no strict query may go partial).
+      # lost, no strict query may go partial), and one crash-mid-ingest
+      # schedule of the filter tier (the reopened tier must agree with
+      # whatever the WAL recovered).
       seeds=(20240808 1 7 42 1337 99991 2718281 31415926)
       for seed in "${seeds[@]}"; do
         for matrix in \
             "resource_exhaustion_test ResourceExhaustionChaos.*" \
             "coordinator_test CoordinatorChaos.*" \
-            "coordinator_test CoordinatorWriteChaos.*"; do
+            "coordinator_test CoordinatorWriteChaos.*" \
+            "filter_tier_test FilterChaos.*"; do
           binary="${matrix%% *}"
           filter="${matrix#* }"
           echo "=== [chaos] $binary seed $seed ==="

@@ -78,6 +78,22 @@ for b in build/bench/bench_fig17_scalability build/bench/bench_fig19_shards; do
   fi
 done
 
+# Filter-tier snapshot: the fig11 supplement re-runs just the filter
+# pass and records the sparse-region reduction ratios plus the prune
+# counters as JSON. Committed snapshots (BENCH_fig11_filter.json) are
+# the regression baseline; the pass itself exits non-zero if answers
+# diverge filter-on vs filter-off or the reduction drops below 5x.
+if [ -x build/bench/bench_fig11_pruning ]; then
+  timeout 1200 build/bench/bench_fig11_pruning --filter-only \
+    --filter_out=BENCH_fig11_filter.json >> bench_output.txt 2>&1
+  rc=$?
+  echo "[exit $rc] BENCH_fig11_filter.json" >> bench_status.txt
+  if [ "$rc" -ne 0 ]; then
+    echo "run_benches.sh: filter-tier snapshot failed with $rc" >&2
+    exit "$rc"
+  fi
+fi
+
 # Machine-readable kernel baseline: the micro similarity bench carries
 # both the scalar reference kernels and the flat SoA kernels the
 # refinement engine serves with, so one JSON snapshot records the

@@ -17,7 +17,17 @@ struct QueryMetrics {
   double total_ms = 0.0;
 
   uint64_t scan_ranges = 0;     // key ranges issued to the store
-  uint64_t index_values = 0;    // candidate index values after pruning
+
+  /// Index values the query actually submitted to store scans. For the
+  /// threshold/range/join paths this counts the *present* values (ones
+  /// the value directory holds) inside the final scanned ranges — after
+  /// directory intersection and, when enabled, after the filter tier;
+  /// candidate values that were empty or pruned before any scan are
+  /// excluded. For top-k it counts drained index spaces handed to a
+  /// store round-trip (the PR 5 definition), with spaces the filter
+  /// tier pruned at drain time likewise excluded. Either way: an index
+  /// value counts here iff the store was asked to read it.
+  uint64_t index_values = 0;
   uint64_t retrieved = 0;       // rows scanned in the store (I/O)
   uint64_t candidates = 0;      // rows surviving local filtering
   uint64_t refined = 0;         // candidates entering exact refinement
@@ -82,6 +92,21 @@ struct QueryMetrics {
   /// strict queries still succeed. Non-zero only with
   /// CoordinatorOptions::replication_factor > 1.
   uint64_t shard_failovers = 0;
+
+  /// Memory-resident filter tier (src/filter/, TrassOptions::filter_tier).
+  /// All zero when the tier is disabled. `filter_elements_pruned` counts
+  /// candidate index values skipped because the element summary index
+  /// proved them empty; `filter_mbr_pruned` counts present values (or,
+  /// in top-k, whole subtrees/spaces) killed by the aggregate-MBR edge
+  /// bound before any scan; `fingerprint_skips` counts rows whose
+  /// per-row fingerprint record proved them misses without reading
+  /// their bytes. `filter_memory_bytes` is a gauge: RAM held by the
+  /// filter snapshot the query consulted (coordinator merges sum the
+  /// per-shard gauges).
+  uint64_t filter_elements_pruned = 0;
+  uint64_t filter_mbr_pruned = 0;
+  uint64_t fingerprint_skips = 0;
+  uint64_t filter_memory_bytes = 0;
 
   /// Ingest watermark snapshot taken when the query started: every
   /// trajectory with ticket <= this value was fully visible (row +

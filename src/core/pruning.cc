@@ -41,14 +41,7 @@ double MinDistToRegion(const geo::Mbr& query_mbr,
 }
 
 double MinDistToRegion(const geo::Mbr& query_mbr, const geo::Mbr& region) {
-  geo::Point c[4];
-  query_mbr.Corners(c);
-  double worst_edge = 0.0;
-  for (int e = 0; e < 4; ++e) {
-    worst_edge =
-        std::max(worst_edge, region.SegmentDistance(c[e], c[(e + 1) % 4]));
-  }
-  return worst_edge;
+  return geo::MinEdgeToRegionDistance(query_mbr, region);
 }
 
 double RectToPointsDistance(const geo::Mbr& rect,

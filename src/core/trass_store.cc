@@ -53,6 +53,24 @@ void FoldRefineStats(const RefineStats& stats, size_t threads,
   m->refine_threads = threads;
 }
 
+// Folds filter-tier probe counters into the query metrics.
+void FoldFilterStats(const filter::ProbeStats& stats, QueryMetrics* m) {
+  m->filter_elements_pruned += stats.elements_pruned;
+  m->filter_mbr_pruned += stats.mbr_pruned;
+  m->fingerprint_skips += stats.fingerprint_skips;
+}
+
+filter::FilterTierOptions MakeFilterOptions(const TrassOptions& options) {
+  filter::FilterTierOptions f;
+  f.enable = options.filter_tier.enable;
+  f.fingerprints = options.filter_tier.fingerprints;
+  f.fingerprint.hashes = options.filter_tier.fingerprint_hashes;
+  f.fingerprint.bits = options.filter_tier.fingerprint_bits;
+  f.fingerprint.grid = options.filter_tier.fingerprint_grid;
+  f.rebuild_on_scrub = options.filter_tier.rebuild_on_scrub;
+  return f;
+}
+
 // Arms a QueryContext from the caller's per-query options.
 void ArmControl(const QueryOptions& query_options, QueryContext* control) {
   control->SetDeadlineAfterMillis(query_options.deadline_ms);
@@ -151,6 +169,12 @@ Status TrassStore::Open(const TrassOptions& options, const std::string& path,
   }
   impl->refiner_ = std::make_unique<Refiner>(impl->refine_pool_.get(),
                                              options.refine_threads);
+  // Queries are unsupported in string-key mode, so a filter tier there
+  // would only cost RAM.
+  if (options.filter_tier.enable && !options.string_keys) {
+    impl->filter_tier_ =
+        std::make_unique<filter::FilterTier>(MakeFilterOptions(options));
+  }
   s = impl->RebuildIngestState();
   if (!s.ok()) return s;
   ingest::IngestOptions ingest_options;
@@ -249,7 +273,84 @@ Status TrassStore::RebuildIngestState() {
   num_trajectories_.store(count, std::memory_order_relaxed);
   total_key_bytes_.store(key_bytes, std::memory_order_relaxed);
   values_dirty_ = !seen_values_.empty();
+  if (filter_tier_ != nullptr) {
+    // Second pass decoding row *values* (the key scan above drops them):
+    // per-element aggregates and per-row fingerprints need the points.
+    // Open-time only, and the crash-recovery path — whatever rows the
+    // WAL replay kept are re-derived into a tier that agrees with the
+    // recovered store, never the pre-crash one.
+    std::vector<filter::FilterRowData> filter_rows;
+    s = CollectFilterRows(&filter_rows);
+    if (!s.ok()) return s;
+    filter_tier_->RebuildFrom(std::move(filter_rows));
+  }
   return Status::OK();
+}
+
+Status TrassStore::CollectFilterRows(
+    std::vector<filter::FilterRowData>* out) const {
+  // Decodes rows server-side into filter records without materializing
+  // the scan result (the tier needs summaries, not bytes).
+  class Collector final : public kv::ScanFilter {
+   public:
+    Collector(bool fingerprints, const filter::FingerprintParams& params)
+        : fingerprints_(fingerprints), params_(params) {}
+
+    bool Keep(const Slice& key, const Slice& value) const override {
+      uint8_t shard;
+      filter::FilterRowData row;
+      uint64_t tid;
+      if (!DecodeRowKey(key, &shard, &row.index_value, &tid).ok()) {
+        return false;
+      }
+      StoredTrajectory t;
+      // Undecodable values stay out of the tier; the scan paths drop
+      // them the same way, so filter-on/off answers still agree.
+      if (!DecodeRow(key, value, &t).ok()) return false;
+      row.tid = static_cast<int64_t>(tid);
+      row.mbr = geo::Mbr::Of(t.points);
+      if (fingerprints_) {
+        row.fingerprint = filter::MinhashSignature(t.points, params_);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      rows_.push_back(std::move(row));
+      return false;
+    }
+
+    std::vector<filter::FilterRowData> Take() { return std::move(rows_); }
+
+   private:
+    const bool fingerprints_;
+    const filter::FingerprintParams params_;
+    mutable std::mutex mu_;
+    mutable std::vector<filter::FilterRowData> rows_;
+  };
+
+  out->clear();
+  Collector collector(filter_tier_->options().fingerprints,
+                      filter_tier_->options().fingerprint);
+  std::vector<kv::Row> ignored;
+  Status s = store_->Scan({kv::ScanRange{"", ""}}, &collector, &ignored);
+  if (!s.ok()) return s;
+  *out = collector.Take();
+  return Status::OK();
+}
+
+void TrassStore::PublishFilterRows(const std::vector<ingest::EncodedRow>& rows,
+                                   const std::vector<char>& applied) {
+  if (filter_tier_ == nullptr) return;
+  std::vector<filter::FilterRowData> filter_rows;
+  filter_rows.reserve(rows.size());
+  for (const ingest::EncodedRow& row : rows) {
+    if (!applied[row.shard]) continue;
+    filter::FilterRowData fr;
+    fr.index_value = row.index_value;
+    fr.tid = static_cast<int64_t>(row.tid);
+    fr.mbr = row.mbr;
+    fr.fingerprint = row.fingerprint;
+    filter_rows.push_back(std::move(fr));
+  }
+  filter_tier_->AddRows(filter_rows);
 }
 
 uint8_t TrassStore::ShardOf(uint64_t tid) const {
@@ -276,6 +377,11 @@ Status TrassStore::EncodeTrajectory(const Trajectory& trajectory,
                  ? EncodeStringRowKey(shard, space, trajectory.id)
                  : EncodeRowKey(shard, value, trajectory.id);
   row->value = EncodeRowValue(trajectory.points, features);
+  row->mbr = geo::Mbr::Of(trajectory.points);
+  if (filter_tier_ != nullptr && options_.filter_tier.fingerprints) {
+    row->fingerprint = filter::MinhashSignature(
+        trajectory.points, filter_tier_->options().fingerprint);
+  }
   return Status::OK();
 }
 
@@ -337,6 +443,11 @@ Status TrassStore::CommitEncoded(std::vector<ingest::EncodedRow>* rows) {
   }
   num_trajectories_.fetch_add(count, std::memory_order_relaxed);
   total_key_bytes_.fetch_add(key_bytes, std::memory_order_relaxed);
+  // Step 3 of the publish order (rows -> stats -> filter -> watermark):
+  // by the time the pipeline advances the watermark past these tickets,
+  // the filter tier already covers them — so the tier can never claim
+  // emptiness for a watermark-visible row.
+  PublishFilterRows(*rows, applied);
   return first_failure;
 }
 
@@ -444,6 +555,20 @@ std::vector<std::pair<int64_t, int64_t>> TrassStore::IntersectWithDirectory(
   return present;
 }
 
+uint64_t TrassStore::CountPresentValues(
+    const std::vector<std::pair<int64_t, int64_t>>& ranges,
+    const std::vector<int64_t>& directory) {
+  // Ranges are disjoint (post-merge), so present values count once.
+  uint64_t count = 0;
+  for (const auto& [lo, hi] : ranges) {
+    const auto first =
+        std::lower_bound(directory.begin(), directory.end(), lo);
+    const auto last = std::upper_bound(first, directory.end(), hi);
+    count += static_cast<uint64_t>(last - first);
+  }
+  return count;
+}
+
 Status TrassStore::Flush() { return store_->Flush(); }
 
 Status TrassStore::ScrubReplicas(kv::ScrubReport* report) {
@@ -452,7 +577,21 @@ Status TrassStore::ScrubReplicas(kv::ScrubReport* report) {
   // while it streams. Group commits queue behind a running scrub;
   // SubmitAsync callers feel it as backpressure, not corruption.
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  return store_->ScrubReplicas(report);
+  Status s = store_->ScrubReplicas(report);
+  if (s.ok() && filter_tier_ != nullptr &&
+      options_.filter_tier.rebuild_on_scrub) {
+    // Re-derive the tier from the freshly healed store and count how far
+    // the old one had drifted (filter_scrub_mismatches()). ingest_mu_ is
+    // held, so no commit can slip rows between the store scan and the
+    // tier swap.
+    std::vector<filter::FilterRowData> filter_rows;
+    Status fs = CollectFilterRows(&filter_rows);
+    if (!fs.ok()) return fs;
+    filter_scrub_mismatches_.store(
+        filter_tier_->ValidateAndRebuild(std::move(filter_rows)),
+        std::memory_order_relaxed);
+  }
+  return s;
 }
 
 Status TrassStore::Resume() {
@@ -526,15 +665,36 @@ Status TrassStore::ThresholdSearchInternal(
   // consistency under concurrent ingest).
   Stopwatch phase;
   const auto directory = value_directory();
+  // Filter snapshot second: the tier only grows under ingest, so taking
+  // it after the directory makes it a superset — "absent in the tier"
+  // then soundly means "empty element" for every directory value.
+  const auto fsnap = FilterSnapshotForQuery();
   const QueryGeometry ctx = QueryGeometry::Make(query, options_.dp_tolerance);
   GlobalPruner pruner(&xz_, &ctx, directory.get(), control);
   const auto value_ranges = pruner.CandidateRanges(eps);
   // Skip ranges the value directory proves empty (free in HBase, a real
   // round-trip here).
-  const auto present_ranges = IntersectWithDirectory(value_ranges, *directory);
+  auto present_ranges = IntersectWithDirectory(value_ranges, *directory);
+  // Filter tier: kill surviving values whose aggregate (or every
+  // per-row) MBR is provably farther than eps, splitting the scan
+  // ranges at the kills so their bytes are never read.
+  filter::ProbeStats filter_stats;
+  if (fsnap != nullptr) {
+    m->filter_memory_bytes = fsnap->memory_bytes();
+    std::vector<std::pair<int64_t, int64_t>> filtered;
+    Status fs = fsnap->ProbeRanges(present_ranges, ctx.mbr, eps,
+                                   /*check_rows=*/true, control, &filtered,
+                                   &filter_stats);
+    FoldFilterStats(filter_stats, m);
+    if (!fs.ok()) {
+      m->total_ms = total.ElapsedMillis();
+      return ResolveStop(fs, allow_partial, m);
+    }
+    present_ranges = std::move(filtered);
+  }
   m->pruning_ms = phase.ElapsedMillis();
   m->scan_ranges = present_ranges.size();
-  m->index_values = GlobalPruner::CountValues(value_ranges);
+  m->index_values = CountPresentValues(present_ranges, *directory);
   if (Status stop = control->Check(); !stop.ok()) {
     // An abandoned traversal leaves the ranges incomplete; nothing has
     // been verified yet, so even a partial answer is empty.
@@ -614,6 +774,20 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
   Stopwatch total;
 
   const auto directory = value_directory();  // one snapshot per query
+  // Taken after the directory so the tier is a superset of it (see
+  // ThresholdSearchInternal).
+  const auto fsnap = FilterSnapshotForQuery();
+  filter::ProbeStats filter_stats;
+  // Query-side minhash signature, computed once: orders candidate rows
+  // by estimated sketch similarity so likely winners refine first.
+  std::vector<uint32_t> query_sig;
+  if (fsnap != nullptr) {
+    m->filter_memory_bytes = fsnap->memory_bytes();
+    if (fsnap->has_fingerprints()) {
+      query_sig =
+          filter::MinhashSignature(query, fsnap->fingerprint_params());
+    }
+  }
   const QueryGeometry ctx = QueryGeometry::Make(query, options_.dp_tolerance);
   GlobalPruner pruner(&xz_, &ctx, directory.get(), control);
   const int r = xz_.max_resolution();
@@ -655,7 +829,17 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
     const int64_t base = xz_.ElementBaseValue(seq);
     const int64_t span =
         seq.length() == 0 ? 10 : xz_.NumIndexSpaces(seq.length());
-    return SortedContainsRange(*directory, base, base + span - 1);
+    if (!SortedContainsRange(*directory, base, base + span - 1)) {
+      return false;
+    }
+    // Filter tier: the union MBR over the subtree's present values
+    // (segment tree) can kill the whole subtree long before its element
+    // bound would — the current k-th bound only tightens, so the skip
+    // stays valid for the rest of the query.
+    return fsnap == nullptr ||
+           fsnap->ProbeSubtree(base, base + span - 1, ctx.mbr,
+                               current_eps(),
+                               &filter_stats) == filter::ProbeResult::kKeep;
   };
 
   // Seed with the root overflow bucket and the four top-level elements.
@@ -697,19 +881,33 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
       // round-trip is equivalent to popping them one by one (minus the
       // per-scan overhead that otherwise dominates the tail latency).
       constexpr size_t kBatch = 16;
-      size_t drained = 0;  // index spaces drained (pre-merge)
+      size_t drained = 0;  // index spaces submitted to the scan
       std::vector<std::pair<int64_t, int64_t>> batch_values;
       while (!space_queue.empty() && batch_values.size() < kBatch &&
              space_queue.top().bound <= best_element &&
              space_queue.top().bound <= current_eps()) {
         const int64_t value = space_queue.top().value;
-        batch_values.emplace_back(value, value);
         space_queue.pop();
+        // Re-probe at drain time: the k-th bound may have tightened
+        // since this space was pushed, and the row-level proof gets its
+        // chance here. A space the filter kills is never submitted and
+        // — per the index_values contract in metrics.h — not counted.
+        if (fsnap != nullptr) {
+          const filter::ProbeResult probe =
+              fsnap->ProbeValue(value, ctx.mbr, current_eps(),
+                                /*check_rows=*/true, &filter_stats);
+          if (probe == filter::ProbeResult::kMbrPruned ||
+              probe == filter::ProbeResult::kFingerprintPruned) {
+            continue;
+          }
+        }
+        batch_values.emplace_back(value, value);
         ++drained;
       }
       index::MergeRanges(&batch_values);
       pruning_ms += phase.ElapsedMillis();
       phase.Reset();
+      if (batch_values.empty()) continue;  // whole batch filter-pruned
       LocalScanFilter filter(&ctx, current_eps(), measure);
       std::vector<kv::Row> rows;
       kv::ScanReport report;
@@ -726,6 +924,44 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
         break;
       }
       if (!s.ok()) return s;
+      if (!query_sig.empty() && rows.size() > 1) {
+        // Order the batch by estimated sketch similarity (descending):
+        // likely winners refine first, tightening the shared k-th bound
+        // sooner so later rows fall to the refiner's existing
+        // lower-bound prune. Ordering only — the refiner's answer is
+        // offer-order invariant, so results stay byte-identical.
+        std::vector<std::pair<double, size_t>> order(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          double sim = 0.0;
+          uint8_t shard;
+          int64_t value;
+          uint64_t tid;
+          if (DecodeRowKey(Slice(rows[i].key), &shard, &value, &tid).ok()) {
+            size_t count = 0;
+            const filter::RowRecord* records =
+                fsnap->RowsForValue(value, &count);
+            const filter::RowRecord* end = records + count;
+            const filter::RowRecord* hit = std::lower_bound(
+                records, end, static_cast<int64_t>(tid),
+                [](const filter::RowRecord& record, int64_t t) {
+                  return record.tid < t;
+                });
+            if (hit != end && hit->tid == static_cast<int64_t>(tid)) {
+              sim = filter::EstimateSimilarity(query_sig.data(),
+                                               fsnap->RowSignature(hit),
+                                               query_sig.size());
+            }
+          }
+          order[i] = {-sim, i};
+        }
+        std::stable_sort(order.begin(), order.end());
+        std::vector<kv::Row> reordered;
+        reordered.reserve(rows.size());
+        for (const auto& entry : order) {
+          reordered.push_back(std::move(rows[entry.second]));
+        }
+        rows = std::move(reordered);
+      }
       RefineStats refine_stats;
       Status rs = topk.RefineBatch(rows, control, &refine_stats);
       FoldRefineStats(refine_stats, refiner_->threads(), m);
@@ -758,6 +994,16 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
           if (!SortedContainsRange(*directory, value, value)) {
             continue;  // nothing stored
           }
+          // Aggregate-MBR check at push keeps provably-too-far spaces
+          // out of the queue entirely (kAbsent cannot happen here — the
+          // tier is a superset of the directory — but keeping it would
+          // be the conservative reaction anyway).
+          if (fsnap != nullptr &&
+              fsnap->ProbeValue(value, ctx.mbr, current_eps(),
+                                /*check_rows=*/false, &filter_stats) ==
+                  filter::ProbeResult::kMbrPruned) {
+            continue;
+          }
           const double bound = pruner.IndexSpaceLowerBound(entry.seq, pos);
           if (bound <= current_eps()) {
             space_queue.push(SpaceEntry{bound, value});
@@ -778,6 +1024,7 @@ Status TrassStore::TopKSearchInternal(const std::vector<geo::Point>& query,
   }
   pruning_ms += phase.ElapsedMillis();
   m->pruning_ms = pruning_ms;
+  FoldFilterStats(filter_stats, m);
 
   topk.Drain(results);  // ascending (distance, id), thread-count agnostic
   m->results = results->size();
@@ -850,6 +1097,10 @@ Status TrassStore::SimilarityJoin(
     m->refine_decode_ms += probe.refine_decode_ms;
     m->refine_lb_ms += probe.refine_lb_ms;
     m->refine_dp_ms += probe.refine_dp_ms;
+    m->filter_elements_pruned += probe.filter_elements_pruned;
+    m->filter_mbr_pruned += probe.filter_mbr_pruned;
+    m->fingerprint_skips += probe.fingerprint_skips;
+    m->filter_memory_bytes = probe.filter_memory_bytes;  // gauge, not a sum
     if (s.IsQueryStop()) {
       // Pairs from completed probes are exact; the stopped probe's
       // partial matches are discarded (they could miss pairs).
@@ -899,6 +1150,9 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
   // union still touches the window (a trajectory intersecting the window
   // has a point in one of its occupied sub-quads).
   const auto directory = value_directory();  // one snapshot per query
+  // Taken after the directory so the tier is a superset of it (see
+  // ThresholdSearchInternal).
+  const auto fsnap = FilterSnapshotForQuery();
   std::vector<std::pair<int64_t, int64_t>> values;
   struct Walker {
     const index::XzStar* xz;
@@ -953,10 +1207,25 @@ Status TrassStore::RangeQuery(const geo::Mbr& window,
     walker.Visit(index::QuadSeq().Child(q));
   }
   index::MergeRanges(&values);
-  const auto present = IntersectWithDirectory(values, *directory);
+  auto present = IntersectWithDirectory(values, *directory);
+  // Filter tier: a value whose aggregate MBR misses the window cannot
+  // hold a trajectory with a point inside it — drop it before the scan.
+  filter::ProbeStats filter_stats;
+  if (fsnap != nullptr) {
+    m->filter_memory_bytes = fsnap->memory_bytes();
+    std::vector<std::pair<int64_t, int64_t>> filtered;
+    Status fs = fsnap->ProbeRangesWindow(present, window, &control,
+                                         &filtered, &filter_stats);
+    FoldFilterStats(filter_stats, m);
+    if (!fs.ok()) {
+      m->total_ms = total.ElapsedMillis();
+      return ResolveStop(fs, query_options.allow_partial, m);
+    }
+    present = std::move(filtered);
+  }
   m->pruning_ms = phase.ElapsedMillis();
   m->scan_ranges = present.size();
-  m->index_values = GlobalPruner::CountValues(values);
+  m->index_values = CountPresentValues(present, *directory);
   if (Status stop = control.Check(); !stop.ok()) {
     m->total_ms = total.ElapsedMillis();
     return ResolveStop(stop, query_options.allow_partial, m);

@@ -23,6 +23,7 @@
 #include "core/refiner.h"
 #include "core/row_codec.h"
 #include "core/trajectory.h"
+#include "filter/filter_tier.h"
 #include "geo/units.h"
 #include "index/xzstar.h"
 #include "ingest/ingest_pipeline.h"
@@ -119,6 +120,28 @@ struct TrassOptions {
   /// own once the operator frees space. 0 (default) leaves resumption
   /// manual via TrassStore::Resume().
   uint64_t auto_resume_interval_ms = 0;
+
+  /// Memory-resident filter tier (src/filter/): succinct per-element
+  /// summaries (Elias-Fano value universe + count + aggregate MBR) and
+  /// optional per-row fingerprints, consulted between global pruning and
+  /// the store scans so empty or provably-too-far index values never
+  /// cost a KV read. Never changes query results (equivalence-tested);
+  /// costs RAM (QueryMetrics::filter_memory_bytes) and a small publish
+  /// step per ingest commit. Off by default (seed behavior).
+  struct FilterTierKnobs {
+    bool enable = false;
+    /// Keep per-row records (quantized MBR + minhash signature): row-
+    /// level miss proofs on the threshold path, candidate ordering for
+    /// top-k. Summaries-only when false (smaller RAM).
+    bool fingerprints = true;
+    int fingerprint_hashes = 16;  // minhash slots per row
+    int fingerprint_bits = 32;    // bits kept per slot, in [4, 32]
+    int fingerprint_grid = 1024;  // shingle discretization per axis
+    /// Rebuild the tier from a fresh store scan during ScrubReplicas and
+    /// count disagreements (filter_scrub_mismatches()); when false the
+    /// tier is left as-is across scrubs.
+    bool rebuild_on_scrub = true;
+  } filter_tier;
 
   /// Underlying LSM engine tuning.
   kv::Options db_options;
@@ -336,6 +359,20 @@ class TrassStore {
   /// fresh snapshot) can never mutate a directory mid-query.
   std::shared_ptr<const std::vector<int64_t>> value_directory() const;
 
+  /// The memory-resident filter tier, or null when
+  /// TrassOptions::filter_tier.enable is false (or in string-key mode).
+  /// Queries consult immutable snapshots of it; see filter/filter_tier.h
+  /// for the consistency contract.
+  filter::FilterTier* filter_tier() { return filter_tier_.get(); }
+
+  /// Elements the last scrub-time filter validation found disagreeing
+  /// with the store (0 when never scrubbed, the tier is disabled, or
+  /// rebuild_on_scrub is off). A non-zero value means the rebuilt tier
+  /// replaced a stale/corrupt one — the scrub healed it.
+  uint64_t filter_scrub_mismatches() const {
+    return filter_scrub_mismatches_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Internal query bodies: no admission (SimilarityJoin re-enters
   /// ThresholdSearch and must not deadlock on its own slot), shared
@@ -363,6 +400,30 @@ class TrassStore {
   static std::vector<std::pair<int64_t, int64_t>> IntersectWithDirectory(
       const std::vector<std::pair<int64_t, int64_t>>& ranges,
       const std::vector<int64_t>& directory);
+
+  /// Present (directory-held) index values inside `ranges` — the
+  /// QueryMetrics::index_values definition for the scan-based paths.
+  static uint64_t CountPresentValues(
+      const std::vector<std::pair<int64_t, int64_t>>& ranges,
+      const std::vector<int64_t>& directory);
+
+  /// Filter-tier snapshot for a query, or null when the tier is off.
+  /// Must be taken *after* the query's directory snapshot: the tier only
+  /// grows under ingest, so a later tier snapshot is a superset of any
+  /// earlier directory — absent-in-tier then soundly implies empty.
+  std::shared_ptr<const filter::FilterSnapshot> FilterSnapshotForQuery()
+      const {
+    return filter_tier_ != nullptr ? filter_tier_->snapshot() : nullptr;
+  }
+
+  /// Converts applied encoded rows into filter-tier row records and
+  /// publishes them (step 3 of rows -> stats -> filter -> watermark).
+  void PublishFilterRows(const std::vector<ingest::EncodedRow>& rows,
+                         const std::vector<char>& applied);
+
+  /// Full store scan -> filter-tier row records (open/recovery/scrub
+  /// rebuild). Caller must hold ingest_mu_ or be inside Open.
+  Status CollectFilterRows(std::vector<filter::FilterRowData>* rows) const;
 
   TrassStore(const TrassOptions& options);
 
@@ -424,6 +485,12 @@ class TrassStore {
   mutable std::vector<int64_t> seen_values_;  // sorted-unique lazily
   mutable bool values_dirty_ = false;
   mutable std::shared_ptr<const std::vector<int64_t>> directory_;
+
+  // Memory-resident filter tier (null when disabled). Mutated on the
+  // commit path after the directory publish and before the watermark
+  // advance; queries share immutable snapshots.
+  std::unique_ptr<filter::FilterTier> filter_tier_;
+  std::atomic<uint64_t> filter_scrub_mismatches_{0};
 
   // Auto-resume prober (joined by the destructor before any member
   // dies, so declaration order does not matter for it).

@@ -1,0 +1,131 @@
+#include "filter/elias_fano.h"
+
+#include <cassert>
+
+namespace trass {
+namespace filter {
+
+namespace {
+
+inline int FloorLog2(uint64_t x) {
+  int l = -1;
+  while (x != 0) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+inline int PopCount(uint64_t x) { return __builtin_popcountll(x); }
+
+/// Bit position of the k-th (0-based) set bit of `word`; k must be less
+/// than popcount(word).
+inline int SelectInWord(uint64_t word, int k) {
+  for (int bit = 0;; ++bit) {
+    if (word & (uint64_t{1} << bit)) {
+      if (k-- == 0) return bit;
+    }
+  }
+}
+
+}  // namespace
+
+void EliasFano::Build(const std::vector<int64_t>& sorted_unique) {
+  n_ = sorted_unique.size();
+  low_bits_ = 0;
+  low_.clear();
+  high_.clear();
+  select_.clear();
+  if (n_ == 0) return;
+
+  const uint64_t universe = static_cast<uint64_t>(sorted_unique.back()) + 1;
+  // floor(log2(U/n)) low bits puts the high-part range in [n, 2n), which
+  // bounds the unary bitvector at ~3n bits.
+  const uint64_t per = universe / n_;
+  low_bits_ = per >= 2 ? FloorLog2(per) : 0;
+
+  const size_t low_words = (n_ * static_cast<size_t>(low_bits_) + 63) / 64;
+  low_.assign(low_words + 1, 0);  // +1: two-word reads never run off
+  const size_t high_bits =
+      (static_cast<uint64_t>(sorted_unique.back()) >> low_bits_) + n_ + 1;
+  high_.assign((high_bits + 63) / 64, 0);
+  select_.reserve(n_ / kSelectSample + 1);
+
+  const uint64_t low_mask =
+      low_bits_ == 64 ? ~uint64_t{0} : (uint64_t{1} << low_bits_) - 1;
+  for (size_t i = 0; i < n_; ++i) {
+    const uint64_t v = static_cast<uint64_t>(sorted_unique[i]);
+    if (low_bits_ > 0) {
+      const uint64_t lo = v & low_mask;
+      const size_t bit = i * static_cast<size_t>(low_bits_);
+      low_[bit / 64] |= lo << (bit % 64);
+      if (bit % 64 + low_bits_ > 64) {
+        low_[bit / 64 + 1] |= lo >> (64 - bit % 64);
+      }
+    }
+    const size_t pos = (v >> low_bits_) + i;
+    high_[pos / 64] |= uint64_t{1} << (pos % 64);
+    if (i % kSelectSample == 0) {
+      select_.push_back(static_cast<uint32_t>(pos));
+    }
+  }
+}
+
+uint64_t EliasFano::ReadLow(size_t i) const {
+  if (low_bits_ == 0) return 0;
+  const size_t bit = i * static_cast<size_t>(low_bits_);
+  const uint64_t mask = (uint64_t{1} << low_bits_) - 1;
+  uint64_t word = low_[bit / 64] >> (bit % 64);
+  if (bit % 64 + low_bits_ > 64) {
+    word |= low_[bit / 64 + 1] << (64 - bit % 64);
+  }
+  return word & mask;
+}
+
+int64_t EliasFano::Get(size_t i) const {
+  assert(i < n_);
+  // Select the i-th set bit, starting from the nearest sample.
+  size_t rank = (i / kSelectSample) * kSelectSample;
+  size_t word_index = select_[i / kSelectSample] / 64;
+  uint64_t word = high_[word_index] &
+                  (~uint64_t{0} << (select_[i / kSelectSample] % 64));
+  for (;;) {
+    const int count = PopCount(word);
+    if (rank + static_cast<size_t>(count) > i) {
+      const int bit = SelectInWord(word, static_cast<int>(i - rank));
+      const uint64_t pos = word_index * 64 + static_cast<size_t>(bit);
+      const uint64_t high_part = pos - i;
+      return static_cast<int64_t>((high_part << low_bits_) | ReadLow(i));
+    }
+    rank += static_cast<size_t>(count);
+    word = high_[++word_index];
+  }
+}
+
+size_t EliasFano::LowerBound(int64_t x) const {
+  size_t lo = 0;
+  size_t hi = n_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Get(mid) < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t EliasFano::CountInRange(int64_t lo, int64_t hi) const {
+  if (n_ == 0 || hi < lo) return 0;
+  return LowerBound(hi + 1) - LowerBound(lo);
+}
+
+size_t EliasFano::memory_bytes() const {
+  return low_.capacity() * sizeof(uint64_t) +
+         high_.capacity() * sizeof(uint64_t) +
+         select_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace filter
+}  // namespace trass

@@ -1,0 +1,67 @@
+// Elias-Fano encoding of a monotone integer sequence — the succinct
+// backbone of the memory-resident filter tier (tSTAT direction): the
+// sorted universe of XZ*-encoded index values present in the store,
+// stored in ~n*(2 + log2(U/n)) bits instead of 64 per value, while
+// keeping O(1) random access and O(log n) predecessor search.
+//
+// Layout (classic): with n values over universe [0, U), the low
+// l = floor(log2(U/n)) bits of each value are packed verbatim; the high
+// bits are unary-coded into a bitvector where the i-th set bit sits at
+// position high(v_i) + i. Access(i) is select1(i) on that bitvector
+// (accelerated by sampling every kSelectSample-th set bit) minus i,
+// recombined with the packed low bits. LowerBound is a binary search
+// over Access.
+//
+// The sequence is immutable after Build — it lives inside a published
+// FilterSnapshot and is shared read-only across queries.
+
+#ifndef TRASS_FILTER_ELIAS_FANO_H_
+#define TRASS_FILTER_ELIAS_FANO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trass {
+namespace filter {
+
+class EliasFano {
+ public:
+  EliasFano() = default;
+
+  /// Builds from a strictly increasing sequence of non-negative values.
+  /// An empty input yields an empty sequence.
+  void Build(const std::vector<int64_t>& sorted_unique);
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// The i-th smallest value; i must be < size().
+  int64_t Get(size_t i) const;
+
+  /// Index of the first value >= x (== size() when all values are
+  /// smaller) — the rank/select primitive range probes are built from.
+  size_t LowerBound(int64_t x) const;
+
+  /// Present values in the inclusive range [lo, hi].
+  size_t CountInRange(int64_t lo, int64_t hi) const;
+
+  /// Heap footprint of the encoded form (the memory-accounting input).
+  size_t memory_bytes() const;
+
+ private:
+  static constexpr size_t kSelectSample = 64;  // set bits per sample
+
+  uint64_t ReadLow(size_t i) const;
+
+  size_t n_ = 0;
+  int low_bits_ = 0;
+  std::vector<uint64_t> low_;     // packed low_bits_ per value
+  std::vector<uint64_t> high_;    // unary-coded high parts
+  std::vector<uint32_t> select_;  // bit position of every 64th set bit
+};
+
+}  // namespace filter
+}  // namespace trass
+
+#endif  // TRASS_FILTER_ELIAS_FANO_H_

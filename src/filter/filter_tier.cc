@@ -1,0 +1,397 @@
+#include "filter/filter_tier.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace trass {
+namespace filter {
+
+namespace {
+
+QuantizedMbr EmptyQuantized() {
+  QuantizedMbr q;
+  q.min_x = q.min_y = std::numeric_limits<float>::infinity();
+  q.max_x = q.max_y = -std::numeric_limits<float>::infinity();
+  return q;
+}
+
+void UnionInto(QuantizedMbr* into, const QuantizedMbr& from) {
+  into->min_x = std::min(into->min_x, from.min_x);
+  into->min_y = std::min(into->min_y, from.min_y);
+  into->max_x = std::max(into->max_x, from.max_x);
+  into->max_y = std::max(into->max_y, from.max_y);
+}
+
+}  // namespace
+
+size_t FilterSnapshot::Find(int64_t value) const {
+  const size_t i = values_.LowerBound(value);
+  if (i >= values_.size() || values_.Get(i) != value) return kNpos;
+  return i;
+}
+
+uint32_t FilterSnapshot::CountForValue(int64_t value) const {
+  const size_t i = Find(value);
+  return i == kNpos ? 0 : counts_[i];
+}
+
+const RowRecord* FilterSnapshot::RowsForValue(int64_t value,
+                                              size_t* count) const {
+  *count = 0;
+  if (!has_fingerprints_) return nullptr;
+  const size_t i = Find(value);
+  if (i == kNpos) return nullptr;
+  const uint64_t begin = row_offsets_[i];
+  *count = static_cast<size_t>(row_offsets_[i + 1] - begin);
+  return *count == 0 ? nullptr : &rows_[static_cast<size_t>(begin)];
+}
+
+const uint32_t* FilterSnapshot::RowSignature(const RowRecord* row) const {
+  const size_t index = static_cast<size_t>(row - rows_.data());
+  return &sigs_[index * static_cast<size_t>(fp_params_.hashes)];
+}
+
+geo::Mbr FilterSnapshot::RangeUnionMbr(size_t first, size_t last) const {
+  QuantizedMbr acc = EmptyQuantized();
+  size_t l = first + seg_base_;
+  size_t r = last + seg_base_ + 1;
+  while (l < r) {
+    if (l & 1) UnionInto(&acc, seg_[l++]);
+    if (r & 1) UnionInto(&acc, seg_[--r]);
+    l >>= 1;
+    r >>= 1;
+  }
+  return acc.ToMbr();
+}
+
+ProbeResult FilterSnapshot::ProbeValue(int64_t value,
+                                       const geo::Mbr& query_mbr, double eps,
+                                       bool check_rows,
+                                       ProbeStats* stats) const {
+  const size_t i = Find(value);
+  if (i == kNpos) {
+    if (stats != nullptr) ++stats->elements_pruned;
+    return ProbeResult::kAbsent;
+  }
+  if (geo::MinEdgeToRegionDistance(query_mbr, mbrs_[i].ToMbr()) > eps) {
+    if (stats != nullptr) ++stats->mbr_pruned;
+    return ProbeResult::kMbrPruned;
+  }
+  if (check_rows && has_fingerprints_) {
+    const uint64_t begin = row_offsets_[i];
+    const uint64_t end = row_offsets_[i + 1];
+    bool all_far = end > begin;
+    for (uint64_t r = begin; r < end; ++r) {
+      if (geo::MinEdgeToRegionDistance(
+              query_mbr, rows_[static_cast<size_t>(r)].mbr.ToMbr()) <= eps) {
+        all_far = false;
+        break;
+      }
+    }
+    if (all_far) {
+      if (stats != nullptr) stats->fingerprint_skips += end - begin;
+      return ProbeResult::kFingerprintPruned;
+    }
+  }
+  return ProbeResult::kKeep;
+}
+
+ProbeResult FilterSnapshot::ProbeValueWindow(int64_t value,
+                                             const geo::Mbr& window,
+                                             ProbeStats* stats) const {
+  const size_t i = Find(value);
+  if (i == kNpos) {
+    if (stats != nullptr) ++stats->elements_pruned;
+    return ProbeResult::kAbsent;
+  }
+  if (!mbrs_[i].ToMbr().Intersects(window)) {
+    if (stats != nullptr) ++stats->mbr_pruned;
+    return ProbeResult::kMbrPruned;
+  }
+  return ProbeResult::kKeep;
+}
+
+ProbeResult FilterSnapshot::ProbeSubtree(int64_t lo, int64_t hi,
+                                         const geo::Mbr& query_mbr, double eps,
+                                         ProbeStats* stats) const {
+  const size_t i0 = values_.LowerBound(lo);
+  const size_t i1 = values_.LowerBound(hi + 1);
+  if (i0 >= i1) {
+    if (stats != nullptr) ++stats->elements_pruned;
+    return ProbeResult::kAbsent;
+  }
+  // The union box can only be closer to the query than each member box,
+  // so a bound computed on it under-estimates — pruning on it is sound.
+  if (geo::MinEdgeToRegionDistance(query_mbr, RangeUnionMbr(i0, i1 - 1)) >
+      eps) {
+    if (stats != nullptr) ++stats->mbr_pruned;
+    return ProbeResult::kMbrPruned;
+  }
+  return ProbeResult::kKeep;
+}
+
+namespace {
+
+/// Shared range-walk for ProbeRanges / ProbeRangesWindow. `keep` decides
+/// per present element index; it may charge extra visits (row walks)
+/// through `visited` so control polling covers them too.
+template <typename KeepFn>
+Status WalkRanges(const EliasFano& values,
+                  const std::vector<std::pair<int64_t, int64_t>>& ranges,
+                  const QueryContext* control, KeepFn keep, ProbeStats* stats,
+                  std::vector<std::pair<int64_t, int64_t>>* surviving) {
+  surviving->clear();
+  size_t visited = 0;
+  for (const auto& range : ranges) {
+    const size_t i0 = values.LowerBound(range.first);
+    const size_t i1 = values.LowerBound(range.second + 1);
+    // Every candidate value with no data is skipped without any store
+    // contact — the summary index's basic dividend.
+    stats->elements_pruned +=
+        static_cast<uint64_t>(range.second - range.first + 1) - (i1 - i0);
+    // Survivors are emitted as maximal runs of kept present values: a
+    // *pruned* present value splits the run (that split is what turns
+    // the prune into bytes not read), while absent values between kept
+    // ones never split — scanning across missing keys costs nothing, so
+    // splitting there would only multiply scan setup. Runs collapse to
+    // [first-kept, last-kept], like IntersectWithDirectory.
+    bool run_open = false;
+    int64_t run_first = 0;
+    int64_t run_last = 0;
+    for (size_t i = i0; i < i1; ++i) {
+      if (++visited % FilterSnapshot::kControlCheckStride == 0 &&
+          control != nullptr) {
+        Status control_status = control->Check();
+        if (!control_status.ok()) return control_status;
+      }
+      const int64_t v = values.Get(i);
+      if (keep(i, v, &visited)) {
+        if (!run_open) {
+          run_open = true;
+          run_first = v;
+        }
+        run_last = v;
+      } else if (run_open) {
+        surviving->emplace_back(run_first, run_last);
+        run_open = false;
+      }
+    }
+    if (run_open) surviving->emplace_back(run_first, run_last);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FilterSnapshot::ProbeRanges(
+    const std::vector<std::pair<int64_t, int64_t>>& ranges,
+    const geo::Mbr& query_mbr, double eps, bool check_rows,
+    const QueryContext* control,
+    std::vector<std::pair<int64_t, int64_t>>* surviving,
+    ProbeStats* stats) const {
+  const bool rows = check_rows && has_fingerprints_;
+  auto keep = [&](size_t i, int64_t /*value*/, size_t* visited) {
+    if (geo::MinEdgeToRegionDistance(query_mbr, mbrs_[i].ToMbr()) > eps) {
+      ++stats->mbr_pruned;
+      return false;
+    }
+    if (rows) {
+      const uint64_t begin = row_offsets_[i];
+      const uint64_t end = row_offsets_[i + 1];
+      bool all_far = end > begin;
+      for (uint64_t r = begin; r < end; ++r) {
+        ++*visited;
+        if (geo::MinEdgeToRegionDistance(
+                query_mbr, rows_[static_cast<size_t>(r)].mbr.ToMbr()) <= eps) {
+          all_far = false;
+          break;
+        }
+      }
+      if (all_far) {
+        stats->fingerprint_skips += end - begin;
+        return false;
+      }
+    }
+    return true;
+  };
+  return WalkRanges(values_, ranges, control, keep, stats, surviving);
+}
+
+Status FilterSnapshot::ProbeRangesWindow(
+    const std::vector<std::pair<int64_t, int64_t>>& ranges,
+    const geo::Mbr& window, const QueryContext* control,
+    std::vector<std::pair<int64_t, int64_t>>* surviving,
+    ProbeStats* stats) const {
+  auto keep = [&](size_t i, int64_t /*value*/, size_t* /*visited*/) {
+    if (!mbrs_[i].ToMbr().Intersects(window)) {
+      ++stats->mbr_pruned;
+      return false;
+    }
+    return true;
+  };
+  return WalkRanges(values_, ranges, control, keep, stats, surviving);
+}
+
+void FilterTier::AddRowLocked(const FilterRowData& row) {
+  Accum& accum = accum_[row.index_value];
+  // Aggregate grows monotonically; a replaced row keeps the old extent
+  // in the union, which can only loosen the bound — still sound.
+  accum.mbr.Extend(row.mbr);
+  RowInfo info;
+  info.tid = row.tid;
+  info.mbr = QuantizeOutward(row.mbr);
+  if (options_.fingerprints) info.sig = row.fingerprint;
+  auto it = std::lower_bound(
+      accum.rows.begin(), accum.rows.end(), row.tid,
+      [](const RowInfo& a, int64_t tid) { return a.tid < tid; });
+  if (it != accum.rows.end() && it->tid == row.tid) {
+    *it = std::move(info);  // idempotent re-add (crash replay, handoff)
+  } else {
+    accum.rows.insert(it, std::move(info));
+  }
+}
+
+void FilterTier::AddRows(const std::vector<FilterRowData>& rows) {
+  if (rows.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FilterRowData& row : rows) AddRowLocked(row);
+  dirty_ = true;
+}
+
+void FilterTier::RebuildFrom(std::vector<FilterRowData> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accum_.clear();
+  for (const FilterRowData& row : rows) AddRowLocked(row);
+  dirty_ = true;
+}
+
+uint64_t FilterTier::ValidateAndRebuild(std::vector<FilterRowData> rows) {
+  // Fresh image: value -> sorted unique tids.
+  std::unordered_map<int64_t, std::vector<int64_t>> fresh;
+  for (const FilterRowData& row : rows) {
+    fresh[row.index_value].push_back(row.tid);
+  }
+  for (auto& entry : fresh) {
+    std::sort(entry.second.begin(), entry.second.end());
+    entry.second.erase(
+        std::unique(entry.second.begin(), entry.second.end()),
+        entry.second.end());
+  }
+
+  uint64_t mismatches = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : fresh) {
+      auto it = accum_.find(entry.first);
+      if (it == accum_.end()) {
+        ++mismatches;  // store has data the tier claims is empty
+        continue;
+      }
+      const std::vector<RowInfo>& have = it->second.rows;
+      if (have.size() != entry.second.size()) {
+        ++mismatches;
+        continue;
+      }
+      for (size_t i = 0; i < have.size(); ++i) {
+        if (have[i].tid != entry.second[i]) {
+          ++mismatches;
+          break;
+        }
+      }
+    }
+    for (const auto& entry : accum_) {
+      if (fresh.find(entry.first) == fresh.end()) ++mismatches;
+    }
+    accum_.clear();
+    for (const FilterRowData& row : rows) AddRowLocked(row);
+    dirty_ = true;
+  }
+  return mismatches;
+}
+
+void FilterTier::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  accum_.clear();
+  dirty_ = true;
+}
+
+std::shared_ptr<const FilterSnapshot> FilterTier::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirty_ || snapshot_ == nullptr) {
+    snapshot_ = BuildSnapshotLocked();
+    dirty_ = false;
+  }
+  return snapshot_;
+}
+
+size_t FilterTier::snapshot_memory_bytes() const {
+  return snapshot()->memory_bytes();
+}
+
+std::shared_ptr<const FilterSnapshot> FilterTier::BuildSnapshotLocked()
+    const {
+  auto snap = std::make_shared<FilterSnapshot>();
+  snap->has_fingerprints_ = options_.fingerprints;
+  snap->fp_params_ = options_.fingerprint;
+
+  std::vector<int64_t> values;
+  values.reserve(accum_.size());
+  for (const auto& entry : accum_) values.push_back(entry.first);
+  std::sort(values.begin(), values.end());
+
+  const size_t n = values.size();
+  snap->values_.Build(values);
+  snap->counts_.resize(n);
+  snap->mbrs_.resize(n);
+  if (options_.fingerprints) snap->row_offsets_.assign(n + 1, 0);
+
+  size_t base = 1;
+  while (base < n) base <<= 1;
+  if (n == 0) base = 0;
+  snap->seg_base_ = base;
+  snap->seg_.assign(base * 2, EmptyQuantized());
+
+  const size_t hashes = static_cast<size_t>(
+      std::max(1, options_.fingerprint.hashes));
+  for (size_t i = 0; i < n; ++i) {
+    const Accum& accum = accum_.at(values[i]);
+    snap->counts_[i] = static_cast<uint32_t>(accum.rows.size());
+    snap->mbrs_[i] = QuantizeOutward(accum.mbr);
+    if (base != 0) snap->seg_[base + i] = snap->mbrs_[i];
+    if (options_.fingerprints) {
+      snap->row_offsets_[i + 1] =
+          snap->row_offsets_[i] + accum.rows.size();
+      for (const RowInfo& row : accum.rows) {
+        RowRecord record;
+        record.tid = row.tid;
+        record.mbr = row.mbr;
+        snap->rows_.push_back(record);
+        // A malformed signature (wrong length) is padded with ~0u, which
+        // only ever matches other padding — it cannot fake similarity
+        // with a real slot.
+        for (size_t h = 0; h < hashes; ++h) {
+          snap->sigs_.push_back(h < row.sig.size() ? row.sig[h]
+                                                   : ~uint32_t{0});
+        }
+      }
+    }
+  }
+  for (size_t i = base; i-- > 1;) {
+    QuantizedMbr merged = snap->seg_[i * 2];
+    UnionInto(&merged, snap->seg_[i * 2 + 1]);
+    snap->seg_[i] = merged;
+  }
+
+  snap->memory_bytes_ =
+      snap->values_.memory_bytes() +
+      snap->counts_.capacity() * sizeof(uint32_t) +
+      snap->mbrs_.capacity() * sizeof(QuantizedMbr) +
+      snap->seg_.capacity() * sizeof(QuantizedMbr) +
+      snap->row_offsets_.capacity() * sizeof(uint64_t) +
+      snap->rows_.capacity() * sizeof(RowRecord) +
+      snap->sigs_.capacity() * sizeof(uint32_t);
+  return snap;
+}
+
+}  // namespace filter
+}  // namespace trass

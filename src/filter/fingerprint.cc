@@ -1,0 +1,111 @@
+#include "filter/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace trass {
+namespace filter {
+
+namespace {
+
+/// splitmix64 finalizer — fast, well-mixed, and identical everywhere.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint32_t CellOf(double coord, int grid) {
+  // Coordinates are nominally in [0,1]; clamp so slightly-out-of-range
+  // inputs still land in a valid cell instead of UB.
+  double scaled = coord * grid;
+  if (scaled < 0.0) scaled = 0.0;
+  if (scaled > grid - 1) scaled = grid - 1;
+  return static_cast<uint32_t>(scaled);
+}
+
+}  // namespace
+
+QuantizedMbr QuantizeOutward(const geo::Mbr& mbr) {
+  QuantizedMbr q;
+  if (mbr.IsEmpty()) return q;
+  // float's round-to-nearest may shrink the box; nudge any inward-rounded
+  // edge one ulp outward so the quantized box always contains the exact one.
+  q.min_x = static_cast<float>(mbr.min_x());
+  if (static_cast<double>(q.min_x) > mbr.min_x()) {
+    q.min_x = std::nextafterf(q.min_x, -std::numeric_limits<float>::infinity());
+  }
+  q.min_y = static_cast<float>(mbr.min_y());
+  if (static_cast<double>(q.min_y) > mbr.min_y()) {
+    q.min_y = std::nextafterf(q.min_y, -std::numeric_limits<float>::infinity());
+  }
+  q.max_x = static_cast<float>(mbr.max_x());
+  if (static_cast<double>(q.max_x) < mbr.max_x()) {
+    q.max_x = std::nextafterf(q.max_x, std::numeric_limits<float>::infinity());
+  }
+  q.max_y = static_cast<float>(mbr.max_y());
+  if (static_cast<double>(q.max_y) < mbr.max_y()) {
+    q.max_y = std::nextafterf(q.max_y, std::numeric_limits<float>::infinity());
+  }
+  return q;
+}
+
+std::vector<uint32_t> MinhashSignature(const std::vector<geo::Point>& points,
+                                       const FingerprintParams& params) {
+  const int hashes = std::max(1, params.hashes);
+  const int bits = std::min(32, std::max(4, params.bits));
+  const int grid = std::max(2, params.grid);
+  const uint32_t slot_mask =
+      bits == 32 ? ~uint32_t{0} : (uint32_t{1} << bits) - 1;
+
+  std::vector<uint32_t> sig(static_cast<size_t>(hashes), slot_mask);
+  if (points.empty()) return sig;
+
+  // Shingle = ordered pair of consecutive cell ids (a discretized segment);
+  // a single-point trajectory shingles its cell with itself so it still
+  // produces a signature.
+  auto cell_id = [grid](const geo::Point& p) -> uint64_t {
+    return static_cast<uint64_t>(CellOf(p.y, grid)) * grid + CellOf(p.x, grid);
+  };
+  auto absorb = [&](uint64_t shingle) {
+    for (int h = 0; h < hashes; ++h) {
+      const uint32_t v = static_cast<uint32_t>(Mix64(
+                             shingle ^ (0xabcd1234ULL * (h + 1)))) &
+                         slot_mask;
+      if (v < sig[static_cast<size_t>(h)]) sig[static_cast<size_t>(h)] = v;
+    }
+  };
+
+  if (points.size() == 1) {
+    const uint64_t c = cell_id(points[0]);
+    absorb((c << 32) | c);
+    return sig;
+  }
+  uint64_t prev = cell_id(points[0]);
+  for (size_t i = 1; i < points.size(); ++i) {
+    const uint64_t cur = cell_id(points[i]);
+    absorb((prev << 32) | cur);
+    prev = cur;
+  }
+  return sig;
+}
+
+double EstimateSimilarity(const uint32_t* a, const uint32_t* b, size_t n) {
+  if (n == 0) return 0.0;
+  size_t match = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(n);
+}
+
+double EstimateSimilarity(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  return EstimateSimilarity(a.data(), b.data(), a.size());
+}
+
+}  // namespace filter
+}  // namespace trass

@@ -1,0 +1,66 @@
+// Per-trajectory fingerprints (Geodabs direction): a shingled minhash
+// signature over discretized segments plus a conservatively quantized
+// MBR, small enough to keep one per stored row in RAM.
+//
+// The two halves serve different roles in the filter tier:
+//   * the quantized MBR is a *proof* device — it contains the exact
+//     trajectory, so MinDistToRegion(query_mbr, row_mbr) > eps soundly
+//     skips the row's bytes without reading them (threshold path);
+//   * the minhash signature is an *ordering* device — estimated sketch
+//     similarity ranks candidate rows so the top-k refiner sees likely
+//     winners first and tightens its k-th-distance bound sooner. It
+//     never decides membership, so exact results are unaffected.
+//
+// Shingles are consecutive pairs of grid cells at `grid` resolution (a
+// degenerate single-point trajectory contributes the cell paired with
+// itself); each of `hashes` independent hash functions keeps the minimum
+// shingle hash, masked to `bits` bits. Matching signature slots estimate
+// the Jaccard similarity of the shingle sets.
+
+#ifndef TRASS_FILTER_FINGERPRINT_H_
+#define TRASS_FILTER_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace trass {
+namespace filter {
+
+struct FingerprintParams {
+  int hashes = 16;   // signature slots (minhash functions)
+  int bits = 32;     // bits kept per slot, in [4, 32]
+  int grid = 1024;   // discretization grid per axis for shingling
+};
+
+/// MBR quantized outward to float32 — always contains the exact
+/// double-precision box, so distance lower bounds computed against it
+/// stay sound.
+struct QuantizedMbr {
+  float min_x = 0.0f, min_y = 0.0f, max_x = 0.0f, max_y = 0.0f;
+
+  geo::Mbr ToMbr() const {
+    return geo::Mbr(min_x, min_y, max_x, max_y);
+  }
+};
+
+QuantizedMbr QuantizeOutward(const geo::Mbr& mbr);
+
+/// Minhash signature of `points` under `params`; result has
+/// params.hashes entries. Deterministic across platforms and runs.
+std::vector<uint32_t> MinhashSignature(const std::vector<geo::Point>& points,
+                                       const FingerprintParams& params);
+
+/// Fraction of matching slots between two signatures of equal length —
+/// the minhash estimate of shingle-set Jaccard similarity. Returns 0
+/// for mismatched or empty signatures.
+double EstimateSimilarity(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b);
+double EstimateSimilarity(const uint32_t* a, const uint32_t* b, size_t n);
+
+}  // namespace filter
+}  // namespace trass
+
+#endif  // TRASS_FILTER_FINGERPRINT_H_

@@ -116,6 +116,24 @@ class Mbr {
   double min_x_, min_y_, max_x_, max_y_;
 };
 
+/// Lemma 9/11 edge bound against a single rectangle: the max over
+/// `query_mbr`'s edges of the edge-to-`region` minimum distance. Lower
+/// bounds the similarity distance between the query and any trajectory
+/// fully contained in `region` (each query-MBR edge holds at least one
+/// query point). Shared by core pruning and the memory-resident filter
+/// tier, which must not depend on core.
+inline double MinEdgeToRegionDistance(const Mbr& query_mbr,
+                                      const Mbr& region) {
+  Point c[4];
+  query_mbr.Corners(c);
+  double worst_edge = 0.0;
+  for (int e = 0; e < 4; ++e) {
+    worst_edge =
+        std::max(worst_edge, region.SegmentDistance(c[e], c[(e + 1) % 4]));
+  }
+  return worst_edge;
+}
+
 }  // namespace geo
 }  // namespace trass
 

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/trajectory.h"
+#include "geo/mbr.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -61,6 +62,10 @@ struct EncodedRow {
   int position_code = 0;   // XZ* position code (statistics)
   std::string key;         // full row key (shard byte included)
   std::string value;       // encoded points + DP features
+  geo::Mbr mbr;            // exact trajectory MBR (filter-tier summary)
+  /// Shingled-minhash signature for the filter tier's per-row records;
+  /// empty when the tier (or its fingerprint half) is disabled.
+  std::vector<uint32_t> fingerprint;
 };
 
 struct IngestOptions {

@@ -73,6 +73,11 @@ void FoldShardMetrics(const core::QueryMetrics& from, core::QueryMetrics* to) {
   to->admission_wait_ms += from.admission_wait_ms;
   to->ingest_watermark = std::max(to->ingest_watermark, from.ingest_watermark);
   to->read_only_replicas += from.read_only_replicas;
+  to->filter_elements_pruned += from.filter_elements_pruned;
+  to->filter_mbr_pruned += from.filter_mbr_pruned;
+  to->fingerprint_skips += from.fingerprint_skips;
+  // Per-shard RAM gauges sum to the fleet's filter footprint.
+  to->filter_memory_bytes += from.filter_memory_bytes;
 }
 
 void ArmControl(const core::QueryOptions& options, QueryContext* control) {

@@ -9,7 +9,7 @@ namespace {
 // v2 adds replication-era fields: request {num_shards, export_primary}
 // and response fingerprints (anti-entropy). A v1 peer fails loudly with
 // Corruption instead of misparsing, per the header contract.
-constexpr uint8_t kWireVersion = 2;
+constexpr uint8_t kWireVersion = 3;  // v3: filter-tier metric fields
 
 // Status codes on the wire. Keep in sync with the factories in
 // util/status.h; unknown codes decode as IoError so a skewed peer
@@ -158,6 +158,10 @@ void PutMetrics(const core::QueryMetrics& m, std::string* dst) {
   PutVarint64(dst, m.replica_failovers);
   PutVarint64(dst, m.ingest_watermark);
   PutVarint64(dst, m.read_only_replicas);
+  PutVarint64(dst, m.filter_elements_pruned);
+  PutVarint64(dst, m.filter_mbr_pruned);
+  PutVarint64(dst, m.fingerprint_skips);
+  PutVarint64(dst, m.filter_memory_bytes);
   const uint8_t flags = static_cast<uint8_t>(
       (m.partial ? 1 : 0) | (m.deadline_expired ? 2 : 0) |
       (m.cancelled ? 4 : 0) | (m.budget_exhausted ? 8 : 0));
@@ -180,7 +184,11 @@ bool GetMetrics(Slice* input, core::QueryMetrics* m) {
       !GetVarint64(input, &m->scan_retries) ||
       !GetVarint64(input, &m->replica_failovers) ||
       !GetVarint64(input, &m->ingest_watermark) ||
-      !GetVarint64(input, &m->read_only_replicas)) {
+      !GetVarint64(input, &m->read_only_replicas) ||
+      !GetVarint64(input, &m->filter_elements_pruned) ||
+      !GetVarint64(input, &m->filter_mbr_pruned) ||
+      !GetVarint64(input, &m->fingerprint_skips) ||
+      !GetVarint64(input, &m->filter_memory_bytes)) {
     return false;
   }
   if (input->size() < 1) return false;
