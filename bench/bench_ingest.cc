@@ -65,7 +65,8 @@ std::unique_ptr<core::TrassStore> FreshStore(const std::string& dir,
   return store;
 }
 
-void RunWritePathTable(const Dataset& dataset, const std::string& dir,
+// Returns false if any store operation failed (the --smoke gate).
+bool RunWritePathTable(const Dataset& dataset, const std::string& dir,
                        bool durable) {
   const double mb = PayloadMegabytes(dataset.data);
   std::printf("\n=== Ingest write path (%s WAL) — %s (%zu trajectories, "
@@ -79,10 +80,10 @@ void RunWritePathTable(const Dataset& dataset, const std::string& dir,
   double per_row_ms = 0.0;
   {
     auto store = FreshStore(dir, "put", durable);
-    if (!store) return;
+    if (!store) return false;
     Stopwatch timer;
     for (const auto& t : dataset.data) {
-      if (!store->Put(t).ok()) return;
+      if (!store->Put(t).ok()) return false;
     }
     per_row_ms = timer.ElapsedMillis();
     std::printf("%-18s %12.1f %12.0f %12s\n", "put-per-row", per_row_ms,
@@ -91,13 +92,13 @@ void RunWritePathTable(const Dataset& dataset, const std::string& dir,
 
   for (size_t batch : {size_t{8}, size_t{32}, size_t{128}}) {
     auto store = FreshStore(dir, "putbatch", durable);
-    if (!store) return;
+    if (!store) return false;
     Stopwatch timer;
     for (size_t i = 0; i < dataset.data.size(); i += batch) {
       const size_t end = std::min(i + batch, dataset.data.size());
       std::vector<core::Trajectory> chunk(dataset.data.begin() + i,
                                           dataset.data.begin() + end);
-      if (!store->PutBatch(chunk).ok()) return;
+      if (!store->PutBatch(chunk).ok()) return false;
     }
     const double ms = timer.ElapsedMillis();
     std::printf("put-batch-%-8zu %12.1f %12.0f %11.2fx\n", batch, ms,
@@ -106,16 +107,16 @@ void RunWritePathTable(const Dataset& dataset, const std::string& dir,
 
   {
     auto store = FreshStore(dir, "async", durable);
-    if (!store) return;
+    if (!store) return false;
     Stopwatch timer;
     for (const auto& t : dataset.data) {
       Status s;
       do {
         s = store->SubmitAsync(t, 100);
       } while (s.IsBusy());
-      if (!s.ok()) return;
+      if (!s.ok()) return false;
     }
-    if (!store->DrainIngest(600000).ok()) return;
+    if (!store->DrainIngest(600000).ok()) return false;
     const double ms = timer.ElapsedMillis();
     const auto stats = store->ingest_stats();
     std::printf("%-18s %12.1f %12.0f %11.2fx   (batches %llu, max batch "
@@ -125,19 +126,22 @@ void RunWritePathTable(const Dataset& dataset, const std::string& dir,
                 static_cast<unsigned long long>(stats.batches_committed),
                 static_cast<unsigned long long>(stats.max_batch_rows));
   }
+  return true;
 }
 
-void RunConcurrentQueryTable(const Dataset& dataset, const std::string& dir) {
+// Returns false if ingest failed or any concurrent query errored (the
+// --smoke gate: the engine must stay correct under the mixed load).
+bool RunConcurrentQueryTable(const Dataset& dataset, const std::string& dir) {
   std::printf("\n=== Sustained ingest + query mix — %s ===\n",
               dataset.name.c_str());
   auto store = FreshStore(dir, "mixed");
-  if (!store) return;
+  if (!store) return false;
 
   // Seed a third of the data so early queries have something to chew on.
   const size_t seed_count = dataset.data.size() / 3;
   std::vector<core::Trajectory> seed(dataset.data.begin(),
                                      dataset.data.begin() + seed_count);
-  if (!store->PutBatch(seed).ok()) return;
+  if (!store->PutBatch(seed).ok()) return false;
 
   std::atomic<bool> done{false};
   std::atomic<uint64_t> queries{0};
@@ -161,6 +165,7 @@ void RunConcurrentQueryTable(const Dataset& dataset, const std::string& dir) {
 
   Histogram submit_latency;  // microseconds
   Stopwatch timer;
+  bool failed = false;
   for (size_t i = seed_count; i < dataset.data.size(); ++i) {
     Stopwatch one;
     Status s;
@@ -168,12 +173,16 @@ void RunConcurrentQueryTable(const Dataset& dataset, const std::string& dir) {
       s = store->SubmitAsync(dataset.data[i], 100);
     } while (s.IsBusy());
     submit_latency.Add(one.ElapsedMillis() * 1000.0);
-    if (!s.ok()) return;
+    if (!s.ok()) {
+      failed = true;
+      break;
+    }
   }
-  if (!store->DrainIngest(600000).ok()) return;
+  if (!failed && !store->DrainIngest(600000).ok()) failed = true;
   const double ms = timer.ElapsedMillis();
   done.store(true);
   querier.join();
+  if (failed) return false;
 
   const auto stats = store->ingest_stats();
   const size_t ingested = dataset.data.size() - seed_count;
@@ -191,6 +200,7 @@ void RunConcurrentQueryTable(const Dataset& dataset, const std::string& dir) {
               static_cast<unsigned long long>(stats.batches_committed),
               static_cast<unsigned long long>(stats.max_batch_rows),
               static_cast<unsigned long long>(stats.queue_high_water));
+  return query_failures.load() == 0;
 }
 
 void RunBackpressureTable(const Dataset& dataset, const std::string& dir) {
@@ -505,12 +515,30 @@ void RunCoordinatorMode(const Dataset& dataset, const std::string& dir,
 int main(int argc, char** argv) {
   using namespace trass::bench;
   size_t coordinator_shards = 0;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       coordinator_shards = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     }
   }
   const std::string dir = ScratchDir("ingest");
+  if (smoke) {
+    // CI regression gate: a scaled-down write-path pass plus the mixed
+    // ingest+query pass. Exit 1 if any store op failed or a concurrent
+    // query errored — the mixed pass is what background compaction must
+    // not break.
+    Dataset tdrive = MakeTDrive(std::min<size_t>(DefaultN(), 1500),
+                                DefaultQueries());
+    const bool ok = RunWritePathTable(tdrive, dir, /*durable=*/false) &&
+                    RunConcurrentQueryTable(tdrive, dir);
+    if (!ok) {
+      std::fprintf(stderr, "bench_ingest --smoke: FAILED\n");
+      return 1;
+    }
+    return 0;
+  }
   // The write-path comparison dominates runtime; a reduced N keeps the
   // default bench sweep snappy while staying far above batch sizes.
   const size_t n = std::min<size_t>(DefaultN(), 8000);

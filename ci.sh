@@ -50,6 +50,13 @@ for config in "${configs[@]}"; do
       # Filter-tier gate: byte-identical answers filter-on vs -off and
       # the >= 5x sparse-region reduction (non-zero exit on either).
       build-ci/release/bench/bench_fig11_pruning --smoke
+      # KV-engine mixed-load gate: row counts identical with background
+      # compaction + readahead on vs off, readahead actually used, the
+      # background thread actually compacted (non-zero exit on any).
+      build-ci/release/bench/bench_kv_mixed --smoke
+      # Ingest gate: write path + sustained ingest/query mix complete
+      # with zero failed queries while compactions run in background.
+      build-ci/release/bench/bench_ingest --smoke
       echo "=== [release] bench smoke OK ==="
       ;;
     asan)
@@ -79,7 +86,10 @@ for config in "${configs[@]}"; do
       # (quorum acks + hinted handoff + replay: no acked write may be
       # lost, no strict query may go partial), and one crash-mid-ingest
       # schedule of the filter tier (the reopened tier must agree with
-      # whatever the WAL recovered).
+      # whatever the WAL recovered). The ResourceExhaustionChaos matrix
+      # also carries the crash-during-background-compaction schedule
+      # (filesystem severed while the compaction thread is mid-merge;
+      # synced rows must survive the reopen).
       seeds=(20240808 1 7 42 1337 99991 2718281 31415926)
       for seed in "${seeds[@]}"; do
         for matrix in \

@@ -110,4 +110,20 @@ if [ -x build/bench/bench_micro_similarity ]; then
     exit "$rc"
   fi
 fi
+# KV-engine baseline: the storage micro bench (sequential/random puts,
+# point gets, range scans) as JSON. Committed snapshots
+# (BENCH_micro_kv.json) are the regression baseline for the engine's
+# raw-speed passes; the mixed-load view (stalls, scan MB/s, readahead)
+# lives in bench_kv_mixed's section of bench_output.txt above.
+if [ -x build/bench/bench_micro_kv ]; then
+  timeout 1200 build/bench/bench_micro_kv \
+    --benchmark_out=BENCH_micro_kv.json \
+    --benchmark_out_format=json >> bench_output.txt 2>&1
+  rc=$?
+  echo "[exit $rc] BENCH_micro_kv.json" >> bench_status.txt
+  if [ "$rc" -ne 0 ]; then
+    echo "run_benches.sh: KV baseline JSON failed with $rc" >&2
+    exit "$rc"
+  fi
+fi
 echo ALL_BENCHES_DONE >> bench_status.txt

@@ -108,6 +108,20 @@ struct QueryMetrics {
   uint64_t fingerprint_skips = 0;
   uint64_t filter_memory_bytes = 0;
 
+  /// Storage-engine I/O breakdown for this query's store scans, summed
+  /// across scan fan-outs (see ScanReport: per-replica IoStats deltas,
+  /// approximate under concurrent compactions/queries on the same
+  /// replica). Hits/misses/fills count block-cache traffic on the
+  /// random-access read path; the readahead counters cover the
+  /// streaming-scan path (Options::scan_readahead_bytes), which bypasses
+  /// the cache by design — a scan-heavy query should show readahead
+  /// traffic and near-zero fills.
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_fills = 0;
+  uint64_t readahead_reads = 0;
+  uint64_t readahead_bytes_read = 0;
+
   /// Ingest watermark snapshot taken when the query started: every
   /// trajectory with ticket <= this value was fully visible (row +
   /// features + value-directory entry) to the query; later ingest may or

@@ -27,6 +27,11 @@ void FoldScanReport(const kv::ScanReport& report, QueryMetrics* m) {
   m->skipped_regions += report.skipped.size();
   m->scan_retries += report.retries;
   m->replica_failovers += report.failovers;
+  m->block_cache_hits += report.cache_hits;
+  m->block_cache_misses += report.cache_misses;
+  m->block_cache_fills += report.cache_fills;
+  m->readahead_reads += report.readahead_reads;
+  m->readahead_bytes_read += report.readahead_bytes_read;
 }
 
 std::vector<kv::ScanRange> ToScanRanges(
@@ -1101,6 +1106,11 @@ Status TrassStore::SimilarityJoin(
     m->filter_mbr_pruned += probe.filter_mbr_pruned;
     m->fingerprint_skips += probe.fingerprint_skips;
     m->filter_memory_bytes = probe.filter_memory_bytes;  // gauge, not a sum
+    m->block_cache_hits += probe.block_cache_hits;
+    m->block_cache_misses += probe.block_cache_misses;
+    m->block_cache_fills += probe.block_cache_fills;
+    m->readahead_reads += probe.readahead_reads;
+    m->readahead_bytes_read += probe.readahead_bytes_read;
     if (s.IsQueryStop()) {
       // Pairs from completed probes are exact; the stopped probe's
       // partial matches are discarded (they could miss pairs).

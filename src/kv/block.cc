@@ -5,25 +5,35 @@
 namespace trass {
 namespace kv {
 
-Block::Block(std::string contents) : data_(std::move(contents)) {
-  if (data_.size() < sizeof(uint32_t)) {
+Block::Block(std::string contents) : owned_(std::move(contents)) {
+  data_ = owned_.data();
+  size_ = owned_.size();
+  Init();
+}
+
+Block::Block(const char* data, size_t size) : data_(data), size_(size) {
+  Init();
+}
+
+void Block::Init() {
+  if (size_ < sizeof(uint32_t)) {
     malformed_ = true;
     return;
   }
-  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
+  num_restarts_ = DecodeFixed32(data_ + size_ - sizeof(uint32_t));
   const size_t restarts_bytes =
       (static_cast<size_t>(num_restarts_) + 1) * sizeof(uint32_t);
-  if (restarts_bytes > data_.size()) {
+  if (restarts_bytes > size_) {
     malformed_ = true;
     return;
   }
-  restart_offset_ = static_cast<uint32_t>(data_.size() - restarts_bytes);
+  restart_offset_ = static_cast<uint32_t>(size_ - restarts_bytes);
 }
 
 class Block::Iter final : public Iterator {
  public:
   Iter(const Block* block)
-      : data_(block->data_.data()),
+      : data_(block->data_),
         restarts_(block->restart_offset_),
         num_restarts_(block->num_restarts_) {}
 

@@ -1,5 +1,6 @@
 // Read-side of the prefix-compressed block format written by BlockBuilder:
-// owns the payload bytes and serves binary-searchable forward iterators.
+// serves binary-searchable forward iterators over a payload it either
+// owns (cacheable blocks) or merely views (zero-copy readahead scans).
 
 #ifndef TRASS_KV_BLOCK_H_
 #define TRASS_KV_BLOCK_H_
@@ -19,10 +20,15 @@ class Block {
   /// Takes ownership of the payload.
   explicit Block(std::string contents);
 
+  /// Non-owning view over externally managed bytes (a readahead buffer).
+  /// The caller must keep `data` alive and unmodified for the lifetime of
+  /// the Block and any iterator created from it.
+  Block(const char* data, size_t size);
+
   Block(const Block&) = delete;
   Block& operator=(const Block&) = delete;
 
-  size_t size() const { return data_.size(); }
+  size_t size() const { return size_; }
 
   /// Iterator over (internal key, value) entries. The Block must outlive
   /// the iterator.
@@ -31,7 +37,11 @@ class Block {
  private:
   class Iter;
 
-  std::string data_;
+  void Init();
+
+  std::string owned_;  // empty for non-owning views
+  const char* data_ = nullptr;
+  size_t size_ = 0;
   uint32_t restart_offset_ = 0;  // offset of the restart array
   uint32_t num_restarts_ = 0;
   bool malformed_ = false;

@@ -1,11 +1,27 @@
 #include "kv/cache.h"
 
+#include <vector>
+
 namespace trass {
 namespace kv {
 
 BlockCache::BlockCache(size_t capacity_bytes) {
   const size_t per_shard = capacity_bytes / kNumShards + 1;
   for (auto& shard : shards_) shard.capacity = per_shard;
+}
+
+std::shared_ptr<const Block> BlockCache::RemoveLocked(
+    Shard& shard, std::list<Entry>::iterator it) {
+  std::shared_ptr<const Block> block = std::move(it->block);
+  shard.usage -= it->charge;
+  auto file_it = shard.by_file.find(it->key.file_id);
+  if (file_it != shard.by_file.end()) {
+    file_it->second.erase(it->key.offset);
+    if (file_it->second.empty()) shard.by_file.erase(file_it);
+  }
+  shard.index.erase(it->key);
+  shard.lru.erase(it);
+  return block;
 }
 
 std::shared_ptr<const Block> BlockCache::Lookup(const Key& key) {
@@ -24,34 +40,43 @@ std::shared_ptr<const Block> BlockCache::Lookup(const Key& key) {
 void BlockCache::Insert(const Key& key, std::shared_ptr<const Block> block,
                         size_t charge) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    shard.usage -= it->second->charge;
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-  }
-  shard.lru.push_front(Entry{key, std::move(block), charge});
-  shard.index[key] = shard.lru.begin();
-  shard.usage += charge;
-  while (shard.usage > shard.capacity && shard.lru.size() > 1) {
-    const Entry& victim = shard.lru.back();
-    shard.usage -= victim.charge;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
+  // Destroy displaced blocks outside the shard lock.
+  std::vector<std::shared_ptr<const Block>> displaced;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      displaced.push_back(RemoveLocked(shard, it->second));
+    }
+    if (charge > shard.capacity) {
+      // Oversized: retaining it would require emptying the shard, and it
+      // would still bust the budget. Serve it uncached.
+      return;
+    }
+    shard.lru.push_front(Entry{key, std::move(block), charge});
+    shard.index[key] = shard.lru.begin();
+    shard.by_file[key.file_id].insert(key.offset);
+    shard.usage += charge;
+    fills_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.usage > shard.capacity && shard.lru.size() > 1) {
+      displaced.push_back(RemoveLocked(shard, std::prev(shard.lru.end())));
+    }
   }
 }
 
 void BlockCache::EvictFile(uint64_t file_id) {
+  std::vector<std::shared_ptr<const Block>> displaced;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      if (it->key.file_id == file_id) {
-        shard.usage -= it->charge;
-        shard.index.erase(it->key);
-        it = shard.lru.erase(it);
-      } else {
-        ++it;
+    auto file_it = shard.by_file.find(file_id);
+    if (file_it == shard.by_file.end()) continue;
+    // RemoveLocked mutates by_file; detach the offset set first.
+    std::unordered_set<uint64_t> offsets = std::move(file_it->second);
+    shard.by_file.erase(file_it);
+    for (uint64_t offset : offsets) {
+      auto it = shard.index.find(Key{file_id, offset});
+      if (it != shard.index.end()) {
+        displaced.push_back(RemoveLocked(shard, it->second));
       }
     }
   }
@@ -60,7 +85,7 @@ void BlockCache::EvictFile(uint64_t file_id) {
 size_t BlockCache::TotalCharge() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.usage;
   }
   return total;

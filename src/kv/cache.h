@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "kv/block.h"
 
@@ -30,14 +31,22 @@ class BlockCache {
   };
 
   std::shared_ptr<const Block> Lookup(const Key& key);
+
+  /// Caches `block`. An entry whose charge exceeds the shard capacity is
+  /// rejected outright (it could never be retained without evicting the
+  /// whole shard); any existing entry under the same key is still
+  /// replaced/dropped so stale blocks never outlive their file.
   void Insert(const Key& key, std::shared_ptr<const Block> block,
               size_t charge);
 
   /// Drops every entry for `file_id` (table deleted by compaction).
+  /// O(entries cached for that file) via the per-file offset index, not
+  /// O(total entries).
   void EvictFile(uint64_t file_id);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t fills() const { return fills_.load(std::memory_order_relaxed); }
   size_t TotalCharge() const;
 
  private:
@@ -55,9 +64,12 @@ class BlockCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    // file_id -> offsets cached in this shard, so EvictFile touches only
+    // the entries that actually belong to the file.
+    std::unordered_map<uint64_t, std::unordered_set<uint64_t>> by_file;
     size_t usage = 0;
     size_t capacity = 0;
   };
@@ -68,9 +80,15 @@ class BlockCache {
     return shards_[KeyHash()(key) % kNumShards];
   }
 
+  // Removes `it` (an lru iterator) from all shard structures. Returns the
+  // entry's shared_ptr so the block is destroyed outside any accounting.
+  static std::shared_ptr<const Block> RemoveLocked(
+      Shard& shard, std::list<Entry>::iterator it);
+
   Shard shards_[kNumShards];
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> fills_{0};
 };
 
 }  // namespace kv

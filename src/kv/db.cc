@@ -15,6 +15,44 @@ namespace kv {
 
 namespace {
 
+// Accumulates a whole SSTable in memory so it lands on disk as a single
+// append + sync (the NaiveKV single-buffer build): the builder's many
+// small appends never touch the filesystem, which keeps the lock-free
+// compaction build phase out of the syscall path entirely.
+class MemoryBufferFile final : public WritableFile {
+ public:
+  Status Append(const Slice& data) override {
+    data_.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+  const std::string& data() const { return data_; }
+
+ private:
+  std::string data_;
+};
+
+// Writes a fully built table image to `fname` as one append+sync+close;
+// removes the partial file on failure (under disk exhaustion leaving it
+// would eat the headroom Resume() needs).
+Status WriteTableFile(Env* env, const std::string& fname,
+                      const Slice& contents) {
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(contents);
+  if (s.ok()) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) {
+    file.reset();
+    env->RemoveFile(fname);
+  }
+  return s;
+}
+
 // Iterator over one SSTable that keeps the table reader alive.
 class TableOwningIterator final : public Iterator {
  public:
@@ -141,6 +179,17 @@ DB::DB(const Options& options, std::string name)
 }
 
 DB::~DB() {
+  // Stop the compaction thread first: it aborts any in-flight merge at
+  // the next entry boundary (discarding outputs — inputs are still
+  // installed, so nothing is lost) and must be joined outside mu_.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_.store(true, std::memory_order_relaxed);
+    bg_cv_.notify_all();
+    compaction_done_cv_.notify_all();
+  }
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+
   // Best-effort final flush so short-lived DBs persist their tail writes.
   // Skipped while wedged: flushing through a background error would just
   // fail again, and the WAL already holds whatever was acked.
@@ -148,6 +197,10 @@ DB::~DB() {
   if (bg_error_.ok() && !mem_->empty()) {
     FlushMemTableLocked();
   }
+  // No readers can remain: drop tables whose deletion was deferred.
+  std::vector<uint64_t> leftovers;
+  leftovers.swap(obsolete_tables_);
+  DropObsoleteTables(leftovers);
 }
 
 Status DB::Open(const Options& options, const std::string& name,
@@ -179,6 +232,10 @@ Status DB::Open(const Options& options, const std::string& name,
     s = impl->versions_->WriteSnapshot();
     if (!s.ok()) return s;
     impl->RemoveObsoleteFilesLocked();
+  }
+  if (impl->options_.background_compaction) {
+    impl->compaction_thread_ =
+        std::thread(&DB::CompactionThreadMain, impl.get());
   }
   *db = std::move(impl);
   return Status::OK();
@@ -258,6 +315,10 @@ void DB::SetBackgroundErrorLocked(const Status& s) {
   if (s.ok() || !bg_error_.ok()) return;  // first error sticks
   bg_error_ = s;
   stats_.background_errors.fetch_add(1, std::memory_order_relaxed);
+  // Wake anything waiting on compaction progress (L0-stalled writers,
+  // CompactRange waiting for the slot): progress is not coming.
+  bg_cv_.notify_all();
+  compaction_done_cv_.notify_all();
 }
 
 Status DB::background_error() const {
@@ -308,9 +369,47 @@ Status DB::MaybeStallForSpace() {
   return Status::OK();
 }
 
+void DB::MaybeThrottleForL0() {
+  if (!options_.background_compaction) return;
+  const int slowdown = options_.l0_slowdown_trigger;
+  const int stop = options_.l0_stop_trigger;
+  if (slowdown <= 0 && stop <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) return;  // the write will fail fast under mu_
+  const int l0 = versions_->current().NumFiles(0);
+  if (stop > 0 && l0 >= stop) {
+    // Hard stop: block until a compaction shrinks L0. Escape hatches:
+    // the DB wedges (no progress is coming), shutdown, or compactions
+    // are being deferred below the soft watermark (blocking would wait
+    // on work that is intentionally not running).
+    compaction_scheduled_ = true;
+    bg_cv_.notify_one();
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    compaction_done_cv_.wait(lock, [&] {
+      return versions_->current().NumFiles(0) < stop || !bg_error_.ok() ||
+             shutting_down_.load(std::memory_order_relaxed) ||
+             BelowSoftWatermark();
+    });
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    stats_.stall_ms.fetch_add(static_cast<uint64_t>(elapsed.count()),
+                              std::memory_order_relaxed);
+  } else if (slowdown > 0 && l0 >= slowdown && options_.write_stall_ms > 0) {
+    // Soft slowdown: one bounded sleep per write, off the mutex.
+    lock.unlock();
+    stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    stats_.stall_ms.fetch_add(options_.write_stall_ms,
+                              std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.write_stall_ms));
+  }
+}
+
 Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
   Status stall = MaybeStallForSpace();
   if (!stall.ok()) return stall;
+  MaybeThrottleForL0();
   std::lock_guard<std::mutex> lock(mu_);
   if (!bg_error_.ok()) {
     return bg_error_.WithContext("read-only (background error)");
@@ -353,8 +452,11 @@ Status DB::Get(const ReadOptions& options_in, const Slice& key,
     return s;
   }
   // Copy file metadata, then search tables without the mutex (the table
-  // cache has its own lock, and Table objects are immutable).
+  // cache has its own lock, and Table objects are immutable). The pin
+  // keeps files of this version on disk even if a background compaction
+  // replaces them mid-lookup.
   Version version = versions_->current();
+  ScopedVersionPin pin(this);
   lock.unlock();
 
   const std::string lookup = MakeLookupKey(key, snapshot);
@@ -412,10 +514,16 @@ Status DB::Get(const ReadOptions& options_in, const Slice& key,
 Iterator* DB::NewIterator(const ReadOptions& options_in) {
   ReadOptions options = options_in;
   if (options_.paranoid_checks) options.verify_checksums = true;
+  if (options.readahead_bytes == 0) {
+    options.readahead_bytes = options_.scan_readahead_bytes;
+  }
   std::unique_lock<std::mutex> lock(mu_);
   stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
   const SequenceNumber snapshot = versions_->last_sequence();
   Version version = versions_->current();
+  // Pin until every table is opened: an opened Table keeps its file
+  // handle, which stays readable even after the file is unlinked.
+  ScopedVersionPin pin(this);
   std::vector<Iterator*> children;
   children.push_back(new MemOwningIterator(mem_));
   lock.unlock();
@@ -468,10 +576,11 @@ Status DB::FlushMemTableLocked() {
 Status DB::WriteLevel0TableLocked(MemTable* mem) {
   const uint64_t file_number = versions_->NewFileNumber();
   const std::string fname = TableFileName(dbname_, file_number);
-  std::unique_ptr<WritableFile> file;
-  Status s = env_->NewWritableFile(fname, &file);
-  if (!s.ok()) return s;
-  TableBuilder builder(options_, file.get());
+  // Single-buffer build: the whole table is assembled in memory and hits
+  // the filesystem as one append+sync (partial output removed on
+  // failure by WriteTableFile).
+  MemoryBufferFile buffer;
+  TableBuilder builder(options_, &buffer);
   std::unique_ptr<Iterator> iter(mem->NewIterator());
   FileMetaData meta;
   meta.number = file_number;
@@ -482,22 +591,26 @@ Status DB::WriteLevel0TableLocked(MemTable* mem) {
     meta.largest = iter->key().ToString();
     builder.Add(iter->key(), iter->value());
   }
-  s = builder.Finish();
-  if (s.ok()) s = file->Sync();
-  if (s.ok()) s = file->Close();
-  if (!s.ok()) {
-    // Reclaim the partial output: it is unreferenced, and under disk
-    // exhaustion leaving it would eat the headroom Resume() needs.
-    file.reset();
-    env_->RemoveFile(fname);
-    return s;
-  }
+  Status s = builder.Finish();
+  if (s.ok()) s = WriteTableFile(env_, fname, Slice(buffer.data()));
+  if (!s.ok()) return s;
   meta.file_size = builder.FileSize();
   versions_->mutable_current()->files[0].push_back(std::move(meta));
   return Status::OK();
 }
 
 Status DB::MaybeCompactLocked() {
+  if (options_.background_compaction) {
+    if (shutting_down_.load(std::memory_order_relaxed)) return Status::OK();
+    // Hand the work to the compaction thread; it re-checks the error
+    // state and watermarks when it wakes. Always OK from the writer's
+    // point of view — a failed background compaction wedges via the
+    // sticky error, not via the triggering write's return value.
+    compaction_scheduled_ = true;
+    bg_cv_.notify_one();
+    return Status::OK();
+  }
+  // Synchronous mode: compact inline under mu_ on the writing thread.
   // Compactions temporarily double the bytes they rewrite; deferring
   // them below the soft watermark keeps the last headroom for WAL
   // appends and memtable flushes. Resume() retries deferred work.
@@ -506,7 +619,7 @@ Status DB::MaybeCompactLocked() {
     const int level = versions_->PickCompactionLevel(
         options_.l0_compaction_trigger, options_.max_bytes_for_level_base);
     if (level < 0) return Status::OK();
-    Status s = CompactLevelLocked(level);
+    Status s = CompactOnce(nullptr, level);
     if (!s.ok()) {
       SetBackgroundErrorLocked(s);
       return s;
@@ -514,25 +627,84 @@ Status DB::MaybeCompactLocked() {
   }
 }
 
+void DB::CompactionThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    bg_cv_.wait(lock, [&] {
+      return shutting_down_.load(std::memory_order_relaxed) ||
+             (compaction_scheduled_ && !compaction_active_);
+    });
+    if (shutting_down_.load(std::memory_order_relaxed)) break;
+    compaction_scheduled_ = false;
+    if (bg_error_.ok() && !BelowSoftWatermark()) {
+      compaction_active_ = true;  // take the slot
+      for (;;) {
+        if (shutting_down_.load(std::memory_order_relaxed)) break;
+        const int level = versions_->PickCompactionLevel(
+            options_.l0_compaction_trigger, options_.max_bytes_for_level_base);
+        if (level < 0) break;
+        Status s = CompactOnce(&lock, level);
+        if (shutting_down_.load(std::memory_order_relaxed)) break;
+        if (!s.ok()) {
+          // Same wedge semantics as a synchronous compaction failure:
+          // the sticky error flips the DB read-only; deferred work is
+          // caught up by Resume().
+          SetBackgroundErrorLocked(s);
+          break;
+        }
+      }
+      compaction_active_ = false;
+    }
+    // Always wake waiters: either L0 shrank, the DB wedged, or the work
+    // was deferred (soft watermark) and stalled writers must re-check
+    // their escape hatches.
+    compaction_done_cv_.notify_all();
+  }
+  compaction_done_cv_.notify_all();
+}
+
+void DB::WaitForCompactions() {
+  std::unique_lock<std::mutex> lock(mu_);
+  compaction_done_cv_.wait(lock, [&] {
+    return (!compaction_active_ && !compaction_scheduled_) ||
+           !bg_error_.ok() || shutting_down_.load(std::memory_order_relaxed);
+  });
+}
+
 Status DB::CompactRange() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (!bg_error_.ok()) {
     return bg_error_.WithContext("read-only (background error)");
   }
+  // Take the compaction slot: wait out any in-flight background merge so
+  // exactly one compaction is between pick and install at a time, then
+  // run everything synchronously on this thread (under mu_) so failures
+  // surface in this call's return value exactly as they always have.
+  compaction_done_cv_.wait(lock, [&] {
+    return !compaction_active_ || !bg_error_.ok();
+  });
+  if (!bg_error_.ok()) {
+    return bg_error_.WithContext("read-only (background error)");
+  }
+  compaction_active_ = true;
   Status s = Status::OK();
   if (!mem_->empty()) {
     s = FlushMemTableLocked();
-    if (!s.ok()) return s;
   }
-  for (int level = 0; level < kNumLevels - 1; ++level) {
-    while (versions_->current().NumFiles(level) > 0) {
-      s = CompactLevelLocked(level);
-      if (!s.ok()) {
-        SetBackgroundErrorLocked(s);
-        return s;
+  if (s.ok()) {
+    for (int level = 0; level < kNumLevels - 1 && s.ok(); ++level) {
+      while (versions_->current().NumFiles(level) > 0) {
+        s = CompactOnce(nullptr, level);
+        if (!s.ok()) {
+          SetBackgroundErrorLocked(s);
+          break;
+        }
       }
     }
   }
+  compaction_active_ = false;
+  if (s.ok()) compaction_scheduled_ = false;  // nothing left to do
+  compaction_done_cv_.notify_all();
   return s;
 }
 
@@ -571,54 +743,91 @@ Status DB::Resume() {
   return Status::OK();
 }
 
-Status DB::CompactLevelLocked(int level) {
+Status DB::CompactOnce(std::unique_lock<std::mutex>* lock, int level) {
+  CompactionJob job;
+  if (!PickCompactionInputsLocked(level, &job)) return Status::OK();
+  std::vector<FileMetaData> outputs;
+  Status s = RunCompaction(lock, job, &outputs);
+  if (!s.ok()) return s;
+  return InstallCompactionLocked(job, &outputs);
+}
+
+bool DB::PickCompactionInputsLocked(int level, CompactionJob* job) {
   Version* current = versions_->mutable_current();
-  std::vector<FileMetaData> inputs0;
+  job->level = level;
   if (level == 0) {
-    inputs0 = current->files[0];  // L0 files overlap; take them all
+    job->inputs0 = current->files[0];  // L0 files overlap; take them all
   } else {
-    if (current->files[level].empty()) return Status::OK();
-    inputs0.push_back(current->files[level].front());
+    if (current->files[level].empty()) return false;
+    job->inputs0.push_back(current->files[level].front());
   }
-  if (inputs0.empty()) return Status::OK();
+  if (job->inputs0.empty()) return false;
 
   // Key range of the inputs, as user keys.
-  std::string smallest = ExtractUserKey(Slice(inputs0[0].smallest)).ToString();
-  std::string largest = ExtractUserKey(Slice(inputs0[0].largest)).ToString();
-  for (const FileMetaData& f : inputs0) {
+  std::string smallest =
+      ExtractUserKey(Slice(job->inputs0[0].smallest)).ToString();
+  std::string largest =
+      ExtractUserKey(Slice(job->inputs0[0].largest)).ToString();
+  for (const FileMetaData& f : job->inputs0) {
     const std::string fs = ExtractUserKey(Slice(f.smallest)).ToString();
     const std::string fl = ExtractUserKey(Slice(f.largest)).ToString();
     if (fs < smallest) smallest = fs;
     if (fl > largest) largest = fl;
   }
-  std::vector<FileMetaData> inputs1 =
+  job->inputs1 =
       current->Overlapping(level + 1, Slice(smallest), Slice(largest));
 
   // Tombstones can be dropped when no deeper level holds this key range.
   // The range must cover inputs1 too: those files extend beyond inputs0's
   // range, and a tombstone from them dropped here while an older value
   // survives deeper would resurrect the deleted key.
-  for (const FileMetaData& f : inputs1) {
+  for (const FileMetaData& f : job->inputs1) {
     const std::string fs = ExtractUserKey(Slice(f.smallest)).ToString();
     const std::string fl = ExtractUserKey(Slice(f.largest)).ToString();
     if (fs < smallest) smallest = fs;
     if (fl > largest) largest = fl;
   }
-  bool bottom_most = true;
+  // The deeper levels cannot change while this job runs: only
+  // compactions write levels >= 1 and the slot serializes them, so the
+  // bottom-most decision made here stays valid through install.
+  job->bottom_most = true;
   for (int deeper = level + 2; deeper < kNumLevels; ++deeper) {
     if (!current->Overlapping(deeper, Slice(smallest), Slice(largest))
              .empty()) {
-      bottom_most = false;
+      job->bottom_most = false;
       break;
     }
   }
+  return true;
+}
+
+uint64_t DB::AllocFileNumber(std::unique_lock<std::mutex>* lock) {
+  if (lock == nullptr) return versions_->NewFileNumber();  // mu_ held
+  lock->lock();
+  const uint64_t number = versions_->NewFileNumber();
+  lock->unlock();
+  return number;
+}
+
+// Merge + build phase. Entered with mu_ held; when `lock` is non-null
+// (background thread) the mutex is released for the whole merge and
+// re-acquired before returning, so writes and reads proceed in parallel.
+// Input tables are held via table-cache shared_ptrs, so a concurrent
+// reader or cache eviction cannot pull them out from under the merge.
+Status DB::RunCompaction(std::unique_lock<std::mutex>* lock,
+                         const CompactionJob& job,
+                         std::vector<FileMetaData>* outputs) {
+  if (lock != nullptr) lock->unlock();
 
   // Merge all inputs in internal-key order. Checksums are always
   // verified here: a compaction that rewrites a corrupt block would
   // launder the corruption into a fresh, well-checksummed file.
+  // Readahead streams the inputs through the reusable window buffer
+  // instead of block-at-a-time preads (and never touches the cache).
   ReadOptions read_options;
   read_options.fill_cache = false;
   read_options.verify_checksums = true;
+  read_options.readahead_bytes = options_.scan_readahead_bytes;
   std::vector<Iterator*> children;
   auto add_children = [&](const std::vector<FileMetaData>& files) -> Status {
     for (const FileMetaData& f : files) {
@@ -630,66 +839,69 @@ Status DB::CompactLevelLocked(int level) {
     }
     return Status::OK();
   };
-  Status s = add_children(inputs0);
-  if (s.ok()) s = add_children(inputs1);
+  Status s = add_children(job.inputs0);
+  if (s.ok()) s = add_children(job.inputs1);
   if (!s.ok()) {
     for (Iterator* child : children) delete child;
+    if (lock != nullptr) lock->lock();
     return s;
   }
   std::unique_ptr<Iterator> merged(NewMergingIterator(std::move(children)));
 
-  std::vector<FileMetaData> outputs;
-  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<MemoryBufferFile> out_buffer;
   std::unique_ptr<TableBuilder> builder;
   FileMetaData out_meta;
 
   // On failure every output is discarded — inputs stay installed, so the
   // partial work is only wasted bytes, and reclaiming them matters when
-  // the failure *is* disk exhaustion.
+  // the failure *is* disk exhaustion. A partially built table only ever
+  // exists in memory (single-buffer build), so there is no partial file
+  // to clean up, only fully written outputs.
   auto discard_outputs = [&]() {
-    const bool partial_open = builder != nullptr;
     builder.reset();
-    out_file.reset();
-    if (partial_open) {
-      env_->RemoveFile(TableFileName(dbname_, out_meta.number));
-    }
-    for (const FileMetaData& f : outputs) {
+    out_buffer.reset();
+    for (const FileMetaData& f : *outputs) {
       env_->RemoveFile(TableFileName(dbname_, f.number));
     }
+    outputs->clear();
   };
 
-  auto open_output = [&]() -> Status {
+  auto open_output = [&]() {
     out_meta = FileMetaData{};
-    out_meta.number = versions_->NewFileNumber();
-    Status os = env_->NewWritableFile(TableFileName(dbname_, out_meta.number),
-                                      &out_file);
-    if (!os.ok()) return os;
-    builder = std::make_unique<TableBuilder>(options_, out_file.get());
-    return Status::OK();
+    out_meta.number = AllocFileNumber(lock);
+    out_buffer = std::make_unique<MemoryBufferFile>();
+    builder = std::make_unique<TableBuilder>(options_, out_buffer.get());
   };
   auto finish_output = [&]() -> Status {
     if (!builder) return Status::OK();
     if (builder->NumEntries() == 0) {
       builder.reset();
-      out_file.reset();
-      env_->RemoveFile(TableFileName(dbname_, out_meta.number));
+      out_buffer.reset();
       return Status::OK();
     }
     Status os = builder->Finish();
-    if (!os.ok()) return os;
-    os = out_file->Sync();
-    if (os.ok()) os = out_file->Close();
+    if (os.ok()) {
+      os = WriteTableFile(env_, TableFileName(dbname_, out_meta.number),
+                          Slice(out_buffer->data()));
+    }
     if (!os.ok()) return os;
     out_meta.file_size = builder->FileSize();
-    outputs.push_back(out_meta);
+    outputs->push_back(out_meta);
     builder.reset();
-    out_file.reset();
+    out_buffer.reset();
     return Status::OK();
   };
 
   std::string current_user_key;
   bool has_current_user_key = false;
   for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    if (lock != nullptr && shutting_down_.load(std::memory_order_relaxed)) {
+      // DB is being destroyed: abandon the merge. The inputs are still
+      // installed, so dropping the outputs loses nothing.
+      discard_outputs();
+      lock->lock();
+      return Status::IoError("compaction aborted: shutting down");
+    }
     const Slice ikey = merged->key();
     const Slice user_key = ExtractUserKey(ikey);
     if (has_current_user_key && user_key == Slice(current_user_key)) {
@@ -697,15 +909,11 @@ Status DB::CompactLevelLocked(int level) {
     }
     current_user_key.assign(user_key.data(), user_key.size());
     has_current_user_key = true;
-    if (bottom_most && ExtractValueType(ikey) == kTypeDeletion) {
+    if (job.bottom_most && ExtractValueType(ikey) == kTypeDeletion) {
       continue;  // tombstone with nothing underneath
     }
     if (!builder) {
-      s = open_output();
-      if (!s.ok()) {
-        discard_outputs();
-        return s;
-      }
+      open_output();
     }
     if (out_meta.smallest.empty()) {
       out_meta.smallest = ikey.ToString();
@@ -716,21 +924,34 @@ Status DB::CompactLevelLocked(int level) {
       s = finish_output();
       if (!s.ok()) {
         discard_outputs();
+        if (lock != nullptr) lock->lock();
         return s;
       }
     }
   }
   if (!merged->status().ok()) {
     discard_outputs();
+    if (lock != nullptr) lock->lock();
     return merged->status();
   }
   s = finish_output();
   if (!s.ok()) {
     discard_outputs();
+    if (lock != nullptr) lock->lock();
     return s;
   }
+  if (lock != nullptr) lock->lock();
+  return Status::OK();
+}
 
-  // Install: drop inputs, add outputs to level+1, keep level+1 sorted.
+// Install phase, under mu_: swap inputs for outputs in the live version
+// and persist the manifest. The version may have gained L0 files from
+// concurrent flushes while the merge ran — those are newer than every
+// output (higher file numbers, checked first by reads), so erasing the
+// inputs by number and appending outputs to level+1 stays correct.
+Status DB::InstallCompactionLocked(const CompactionJob& job,
+                                   std::vector<FileMetaData>* outputs) {
+  Version* current = versions_->mutable_current();
   auto remove_files = [](std::vector<FileMetaData>* files,
                          const std::vector<FileMetaData>& to_remove) {
     files->erase(std::remove_if(files->begin(), files->end(),
@@ -742,29 +963,54 @@ Status DB::CompactLevelLocked(int level) {
                                 }),
                  files->end());
   };
-  remove_files(&current->files[level], inputs0);
-  remove_files(&current->files[level + 1], inputs1);
-  for (FileMetaData& f : outputs) {
-    current->files[level + 1].push_back(std::move(f));
+  remove_files(&current->files[job.level], job.inputs0);
+  remove_files(&current->files[job.level + 1], job.inputs1);
+  for (FileMetaData& f : *outputs) {
+    current->files[job.level + 1].push_back(std::move(f));
   }
-  std::sort(current->files[level + 1].begin(),
-            current->files[level + 1].end(),
+  std::sort(current->files[job.level + 1].begin(),
+            current->files[job.level + 1].end(),
             [](const FileMetaData& a, const FileMetaData& b) {
               return Slice(a.smallest).compare(Slice(b.smallest)) < 0;
             });
-  s = versions_->WriteSnapshot();
+  Status s = versions_->WriteSnapshot();
   if (!s.ok()) return s;
-  for (const FileMetaData& f : inputs0) {
-    table_cache_->Evict(f.number);
-    block_cache_.EvictFile(f.number);
-    env_->RemoveFile(TableFileName(dbname_, f.number));
+  // Retire the inputs. Deletion is deferred while readers hold version
+  // pins: a Get/iterator that copied the pre-install version may still
+  // open these files by name. The last unpin (or the next install with
+  // no pins, or destruction) drops them.
+  for (const FileMetaData& f : job.inputs0) {
+    obsolete_tables_.push_back(f.number);
   }
-  for (const FileMetaData& f : inputs1) {
-    table_cache_->Evict(f.number);
-    block_cache_.EvictFile(f.number);
-    env_->RemoveFile(TableFileName(dbname_, f.number));
+  for (const FileMetaData& f : job.inputs1) {
+    obsolete_tables_.push_back(f.number);
   }
+  if (version_pins_ == 0) {
+    std::vector<uint64_t> to_drop;
+    to_drop.swap(obsolete_tables_);
+    DropObsoleteTables(to_drop);
+  }
+  compaction_done_cv_.notify_all();
   return Status::OK();
+}
+
+void DB::DropObsoleteTables(const std::vector<uint64_t>& numbers) {
+  for (uint64_t number : numbers) {
+    table_cache_->Evict(number);
+    block_cache_.EvictFile(number);
+    env_->RemoveFile(TableFileName(dbname_, number));
+  }
+}
+
+void DB::UnpinVersion() {
+  std::vector<uint64_t> to_drop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--version_pins_ == 0 && !obsolete_tables_.empty()) {
+      to_drop.swap(obsolete_tables_);
+    }
+  }
+  DropObsoleteTables(to_drop);
 }
 
 void DB::RemoveObsoleteFilesLocked() {
@@ -884,11 +1130,15 @@ Status SalvageTable(Env* env, const Options& options, uint64_t number,
 }  // namespace
 
 Status DB::VerifyIntegrity() {
-  Version version;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    version = versions_->current();
-  }
+  // Pin for the whole walk: the scrub opens tables by name, so files of
+  // this version must stay on disk even if a background compaction
+  // replaces them mid-scrub. (The concurrent manifest rewrite is safe:
+  // WriteSnapshot repoints CURRENT atomically via rename, so the
+  // re-parse below reads a complete manifest either way.)
+  std::unique_lock<std::mutex> lock(mu_);
+  Version version = versions_->current();
+  ScopedVersionPin pin(this);
+  lock.unlock();
   for (int level = 0; level < kNumLevels; ++level) {
     for (const FileMetaData& f : version.files[level]) {
       const std::string fname = TableFileName(dbname_, f.number);

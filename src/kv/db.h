@@ -2,9 +2,14 @@
 //
 // This is the storage substrate standing in for HBase in the TraSS
 // reproduction: it provides ordered row keys, range scans, durability via
-// a write-ahead log, and I/O accounting. Flushes and compactions run
-// synchronously on the writing thread, which keeps benchmark numbers
-// deterministic on a single machine.
+// a write-ahead log, and I/O accounting. Flushes run synchronously on the
+// writing thread; compactions run on a dedicated background thread per DB
+// (Options::background_compaction, on by default) — inputs are picked and
+// the result installed under the DB mutex, but the merge+build runs
+// lock-free, so writes only wait when the L0 ingest throttle
+// (l0_slowdown_trigger / l0_stop_trigger) says the level is too deep.
+// With background_compaction off, compactions run synchronously on the
+// writing thread as before.
 //
 // Failure semantics (RocksDB-style background-error model): any failed
 // WAL append/sync, flush, or compaction sets a sticky background error
@@ -20,9 +25,13 @@
 #ifndef TRASS_KV_DB_H_
 #define TRASS_KV_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "kv/cache.h"
 #include "kv/dbformat.h"
@@ -72,11 +81,20 @@ class DB {
   /// point-in-time snapshot taken at creation.
   Iterator* NewIterator(const ReadOptions& options);
 
-  /// Forces the memtable into an L0 SSTable (and runs due compactions).
+  /// Forces the memtable into an L0 SSTable. Due compactions are
+  /// scheduled on the background thread (or run inline when
+  /// background_compaction is off).
   Status Flush();
 
-  /// Compacts everything down to the last non-empty level.
+  /// Compacts everything down to the last non-empty level. Synchronous:
+  /// waits for any in-flight background compaction, then runs the work
+  /// on the calling thread and returns its first failure.
   Status CompactRange();
+
+  /// Blocks until no background compaction is running or scheduled (or
+  /// the DB is wedged by a background error). Deterministic settling
+  /// point for tests and benchmarks.
+  void WaitForCompactions();
 
   /// Scrub: re-reads every SSTable referenced by the current version
   /// (footer, filter, index, and all data blocks) straight from disk,
@@ -108,19 +126,65 @@ class DB {
  private:
   DB(const Options& options, std::string name);
 
+  // One unit of compaction work, fully described by value so the merge
+  // phase can run without the DB mutex: input files are copied out of
+  // the version at pick time and the slot (compaction_active_) keeps any
+  // other compaction from touching them until install.
+  struct CompactionJob {
+    int level = -1;
+    std::vector<FileMetaData> inputs0;  // `level` inputs
+    std::vector<FileMetaData> inputs1;  // overlapping `level+1` inputs
+    bool bottom_most = false;           // tombstones can be dropped
+  };
+
+  // RAII reader pin: created under mu_ right after copying the current
+  // version; while any pin is live, tables obsoleted by a compaction are
+  // kept on disk (deletion deferred) so readers can still open them.
+  class ScopedVersionPin {
+   public:
+    explicit ScopedVersionPin(DB* db) : db_(db) { ++db_->version_pins_; }
+    ~ScopedVersionPin() { db_->UnpinVersion(); }
+    ScopedVersionPin(const ScopedVersionPin&) = delete;
+    ScopedVersionPin& operator=(const ScopedVersionPin&) = delete;
+
+   private:
+    DB* const db_;
+  };
+
   Status RecoverLogs();
   Status SwitchToNewLog();
   Status FlushMemTableLocked();            // requires mu_
-  Status MaybeCompactLocked();             // requires mu_
-  Status CompactLevelLocked(int level);    // requires mu_
+  // Background mode: marks compaction work pending and wakes the
+  // compaction thread. Synchronous mode: runs due compactions inline
+  // under mu_ (the seed write-path behavior). Requires mu_.
+  Status MaybeCompactLocked();
+  // One pick -> merge -> install cycle for `level`. Requires mu_ held;
+  // when `lock` is non-null the merge phase releases it (background
+  // thread), when null the whole cycle runs under mu_ (foreground).
+  Status CompactOnce(std::unique_lock<std::mutex>* lock, int level);
+  bool PickCompactionInputsLocked(int level, CompactionJob* job);
+  Status RunCompaction(std::unique_lock<std::mutex>* lock,
+                       const CompactionJob& job,
+                       std::vector<FileMetaData>* outputs);
+  Status InstallCompactionLocked(const CompactionJob& job,
+                                 std::vector<FileMetaData>* outputs);
+  uint64_t AllocFileNumber(std::unique_lock<std::mutex>* lock);
+  void CompactionThreadMain();
   Status WriteLevel0TableLocked(MemTable* mem);
   void RemoveObsoleteFilesLocked();
+  // Evicts `numbers` from the table/block caches and unlinks the files.
+  void DropObsoleteTables(const std::vector<uint64_t>& numbers);
+  void UnpinVersion();
   // First failure sticks and flips the DB read-only; requires mu_.
   void SetBackgroundErrorLocked(const Status& s);
   // Space-watermark gate, run before taking mu_ (the soft-watermark
   // throttle sleeps and must not block readers). Hard watermark: shed
   // with NoSpace before the WAL is touched. No-op when disabled.
   Status MaybeStallForSpace();
+  // L0 ingest throttle, run before taking mu_ for a write: bounded sleep
+  // at l0_slowdown_trigger, block until a compaction shrinks L0 at
+  // l0_stop_trigger (with wedge/shutdown/deferred-work escape hatches).
+  void MaybeThrottleForL0();
   // True when compactions should be deferred for lack of headroom.
   bool BelowSoftWatermark() const;
 
@@ -139,6 +203,22 @@ class DB {
   std::unique_ptr<VersionSet> versions_;
   // Sticky first write-path failure; OK when healthy. Guarded by mu_.
   Status bg_error_;
+
+  // Compaction concurrency state, guarded by mu_ unless noted. The
+  // "slot" invariant: at most one compaction (background or foreground)
+  // is between pick and install at any time — compaction_active_ is the
+  // slot, CompactRange waits on compaction_done_cv_ to take it.
+  std::thread compaction_thread_;
+  std::condition_variable bg_cv_;               // wakes the compactor
+  std::condition_variable compaction_done_cv_;  // wakes slot/L0 waiters
+  bool compaction_scheduled_ = false;
+  bool compaction_active_ = false;
+  std::atomic<bool> shutting_down_{false};
+  // Reader pins + deferred table deletion: while version_pins_ > 0, a
+  // Get/iterator/scrub may still open files of a replaced version, so
+  // compaction install parks their numbers here instead of unlinking.
+  int version_pins_ = 0;
+  std::vector<uint64_t> obsolete_tables_;
 
   BlockCache block_cache_;
   IoStats stats_;

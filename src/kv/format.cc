@@ -59,17 +59,25 @@ Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
     return Status::Corruption("truncated block read");
   }
   const char* data = contents.data();
-  if (options.verify_checksums) {
-    const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
-    const uint32_t actual = crc32c::Value(data, n + 1);
+  s = VerifyBlockInPlace(data, n, options.verify_checksums);
+  if (!s.ok()) return s;
+  result->data.assign(data, n);
+  return Status::OK();
+}
+
+Status VerifyBlockInPlace(const char* data, size_t payload_size,
+                          bool verify_checksum) {
+  if (verify_checksum) {
+    const uint32_t crc =
+        crc32c::Unmask(DecodeFixed32(data + payload_size + 1));
+    const uint32_t actual = crc32c::Value(data, payload_size + 1);
     if (crc != actual) {
       return Status::Corruption("block checksum mismatch");
     }
   }
-  if (data[n] != 0) {
+  if (data[payload_size] != 0) {
     return Status::Corruption("unknown block compression type");
   }
-  result->data.assign(data, n);
   return Status::OK();
 }
 

@@ -74,6 +74,14 @@ struct BlockContents {
 Status ReadBlock(RandomAccessFile* file, const ReadOptions& options,
                  const BlockHandle& handle, BlockContents* result);
 
+/// Verifies a block already in memory: `data` points at `payload_size`
+/// payload bytes followed by the kBlockTrailerSize trailer. Checks the
+/// compression-type byte always and the crc32c when `verify_checksum`.
+/// Used by the readahead scan path to validate blocks in place without
+/// copying them out of the window buffer.
+Status VerifyBlockInPlace(const char* data, size_t payload_size,
+                          bool verify_checksum);
+
 }  // namespace kv
 }  // namespace trass
 

@@ -272,6 +272,13 @@ Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
   std::vector<char> attempted(n, 0);
   std::vector<int> served(n, -1);
   std::vector<uint32_t> failovers(n, 0);
+  // Cache/readahead deltas per region (each region is scanned by one
+  // worker, so plain slots suffice — same pattern as `failovers`).
+  struct RegionIo {
+    uint64_t hits = 0, misses = 0, fills = 0;
+    uint64_t ra_reads = 0, ra_bytes = 0;
+  };
+  std::vector<RegionIo> region_io(n);
   std::atomic<uint64_t> retries{0};
 
   const int attempts = 1 + std::max(0, options_.max_scan_retries);
@@ -317,10 +324,21 @@ Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
         }
         const int replica = order[oi];
         std::shared_ptr<DB> db = Replica(region, replica);
-        last = db != nullptr
-                   ? ScanReplicaOnce(db.get(), region, ranges, filter, limit,
-                                     control, &per_region[region])
-                   : OfflineStatus();
+        if (db != nullptr) {
+          const IoStats::Snapshot before = db->io_stats().Read();
+          last = ScanReplicaOnce(db.get(), region, ranges, filter, limit,
+                                 control, &per_region[region]);
+          const IoStats::Snapshot after = db->io_stats().Read();
+          region_io[region].hits += after.cache_hits - before.cache_hits;
+          region_io[region].misses += after.cache_misses - before.cache_misses;
+          region_io[region].fills += after.cache_fills - before.cache_fills;
+          region_io[region].ra_reads +=
+              after.readahead_reads - before.readahead_reads;
+          region_io[region].ra_bytes +=
+              after.readahead_bytes_read - before.readahead_bytes_read;
+        } else {
+          last = OfflineStatus();
+        }
         if (last.ok()) {
           served[region] = replica;
           RecordSuccess(region, replica);
@@ -390,6 +408,11 @@ Status RegionStore::ScanInternal(const std::vector<ScanRange>& ranges,
     for (size_t region = 0; region < n; ++region) {
       report->regions[region].served_replica = served[region];
       report->regions[region].failovers = failovers[region];
+      report->cache_hits += region_io[region].hits;
+      report->cache_misses += region_io[region].misses;
+      report->cache_fills += region_io[region].fills;
+      report->readahead_reads += region_io[region].ra_reads;
+      report->readahead_bytes_read += region_io[region].ra_bytes;
     }
   }
   if (!query_stop.ok()) return query_stop;
@@ -762,6 +785,10 @@ IoStats::Snapshot RegionStore::TotalIoStats() const {
       total.blocks_read += s.blocks_read;
       total.block_bytes_read += s.block_bytes_read;
       total.cache_hits += s.cache_hits;
+      total.cache_misses += s.cache_misses;
+      total.cache_fills += s.cache_fills;
+      total.readahead_reads += s.readahead_reads;
+      total.readahead_bytes_read += s.readahead_bytes_read;
       total.rows_scanned += s.rows_scanned;
       total.bloom_skips += s.bloom_skips;
       total.point_gets += s.point_gets;

@@ -78,6 +78,11 @@ void FoldShardMetrics(const core::QueryMetrics& from, core::QueryMetrics* to) {
   to->fingerprint_skips += from.fingerprint_skips;
   // Per-shard RAM gauges sum to the fleet's filter footprint.
   to->filter_memory_bytes += from.filter_memory_bytes;
+  to->block_cache_hits += from.block_cache_hits;
+  to->block_cache_misses += from.block_cache_misses;
+  to->block_cache_fills += from.block_cache_fills;
+  to->readahead_reads += from.readahead_reads;
+  to->readahead_bytes_read += from.readahead_bytes_read;
 }
 
 void ArmControl(const core::QueryOptions& options, QueryContext* control) {

@@ -9,7 +9,7 @@ namespace {
 // v2 adds replication-era fields: request {num_shards, export_primary}
 // and response fingerprints (anti-entropy). A v1 peer fails loudly with
 // Corruption instead of misparsing, per the header contract.
-constexpr uint8_t kWireVersion = 3;  // v3: filter-tier metric fields
+constexpr uint8_t kWireVersion = 4;  // v4: cache/readahead metric fields
 
 // Status codes on the wire. Keep in sync with the factories in
 // util/status.h; unknown codes decode as IoError so a skewed peer
@@ -162,6 +162,11 @@ void PutMetrics(const core::QueryMetrics& m, std::string* dst) {
   PutVarint64(dst, m.filter_mbr_pruned);
   PutVarint64(dst, m.fingerprint_skips);
   PutVarint64(dst, m.filter_memory_bytes);
+  PutVarint64(dst, m.block_cache_hits);
+  PutVarint64(dst, m.block_cache_misses);
+  PutVarint64(dst, m.block_cache_fills);
+  PutVarint64(dst, m.readahead_reads);
+  PutVarint64(dst, m.readahead_bytes_read);
   const uint8_t flags = static_cast<uint8_t>(
       (m.partial ? 1 : 0) | (m.deadline_expired ? 2 : 0) |
       (m.cancelled ? 4 : 0) | (m.budget_exhausted ? 8 : 0));
@@ -188,7 +193,12 @@ bool GetMetrics(Slice* input, core::QueryMetrics* m) {
       !GetVarint64(input, &m->filter_elements_pruned) ||
       !GetVarint64(input, &m->filter_mbr_pruned) ||
       !GetVarint64(input, &m->fingerprint_skips) ||
-      !GetVarint64(input, &m->filter_memory_bytes)) {
+      !GetVarint64(input, &m->filter_memory_bytes) ||
+      !GetVarint64(input, &m->block_cache_hits) ||
+      !GetVarint64(input, &m->block_cache_misses) ||
+      !GetVarint64(input, &m->block_cache_fills) ||
+      !GetVarint64(input, &m->readahead_reads) ||
+      !GetVarint64(input, &m->readahead_bytes_read)) {
     return false;
   }
   if (input->size() < 1) return false;

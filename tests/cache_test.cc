@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "kv/block_builder.h"
 
@@ -84,6 +86,89 @@ TEST(BlockCacheTest, SharedPtrKeepsEvictedBlockAlive) {
   std::unique_ptr<Iterator> iter(held->NewIterator());
   iter->SeekToFirst();
   EXPECT_TRUE(iter->Valid());
+}
+
+TEST(BlockCacheTest, OversizedInsertNotCached) {
+  BlockCache cache(8 * 100);  // ~100 bytes per shard
+  BlockCache::Key small{1, 1};
+  cache.Insert(small, MakeBlock(), 50);
+  // A block bigger than a whole shard must be rejected outright, not
+  // admitted (where it would immediately evict everything, including
+  // itself, while briefly blowing the memory budget).
+  BlockCache::Key huge{1, 2};
+  cache.Insert(huge, MakeBlock(), 10'000);
+  EXPECT_EQ(cache.Lookup(huge), nullptr);
+  EXPECT_LE(cache.TotalCharge(), 8u * 100u);
+  // Pre-existing entries in other slots survive the rejected insert.
+  EXPECT_NE(cache.Lookup(small), nullptr);
+}
+
+TEST(BlockCacheTest, OversizedReplaceDropsExistingEntry) {
+  BlockCache cache(8 * 100);
+  BlockCache::Key key{3, 9};
+  cache.Insert(key, MakeBlock(), 50);
+  ASSERT_NE(cache.Lookup(key), nullptr);
+  // Re-inserting the same key with an oversized block models the file's
+  // block being reread larger than the shard: the stale cached copy must
+  // go even though the replacement is not admitted.
+  cache.Insert(key, MakeBlock(), 10'000);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.TotalCharge(), 0u);
+}
+
+TEST(BlockCacheTest, FillCounterTracksAdmittedInsertsOnly) {
+  BlockCache cache(8 * 100);
+  cache.Insert(BlockCache::Key{1, 1}, MakeBlock(), 50);
+  cache.Insert(BlockCache::Key{1, 2}, MakeBlock(), 10'000);  // rejected
+  EXPECT_EQ(cache.fills(), 1u);
+}
+
+// TSan coverage: Lookup and Insert racing EvictFile across shards. The
+// assertions are the invariants that survive any interleaving — evicted
+// file's blocks are gone afterwards, other files' lookups never crash,
+// and blocks held across the eviction stay readable.
+TEST(BlockCacheTest, ConcurrentLookupInsertEvictFile) {
+  BlockCache cache(8 * 2000);
+  constexpr uint64_t kEvictedFile = 7;
+  constexpr uint64_t kStableFile = 8;
+  constexpr int kOps = 2000;
+  for (uint64_t i = 0; i < 64; ++i) {
+    cache.Insert(BlockCache::Key{kEvictedFile, i}, MakeBlock(), 10);
+    cache.Insert(BlockCache::Key{kStableFile, i}, MakeBlock(), 10);
+  }
+  std::vector<std::thread> threads;
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < kOps / 10; ++i) cache.EvictFile(kEvictedFile);
+  });
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t off = static_cast<uint64_t>((i + t * 31) % 64);
+        auto held = cache.Lookup(BlockCache::Key{kEvictedFile, off});
+        if (held != nullptr) {
+          // A block handed out before/while EvictFile runs stays valid.
+          std::unique_ptr<Iterator> iter(held->NewIterator());
+          iter->SeekToFirst();
+          EXPECT_TRUE(iter->Valid());
+        }
+        cache.Insert(BlockCache::Key{kEvictedFile, off}, MakeBlock(), 10);
+      }
+    });
+  }
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < kOps; ++i) {
+      const uint64_t off = static_cast<uint64_t>(i % 64);
+      cache.Insert(BlockCache::Key{kStableFile, off}, MakeBlock(), 10);
+      EXPECT_NE(cache.Lookup(BlockCache::Key{kStableFile, off}), nullptr);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  // Quiesced: a final eviction empties the contested file for good.
+  cache.EvictFile(kEvictedFile);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(cache.Lookup(BlockCache::Key{kEvictedFile, i}), nullptr);
+    EXPECT_NE(cache.Lookup(BlockCache::Key{kStableFile, i}), nullptr);
+  }
 }
 
 }  // namespace
